@@ -1,0 +1,42 @@
+# ccAI reproduction — standard targets.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -w .
+
+# One testing.B benchmark per paper table/figure, plus micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz campaigns over every attacker-facing parser.
+fuzz:
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=15s ./internal/pcie/
+	$(GO) test -fuzz=FuzzUnmarshalRule -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzUnmarshalDescriptor -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzUnmarshalBlob -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzUnmarshalRekeyCommand -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzControllerControlWindow -fuzztime=15s ./internal/core/
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/ccai-bench
+
+clean:
+	$(GO) clean ./...

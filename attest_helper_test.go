@@ -1,0 +1,81 @@
+package ccai_test
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"testing"
+
+	"ccai/internal/attest"
+	"ccai/internal/hrot"
+)
+
+// runAttestationRound executes the complete Figure 6 protocol once; it
+// backs BenchmarkFigure6Attestation and the end-to-end trust test.
+func runAttestationRound(tb testing.TB) {
+	tb.Helper()
+	ca, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	blade, err := hrot.NewBlade(ca)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	content := []byte("bitstream v1")
+	sig, err := hrot.SignImage(ca, content)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	err = blade.SecureBoot(&ca.PublicKey, []hrot.BootImage{
+		{Name: "bitstream", PCR: hrot.PCRBitstream, Content: content, Signature: sig},
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+
+	platform, err := attest.NewPlatform(blade)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	verifier, err := attest.NewVerifier(&ca.PublicKey)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := platform.Establish(verifier.Hello()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := verifier.Establish(platform.Hello()); err != nil {
+		tb.Fatal(err)
+	}
+	if err := verifier.ValidateCertificates(platform.Certificates()); err != nil {
+		tb.Fatal(err)
+	}
+	sel := []int{hrot.PCRBitstream}
+	verifier.Expected = [][]byte{blade.PCRs().Snapshot(sel)}
+	ch, err := verifier.NewChallenge(1, sel)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	quote, err := platform.Respond(ch)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := verifier.Verify(ch, quote); err != nil {
+		tb.Fatal(err)
+	}
+	bundle := attest.NewKeyBundle([]string{"h2d", "d2h", "config", "mmio"})
+	sealed, err := verifier.Seal(bundle)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if _, err := platform.OpenBundle(sealed); err != nil {
+		tb.Fatal(err)
+	}
+}
+
+// TestFullTrustEstablishmentRound keeps the benchmark's path covered by
+// `go test` as well.
+func TestFullTrustEstablishmentRound(t *testing.T) {
+	runAttestationRound(t)
+}

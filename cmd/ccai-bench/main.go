@@ -1,0 +1,136 @@
+// Command ccai-bench regenerates every table and figure of the paper's
+// evaluation section on the simulated platform:
+//
+//	ccai-bench                  # everything
+//	ccai-bench -only fig8       # one experiment (table1..3, fig8..fig12b)
+//	ccai-bench -src /path/repo  # repository root for Table 3 LoC counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ccai/internal/bench"
+	"ccai/internal/llm"
+	"ccai/internal/xpu"
+)
+
+func main() {
+	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition")
+	src := flag.String("src", ".", "repository root for Table 3 LoC measurement")
+	flag.Parse()
+
+	cm := bench.Defaults()
+	want := func(name string) bool {
+		return *only == "" || strings.EqualFold(*only, name)
+	}
+	fail := func(name string, err error) {
+		fmt.Fprintf(os.Stderr, "ccai-bench: %s: %v\n", name, err)
+		os.Exit(1)
+	}
+
+	if want("table1") {
+		fmt.Println(bench.RenderTable1(bench.Table1Categorization()))
+	}
+	if want("table2") {
+		checks := bench.Table2Checks(true, true, true, true)
+		fmt.Println(bench.RenderTable2(bench.Table2Compatibility(), checks))
+	}
+	if want("table3") {
+		rows, err := bench.Table3TCB(*src)
+		if err != nil {
+			fail("table3", err)
+		}
+		fmt.Println(bench.RenderTable3(rows))
+	}
+	if want("fig8") {
+		fb, err := bench.Figure8FixBatch(cm)
+		if err != nil {
+			fail("fig8", err)
+		}
+		fmt.Println(bench.RenderFig8("Figure 8a/c/e — fix-batch sweep (Llama-2-7B, A100, batch 1)", fb))
+		ft, err := bench.Figure8FixToken(cm)
+		if err != nil {
+			fail("fig8", err)
+		}
+		fmt.Println(bench.RenderFig8("Figure 8b/d/f — fix-token sweep (Llama-2-7B, A100, 128 tokens)", ft))
+	}
+	if want("fig9") {
+		rows, err := bench.Figure9Models(cm)
+		if err != nil {
+			fail("fig9", err)
+		}
+		fmt.Println(bench.RenderFig9(rows))
+	}
+	if want("fig10") {
+		rows, err := bench.Figure10XPUs(cm)
+		if err != nil {
+			fail("fig10", err)
+		}
+		fmt.Println(bench.RenderFig10(rows))
+	}
+	if want("fig11") {
+		tok, bat, err := bench.Figure11Optimization(cm)
+		if err != nil {
+			fail("fig11", err)
+		}
+		fmt.Println(bench.RenderFig11(tok, bat))
+	}
+	if want("fig12a") {
+		rows, err := bench.Figure12aBandwidth(cm)
+		if err != nil {
+			fail("fig12a", err)
+		}
+		fmt.Println(bench.RenderFig12a(rows))
+	}
+	if want("decomposition") {
+		rows, err := bench.Figure11Decomposition(cm)
+		if err != nil {
+			fail("decomposition", err)
+		}
+		fmt.Println(bench.RenderDecomposition(rows))
+	}
+	if want("h100") {
+		rows, err := bench.H100Comparison(cm)
+		if err != nil {
+			fail("h100", err)
+		}
+		fmt.Println(bench.RenderH100Comparison(rows))
+	}
+	if want("breakdown") {
+		w := bench.Workload{Device: xpu.A100, Session: llm.Session{
+			Model: llm.Llama2_7B, PromptTokens: 512, GenTokens: 512, Batch: 1}}
+		var rows []bench.Breakdown
+		for _, prot := range []bench.Protection{bench.VanillaMode, bench.CCAI, bench.CCAINoOpt} {
+			b, err := bench.Explain(w, prot, cm)
+			if err != nil {
+				fail("breakdown", err)
+			}
+			rows = append(rows, b)
+		}
+		fmt.Println(bench.RenderBreakdown(rows))
+	}
+	if want("serving") {
+		rows, err := bench.ServingExperiment(cm, []float64{0.25, 0.5, 1.0, 1.5, 1.8})
+		if err != nil {
+			fail("serving", err)
+		}
+		fmt.Println(bench.RenderServing(rows))
+	}
+	if want("ablations") {
+		out, err := bench.RenderAblations(cm)
+		if err != nil {
+			fail("ablations", err)
+		}
+		fmt.Println(out)
+	}
+	if want("fig12b") {
+		rows, err := bench.Figure12bKVCache(cm)
+		if err != nil {
+			fail("fig12b", err)
+		}
+		fmt.Println(bench.RenderFig12b(rows))
+	}
+}

@@ -1,0 +1,53 @@
+// Llama-2 inference benchmark: the Figure 8 experiment as a standalone
+// program. Sweeps token size (fix-batch) and batch size (fix-token) on
+// a simulated A100, printing vanilla vs ccAI E2E latency, tokens per
+// second, and time to first token.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccai/internal/bench"
+	"ccai/internal/llm"
+	"ccai/internal/xpu"
+)
+
+func main() {
+	cm := bench.Defaults()
+
+	fmt.Println("Llama-2-7B-Chat on A100 under ccAI (virtual-time simulation)")
+	fmt.Println()
+
+	fixBatch, err := bench.Figure8FixBatch(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.RenderFig8("fix-batch sweep (batch 1, tokens 64-2048)", fixBatch))
+	fmt.Println()
+
+	fixToken, err := bench.Figure8FixToken(cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.RenderFig8("fix-token sweep (128 tokens, batch 1-96)", fixToken))
+	fmt.Println()
+
+	// Beyond the paper's sweeps: a one-off custom configuration showing
+	// how to drive the harness directly.
+	w := bench.Workload{
+		Device: xpu.A100,
+		Session: llm.Session{
+			Model: llm.Llama2_7B, PromptTokens: 900, GenTokens: 300, Batch: 4,
+		},
+	}
+	van, cc, err := bench.Compare(w, cm)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("custom run (900-token prompt, 300 generated, batch 4):\n")
+	fmt.Printf("  vanilla: E2E %.2fs, TTFT %.3fs, %.1f tok/s (model load %.2fs)\n",
+		van.E2E.Seconds(), van.TTFT.Seconds(), van.TPS, van.LoadTime.Seconds())
+	fmt.Printf("  ccAI:    E2E %.2fs, TTFT %.3fs, %.1f tok/s  ->  +%.2f%% latency\n",
+		cc.E2E.Seconds(), cc.TTFT.Seconds(), cc.TPS, bench.Overhead(van.E2E, cc.E2E))
+}

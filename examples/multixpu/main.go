@@ -1,0 +1,55 @@
+// Multi-xPU compatibility: the paper's core claim (G1) demonstrated
+// live. The SAME application bytes, the SAME unmodified driver model,
+// and the SAME Adaptor run against all five devices of the evaluation
+// fleet — NVIDIA A100/T4/RTX4090Ti GPUs, a Tenstorrent N150d NPU, and
+// an Enflame S60 GPU — with the PCIe-SC providing identical protection
+// over each, followed by the Figure 10 latency comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ccai"
+	"ccai/internal/attack"
+	"ccai/internal/bench"
+	"ccai/internal/xpu"
+)
+
+func main() {
+	secret := []byte("one workload, five accelerators, zero driver changes")
+
+	fmt.Println("functional pass: the same confidential task on every fleet device")
+	for _, profile := range xpu.Fleet() {
+		plat, err := ccai.NewPlatform(ccai.Config{XPU: profile, Mode: ccai.Protected})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := plat.EstablishTrust(); err != nil {
+			log.Fatal(err)
+		}
+		snoop := attack.NewSnooper()
+		plat.Host.AddTap(snoop)
+
+		out, err := plat.RunTask(ccai.Task{Input: secret, Kernel: ccai.KernelAdd, Param: 1})
+		if err != nil {
+			log.Fatalf("%s: %v", profile.Name, err)
+		}
+		ok := len(out) == len(secret)
+		for i := range secret {
+			ok = ok && out[i] == secret[i]+1
+		}
+		plat.Close()
+		fmt.Printf("  %-10s (%s, %-11s): correct=%v  leaked=%v  residue=%v\n",
+			profile.Name, profile.Class, profile.Vendor, ok,
+			snoop.SawPlaintext(secret), plat.Device.MemResidue())
+	}
+
+	fmt.Println()
+	fmt.Println("performance pass: Figure 10 (LLM inference overhead per device)")
+	rows, err := bench.Figure10XPUs(bench.Defaults())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bench.RenderFig10(rows))
+}

@@ -1,0 +1,3 @@
+module ccai
+
+go 1.24

@@ -1,0 +1,496 @@
+// Package adaptor implements ccAI's TVM-side software component (§3,
+// §7.1): a kernel module that gives the unmodified native xPU driver a
+// confidential path to the device. It stages sensitive payloads through
+// encrypted bounce buffers (de/encrypt_data), uploads Packet Filter
+// policies and transfer descriptors to the PCIe-SC through sealed
+// configuration windows (pkt_filter_manage), posts authentication-tag
+// records, and wraps control MMIO with the A3 integrity protocol — all
+// without touching the driver or the application.
+package adaptor
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/core"
+	"ccai/internal/mem"
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+)
+
+// Options select the §5 optimizations. The defaults (all on) are the
+// ccAI configuration; Figure 11's "No Opt" ablation clears them.
+type Options struct {
+	// BatchTags packs many tag records into each upload packet instead
+	// of one I/O write per record.
+	BatchTags bool
+	// BatchedMetadata reads DMA progress from the TVM-resident metadata
+	// buffer instead of polling SC registers with I/O reads.
+	BatchedMetadata bool
+	// HWCrypto uses AES-NI-class hardware instructions for
+	// de/encryption (timing model; the functional bytes are identical).
+	HWCrypto bool
+	// ParallelCrypto spreads crypto across extra CPU threads (timing
+	// model).
+	ParallelCrypto bool
+}
+
+// Optimized is the full ccAI optimization set.
+func Optimized() Options {
+	return Options{BatchTags: true, BatchedMetadata: true, HWCrypto: true, ParallelCrypto: true}
+}
+
+// NoOpt is the Figure 11 ablation configuration.
+func NoOpt() Options { return Options{} }
+
+// IOStats counts the Adaptor's MMIO interactions with the PCIe-SC —
+// the quantity §5's optimizations exist to reduce.
+type IOStats struct {
+	MMIOWrites uint64
+	MMIOReads  uint64
+}
+
+// Region is one staged transfer: the bounce buffer, its descriptor as
+// registered with the SC, and (for D2H) the tag table.
+type Region struct {
+	Desc     core.Descriptor
+	Buf      *mem.Buffer
+	TagBuf   *mem.Buffer
+	PlainLen int64
+}
+
+// Adaptor is the TVM-side component instance. It owns the TVM replicas
+// of the protected streams (negotiated during trust establishment) and
+// the staging memory in the shared region.
+type Adaptor struct {
+	id    pcie.ID
+	bus   *pcie.Bus
+	space *mem.Space
+	keys  *secmem.KeyStore
+
+	scBar   uint64
+	xpuBar  uint64
+	region  string // staging region name within the space
+	opts    Options
+	mmioSeq uint32
+	nextID  uint32
+
+	h2d    *secmem.Stream // seal side
+	d2h    *secmem.Stream // open side
+	config *secmem.Stream // seal side
+
+	metaBuf *mem.Buffer
+
+	io IOStats
+}
+
+// SharedRegion is the mem.Space region name the Adaptor stages bounce
+// buffers in; the platform must create it and IOMMU-map it for the SC.
+const SharedRegion = "shared"
+
+// New constructs an Adaptor for a TVM with requester ID id, talking to
+// a PCIe-SC whose control BAR is at scBar and whose guarded xPU window
+// starts at xpuBar. Staging memory comes from the default SharedRegion.
+func New(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStore, scBar, xpuBar uint64, opts Options) *Adaptor {
+	return NewScoped(id, bus, space, keys, scBar, xpuBar, SharedRegion, opts)
+}
+
+// NewScoped is New with an explicit staging-region name; multi-tenant
+// platforms give each tenant its own shared window.
+func NewScoped(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStore, scBar, xpuBar uint64, region string, opts Options) *Adaptor {
+	return &Adaptor{
+		id: id, bus: bus, space: space, keys: keys,
+		scBar: scBar, xpuBar: xpuBar, region: region, opts: opts, nextID: 1,
+	}
+}
+
+// Options reports the active optimization set.
+func (a *Adaptor) Options() Options { return a.opts }
+
+// IO reports cumulative MMIO interaction counts.
+func (a *Adaptor) IO() IOStats { return a.io }
+
+// HWInit activates the Adaptor's stream replicas from negotiated key
+// material and programs the metadata batch buffer (§7.1 hw_init).
+func (a *Adaptor) HWInit() error {
+	var err error
+	if a.h2d, err = a.keys.Stream(core.StreamH2D); err != nil {
+		return fmt.Errorf("adaptor: %w", err)
+	}
+	if a.d2h, err = a.keys.Stream(core.StreamD2H); err != nil {
+		return fmt.Errorf("adaptor: %w", err)
+	}
+	if a.config, err = a.keys.Stream(core.StreamConfig); err != nil {
+		return fmt.Errorf("adaptor: %w", err)
+	}
+	if a.opts.BatchedMetadata {
+		buf, err := a.space.Alloc(a.region, "dma-metadata", mem.PageSize)
+		if err != nil {
+			return fmt.Errorf("adaptor: metadata buffer: %w", err)
+		}
+		a.metaBuf = buf
+		a.mmioWrite64(core.RegMetaBase, buf.Base())
+		a.mmioWrite64(core.RegMetaSize, uint64(buf.Size()))
+	}
+	return nil
+}
+
+// --- raw SC MMIO -------------------------------------------------------------
+
+func (a *Adaptor) mmioWrite(off uint64, payload []byte) {
+	a.io.MMIOWrites++
+	a.bus.Route(pcie.NewMemWrite(a.id, a.scBar+off, payload))
+}
+
+func (a *Adaptor) mmioWrite64(off uint64, v uint64) {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, v)
+	a.mmioWrite(off, buf)
+}
+
+// SCStatus reads the controller's status register (an I/O read).
+func (a *Adaptor) SCStatus() uint64 {
+	a.io.MMIOReads++
+	cpl := a.bus.Route(pcie.NewMemRead(a.id, a.scBar+core.RegSCStatus, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(cpl.Payload)
+}
+
+// --- pkt_filter_manage --------------------------------------------------------
+
+// InstallRule seals a Packet Filter policy under the config stream and
+// uploads it through the rule window (§4.1's encrypted configuration).
+func (a *Adaptor) InstallRule(r core.Rule) error {
+	sealed, err := a.config.Seal(r.Marshal(), nil)
+	if err != nil {
+		return fmt.Errorf("adaptor: seal rule: %w", err)
+	}
+	a.mmioWrite(core.RegRuleWindow, core.MarshalBlob(sealed))
+	a.mmioWrite64(core.RegRuleDoorbell, 1)
+	return nil
+}
+
+func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
+	sealed, err := a.config.Seal(d.Marshal(), nil)
+	if err != nil {
+		return fmt.Errorf("adaptor: seal descriptor: %w", err)
+	}
+	a.mmioWrite(core.RegDescWindow, core.MarshalBlob(sealed))
+	a.mmioWrite64(core.RegDescDoorbell, 1)
+	return nil
+}
+
+// ReleaseRegion drops a transfer region on the SC and frees its staging
+// memory.
+func (a *Adaptor) ReleaseRegion(r *Region) {
+	a.mmioWrite64(core.RegDescRelease, uint64(r.Desc.ID))
+	if r.Buf != nil {
+		a.space.Free(r.Buf)
+	}
+	if r.TagBuf != nil {
+		a.space.Free(r.TagBuf)
+	}
+}
+
+// --- tag uploads ---------------------------------------------------------------
+
+// postTags uploads tag records; batched mode packs as many as fit one
+// TLP payload, non-optimized mode issues one I/O write per record.
+func (a *Adaptor) postTags(recs []core.TagRecord) {
+	if !a.opts.BatchTags {
+		for _, r := range recs {
+			a.mmioWrite(core.RegTagWindow, r.Marshal())
+		}
+		return
+	}
+	perPacket := pcie.MaxPayload / core.TagRecordSize
+	for len(recs) > 0 {
+		n := perPacket
+		if len(recs) < n {
+			n = len(recs)
+		}
+		payload := make([]byte, 0, n*core.TagRecordSize)
+		for _, r := range recs[:n] {
+			payload = append(payload, r.Marshal()...)
+		}
+		a.mmioWrite(core.RegTagWindow, payload)
+		recs = recs[n:]
+	}
+}
+
+// --- encrypt_data / staging ------------------------------------------------------
+
+// StageH2D encrypts data into a fresh bounce region chunk-by-chunk
+// (consuming consecutive IV counters), posts the chunk tags, registers
+// the region with the SC, and sends the single region-ready notify.
+// The returned region's bounce address is what the native driver's DMA
+// descriptors point at.
+func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
+	if a.h2d == nil {
+		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
+	}
+	if _, err := a.MaybeRekey(); err != nil {
+		return nil, err
+	}
+	buf, err := a.space.Alloc(a.region, name, int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("adaptor: bounce alloc: %w", err)
+	}
+	first := a.h2d.SendCounter() + 1
+	desc := core.Descriptor{
+		ID: a.nextID, Dir: core.DirH2D, Class: core.ActionWriteReadProtect,
+		Base: buf.Base(), Len: uint64(len(data)),
+		ChunkSize: core.ChunkSize, FirstCounter: first,
+	}
+	a.nextID++
+
+	var recs []core.TagRecord
+	out := buf.Bytes()
+	for off := 0; off < len(data); off += core.ChunkSize {
+		end := off + core.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := uint32(off / core.ChunkSize)
+		sealed, err := a.h2d.Seal(data[off:end], desc.AAD(chunk))
+		if err != nil {
+			a.space.Free(buf)
+			return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
+		}
+		copy(out[off:end], sealed.Ciphertext)
+		recs = append(recs, core.TagRecord{
+			Stream: core.StreamH2D, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag,
+		})
+	}
+	if err := a.registerDescriptor(desc); err != nil {
+		a.space.Free(buf)
+		return nil, err
+	}
+	a.postTags(recs)
+	// One region-ready notify: the batched I/O write of §5.
+	a.mmioWrite64(core.RegNotify, uint64(desc.ID))
+	return &Region{Desc: desc, Buf: buf, PlainLen: int64(len(data))}, nil
+}
+
+// StageVerified stages plaintext the device may read under action A3
+// (e.g. the command ring): the data sits in the clear but each chunk
+// carries a one-shot MAC record keyed to its region position.
+func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Region, error) {
+	buf, err := a.space.Alloc(a.region, name, size)
+	if err != nil {
+		return nil, fmt.Errorf("adaptor: verified alloc: %w", err)
+	}
+	desc := core.Descriptor{
+		ID: a.nextID, Dir: core.DirH2D, Class: core.ActionWriteProtect,
+		Base: buf.Base(), Len: uint64(size), ChunkSize: chunkSize,
+	}
+	a.nextID++
+	if err := a.registerDescriptor(desc); err != nil {
+		a.space.Free(buf)
+		return nil, err
+	}
+	return &Region{Desc: desc, Buf: buf, PlainLen: size}, nil
+}
+
+// SyncVerified recomputes and posts MAC records for the given chunk
+// indices of an A3 region; the driver (via the platform hook) calls
+// this right before ringing a doorbell that will make the device read
+// those chunks.
+func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
+	key, _, err := a.keys.Material(core.StreamMMIO)
+	if err != nil {
+		return fmt.Errorf("adaptor: %w", err)
+	}
+	var recs []core.TagRecord
+	for _, c := range chunks {
+		off := int64(c) * int64(r.Desc.ChunkSize)
+		data := r.Buf.Slice(off, int64(r.Desc.ChunkSize))
+		mac := secmem.MAC(key, r.Desc.AAD(c), data)
+		rec := core.TagRecord{Stream: core.StreamMMIO, Chunk: r.Desc.ID<<16 | c}
+		copy(rec.Tag[:], mac[:secmem.TagSize])
+		recs = append(recs, rec)
+	}
+	a.postTags(recs)
+	return nil
+}
+
+// PrepareD2H allocates a result bounce region plus its tag table and
+// registers both with the SC.
+func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
+	if a.d2h == nil {
+		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
+	}
+	buf, err := a.space.Alloc(a.region, name, size)
+	if err != nil {
+		return nil, fmt.Errorf("adaptor: d2h alloc: %w", err)
+	}
+	chunks := (size + core.ChunkSize - 1) / core.ChunkSize
+	tagBuf, err := a.space.Alloc(a.region, name+"-tags", chunks*core.TagRecordSize)
+	if err != nil {
+		a.space.Free(buf)
+		return nil, fmt.Errorf("adaptor: tag table alloc: %w", err)
+	}
+	desc := core.Descriptor{
+		ID: a.nextID, Dir: core.DirD2H, Class: core.ActionWriteReadProtect,
+		Base: buf.Base(), Len: uint64(size), TagBase: tagBuf.Base(),
+		ChunkSize: core.ChunkSize,
+	}
+	a.nextID++
+	if err := a.registerDescriptor(desc); err != nil {
+		a.space.Free(buf)
+		a.space.Free(tagBuf)
+		return nil, err
+	}
+	return &Region{Desc: desc, Buf: buf, TagBuf: tagBuf, PlainLen: size}, nil
+}
+
+// D2HProgress reports how many chunks the SC has completed for a D2H
+// region — from the TVM metadata buffer when batched (a memory read),
+// otherwise by polling the SC over MMIO (the §5 anti-pattern, counted
+// as an I/O read).
+func (a *Adaptor) D2HProgress(r *Region, sc *core.Controller) uint64 {
+	if a.opts.BatchedMetadata && a.metaBuf != nil {
+		v, err := a.space.ReadUint64(a.metaBuf.Base() + uint64(r.Desc.ID)*8)
+		if err != nil {
+			return 0
+		}
+		return v
+	}
+	a.io.MMIOReads++
+	return sc.D2HProgress(r.Desc.ID)
+}
+
+// CollectD2H authenticates and decrypts a completed result region
+// (decrypt_data): ciphertext from the bounce buffer, tags from the tag
+// table, counters enforced in order by the d2h stream replica.
+func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
+	if n > r.PlainLen {
+		return nil, fmt.Errorf("adaptor: collect %d bytes from %d-byte region", n, r.PlainLen)
+	}
+	out := make([]byte, 0, n)
+	for off := int64(0); off < n; off += core.ChunkSize {
+		end := off + core.ChunkSize
+		if end > n {
+			end = n
+		}
+		chunk := uint32(off / core.ChunkSize)
+		recBytes := r.TagBuf.Slice(int64(chunk)*core.TagRecordSize, core.TagRecordSize)
+		sealed := &secmem.Sealed{
+			Counter:    binary.LittleEndian.Uint32(recBytes[4:]),
+			Epoch:      binary.LittleEndian.Uint32(recBytes[8:]),
+			Ciphertext: r.Buf.Slice(off, end-off),
+		}
+		copy(sealed.Tag[:], recBytes[12:])
+		pt, err := a.d2h.Open(sealed, r.Desc.AAD(chunk))
+		if err != nil {
+			return nil, fmt.Errorf("adaptor: decrypt_data chunk %d: %w", chunk, err)
+		}
+		out = append(out, pt...)
+	}
+	return out, nil
+}
+
+// --- control MMIO -----------------------------------------------------------------
+
+// GuardedWrite performs an A3-protected MMIO write to a device
+// register: post the MAC record for the upcoming sequence number, then
+// issue the write through the SC's shadow window.
+func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
+	key, _, err := a.keys.Material(core.StreamMMIO)
+	if err != nil {
+		return fmt.Errorf("adaptor: %w", err)
+	}
+	payload := make([]byte, 8)
+	binary.LittleEndian.PutUint64(payload, value)
+	hdr := core.MACHeader(a.mmioSeq, a.xpuBar+reg, uint32(len(payload)))
+	mac := secmem.MAC(key, hdr, payload)
+	rec := core.TagRecord{Stream: core.StreamMMIO, Chunk: a.mmioSeq}
+	copy(rec.Tag[:], mac[:secmem.TagSize])
+	a.postTags([]core.TagRecord{rec})
+	a.mmioSeq++
+
+	a.io.MMIOWrites++
+	a.bus.Route(pcie.NewMemWrite(a.id, a.xpuBar+reg, payload))
+	return nil
+}
+
+// DeviceRead performs a pass-through (A4) read of a device register
+// through the SC window.
+func (a *Adaptor) DeviceRead(reg uint64) (uint64, error) {
+	a.io.MMIOReads++
+	cpl := a.bus.Route(pcie.NewMemRead(a.id, a.xpuBar+reg, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		return 0, fmt.Errorf("adaptor: device read at %#x rejected", reg)
+	}
+	return binary.LittleEndian.Uint64(cpl.Payload), nil
+}
+
+// --- key rotation ------------------------------------------------------------
+
+// RekeyThreshold is the remaining-counter level that triggers proactive
+// rotation: rotating well before the 2³²-chunk exhaustion point keeps
+// GCM IVs unique even with pipelined traffic in flight (§6).
+const RekeyThreshold = 1 << 16
+
+// RekeyStream rotates one protected stream: fresh material is sealed
+// under the config stream, uploaded through the rekey window, and
+// installed on both ends with a bumped epoch.
+func (a *Adaptor) RekeyStream(stream string) error {
+	if a.config == nil {
+		return fmt.Errorf("adaptor: session not established")
+	}
+	key, nonce := secmem.FreshKey(), secmem.FreshNonce()
+	cmd := core.RekeyCommand{Stream: stream, Key: key, Nonce: nonce}
+	sealed, err := a.config.Seal(cmd.Marshal(), nil)
+	if err != nil {
+		return fmt.Errorf("adaptor: seal rekey: %w", err)
+	}
+	a.mmioWrite(core.RegRekeyWindow, core.MarshalBlob(sealed))
+	a.mmioWrite64(core.RegRekeyDoorbell, 1)
+
+	// Mirror on the TVM side.
+	if err := a.keys.Install(stream, key, nonce); err != nil {
+		return err
+	}
+	switch stream {
+	case core.StreamH2D:
+		return a.h2d.Rekey(key, nonce)
+	case core.StreamD2H:
+		return a.d2h.Rekey(key, nonce)
+	case core.StreamMMIO:
+		return nil // raw MAC key; Install above is the whole rotation
+	default:
+		return fmt.Errorf("adaptor: stream %q not rotatable", stream)
+	}
+}
+
+// MaybeRekey rotates any data stream approaching IV exhaustion and
+// reports which streams were rotated. Call it between transfers; the
+// staging helpers call it implicitly.
+func (a *Adaptor) MaybeRekey() ([]string, error) {
+	var rotated []string
+	if a.h2d != nil && a.h2d.Remaining() < RekeyThreshold {
+		if err := a.RekeyStream(core.StreamH2D); err != nil {
+			return rotated, err
+		}
+		rotated = append(rotated, core.StreamH2D)
+	}
+	if a.d2h != nil && a.d2h.Remaining() < RekeyThreshold {
+		if err := a.RekeyStream(core.StreamD2H); err != nil {
+			return rotated, err
+		}
+		rotated = append(rotated, core.StreamD2H)
+	}
+	return rotated, nil
+}
+
+// Teardown destroys the session: the SC wipes keys/regions and cleans
+// the device; the TVM side zeroizes its own replicas.
+func (a *Adaptor) Teardown() {
+	a.mmioWrite64(core.RegTeardown, 1)
+	a.keys.DestroyAll()
+	a.h2d, a.d2h, a.config = nil, nil, nil
+	a.mmioSeq = 0
+}

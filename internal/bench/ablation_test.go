@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationContextSlotsRemoveStep(t *testing.T) {
+	cm := Defaults()
+	rows, err := AblationContextSlots(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byVal := map[string]float64{}
+	for _, r := range rows {
+		byVal[r.Value] = r.Overhead
+	}
+	// Batch 24 thrashes 16 slots but not 32: overhead must drop sharply.
+	if byVal["32"] >= byVal["16"]-2 {
+		t.Fatalf("32 slots (%.2f%%) should remove the 16-slot step (%.2f%%)", byVal["32"], byVal["16"])
+	}
+	// Below capacity the penalty is a step function, not gradual.
+	if byVal["4"] != byVal["16"] {
+		t.Fatalf("slot counts below batch should thrash identically: %.2f vs %.2f", byVal["4"], byVal["16"])
+	}
+}
+
+func TestAblationWireExpansionMonotone(t *testing.T) {
+	rows, err := AblationWireExpansion(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Overhead <= rows[i-1].Overhead {
+			t.Fatalf("expansion sweep not monotone at %s", rows[i].Value)
+		}
+	}
+	// On the saturated link, overhead tracks the expansion factor
+	// roughly 1:1 (the design's ceiling property).
+	last := rows[len(rows)-1]
+	if last.Overhead < 14 || last.Overhead > 22 {
+		t.Fatalf("18%% expansion gave %.2f%% overhead; ceiling property broken", last.Overhead)
+	}
+}
+
+func TestAblationPerPacketIOMonotone(t *testing.T) {
+	rows, err := AblationPerPacketIO(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Overhead <= rows[i-1].Overhead {
+			t.Fatal("per-packet-io sweep not monotone")
+		}
+	}
+	// Halving the RT should roughly halve the blow-up (it dominates).
+	if rows[2].Overhead < 1.6*rows[1].Overhead {
+		t.Fatalf("blow-up not ~linear in RT: %.0f%% vs %.0f%%", rows[1].Overhead, rows[2].Overhead)
+	}
+}
+
+func TestAblationAdaptorThreadsHelp(t *testing.T) {
+	rows, err := AblationAdaptorThreads(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := rows[0], rows[len(rows)-1]
+	if last.Overhead >= first.Overhead {
+		t.Fatalf("more crypto threads did not reduce overhead: %.2f%% -> %.2f%%", first.Overhead, last.Overhead)
+	}
+}
+
+func TestRenderAblations(t *testing.T) {
+	out, err := RenderAblations(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"context-slots", "wire-expansion", "per-packet-io", "adaptor-threads", "<- default"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

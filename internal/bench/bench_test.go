@@ -1,0 +1,372 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ccai/internal/llm"
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// The tests here assert the *shapes* the paper reports: who wins, by
+// roughly what factor, and where the crossovers fall. Exact
+// percentages are calibration-dependent and documented in
+// EXPERIMENTS.md.
+
+func llamaSession(prompt, gen, batch int) llm.Session {
+	return llm.Session{Model: llm.Llama2_7B, PromptTokens: prompt, GenTokens: gen, Batch: batch}
+}
+
+func TestVanillaAlwaysFasterThanProtected(t *testing.T) {
+	cm := Defaults()
+	for _, batch := range []int{1, 8, 48} {
+		w := Workload{Device: xpu.A100, Session: llamaSession(128, 128, batch)}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cc.E2E <= van.E2E {
+			t.Fatalf("batch %d: ccAI (%v) not slower than vanilla (%v)", batch, cc.E2E, van.E2E)
+		}
+		if cc.TPS >= van.TPS {
+			t.Fatalf("batch %d: ccAI TPS not lower", batch)
+		}
+	}
+}
+
+func TestOverheadWithinPaperBand(t *testing.T) {
+	// Headline claim: 0.05 %–5.67 % across all Figure 8 configurations.
+	cm := Defaults()
+	check := func(rows []Fig8Row, panel string) {
+		for _, r := range rows {
+			if r.E2EOvh < 0.02 || r.E2EOvh > 8 {
+				t.Errorf("%s %s: E2E overhead %.2f%% outside plausible band", panel, r.Label, r.E2EOvh)
+			}
+		}
+	}
+	fb, err := Figure8FixBatch(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, err := Figure8FixToken(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(fb, "fix-batch")
+	check(ft, "fix-token")
+}
+
+func TestFig8E2EGrowsWithTokensAndBatch(t *testing.T) {
+	cm := Defaults()
+	fb, _ := Figure8FixBatch(cm)
+	for i := 1; i < len(fb); i++ {
+		if fb[i].VanillaE2E <= fb[i-1].VanillaE2E {
+			t.Fatalf("E2E not monotone in tokens: %v then %v", fb[i-1].VanillaE2E, fb[i].VanillaE2E)
+		}
+	}
+	ft, _ := Figure8FixToken(cm)
+	for i := 1; i < len(ft); i++ {
+		if ft[i].VanillaE2E <= ft[i-1].VanillaE2E {
+			t.Fatalf("E2E not monotone in batch")
+		}
+		if ft[i].VanillaTPS <= ft[i-1].VanillaTPS {
+			t.Fatalf("TPS not growing with batch")
+		}
+	}
+}
+
+func TestFig8ContextSlotStep(t *testing.T) {
+	// The paper's overhead step between batch 12 and batch 24
+	// (Fig. 8b/d): crossing the 16 parameter-manager slots.
+	cm := Defaults()
+	ft, _ := Figure8FixToken(cm)
+	byLabel := map[string]Fig8Row{}
+	for _, r := range ft {
+		byLabel[r.Label] = r
+	}
+	below, above := byLabel["12-bat"], byLabel["24-bat"]
+	if above.E2EOvh < below.E2EOvh+2 {
+		t.Fatalf("no overhead step across the slot boundary: %.2f%% -> %.2f%%", below.E2EOvh, above.E2EOvh)
+	}
+	// Plateau afterwards: 96-bat within ~2 points of 24-bat.
+	far := byLabel["96-bat"]
+	if diff := far.E2EOvh - above.E2EOvh; diff > 2 || diff < -2 {
+		t.Fatalf("overhead did not plateau after the step: 24-bat %.2f%%, 96-bat %.2f%%", above.E2EOvh, far.E2EOvh)
+	}
+}
+
+func TestFig8TTFTOverheadDeclinesWithTokens(t *testing.T) {
+	// Fig. 8e: the fixed session setup amortizes over longer prefills
+	// (paper: 5.45 % at 64-tok down to 1.13 % at 2048-tok).
+	cm := Defaults()
+	fb, _ := Figure8FixBatch(cm)
+	first, last := fb[0], fb[len(fb)-1]
+	if first.TTFTOvh <= last.TTFTOvh {
+		t.Fatalf("TTFT overhead not declining: %.2f%% at %s vs %.2f%% at %s",
+			first.TTFTOvh, first.Label, last.TTFTOvh, last.Label)
+	}
+	if first.TTFTOvh < 2 || first.TTFTOvh > 9 {
+		t.Fatalf("short-prompt TTFT overhead %.2f%% outside paper ballpark", first.TTFTOvh)
+	}
+}
+
+func TestFig9HeavyModelsCostMore(t *testing.T) {
+	cm := Defaults()
+	rows, err := Figure9Models(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig9Row{}
+	for _, r := range rows {
+		byName[r.Model.Name] = r
+		if r.Overhead < 0 || r.Overhead > 8 {
+			t.Errorf("%s: overhead %.2f%% implausible", r.Model.Name, r.Overhead)
+		}
+	}
+	light := byName["Llama2-7b"].Overhead
+	for _, heavy := range []string{"Deepseek-r1-32b", "Deepseek-r1-70b", "Llama3-70b"} {
+		if byName[heavy].Overhead <= light {
+			t.Errorf("%s (%.2f%%) not above light models (%.2f%%)", heavy, byName[heavy].Overhead, light)
+		}
+	}
+	// Quantization matters: Babel-83b INT2 is lighter on PCIe than
+	// Deepseek-r1-32b INT8 despite 2.5x the parameters.
+	if byName["Babel-83b"].VanillaE2E >= byName["Deepseek-r1-32b"].VanillaE2E {
+		t.Error("INT2 Babel should run faster than INT8 Deepseek-32b")
+	}
+}
+
+func TestFig10AllDevicesInBand(t *testing.T) {
+	cm := Defaults()
+	rows, err := Figure10XPUs(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("fleet rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Overhead < 0.05 || r.Overhead > 4 {
+			t.Errorf("%s: %.2f%% outside the paper's 0.34–2.40%% ballpark", r.Device.Name, r.Overhead)
+		}
+	}
+}
+
+func TestFig11OptimizationFactor(t *testing.T) {
+	// Paper: optimizations remove 88.69–89.66 % of E2E latency (~9-10x).
+	cm := Defaults()
+	tok, bat, err := Figure11Optimization(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range [][]Fig11Row{tok, bat} {
+		for _, r := range rows {
+			if r.Reduction < 80 || r.Reduction > 95 {
+				t.Errorf("%s: reduction %.2f%% outside 80–95%% (paper ~89%%)", r.Label, r.Reduction)
+			}
+			factor := r.NoOptE2E.Seconds() / r.CCAIE2E.Seconds()
+			if factor < 5 || factor > 20 {
+				t.Errorf("%s: no-opt factor %.1fx implausible", r.Label, factor)
+			}
+		}
+	}
+}
+
+func TestFig12aOverheadGrowsWhenBandwidthLimited(t *testing.T) {
+	cm := Defaults()
+	rows, err := Figure12aBandwidth(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	full, half, quarter := rows[0], rows[1], rows[2]
+	if half.Overhead <= full.Overhead {
+		t.Fatalf("overhead did not grow when bandwidth halved: %.2f%% -> %.2f%%", full.Overhead, half.Overhead)
+	}
+	if quarter.Overhead <= full.Overhead {
+		t.Fatal("overhead did not grow at quarter bandwidth")
+	}
+	// Saturation: the two limited configs sit near the wire-expansion
+	// ceiling, not 2x apart (paper: 4.55 % vs 4.45 %).
+	if quarter.Overhead > 2.2*half.Overhead {
+		t.Fatalf("no saturation: half %.2f%%, quarter %.2f%%", half.Overhead, quarter.Overhead)
+	}
+	// Vanilla E2E itself degrades with the link.
+	if quarter.VanillaE2E <= full.VanillaE2E {
+		t.Fatal("vanilla E2E insensitive to bandwidth")
+	}
+}
+
+func TestFig12bSwapScenario(t *testing.T) {
+	cm := Defaults()
+	rows, err := Figure12bKVCache(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Paper: both systems drop to ~83 % relative performance.
+		if r.RelPerfVan < 65 || r.RelPerfVan > 95 {
+			t.Errorf("util %.0f%%: vanilla relative perf %.1f%% outside ballpark", r.Util*100, r.RelPerfVan)
+		}
+		// ccAI adds less than ~3 % on top (paper < 2 %).
+		if r.CCAIAdds < 0 || r.CCAIAdds > 3.5 {
+			t.Errorf("util %.0f%%: ccAI adds %.2f%%", r.Util*100, r.CCAIAdds)
+		}
+		if r.RelPerfCCAI >= r.RelPerfVan {
+			t.Errorf("ccAI relative perf not below vanilla")
+		}
+	}
+}
+
+func TestLoadTimeScalesWithWeights(t *testing.T) {
+	cm := Defaults()
+	small, _ := Run(Workload{Device: xpu.A100, Session: llm.Session{Model: llm.OPT13B, PromptTokens: 64, GenTokens: 64, Batch: 1}}, VanillaMode, cm)
+	big, _ := Run(Workload{Device: xpu.A100, Session: llm.Session{Model: llm.Llama3_70B, PromptTokens: 64, GenTokens: 64, Batch: 1}}, VanillaMode, cm)
+	ratio := big.LoadTime.Seconds() / small.LoadTime.Seconds()
+	want := float64(llm.Llama3_70B.WeightBytes()) / float64(llm.OPT13B.WeightBytes())
+	if ratio < want*0.8 || ratio > want*1.2 {
+		t.Fatalf("load-time ratio %.1f, want ~%.1f", ratio, want)
+	}
+}
+
+func TestNoOptLoadPaysPerPacketCost(t *testing.T) {
+	cm := Defaults()
+	w := Workload{Device: xpu.A100, Session: llamaSession(64, 64, 1)}
+	cc, _ := Run(w, CCAI, cm)
+	no, _ := Run(w, CCAINoOpt, cm)
+	if no.LoadTime < 100*cc.LoadTime {
+		t.Fatalf("no-opt load %v vs ccAI %v: per-packet I/O cost missing", no.LoadTime, cc.LoadTime)
+	}
+}
+
+func TestRunValidatesSession(t *testing.T) {
+	cm := Defaults()
+	if _, err := Run(Workload{Device: xpu.A100}, CCAI, cm); err == nil {
+		t.Fatal("empty session accepted")
+	}
+}
+
+func TestOverheadHelpers(t *testing.T) {
+	if got := Overhead(100, 105); got != 5 {
+		t.Fatalf("Overhead = %v", got)
+	}
+	if got := OverheadTPS(100, 95); got != 5 {
+		t.Fatalf("OverheadTPS = %v", got)
+	}
+	if Overhead(0, 5) != 0 || OverheadTPS(0, 5) != 0 {
+		t.Fatal("zero baselines must not divide")
+	}
+}
+
+// --- tables -------------------------------------------------------------------
+
+func TestTable1CountsConsistent(t *testing.T) {
+	rows := Table1Categorization()
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count == 0 {
+			t.Errorf("%v: no packets classified", r.Permission)
+		}
+		if r.Permission.Action() != r.Action {
+			t.Errorf("%v mapped to %v", r.Permission, r.Action)
+		}
+	}
+	// Mix shape: data writes dominate, hostile probes all dropped.
+	if rows[1].Count <= rows[0].Count {
+		t.Error("protected traffic should dominate drops in the mix")
+	}
+	out := RenderTable1(rows)
+	if !strings.Contains(out, "Write-Read Protected") {
+		t.Error("render missing category names")
+	}
+}
+
+func TestTable2HasAllDesignsAndCCAIRow(t *testing.T) {
+	rows := Table2Compatibility()
+	if len(rows) != 18 {
+		t.Fatalf("designs = %d, want 18 (17 prior + ccAI)", len(rows))
+	}
+	last := rows[len(rows)-1]
+	if !strings.HasPrefix(last.Design, "ccAI") {
+		t.Fatal("ccAI row missing")
+	}
+	if last.AppChanges != "No" || last.XPUSWChanges != "No" || last.XPUHWChanges != "No" {
+		t.Fatal("ccAI compatibility claims wrong")
+	}
+	out := RenderTable2(rows, Table2Checks(true, true, true, true))
+	if !strings.Contains(out, "NVIDIA H100") || !strings.Contains(out, "[ok  ]") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestTable3MeasuresRealLoC(t *testing.T) {
+	rows, err := Table3TCB("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var adaptor, trust int
+	for _, r := range rows {
+		switch r.Component {
+		case "Adaptor":
+			adaptor = r.LoC
+		case "Trust Modules":
+			trust = r.LoC
+		}
+	}
+	if adaptor < 200 {
+		t.Fatalf("adaptor LoC = %d; count broken", adaptor)
+	}
+	if trust < 400 {
+		t.Fatalf("trust modules LoC = %d; count broken", trust)
+	}
+	out := RenderTable3(rows)
+	if !strings.Contains(out, "Packet Filter") || !strings.Contains(out, "Total") {
+		t.Error("render incomplete")
+	}
+}
+
+func TestRenderFunctionsProduceRows(t *testing.T) {
+	cm := Defaults()
+	fb, _ := Figure8FixBatch(cm)
+	if out := RenderFig8("Figure 8 fix-batch", fb); strings.Count(out, "\n") < len(fb)+2 {
+		t.Error("fig8 render too short")
+	}
+	f9, _ := Figure9Models(cm)
+	if out := RenderFig9(f9); !strings.Contains(out, "Babel-83b") {
+		t.Error("fig9 render missing models")
+	}
+	f10, _ := Figure10XPUs(cm)
+	if out := RenderFig10(f10); !strings.Contains(out, "N150d") {
+		t.Error("fig10 render missing devices")
+	}
+	t11, b11, _ := Figure11Optimization(cm)
+	if out := RenderFig11(t11, b11); !strings.Contains(out, "NoOpt") {
+		t.Error("fig11 render incomplete")
+	}
+	f12a, _ := Figure12aBandwidth(cm)
+	if out := RenderFig12a(f12a); !strings.Contains(out, "8GT/s x8") {
+		t.Error("fig12a render incomplete")
+	}
+	f12b, _ := Figure12bKVCache(cm)
+	if out := RenderFig12b(f12b); !strings.Contains(out, "%") {
+		t.Error("fig12b render incomplete")
+	}
+}
+
+func TestWireTimeMonotone(t *testing.T) {
+	bps := pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16}.RawBandwidth()
+	var prev sim.Time
+	for _, n := range []int64{0, 1, 256, 4096, 1 << 20} {
+		got := wireTime(n, bps)
+		if got < prev {
+			t.Fatalf("wireTime not monotone at %d", n)
+		}
+		prev = got
+	}
+}

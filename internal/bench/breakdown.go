@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ccai/internal/llm"
+	"ccai/internal/sim"
+)
+
+// Breakdown decomposes one run's E2E latency into its phases, for the
+// `ccai-bench -only breakdown` view and for tests that pin the model's
+// internal structure (not just its totals).
+type Breakdown struct {
+	Protection Protection
+	Load       sim.Time // model upload (outside E2E)
+	Setup      sim.Time // session bring-up (ccAI only)
+	Prefill    sim.Time // prompt upload + first forward + first logits
+	Decode     sim.Time // all decode iterations
+	Teardown   sim.Time // result download
+	E2E        sim.Time
+	Steps      int
+	StepTime   sim.Time
+}
+
+// Explain runs the workload and returns the phase decomposition.
+// Decode is derived as E2E − TTFT − teardown; Setup as the TTFT delta
+// versus a vanilla run of the same workload.
+func Explain(w Workload, prot Protection, cm CostModel) (Breakdown, error) {
+	r, err := Run(w, prot, cm)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	trace, err := llm.Plan(w.Session, w.Device.MemBytes)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	b := Breakdown{
+		Protection: prot,
+		Load:       r.LoadTime,
+		Prefill:    r.TTFT,
+		E2E:        r.E2E,
+		Steps:      trace.Steps(),
+		StepTime:   r.StepTime,
+	}
+	b.Decode = sim.Time(b.Steps) * r.StepTime
+	b.Teardown = r.E2E - r.TTFT - b.Decode
+	if prot != VanillaMode {
+		b.Setup = cm.SessionSetup
+		b.Prefill -= b.Setup
+	}
+	return b, nil
+}
+
+// RenderBreakdown renders side-by-side phase decompositions.
+func RenderBreakdown(rows []Breakdown) string {
+	var b strings.Builder
+	b.WriteString(header("Latency breakdown — where each phase's time goes"))
+	fmt.Fprintf(&b, "%-12s %10s %10s %10s %12s %10s %10s | %10s\n",
+		"config", "load", "setup", "prefill", "decode", "per-step", "teardown", "E2E")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %9.3fs %9.3fs %9.3fs %11.3fs %9.4fs %9.4fs | %9.3fs\n",
+			r.Protection.String(), r.Load.Seconds(), r.Setup.Seconds(), r.Prefill.Seconds(),
+			r.Decode.Seconds(), r.StepTime.Seconds(), r.Teardown.Seconds(), r.E2E.Seconds())
+	}
+	return b.String()
+}

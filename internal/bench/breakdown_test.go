@@ -1,0 +1,79 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ccai/internal/llm"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+func TestExplainPhasesSumToE2E(t *testing.T) {
+	cm := Defaults()
+	w := Workload{Device: xpu.A100, Session: llm.Session{
+		Model: llm.Llama2_7B, PromptTokens: 256, GenTokens: 256, Batch: 4}}
+	for _, prot := range []Protection{VanillaMode, CCAI, CCAINoOpt} {
+		b, err := Explain(w, prot, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := b.Setup + b.Prefill + b.Decode + b.Teardown
+		diff := sum - b.E2E
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > sim.Microsecond {
+			t.Fatalf("%v: phases sum to %v, E2E %v", prot, sum, b.E2E)
+		}
+		if b.Steps != 255 {
+			t.Fatalf("steps = %d", b.Steps)
+		}
+		if b.Decode <= 0 || b.Teardown < 0 {
+			t.Fatalf("%v: negative phase: %+v", prot, b)
+		}
+	}
+}
+
+func TestExplainSetupOnlyUnderProtection(t *testing.T) {
+	cm := Defaults()
+	w := Workload{Device: xpu.A100, Session: llm.Session{
+		Model: llm.OPT13B, PromptTokens: 64, GenTokens: 64, Batch: 1}}
+	van, err := Explain(w, VanillaMode, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc, err := Explain(w, CCAI, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if van.Setup != 0 {
+		t.Fatal("vanilla run charged session setup")
+	}
+	if cc.Setup != cm.SessionSetup {
+		t.Fatalf("ccAI setup = %v", cc.Setup)
+	}
+	if cc.Decode <= van.Decode {
+		t.Fatal("protected decode not slower")
+	}
+}
+
+func TestRenderBreakdown(t *testing.T) {
+	cm := Defaults()
+	w := Workload{Device: xpu.A100, Session: llm.Session{
+		Model: llm.Llama2_7B, PromptTokens: 128, GenTokens: 128, Batch: 1}}
+	var rows []Breakdown
+	for _, prot := range []Protection{VanillaMode, CCAI} {
+		b, err := Explain(w, prot, cm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, b)
+	}
+	out := RenderBreakdown(rows)
+	for _, want := range []string{"Vanilla", "ccAI", "per-step", "decode"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}

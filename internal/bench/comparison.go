@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ccai/internal/llm"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// §8.1 "Comparison to H100": the paper contrasts ccAI's 0.05–5.67 %
+// latency overhead with the >20 % E2E overhead reported for H100
+// confidential computing ([77, 94]). We model the H100-CC data path to
+// show where that difference comes from structurally, not to bash the
+// H100: its bounce-buffer protocol encrypts on the CPU and decrypts on
+// the GPU with no inline engine between them, so staging crypto and
+// the extra copy serialize with every transfer, and (per [77]) the
+// encrypted channel also caps effective transfer bandwidth.
+
+// H100CCModel captures the published characteristics of the H100
+// confidential-computing data path.
+type H100CCModel struct {
+	// CPUCryptoBps is the host-side AES rate for bounce encryption.
+	CPUCryptoBps float64
+	// BounceCopyBps is the extra staging copy bandwidth.
+	BounceCopyBps float64
+	// ChannelCapBps caps the encrypted channel's effective throughput
+	// ([77] measures ~4 GB/s H2D under H100-CC vs ~25 GB/s native).
+	ChannelCapBps float64
+	// PerTransfer is the fixed secure-channel setup per DMA region.
+	PerTransfer sim.Time
+	// PerLaunch is the synchronous command-buffer encryption cost per
+	// kernel launch; [77] attributes a large share of H100-CC's
+	// overhead to this serialization.
+	PerLaunch sim.Time
+}
+
+// DefaultH100CC returns the literature-calibrated model.
+func DefaultH100CC() H100CCModel {
+	return H100CCModel{
+		CPUCryptoBps:  4.6e9, // single-stream AES-NI
+		BounceCopyBps: 20e9,
+		ChannelCapBps: 4e9,
+		PerTransfer:   30 * sim.Microsecond,
+		PerLaunch:     110 * sim.Microsecond,
+	}
+}
+
+// RunH100CC prices the workload under the modeled H100-CC protocol:
+// vanilla compute plus fully serialized staging crypto on all
+// sensitive traffic, with the capped channel bandwidth.
+func RunH100CC(w Workload, cm CostModel, h H100CCModel) (Result, error) {
+	van, err := Run(w, VanillaMode, cm)
+	if err != nil {
+		return Result{}, err
+	}
+	trace, err := llm.Plan(w.Session, w.Device.MemBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	perByte := 1/h.CPUCryptoBps + 1/h.BounceCopyBps
+	cost := func(sens int64, regions int) sim.Time {
+		if sens <= 0 {
+			return 0
+		}
+		d := sim.Time(float64(sens) * perByte * float64(sim.Second))
+		// Channel cap: the portion of transfer time above the native
+		// link time is additional stall.
+		native := wireTime(sens, w.Device.Link.RawBandwidth())
+		capped := sim.Time(float64(sens) / h.ChannelCapBps * float64(sim.Second))
+		if capped > native {
+			d += capped - native
+		}
+		return d + sim.Time(regions)*h.PerTransfer
+	}
+
+	r := van
+	r.Protection = CCAI // closest enum; relabeled by the caller
+	r.LoadTime = van.LoadTime + cost(trace.Load.SensitiveH2D, trace.Load.DMATransfers)
+	r.TTFT = van.TTFT + cost(trace.Prefill.SensitiveH2D+trace.Prefill.SensitiveD2H, 3)
+	stepExtra := cost(trace.Step.SensitiveH2D+trace.Step.SensitiveD2H+
+		cm.KVStageFactor*w.Session.Model.KVBytesPerToken(), trace.Step.DMATransfers) +
+		sim.Time(trace.Step.KernelLaunches)*h.PerLaunch
+	r.StepTime = van.StepTime + stepExtra
+	r.E2E = r.TTFT + sim.Time(trace.Steps())*r.StepTime +
+		(van.E2E - van.TTFT - sim.Time(trace.Steps())*van.StepTime) // teardown share
+	r.E2E += cost(trace.Teardown.SensitiveD2H, 1)
+	gen := float64(w.Session.Batch) * float64(w.Session.GenTokens)
+	r.TPS = gen / r.E2E.Seconds()
+	return r, nil
+}
+
+// ComparisonRow contrasts the three systems on one workload.
+type ComparisonRow struct {
+	Label      string
+	VanillaE2E sim.Time
+	CCAIOvh    float64
+	H100CCOvh  float64
+}
+
+// H100Comparison runs the §8.1 contrast across the Figure 8 token
+// sweep.
+func H100Comparison(cm CostModel) ([]ComparisonRow, error) {
+	h := DefaultH100CC()
+	var rows []ComparisonRow
+	for _, tok := range []int{128, 512, 2048} {
+		w := Workload{Device: xpu.A100, Session: llm.Session{
+			Model: llm.Llama2_7B, PromptTokens: tok, GenTokens: tok, Batch: 1}}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			return nil, err
+		}
+		h100, err := RunH100CC(w, cm, h)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ComparisonRow{
+			Label:      fmt.Sprintf("%d-tok", tok),
+			VanillaE2E: van.E2E,
+			CCAIOvh:    Overhead(van.E2E, cc.E2E),
+			H100CCOvh:  Overhead(van.E2E, h100.E2E),
+		})
+	}
+	return rows, nil
+}
+
+// RenderH100Comparison renders the contrast (§8.1: H100-CC shows >20 %
+// overhead in the cited studies; ccAI stays under ~6 %).
+func RenderH100Comparison(rows []ComparisonRow) string {
+	var b strings.Builder
+	b.WriteString(header("§8.1 comparison — ccAI vs modeled H100 confidential computing (Llama-2-7B, A100-class)"))
+	fmt.Fprintf(&b, "%-10s %12s %12s %14s\n", "config", "van E2E(s)", "ccAI ovh", "H100-CC ovh")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.2f %+11.2f%% %+13.2f%%\n",
+			r.Label, r.VanillaE2E.Seconds(), r.CCAIOvh, r.H100CCOvh)
+	}
+	b.WriteString("(paper: studies [77, 94] report >20 % E2E overhead for H100-CC; ccAI: 0.05–5.67 %)\n")
+	return b.String()
+}

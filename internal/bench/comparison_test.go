@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestH100ComparisonShape(t *testing.T) {
+	cm := Defaults()
+	rows, err := H100Comparison(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The §8.1 contrast: ccAI stays in single digits, the modeled
+		// H100-CC data path lands well above it (paper cites >20 %).
+		if r.CCAIOvh <= 0 || r.CCAIOvh > 8 {
+			t.Errorf("%s: ccAI overhead %.2f%% out of band", r.Label, r.CCAIOvh)
+		}
+		if r.H100CCOvh < 10 {
+			t.Errorf("%s: H100-CC overhead %.2f%% too low for the cited >20%% regime", r.Label, r.H100CCOvh)
+		}
+		if r.H100CCOvh <= r.CCAIOvh*2 {
+			t.Errorf("%s: H100-CC (%.2f%%) not clearly above ccAI (%.2f%%)", r.Label, r.H100CCOvh, r.CCAIOvh)
+		}
+	}
+}
+
+func TestRunH100CCSlowerThanVanilla(t *testing.T) {
+	cm := Defaults()
+	w := referenceWorkload(1)
+	van, err := Run(w, VanillaMode, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := RunH100CC(w, cm, DefaultH100CC())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.E2E <= van.E2E || h.TTFT <= van.TTFT || h.LoadTime <= van.LoadTime {
+		t.Fatal("H100-CC model not slower than vanilla")
+	}
+}
+
+func TestRenderH100Comparison(t *testing.T) {
+	cm := Defaults()
+	rows, err := H100Comparison(cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderH100Comparison(rows)
+	if !strings.Contains(out, "H100-CC") || !strings.Contains(out, "ccAI") {
+		t.Fatal("render incomplete")
+	}
+}

@@ -1,0 +1,83 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ccai/internal/llm"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// Figure 11 decomposition (extension): the paper measures the three §5
+// optimizations only as a bundle; this experiment toggles each one
+// individually to show where the ~9.5× no-opt blow-up actually lives.
+// Two views: "only X disabled" (marginal cost of losing one
+// optimization from full ccAI) and "only X enabled" (how far one
+// optimization alone gets from the no-opt floor).
+
+// DecompRow is one optimization-set configuration's outcome.
+type DecompRow struct {
+	Label string
+	Opts  OptSet
+	E2E   sim.Time
+	// OverVanilla is the E2E overhead versus the unprotected baseline.
+	OverVanilla float64
+}
+
+// Figure11Decomposition runs the per-optimization toggle matrix on the
+// reference workload (Llama-2-7B, 512/512 tokens, batch 1, A100).
+func Figure11Decomposition(cm CostModel) ([]DecompRow, error) {
+	w := Workload{Device: xpu.A100, Session: llm.Session{
+		Model: llm.Llama2_7B, PromptTokens: 512, GenTokens: 512, Batch: 1}}
+	van, err := Run(w, VanillaMode, cm)
+	if err != nil {
+		return nil, err
+	}
+	configs := []struct {
+		label string
+		opts  OptSet
+	}{
+		{"all on (ccAI)", FullOpts()},
+		{"no batched metadata", OptSet{BatchedMetadata: false, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true}},
+		{"no batched notify", OptSet{BatchedMetadata: true, BatchedNotify: false, HWCrypto: true, ParallelCrypto: true}},
+		{"no AES-NI", OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: false, ParallelCrypto: true}},
+		{"no parallel crypto", OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: true, ParallelCrypto: false}},
+		{"only batching", OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: false, ParallelCrypto: false}},
+		{"only HW crypto", OptSet{BatchedMetadata: false, BatchedNotify: false, HWCrypto: true, ParallelCrypto: true}},
+		{"all off (no-opt)", NoOpts()},
+	}
+	var rows []DecompRow
+	for _, c := range configs {
+		r, err := RunOpts(w, c.opts, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, DecompRow{
+			Label: c.label, Opts: c.opts, E2E: r.E2E,
+			OverVanilla: Overhead(van.E2E, r.E2E),
+		})
+	}
+	return rows, nil
+}
+
+// RenderDecomposition renders the toggle matrix.
+func RenderDecomposition(rows []DecompRow) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 11 decomposition (extension) — per-optimization contribution (Llama-2-7B, 512 tok, A100)"))
+	fmt.Fprintf(&b, "%-22s %6s %6s %6s %6s %12s %14s\n",
+		"configuration", "meta", "notif", "aesni", "par", "E2E(s)", "over vanilla")
+	onOff := func(v bool) string {
+		if v {
+			return "on"
+		}
+		return "off"
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6s %6s %6s %6s %12.2f %+13.2f%%\n",
+			r.Label, onOff(r.Opts.BatchedMetadata), onOff(r.Opts.BatchedNotify),
+			onOff(r.Opts.HWCrypto), onOff(r.Opts.ParallelCrypto),
+			r.E2E.Seconds(), r.OverVanilla)
+	}
+	return b.String()
+}

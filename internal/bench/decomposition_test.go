@@ -1,0 +1,103 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func decompByLabel(t *testing.T) map[string]DecompRow {
+	t.Helper()
+	rows, err := Figure11Decomposition(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]DecompRow{}
+	for _, r := range rows {
+		out[r.Label] = r
+	}
+	return out
+}
+
+func TestDecompositionEndpointsMatchFigure11(t *testing.T) {
+	rows := decompByLabel(t)
+	full := rows["all on (ccAI)"]
+	none := rows["all off (no-opt)"]
+	if full.OverVanilla <= 0 || full.OverVanilla > 5 {
+		t.Fatalf("full ccAI overhead %.2f%% out of band", full.OverVanilla)
+	}
+	factor := none.E2E.Seconds() / full.E2E.Seconds()
+	if factor < 8 || factor > 12 {
+		t.Fatalf("endpoints don't reproduce Figure 11: factor %.1fx", factor)
+	}
+}
+
+func TestDecompositionMonotoneInOpts(t *testing.T) {
+	rows := decompByLabel(t)
+	full := rows["all on (ccAI)"]
+	none := rows["all off (no-opt)"]
+	// Every partial configuration sits between the endpoints.
+	for label, r := range rows {
+		if r.E2E < full.E2E || r.E2E > none.E2E {
+			t.Errorf("%s: E2E %v outside [%v, %v]", label, r.E2E, full.E2E, none.E2E)
+		}
+	}
+	// Losing one optimization always costs something.
+	for _, label := range []string{"no batched metadata", "no batched notify", "no AES-NI", "no parallel crypto"} {
+		if rows[label].E2E <= full.E2E {
+			t.Errorf("%s: no marginal cost", label)
+		}
+	}
+}
+
+func TestDecompositionBatchingDominates(t *testing.T) {
+	// The §5 narrative: the I/O batching optimizations carry most of
+	// the win — batching alone recovers more than HW crypto alone.
+	rows := decompByLabel(t)
+	if rows["only batching"].E2E >= rows["only HW crypto"].E2E {
+		t.Fatalf("batching alone (%v) should beat HW crypto alone (%v)",
+			rows["only batching"].E2E, rows["only HW crypto"].E2E)
+	}
+}
+
+func TestRenderDecomposition(t *testing.T) {
+	rows, err := Figure11Decomposition(Defaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderDecomposition(rows)
+	for _, want := range []string{"no AES-NI", "all off (no-opt)", "over vanilla"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q", want)
+		}
+	}
+}
+
+func TestRunOptsEndpointsEqualRun(t *testing.T) {
+	cm := Defaults()
+	w := referenceWorkload(1)
+	viaProt, err := Run(w, CCAI, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaOpts, err := RunOpts(w, FullOpts(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if viaProt.E2E != viaOpts.E2E || viaProt.TTFT != viaOpts.TTFT {
+		t.Fatal("RunOpts(FullOpts) diverges from Run(CCAI)")
+	}
+	noProt, err := Run(w, CCAINoOpt, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noOpts, err := RunOpts(w, NoOpts(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noProt.E2E != noOpts.E2E {
+		t.Fatal("RunOpts(NoOpts) diverges from Run(CCAINoOpt)")
+	}
+	if noOpts.Protection != CCAINoOpt {
+		t.Fatal("protection label wrong for all-off set")
+	}
+}

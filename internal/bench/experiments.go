@@ -1,0 +1,406 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ccai/internal/llm"
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// This file regenerates every table and figure of the paper's
+// evaluation (§8). Each ExperimentX function returns structured rows;
+// Render* turn them into the text form cmd/ccai-bench prints. Paper
+// reference values are embedded alongside each experiment so
+// EXPERIMENTS.md can show paper-vs-measured side by side.
+
+// Fig8Row is one x-axis point of Figure 8 (all six panels share the
+// sweep structure).
+type Fig8Row struct {
+	Label      string
+	VanillaE2E sim.Time
+	CCAIE2E    sim.Time
+	E2EOvh     float64
+	VanillaTPS float64
+	CCAITPS    float64
+	TPSOvh     float64
+	VanTTFT    sim.Time
+	CCAITTFT   sim.Time
+	TTFTOvh    float64
+}
+
+func fig8Row(label string, w Workload, cm CostModel) (Fig8Row, error) {
+	van, cc, err := Compare(w, cm)
+	if err != nil {
+		return Fig8Row{}, err
+	}
+	return Fig8Row{
+		Label:      label,
+		VanillaE2E: van.E2E, CCAIE2E: cc.E2E, E2EOvh: Overhead(van.E2E, cc.E2E),
+		VanillaTPS: van.TPS, CCAITPS: cc.TPS, TPSOvh: OverheadTPS(van.TPS, cc.TPS),
+		VanTTFT: van.TTFT, CCAITTFT: cc.TTFT, TTFTOvh: Overhead(van.TTFT, cc.TTFT),
+	}, nil
+}
+
+// Fig8TokenSweep is the fix-batch sweep (Figures 8a/8c/8e): batch 1,
+// token size 64–2048 on Llama-2-7B / A100.
+var Fig8TokenSweep = []int{64, 128, 256, 512, 1024, 2048}
+
+// Fig8BatchSweep is the fix-token sweep (Figures 8b/8d/8f): 128
+// tokens, batch 1–96.
+var Fig8BatchSweep = []int{1, 3, 6, 12, 24, 48, 96}
+
+// Figure8FixBatch reproduces Figures 8a/8c/8e.
+func Figure8FixBatch(cm CostModel) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, len(Fig8TokenSweep))
+	for _, tok := range Fig8TokenSweep {
+		w := Workload{Device: xpu.A100, Session: llm.Session{
+			Model: llm.Llama2_7B, PromptTokens: tok, GenTokens: tok, Batch: 1}}
+		row, err := fig8Row(fmt.Sprintf("%d-tok", tok), w, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Figure8FixToken reproduces Figures 8b/8d/8f.
+func Figure8FixToken(cm CostModel) ([]Fig8Row, error) {
+	rows := make([]Fig8Row, 0, len(Fig8BatchSweep))
+	for _, b := range Fig8BatchSweep {
+		w := Workload{Device: xpu.A100, Session: llm.Session{
+			Model: llm.Llama2_7B, PromptTokens: 128, GenTokens: 128, Batch: b}}
+		row, err := fig8Row(fmt.Sprintf("%d-bat", b), w, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Fig9Row is one model of Figure 9.
+type Fig9Row struct {
+	Model      llm.ModelSpec
+	VanillaE2E sim.Time
+	CCAIE2E    sim.Time
+	Overhead   float64
+	PaperOvh   float64
+}
+
+// fig9PaperOverheads are the percentages printed above Figure 9's bars.
+var fig9PaperOverheads = map[string]float64{
+	"OPT-1.3b": 0.72, "BLOOM-3b": 1.61, "Deepseek-llm-7b": 0.02,
+	"Llama2-7b": 0.68, "Llama3-8b": 0.29, "Deepseek-r1-32b": 4.76,
+	"Deepseek-r1-70b": 2.14, "Llama3-70b": 4.66, "Babel-83b": 2.84,
+}
+
+// Fig9MemUtilCap models the prototype serving stack's usable-memory
+// fraction; heavy models exceed it and spill (see EXPERIMENTS.md).
+const Fig9MemUtilCap = 0.55
+
+// Figure9Models reproduces Figure 9: nine LLMs, 512 tokens, batch 1.
+func Figure9Models(cm CostModel) ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, m := range llm.Catalogue() {
+		w := Workload{Device: xpu.A100, Session: llm.Session{
+			Model: m, PromptTokens: 512, GenTokens: 512, Batch: 1, MemUtilCap: Fig9MemUtilCap}}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig9Row{
+			Model: m, VanillaE2E: van.E2E, CCAIE2E: cc.E2E,
+			Overhead: Overhead(van.E2E, cc.E2E), PaperOvh: fig9PaperOverheads[m.Name],
+		})
+	}
+	return rows, nil
+}
+
+// Fig10Row is one device of Figure 10.
+type Fig10Row struct {
+	Device     xpu.Profile
+	Model      llm.ModelSpec
+	VanillaE2E sim.Time
+	CCAIE2E    sim.Time
+	Overhead   float64
+	PaperOvh   float64
+}
+
+// Figure10XPUs reproduces Figure 10: Llama2-7b on A100/4090Ti/S60,
+// OPT-1.3b on the memory-limited T4 and N150d (matching §8.4).
+func Figure10XPUs(cm CostModel) ([]Fig10Row, error) {
+	cases := []struct {
+		dev   xpu.Profile
+		model llm.ModelSpec
+		paper float64
+	}{
+		{xpu.A100, llm.Llama2_7B, 0.58},
+		{xpu.T4, llm.OPT13B, 2.40},
+		{xpu.RTX4090Ti, llm.Llama2_7B, 0.86},
+		{xpu.S60, llm.Llama2_7B, 0.34},
+		{xpu.N150d, llm.OPT13B, 1.23},
+	}
+	var rows []Fig10Row
+	for _, c := range cases {
+		w := Workload{Device: c.dev, Session: llm.Session{
+			Model: c.model, PromptTokens: 512, GenTokens: 512, Batch: 1}}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig10Row{
+			Device: c.dev, Model: c.model, VanillaE2E: van.E2E, CCAIE2E: cc.E2E,
+			Overhead: Overhead(van.E2E, cc.E2E), PaperOvh: c.paper,
+		})
+	}
+	return rows, nil
+}
+
+// Fig11Row is one point of the Figure 11 ablation.
+type Fig11Row struct {
+	Label     string
+	CCAIE2E   sim.Time
+	NoOptE2E  sim.Time
+	Reduction float64 // % of E2E the optimizations remove
+}
+
+// Figure11Optimization reproduces Figure 11: optimized ccAI versus the
+// non-optimized protocol on both Figure 8 sweeps.
+func Figure11Optimization(cm CostModel) (tokenRows, batchRows []Fig11Row, err error) {
+	run := func(label string, s llm.Session) (Fig11Row, error) {
+		w := Workload{Device: xpu.A100, Session: s}
+		cc, err := Run(w, CCAI, cm)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		no, err := Run(w, CCAINoOpt, cm)
+		if err != nil {
+			return Fig11Row{}, err
+		}
+		return Fig11Row{
+			Label: label, CCAIE2E: cc.E2E, NoOptE2E: no.E2E,
+			Reduction: (1 - cc.E2E.Seconds()/no.E2E.Seconds()) * 100,
+		}, nil
+	}
+	for _, tok := range []int{64, 128, 256, 512, 1024} {
+		row, err := run(fmt.Sprintf("%d-tok", tok),
+			llm.Session{Model: llm.Llama2_7B, PromptTokens: tok, GenTokens: tok, Batch: 1})
+		if err != nil {
+			return nil, nil, err
+		}
+		tokenRows = append(tokenRows, row)
+	}
+	for _, b := range []int{1, 3, 6, 12, 24} {
+		row, err := run(fmt.Sprintf("%d-bat", b),
+			llm.Session{Model: llm.Llama2_7B, PromptTokens: 128, GenTokens: 128, Batch: b})
+		if err != nil {
+			return nil, nil, err
+		}
+		batchRows = append(batchRows, row)
+	}
+	return tokenRows, batchRows, nil
+}
+
+// Fig12aRow is one PCIe configuration of Figure 12a.
+type Fig12aRow struct {
+	Link       pcie.LinkConfig
+	VanillaE2E sim.Time
+	CCAIE2E    sim.Time
+	Overhead   float64
+	PaperOvh   float64
+}
+
+// Fig12aOffload is the offload-heavy serving configuration of the
+// bandwidth stress test: the paper's vanilla E2E rises ~45 % when the
+// link drops to quarter bandwidth, implying substantial per-step PCIe
+// traffic; 400 MB/step of KV/weight staging reproduces that
+// sensitivity (see EXPERIMENTS.md).
+const Fig12aOffload = 400 << 20
+
+// Figure12aBandwidth reproduces Figure 12a.
+func Figure12aBandwidth(cm CostModel) ([]Fig12aRow, error) {
+	cases := []struct {
+		link  pcie.LinkConfig
+		paper float64
+	}{
+		{pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond}, 0.68},
+		{pcie.LinkConfig{Gen: pcie.Gen3, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond}, 4.55},
+		{pcie.LinkConfig{Gen: pcie.Gen3, Lanes: 8, PropagationDelay: 250 * sim.Nanosecond}, 4.45},
+	}
+	var rows []Fig12aRow
+	for _, c := range cases {
+		link := c.link
+		w := Workload{
+			Device:  xpu.A100,
+			Session: llm.Session{Model: llm.Llama2_7B, PromptTokens: 512, GenTokens: 512, Batch: 1},
+			Link:    &link, OffloadPerStep: Fig12aOffload,
+		}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12aRow{
+			Link: c.link, VanillaE2E: van.E2E, CCAIE2E: cc.E2E,
+			Overhead: Overhead(van.E2E, cc.E2E), PaperOvh: c.paper,
+		})
+	}
+	return rows, nil
+}
+
+// Fig12bRow is one memory-utilization point of Figure 12b.
+type Fig12bRow struct {
+	Util        float64
+	RelPerfVan  float64 // capped vanilla vs uncapped vanilla, %
+	RelPerfCCAI float64 // capped ccAI vs uncapped vanilla, %
+	CCAIAdds    float64 // extra overhead ccAI adds under swapping, %
+	PaperAdds   float64
+}
+
+// Fig12bPromptSamples is how many ShareGPT-style prompt lengths each
+// utilization point averages over (§8.6: "inputs from ShareGPT, with
+// input tokens ranging from 4 to 924").
+const Fig12bPromptSamples = 24
+
+// Figure12bKVCache reproduces Figure 12b: 3 GB pinned KV cache with
+// 80/70/60 % device-memory utilization caps forcing KV swapping,
+// averaged over sampled chat-length prompts.
+func Figure12bKVCache(cm CostModel) ([]Fig12bRow, error) {
+	prompts := llm.NewPromptSampler(12).Sample(Fig12bPromptSamples)
+	run := func(util float64, prot Protection) (sim.Time, error) {
+		var total sim.Time
+		for _, p := range prompts {
+			w := Workload{Device: xpu.A100, Session: llm.Session{
+				Model: llm.Llama2_7B, PromptTokens: p, GenTokens: 512, Batch: 1,
+				MemUtilCap: util, PinnedKVBytes: pinnedKVFor(util)}}
+			r, err := Run(w, prot, cm)
+			if err != nil {
+				return 0, err
+			}
+			total += r.E2E
+		}
+		return total / sim.Time(len(prompts)), nil
+	}
+	baseVan, err := run(0, VanillaMode)
+	if err != nil {
+		return nil, err
+	}
+	paper := map[float64]float64{0.8: 0.54, 0.7: 1.88, 0.6: 1.46}
+	var rows []Fig12bRow
+	for _, util := range []float64{0.8, 0.7, 0.6} {
+		van, err := run(util, VanillaMode)
+		if err != nil {
+			return nil, err
+		}
+		cc, err := run(util, CCAI)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, Fig12bRow{
+			Util:        util,
+			RelPerfVan:  baseVan.Seconds() / van.Seconds() * 100,
+			RelPerfCCAI: baseVan.Seconds() / cc.Seconds() * 100,
+			CCAIAdds:    Overhead(van, cc),
+			PaperAdds:   paper[util],
+		})
+	}
+	return rows, nil
+}
+
+// pinnedKVFor applies the §8.6 3 GB pinned KV only when a cap is set
+// (the uncapped reference runs the normal resident-KV path).
+func pinnedKVFor(util float64) int64 {
+	if util == 0 {
+		return 0
+	}
+	return 3 << 30
+}
+
+// --- rendering -----------------------------------------------------------
+
+func header(title string) string {
+	line := strings.Repeat("=", len(title))
+	return fmt.Sprintf("%s\n%s\n", title, line)
+}
+
+// RenderFig8 renders one Figure 8 sweep as three panels of rows.
+func RenderFig8(title string, rows []Fig8Row) string {
+	var b strings.Builder
+	b.WriteString(header(title))
+	fmt.Fprintf(&b, "%-10s %12s %12s %8s | %10s %10s %8s | %10s %10s %8s\n",
+		"config", "van E2E(s)", "ccAI E2E(s)", "ovh%", "van TPS", "ccAI TPS", "drop%", "van TTFT", "ccAI TTFT", "ovh%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %12.2f %12.2f %+7.2f%% | %10.1f %10.1f %+7.2f%% | %9.3fs %9.3fs %+7.2f%%\n",
+			r.Label, r.VanillaE2E.Seconds(), r.CCAIE2E.Seconds(), r.E2EOvh,
+			r.VanillaTPS, r.CCAITPS, r.TPSOvh,
+			r.VanTTFT.Seconds(), r.CCAITTFT.Seconds(), r.TTFTOvh)
+	}
+	return b.String()
+}
+
+// RenderFig9 renders the model sweep.
+func RenderFig9(rows []Fig9Row) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 9 — E2E latency overhead across LLMs (A100, 512 tok, batch 1)"))
+	fmt.Fprintf(&b, "%-18s %6s %12s %12s %10s %10s\n", "model", "quant", "van E2E(s)", "ccAI E2E(s)", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %6s %12.2f %12.2f %+9.2f%% %+9.2f%%\n",
+			r.Model.Name, r.Model.Quant, r.VanillaE2E.Seconds(), r.CCAIE2E.Seconds(), r.Overhead, r.PaperOvh)
+	}
+	return b.String()
+}
+
+// RenderFig10 renders the device sweep.
+func RenderFig10(rows []Fig10Row) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 10 — E2E latency overhead across xPUs (512 tok, batch 1)"))
+	fmt.Fprintf(&b, "%-10s %-12s %12s %12s %10s %10s\n", "xPU", "model", "van E2E(s)", "ccAI E2E(s)", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %-12s %12.2f %12.2f %+9.2f%% %+9.2f%%\n",
+			r.Device.Name, r.Model.Name, r.VanillaE2E.Seconds(), r.CCAIE2E.Seconds(), r.Overhead, r.PaperOvh)
+	}
+	return b.String()
+}
+
+// RenderFig11 renders the optimization ablation.
+func RenderFig11(tokenRows, batchRows []Fig11Row) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 11 — ccAI vs non-optimized (Llama-2-7B, A100); paper: −88.69 %…−89.66 %"))
+	panel := func(name string, rows []Fig11Row) {
+		fmt.Fprintf(&b, "[%s]\n%-10s %14s %14s %12s\n", name, "config", "ccAI E2E(s)", "NoOpt E2E(s)", "reduction")
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-10s %14.2f %14.2f %+11.2f%%\n",
+				r.Label, r.CCAIE2E.Seconds(), r.NoOptE2E.Seconds(), -r.Reduction)
+		}
+	}
+	panel("token sweep, batch 1", tokenRows)
+	panel("batch sweep, 128 tok", batchRows)
+	return b.String()
+}
+
+// RenderFig12a renders the bandwidth stress test.
+func RenderFig12a(rows []Fig12aRow) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 12a — limited PCIe bandwidth (Llama-2-7B, 512 tok, batch 1)"))
+	fmt.Fprintf(&b, "%-16s %12s %12s %10s %10s\n", "link", "van E2E(s)", "ccAI E2E(s)", "measured", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-16s %12.2f %12.2f %+9.2f%% %+9.2f%%\n",
+			r.Link.String(), r.VanillaE2E.Seconds(), r.CCAIE2E.Seconds(), r.Overhead, r.PaperOvh)
+	}
+	return b.String()
+}
+
+// RenderFig12b renders the KV-swap stress test.
+func RenderFig12b(rows []Fig12bRow) string {
+	var b strings.Builder
+	b.WriteString(header("Figure 12b — KV-cache swapping (3 GB pinned KV; relative performance vs uncapped)"))
+	fmt.Fprintf(&b, "%-10s %14s %14s %12s %10s\n", "util", "vanilla rel%", "ccAI rel%", "ccAI adds", "paper")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %13.1f%% %13.1f%% %+11.2f%% %+9.2f%%\n",
+			fmt.Sprintf("%.0f%%-util", r.Util*100), r.RelPerfVan, r.RelPerfCCAI, r.CCAIAdds, r.PaperAdds)
+	}
+	return b.String()
+}

@@ -1,0 +1,465 @@
+// Package bench is the experiment harness: it converts LLM session
+// traces (internal/llm) into virtual-time latency on a device profile
+// under three protection configurations — vanilla, ccAI, and the
+// non-optimized ccAI ablation — and regenerates every table and figure
+// of the paper's evaluation (§8). All calibration constants live in
+// CostModel and are documented in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+
+	"ccai/internal/llm"
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// Protection selects the system configuration under test.
+type Protection int
+
+const (
+	// VanillaMode is the unprotected baseline.
+	VanillaMode Protection = iota
+	// CCAI is the full optimized system (§5 optimizations on).
+	CCAI
+	// CCAINoOpt is the Figure 11 ablation: per-request metadata I/O
+	// reads, per-subtask notify writes, single-threaded software
+	// crypto, no transfer/compute overlap.
+	CCAINoOpt
+)
+
+func (p Protection) String() string {
+	switch p {
+	case VanillaMode:
+		return "Vanilla"
+	case CCAI:
+		return "ccAI"
+	case CCAINoOpt:
+		return "ccAI-NoOpt"
+	}
+	return fmt.Sprintf("Protection(%d)", int(p))
+}
+
+// CostModel carries every calibration constant of the protection
+// timing model (DESIGN.md §5, EXPERIMENTS.md "Calibration").
+type CostModel struct {
+	// SessionSetup is the fixed per-request cost of ccAI session
+	// bring-up: policy/descriptor sync and stream-context init. It
+	// dominates TTFT overhead at short prompts (Fig. 8e) and amortizes
+	// at long ones.
+	SessionSetup sim.Time
+
+	// FrameworkPrefill is the serving stack's fixed request cost
+	// (tokenization, scheduling, graph warm-up), identical in both
+	// modes; it calibrates absolute TTFT to the paper's ~0.2–1 s.
+	FrameworkPrefill sim.Time
+
+	// StepSoftwareBase + StepSoftwarePerMB price ccAI's per-iteration
+	// software work: bounce-buffer management plus tag-batch posting
+	// proportional to the staged bytes. Together they set the
+	// compute-bound overhead floor (~0.6 % for Llama-2-7B on A100).
+	StepSoftwareBase  sim.Time
+	StepSoftwarePerMB sim.Time
+
+	// TransferSetup is the per-DMA-region cost under the optimized
+	// protocol: one batched metadata read from the TVM buffer plus one
+	// region-ready notify write.
+	TransferSetup sim.Time
+
+	// PerPacketIO is the non-optimized protocol's cost per protected
+	// 256-byte TLP: an MMIO metadata query plus a notify write, each a
+	// VM-exit round trip. This term produces Figure 11's ~10× blow-up.
+	PerPacketIO sim.Time
+
+	// WireExpansion is the fraction of extra wire traffic on protected
+	// (A2) bytes: companion tag packets, IV/counter sync, and header
+	// growth. It is the saturated-overhead ceiling of Figures 9/12a.
+	WireExpansion float64
+
+	// AdaptorCryptoBps is the TVM-side staging rate (AES-NI across the
+	// Adaptor's worker threads, §5). Bulk traffic is chunk-pipelined
+	// and fully hidden (the rate exceeds every link); serial sync
+	// traffic exposes (1-AdaptorOverlap) of its crypto time.
+	AdaptorCryptoBps float64
+	AdaptorOverlap   float64
+
+	// SoftCryptoBps is the no-opt ablation's single-threaded software
+	// rate, fully serialized.
+	SoftCryptoBps float64
+
+	// SCEngineBps is the PCIe-SC's inline AES-GCM-SHA engine rate;
+	// faster than every link configuration, so it contributes pipeline
+	// fill only (folded into TransferSetup).
+	SCEngineBps float64
+
+	// ContextSlots is the De/Encryption Parameters Manager capacity;
+	// ThrashFraction is the per-step cost fraction once concurrent
+	// sequence streams exceed the slots (the Fig. 8b/d step between
+	// batch 12 and 24): the SC falls back to per-burst parameter
+	// reloads across the step's protected traffic.
+	ContextSlots   int
+	ThrashFraction float64
+
+	// GuardedMMIO is the added latency per A3 doorbell (filter match +
+	// MAC verify, pipelined with the posted write).
+	GuardedMMIO sim.Time
+
+	// MemEfficiency derates device memory bandwidth for framework and
+	// kernel inefficiency, calibrating absolute decode speed to the
+	// paper's measured ~35 tok/s for Llama-2-7B on A100.
+	MemEfficiency float64
+
+	// KVStageFactor sizes the serving stack's per-step host staging
+	// traffic (KV-page and sampling-state spill through pinned host
+	// memory) as a multiple of per-token KV size × batch.
+	KVStageFactor int64
+}
+
+// Defaults returns the calibrated cost model.
+func Defaults() CostModel {
+	return CostModel{
+		SessionSetup:      8 * sim.Millisecond,
+		FrameworkPrefill:  150 * sim.Millisecond,
+		StepSoftwareBase:  30 * sim.Microsecond,
+		StepSoftwarePerMB: 30 * sim.Microsecond,
+		TransferSetup:     2 * sim.Microsecond,
+		PerPacketIO:       12 * sim.Microsecond,
+		WireExpansion:     0.045,
+		AdaptorCryptoBps:  36.8e9, // 8 threads × 4.6 GB/s AES-NI
+		AdaptorOverlap:    0.95,
+		SoftCryptoBps:     220e6,
+		SCEngineBps:       28e9,
+		ContextSlots:      16,
+		ThrashFraction:    0.045,
+		GuardedMMIO:       150 * sim.Nanosecond,
+		MemEfficiency:     0.35,
+		KVStageFactor:     8,
+	}
+}
+
+// Workload binds a session to a device and optional overrides.
+type Workload struct {
+	Device  xpu.Profile
+	Session llm.Session
+	// Link overrides the device's PCIe configuration (Figure 12a).
+	Link *pcie.LinkConfig
+	// OffloadPerStep adds per-step bulk host staging bytes on top of
+	// the KVStageFactor model (Figure 12a's offload-heavy serving
+	// configuration).
+	OffloadPerStep int64
+}
+
+// Result is one run's metrics.
+type Result struct {
+	Protection Protection
+	// E2E is the request latency: TTFT + decode + result teardown
+	// (model already resident; LoadTime reported separately).
+	E2E sim.Time
+	// TTFT is time to first token: session setup + prompt upload +
+	// prefill + first-logits return.
+	TTFT sim.Time
+	// TPS is generated tokens per second across the batch.
+	TPS float64
+	// LoadTime is the one-time model upload cost.
+	LoadTime sim.Time
+	// StepTime is the steady-state per-iteration latency.
+	StepTime sim.Time
+	// PCIeTime is the request's total host-link payload occupancy
+	// (bulk + serial, per full session including load).
+	PCIeTime sim.Time
+}
+
+// OptSet selects the §5 optimizations individually, so ablations can
+// decompose Figure 11 into per-optimization contributions. CCAI maps
+// to all-on, CCAINoOpt to all-off.
+type OptSet struct {
+	// BatchedMetadata: DMA metadata delivered in batches to a
+	// TVM-resident buffer instead of per-request I/O reads.
+	BatchedMetadata bool
+	// BatchedNotify: one region-ready I/O write per transfer instead of
+	// per-subtask notifies.
+	BatchedNotify bool
+	// HWCrypto: AES-NI instead of scalar software AES.
+	HWCrypto bool
+	// ParallelCrypto: crypto spread across the Adaptor's worker
+	// threads.
+	ParallelCrypto bool
+}
+
+// FullOpts is the ccAI configuration.
+func FullOpts() OptSet {
+	return OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true}
+}
+
+// NoOpts is the Figure 11 ablation configuration.
+func NoOpts() OptSet { return OptSet{} }
+
+// Run executes the timing model for one workload/protection pair.
+func Run(w Workload, prot Protection, cm CostModel) (Result, error) {
+	switch prot {
+	case VanillaMode:
+		return runModel(w, nil, cm, prot)
+	case CCAI:
+		o := FullOpts()
+		return runModel(w, &o, cm, prot)
+	default:
+		o := NoOpts()
+		return runModel(w, &o, cm, prot)
+	}
+}
+
+// RunOpts executes the protected timing model under a partial
+// optimization set (Figure 11 decomposition).
+func RunOpts(w Workload, opts OptSet, cm CostModel) (Result, error) {
+	prot := CCAI
+	if opts == NoOpts() {
+		prot = CCAINoOpt
+	}
+	return runModel(w, &opts, cm, prot)
+}
+
+// runModel is the shared pricing engine; opts == nil means vanilla.
+func runModel(w Workload, opts *OptSet, cm CostModel, prot Protection) (Result, error) {
+	trace, err := llm.Plan(w.Session, w.Device.MemBytes)
+	if err != nil {
+		return Result{}, err
+	}
+	link := w.Device.Link
+	if w.Link != nil {
+		link = *w.Link
+	}
+	bps := link.RawBandwidth()
+	r := Result{Protection: prot}
+	var pcieTotal sim.Time
+
+	// Per-packet I/O shares when the §5 batching optimizations are off:
+	// metadata queries are I/O reads per DMA request, notifies I/O
+	// writes per crypto subtask. Together they sum to PerPacketIO, so
+	// all-off reproduces the calibrated Figure 11 blow-up exactly.
+	ioRead := cm.PerPacketIO * 7 / 12
+	ioWrite := cm.PerPacketIO - ioRead
+
+	// cryptoTime prices the Adaptor-side de/encryption of s bytes under
+	// the active optimization set, returning only the unhidden part.
+	cryptoTime := func(s int64) sim.Time {
+		if opts == nil || s <= 0 {
+			return 0
+		}
+		if !opts.HWCrypto {
+			// Scalar software AES: fully serialized.
+			return sim.Time(float64(s) / cm.SoftCryptoBps * float64(sim.Second))
+		}
+		rate := cm.AdaptorCryptoBps
+		if !opts.ParallelCrypto {
+			rate /= 8 // single worker thread
+		}
+		return sim.Time(float64(s) / rate * float64(sim.Second) * (1 - cm.AdaptorOverlap))
+	}
+
+	// ioTime prices the metadata/notify interactions for s protected
+	// bytes across the given number of DMA regions.
+	ioTime := func(s int64, regions int) sim.Time {
+		if opts == nil || s <= 0 {
+			return 0
+		}
+		packets := (s + 255) / 256
+		var d sim.Time
+		if opts.BatchedMetadata {
+			d += sim.Time(regions) * cm.TransferSetup / 2
+		} else {
+			d += sim.Time(packets) * ioRead
+		}
+		if opts.BatchedNotify {
+			d += sim.Time(regions) * cm.TransferSetup / 2
+		} else {
+			d += sim.Time(packets) * ioWrite
+		}
+		return d
+	}
+
+	// serialCost prices a serialized transfer of n bytes (s of them
+	// sensitive) spanning the given number of DMA regions.
+	serialCost := func(n, s int64, regions int) sim.Time {
+		if n <= 0 {
+			return 0
+		}
+		wire := wireTime(n, bps)
+		pcieTotal += wire
+		if opts == nil {
+			return wire
+		}
+		exp := sim.Time(float64(wireTime(s, bps)) * cm.WireExpansion)
+		pcieTotal += exp
+		return wire + exp + cryptoTime(s) + ioTime(s, regions)
+	}
+
+	// pipelined reports whether bulk traffic can overlap compute: it
+	// needs both batching optimizations (no per-packet stalls) and
+	// hardware crypto fast enough to keep up with the link.
+	pipelined := opts == nil || (opts.BatchedMetadata && opts.BatchedNotify && opts.HWCrypto)
+
+	// bulkWire prices pipelined bulk traffic: wire time inflated by the
+	// tag/metadata expansion; whether it costs wall-clock depends on
+	// the compute slack at the call site.
+	bulkWire := func(n int64) sim.Time {
+		if n <= 0 {
+			return 0
+		}
+		wire := wireTime(n, bps)
+		pcieTotal += wire
+		if opts != nil {
+			exp := sim.Time(float64(wire) * cm.WireExpansion)
+			pcieTotal += exp
+			return wire + exp
+		}
+		return wire
+	}
+
+	// --- model load (one-time; excluded from E2E) ---
+	if !pipelined {
+		r.LoadTime = serialCost(trace.Load.H2DBytes, trace.Load.SensitiveH2D, trace.Load.DMATransfers)
+	} else {
+		r.LoadTime = bulkWire(trace.Load.H2DBytes)
+		if opts != nil {
+			r.LoadTime += sim.Time(trace.Load.DMATransfers) * cm.TransferSetup
+		}
+	}
+
+	// --- TTFT: setup + prompt upload + prefill compute + first logits ---
+	var ttft sim.Time
+	ttft += cm.FrameworkPrefill
+	if opts != nil {
+		ttft += cm.SessionSetup
+	}
+	ttft += serialCost(trace.Prefill.H2DBytes, trace.Prefill.SensitiveH2D, 1)
+	ttft += computeTime(trace.Prefill, w.Device, cm)
+	ttft += serialCost(trace.Prefill.D2HBytes, trace.Prefill.SensitiveD2H, 2)
+	ttft += mmioCost(trace.Prefill.KernelLaunches, prot, cm)
+	r.TTFT = ttft
+
+	// --- steady-state decode step ---
+	compute := computeTime(trace.Step, w.Device, cm)
+	// stageBytes are mutable KV/sampling state the Adaptor must seal
+	// every step: a fixed staging-window sweep per iteration (the
+	// serving stack's pinned host buffer), independent of batch size.
+	// Spill and offload re-fetch immutable pre-sealed content (weights
+	// sealed once at load), costing wire time but no per-step Adaptor
+	// software.
+	stageBytes := cm.KVStageFactor * w.Session.Model.KVBytesPerToken()
+	bulkBytes := stageBytes + w.OffloadPerStep + trace.StepSwapBytes
+	serialBytes := trace.Step.H2DBytes + trace.Step.D2HBytes + trace.StepSwapSerial
+	serialSens := trace.Step.SensitiveH2D + trace.Step.SensitiveD2H + trace.StepSwapSerial
+
+	var step sim.Time
+	if !pipelined {
+		// No overlap: everything is serialized through the per-packet
+		// protocol.
+		step = compute +
+			serialCost(bulkBytes, bulkBytes, 2) +
+			serialCost(serialBytes, serialSens, trace.Step.DMATransfers)
+	} else {
+		// Bulk staging overlaps compute (double-buffered prefetch);
+		// only the excess over compute costs wall-clock. This is the
+		// mechanism behind the Figure 12a bandwidth cliff and the
+		// Figure 9 heavy-model saturation at ~WireExpansion.
+		bulk := bulkWire(bulkBytes)
+		if opts != nil && bulkBytes > 0 {
+			bulk += cm.TransferSetup * 2
+		}
+		step = compute
+		if bulk > step {
+			step = bulk
+		}
+		step += serialCost(serialBytes, serialSens, trace.Step.DMATransfers)
+	}
+	step += mmioCost(trace.Step.KernelLaunches, prot, cm)
+	if opts != nil {
+		step += cm.StepSoftwareBase + sim.Time(stageBytes>>20)*cm.StepSoftwarePerMB
+	}
+	if opts != nil && w.Session.Batch > cm.ContextSlots {
+		// Parameter-manager thrash: per-burst context reloads across
+		// the step's protected traffic.
+		step += sim.Time(float64(compute) * cm.ThrashFraction)
+	}
+	r.StepTime = step
+	decode := sim.Time(trace.Steps()) * step
+
+	// pcieTotal currently holds load + prefill + one step; replicate
+	// the step's share across all steps.
+	// (Recompute precisely: price one more step and measure the delta.)
+	before := pcieTotal
+	_ = serialCost(serialBytes, serialSens, trace.Step.DMATransfers)
+	if prot != CCAINoOpt {
+		_ = bulkWire(bulkBytes)
+	} else {
+		_ = serialCost(bulkBytes, bulkBytes, 2)
+	}
+	perStepPCIe := pcieTotal - before
+	pcieTotal = before + perStepPCIe*sim.Time(trace.Steps()-1)
+
+	// --- teardown ---
+	teardown := serialCost(trace.Teardown.D2HBytes, trace.Teardown.SensitiveD2H, 1)
+
+	r.E2E = ttft + decode + teardown
+	r.PCIeTime = pcieTotal
+	gen := float64(w.Session.Batch) * float64(w.Session.GenTokens)
+	if r.E2E > 0 {
+		r.TPS = gen / r.E2E.Seconds()
+	}
+	return r, nil
+}
+
+func wireTime(n int64, bps float64) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	return sim.Time(float64(pcie.WireBytes(n, 0)) / bps * float64(sim.Second))
+}
+
+// computeTime is the device-side roofline for one phase.
+func computeTime(d llm.Demand, dev xpu.Profile, cm CostModel) sim.Time {
+	mem := float64(d.DevMemBytes) / (dev.MemBandwidth * cm.MemEfficiency)
+	flops := d.FLOPs / dev.ComputeFLOPS
+	t := mem
+	if flops > t {
+		t = flops
+	}
+	return sim.Time(t*float64(sim.Second)) + dev.StepOverhead
+}
+
+// mmioCost charges per-doorbell protection latency.
+func mmioCost(launches int, prot Protection, cm CostModel) sim.Time {
+	if prot == VanillaMode {
+		return 0
+	}
+	return sim.Time(launches) * cm.GuardedMMIO
+}
+
+// Overhead reports the protected run's relative slowdown versus vanilla
+// on a latency metric, as a percentage (positive = slower).
+func Overhead(vanilla, protected sim.Time) float64 {
+	if vanilla == 0 {
+		return 0
+	}
+	return (float64(protected) - float64(vanilla)) / float64(vanilla) * 100
+}
+
+// OverheadTPS reports the throughput drop percentage (positive =
+// protected slower).
+func OverheadTPS(vanilla, protected float64) float64 {
+	if vanilla == 0 {
+		return 0
+	}
+	return (vanilla - protected) / vanilla * 100
+}
+
+// Compare runs vanilla and ccAI on the same workload.
+func Compare(w Workload, cm CostModel) (van, cc Result, err error) {
+	van, err = Run(w, VanillaMode, cm)
+	if err != nil {
+		return
+	}
+	cc, err = Run(w, CCAI, cm)
+	return
+}

@@ -1,0 +1,167 @@
+package bench
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ccai/internal/llm"
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+// Structural properties of the timing model: these hold for any valid
+// configuration, not just the paper's sweep points.
+
+func quickSession(prompt, gen, batch uint8) llm.Session {
+	return llm.Session{
+		Model:        llm.Llama2_7B,
+		PromptTokens: int(prompt%120) + 8,
+		GenTokens:    int(gen%120) + 8,
+		Batch:        int(batch%32) + 1,
+	}
+}
+
+// Property: protection never makes a workload faster, for any config
+// and any protection tier ordering vanilla ≤ ccAI ≤ no-opt.
+func TestProtectionOrderingProperty(t *testing.T) {
+	cm := Defaults()
+	f := func(prompt, gen, batch uint8) bool {
+		w := Workload{Device: xpu.A100, Session: quickSession(prompt, gen, batch)}
+		van, err := Run(w, VanillaMode, cm)
+		if err != nil {
+			return false
+		}
+		cc, err := Run(w, CCAI, cm)
+		if err != nil {
+			return false
+		}
+		no, err := Run(w, CCAINoOpt, cm)
+		if err != nil {
+			return false
+		}
+		return van.E2E < cc.E2E && cc.E2E < no.E2E &&
+			van.TTFT <= cc.TTFT && cc.TPS > 0 && van.TPS > cc.TPS
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: E2E is monotone non-decreasing in generated tokens for
+// every protection tier.
+func TestE2EMonotoneInTokensProperty(t *testing.T) {
+	cm := Defaults()
+	f := func(gen uint8, batch uint8, protSel uint8) bool {
+		prot := Protection(protSel % 3)
+		base := quickSession(64, gen, batch)
+		more := base
+		more.GenTokens += 16
+		a, err := Run(Workload{Device: xpu.A100, Session: base}, prot, cm)
+		if err != nil {
+			return false
+		}
+		b, err := Run(Workload{Device: xpu.A100, Session: more}, prot, cm)
+		if err != nil {
+			return false
+		}
+		return b.E2E > a.E2E
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slower links never make any run faster.
+func TestE2EMonotoneInBandwidthProperty(t *testing.T) {
+	cm := Defaults()
+	fast := pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond}
+	slow := pcie.LinkConfig{Gen: pcie.Gen3, Lanes: 4, PropagationDelay: 250 * sim.Nanosecond}
+	f := func(prompt, gen uint8, protSel uint8, offload uint16) bool {
+		prot := Protection(protSel % 3)
+		s := quickSession(prompt, gen, 1)
+		wFast := Workload{Device: xpu.A100, Session: s, Link: &fast, OffloadPerStep: int64(offload) << 12}
+		wSlow := wFast
+		wSlow.Link = &slow
+		a, err := Run(wFast, prot, cm)
+		if err != nil {
+			return false
+		}
+		b, err := Run(wSlow, prot, cm)
+		if err != nil {
+			return false
+		}
+		return b.E2E >= a.E2E && b.LoadTime > a.LoadTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PCIe occupancy and load time scale with the model's
+// quantized weight size, regardless of parameter count.
+func TestLoadScalesWithQuantizedBytesProperty(t *testing.T) {
+	cm := Defaults()
+	models := llm.Catalogue()
+	f := func(aSel, bSel uint8) bool {
+		a := models[int(aSel)%len(models)]
+		b := models[int(bSel)%len(models)]
+		if a.WeightBytes() == b.WeightBytes() {
+			return true
+		}
+		if a.WeightBytes() > b.WeightBytes() {
+			a, b = b, a
+		}
+		ra, err := Run(Workload{Device: xpu.A100, Session: llm.Session{Model: a, PromptTokens: 32, GenTokens: 32, Batch: 1}}, VanillaMode, cm)
+		if err != nil {
+			return false
+		}
+		rb, err := Run(Workload{Device: xpu.A100, Session: llm.Session{Model: b, PromptTokens: 32, GenTokens: 32, Batch: 1}}, VanillaMode, cm)
+		if err != nil {
+			return false
+		}
+		return rb.LoadTime > ra.LoadTime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ccAI overhead stays within a sane envelope (0–30 %)
+// across the whole configuration space the figures draw from.
+func TestOverheadEnvelopeProperty(t *testing.T) {
+	cm := Defaults()
+	f := func(prompt, gen, batch uint8) bool {
+		w := Workload{Device: xpu.A100, Session: quickSession(prompt, gen, batch)}
+		van, cc, err := Compare(w, cm)
+		if err != nil {
+			return false
+		}
+		ovh := Overhead(van.E2E, cc.E2E)
+		return ovh > 0 && ovh < 30
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TPS equals generated tokens divided by E2E.
+func TestTPSConsistencyProperty(t *testing.T) {
+	cm := Defaults()
+	f := func(prompt, gen, batch uint8) bool {
+		s := quickSession(prompt, gen, batch)
+		r, err := Run(Workload{Device: xpu.A100, Session: s}, CCAI, cm)
+		if err != nil {
+			return false
+		}
+		want := float64(s.Batch) * float64(s.GenTokens) / r.E2E.Seconds()
+		diff := r.TPS - want
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-6*want+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

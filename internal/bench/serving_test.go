@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestLnApproxAccuracy(t *testing.T) {
+	for _, x := range []float64{1e-10, 1e-6, 0.001, 0.1, 0.25, 0.5, 0.7, 0.99, 1.0} {
+		got := lnApprox(x)
+		want := math.Log(x)
+		if diff := math.Abs(got - want); diff > 1e-9*(1+math.Abs(want)) {
+			t.Errorf("lnApprox(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func TestServingDeterministic(t *testing.T) {
+	cm := Defaults()
+	cfg := ServingConfig{
+		Device: referenceWorkload(1).Device, Model: referenceWorkload(1).Session.Model,
+		PromptTokens: 64, GenTokens: 64, Requests: 100, ArrivalRate: 0.2, Seed: 3,
+	}
+	a, err := RunServing(cfg, CCAI, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunServing(cfg, CCAI, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("serving run non-deterministic: %+v vs %+v", a, b)
+	}
+	if a.Completed != 100 {
+		t.Fatalf("completed = %d", a.Completed)
+	}
+}
+
+func TestServingLatencyGrowsWithLoad(t *testing.T) {
+	cm := Defaults()
+	rows, err := ServingExperiment(cm, []float64{0.5, 1.0, 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Vanilla.P99 <= rows[i-1].Vanilla.P99 {
+			t.Fatalf("p99 not growing with load: %v then %v", rows[i-1].Vanilla.P99, rows[i].Vanilla.P99)
+		}
+		if rows[i].Vanilla.Utilization < rows[i-1].Vanilla.Utilization {
+			t.Fatal("utilization not growing with load")
+		}
+	}
+}
+
+func TestServingCCAISlowerButBounded(t *testing.T) {
+	cm := Defaults()
+	rows, err := ServingExperiment(cm, []float64{0.5, 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.CCAI.P50 <= r.Vanilla.P50 {
+			t.Fatalf("rate %.1f: ccAI p50 not above vanilla", r.Rate)
+		}
+		// Below saturation the queueing amplification of ccAI's small
+		// service-time overhead stays moderate (< 25 % at p99).
+		if r.Vanilla.Utilization < 0.9 {
+			ovh := Overhead(r.Vanilla.P99, r.CCAI.P99)
+			if ovh > 25 {
+				t.Fatalf("rate %.1f: p99 overhead %.1f%% too large below saturation", r.Rate, ovh)
+			}
+		}
+	}
+}
+
+func TestServingValidatesConfig(t *testing.T) {
+	cm := Defaults()
+	if _, err := RunServing(ServingConfig{}, CCAI, cm); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestRenderServing(t *testing.T) {
+	cm := Defaults()
+	rows, err := ServingExperiment(cm, []float64{0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderServing(rows)
+	if !strings.Contains(out, "p99") || !strings.Contains(out, "0.80") {
+		t.Fatalf("render incomplete:\n%s", out)
+	}
+}

@@ -1,0 +1,257 @@
+package bench
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ccai/internal/core"
+	"ccai/internal/pcie"
+)
+
+// --- Table 1: packet access-control categorization ---------------------------
+
+// Table1Row pairs a permission category with its action and a live
+// classification count from a representative traffic mix.
+type Table1Row struct {
+	Permission core.Permission
+	Action     core.Action
+	Count      uint64
+}
+
+// Table1Categorization builds the Figure 5 example filter, pushes a
+// representative packet mix through it, and reports how many packets
+// landed in each Table 1 category.
+func Table1Categorization() []Table1Row {
+	tvm := pcie.MakeID(0, 1, 0)
+	rogue := pcie.MakeID(0, 9, 0)
+	f := core.NewFilter()
+	for _, r := range core.L1Screen(1, tvm) {
+		f.InstallL1(r)
+	}
+	f.InstallL2(core.Rule{ID: 1, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvm, AddrLo: 0x6000, AddrHi: 0x7000, Action: core.ActionWriteReadProtect})
+	f.InstallL2(core.Rule{ID: 2, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvm, AddrLo: 0x8000, AddrHi: 0x9000, Action: core.ActionWriteProtect})
+	f.InstallL2(core.Rule{ID: 3, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvm, AddrLo: 0x1000, AddrHi: 0x5000, Action: core.ActionWriteReadProtect})
+	f.InstallL2(core.Rule{ID: 4, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MRd, Requester: tvm, AddrLo: 0x1000, AddrHi: 0x5000, Action: core.ActionPassThrough})
+
+	// Representative traffic mix: data writes, doorbells, status reads,
+	// and hostile probes.
+	for i := 0; i < 64; i++ {
+		f.Classify(pcie.NewMemWrite(tvm, 0x1000+uint64(i)*16, []byte("data")))
+	}
+	for i := 0; i < 16; i++ {
+		f.Classify(pcie.NewMemWrite(tvm, 0x8000, []byte{1}))
+		f.Classify(pcie.NewMemRead(tvm, 0x2000, 64, 0))
+	}
+	for i := 0; i < 8; i++ {
+		f.Classify(pcie.NewMemWrite(rogue, 0x1000, []byte("evil")))
+		f.Classify(pcie.NewMemWrite(tvm, 0x6100, []byte("cfg")))
+	}
+	st := f.Stats()
+	return []Table1Row{
+		{core.Prohibited, core.ActionDrop, st.Dropped},
+		{core.WriteReadProtected, core.ActionWriteReadProtect, st.Protected},
+		{core.WriteProtected, core.ActionWriteProtect, st.Verified},
+		{core.FullAccessible, core.ActionPassThrough, st.Passed},
+	}
+}
+
+// RenderTable1 renders the categorization table.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 1 — PCIe packet access control categories (live classification counts)"))
+	fmt.Fprintf(&b, "%-24s %-26s %8s\n", "packet access permission", "action", "packets")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-26s %8d\n", r.Permission, r.Action, r.Count)
+	}
+	return b.String()
+}
+
+// --- Table 2: compatibility comparison ---------------------------------------
+
+// Table2Row is one design's compatibility profile (Table 2's columns).
+type Table2Row struct {
+	Design        string
+	DesignType    string
+	AppChanges    string
+	XPUSWChanges  string
+	XPUHWChanges  string
+	SupportedXPU  string
+	SupportedTEE  string
+	HostPLChanges string
+}
+
+// Table2Compatibility reproduces the paper's comparison matrix. The
+// ccAI row's first three columns are not copied from the paper — they
+// are verified live by Table2Checks against this reproduction.
+func Table2Compatibility() []Table2Row {
+	return []Table2Row{
+		{"ACAI", "CPU TEE-based", "No", "Yes", "No", "TDISP-compliant xPU", "Arm CCA", "RMM, Monitor"},
+		{"Cronus", "CPU TEE-based", "No", "Yes", "No", "General xPU", "Arm SEL2", "S-Hyp, Monitor"},
+		{"CURE", "CPU TEE-based", "No", "Yes", "No", "GPU", "Customized RISC-V TEE", "Monitor, CPU FW"},
+		{"HIX", "CPU TEE-based", "Customized API", "Yes", "No", "GPU", "Intel SGX", "CPU Firmware"},
+		{"Portal", "CPU TEE-based", "No", "Yes", "No", "GPU", "Arm CCA", "RMM, Monitor"},
+		{"HyperTEE", "CPU TEE-based", "Customized API", "Yes", "No", "DNN Accelerator", "Customized RISC-V TEE", "Monitor"},
+		{"CAGE", "PL-SW-assisted", "No", "Yes", "No", "GPU", "Arm CCA", "Monitor"},
+		{"Honeycomb", "PL-SW-assisted", "No", "Yes", "No", "GPU", "AMD SEV", "SVSM, Monitor"},
+		{"MyTEE", "PL-SW-assisted", "No", "Yes", "No", "GPU", "Customized Arm TEE", "Monitor"},
+		{"ITX", "Hardware", "Customized API", "Yes", "Yes", "IPU", "General TVM", "No"},
+		{"NVIDIA H100", "Hardware", "No", "Yes", "Yes", "GPU", "Intel TDX, AMD SEV", "No"},
+		{"Graviton", "Hardware", "No", "Yes", "Yes", "GPU", "Intel SGX", "No"},
+		{"ShEF", "Hardware", "Customized API", "Yes", "Yes", "FPGA-Acc.", "General TVM", "No"},
+		{"HETEE", "Isolated platform", "Customized API", "No", "No", "General xPU", "Customized proxy TEE", "No"},
+		{"Intel TDX Connect", "TDISP-based", "No", "Optional", "Optional", "TDISP-compliant xPU", "Intel TDX", "TDX Connect"},
+		{"ARM RMEDA", "TDISP-based", "No", "Optional", "Optional", "TDISP-compliant xPU", "Arm CCA", "RMM"},
+		{"AMD SEV-TIO", "TDISP-based", "No", "Optional", "Optional", "TDISP-compliant xPU", "AMD SEV", "SEV Firmware"},
+		{"ccAI (ours)", "PCIe interposer", "No", "No", "No", "General xPU", "General TVM", "No"},
+	}
+}
+
+// Table2Check is one live verification of a ccAI compatibility claim.
+type Table2Check struct {
+	Claim string
+	Pass  bool
+}
+
+// Table2Checks verifies the ccAI row against this codebase: the same
+// application task code, driver model, and device models run under
+// both modes; only the platform assembly differs.
+func Table2Checks(sameDriver, sameApp, sameDevice, fiveXPUs bool) []Table2Check {
+	return []Table2Check{
+		{"no application changes between vanilla and ccAI", sameApp},
+		{"no xPU driver changes between vanilla and ccAI", sameDriver},
+		{"no xPU hardware (device model) changes", sameDevice},
+		{"all five fleet xPUs run under one Adaptor/SC", fiveXPUs},
+	}
+}
+
+// RenderTable2 renders the compatibility matrix plus live checks.
+func RenderTable2(rows []Table2Row, checks []Table2Check) string {
+	var b strings.Builder
+	b.WriteString(header("Table 2 — Compatibility comparison with the state of the art"))
+	fmt.Fprintf(&b, "%-18s %-17s %-15s %-10s %-10s %-22s %-22s %s\n",
+		"design", "type", "app chg", "xPU SW", "xPU HW", "supported xPU", "TEE/TVM", "host PL-SW chg")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %-17s %-15s %-10s %-10s %-22s %-22s %s\n",
+			r.Design, r.DesignType, r.AppChanges, r.XPUSWChanges, r.XPUHWChanges,
+			r.SupportedXPU, r.SupportedTEE, r.HostPLChanges)
+	}
+	if len(checks) > 0 {
+		b.WriteString("\nlive verification of the ccAI row:\n")
+		for _, c := range checks {
+			mark := "FAIL"
+			if c.Pass {
+				mark = "ok"
+			}
+			fmt.Fprintf(&b, "  [%-4s] %s\n", mark, c.Claim)
+		}
+	}
+	return b.String()
+}
+
+// --- Table 3: TCB breakdown ----------------------------------------------------
+
+// Table3Row is one TCB component.
+type Table3Row struct {
+	Side      string
+	Component string
+	LoC       int // software lines (0 where hardware-only)
+	ALUTs     int // modeled FPGA adaptive LUTs
+	Regs      int // modeled logic registers
+	BRAMs     int // modeled block RAMs
+}
+
+// table3Hardware is the modeled FPGA resource budget, proportioned as
+// in the paper's prototype (Table 3): the Packet Handlers' crypto
+// datapath dominates ALUTs, the Packet Filter's tables dominate BRAM.
+var table3Hardware = []Table3Row{
+	{"PCIe-SC", "Packet Filter", 0, 11_300, 32_400, 310},
+	{"PCIe-SC", "Packet Handlers", 0, 175_500, 56_800, 72},
+	{"PCIe-SC", "HRoT-Blade (HPS)", 0, 0, 0, 0},
+	{"PCIe-SC", "Others (switch/clocks)", 0, 31_500, 106_500, 248},
+}
+
+// Table3TCB assembles the breakdown: TVM-side software LoC measured
+// from this repository (adaptor + trust modules), hardware budget
+// modeled. srcRoot locates the repository; empty uses the working
+// directory.
+func Table3TCB(srcRoot string) ([]Table3Row, error) {
+	if srcRoot == "" {
+		srcRoot = "."
+	}
+	adaptorLoC, err := CountGoLoC(filepath.Join(srcRoot, "internal", "adaptor"))
+	if err != nil {
+		return nil, err
+	}
+	trustLoC := 0
+	for _, dir := range []string{"hrot", "attest", "secmem"} {
+		n, err := CountGoLoC(filepath.Join(srcRoot, "internal", dir))
+		if err != nil {
+			return nil, err
+		}
+		trustLoC += n
+	}
+	rows := []Table3Row{
+		{"TVM", "Adaptor", adaptorLoC, 0, 0, 0},
+		{"TVM", "Trust Modules", trustLoC, 0, 0, 0},
+	}
+	rows = append(rows, table3Hardware...)
+	return rows, nil
+}
+
+// CountGoLoC counts non-test Go source lines under dir (excluding
+// blank lines), the cloc-style measurement the paper applies to the
+// Adaptor and trust modules.
+func CountGoLoC(dir string) (int, error) {
+	total := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(string(data), "\n") {
+			if strings.TrimSpace(line) != "" {
+				total++
+			}
+		}
+		return nil
+	})
+	return total, err
+}
+
+// RenderTable3 renders the TCB breakdown.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	b.WriteString(header("Table 3 — TCB addition breakdown (software LoC measured, hardware budget modeled)"))
+	fmt.Fprintf(&b, "%-8s %-24s %8s %9s %9s %7s\n", "side", "component", "LoC", "ALUTs", "Regs", "BRAMs")
+	var loc, aluts, regs, brams int
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-8s %-24s %8s %9s %9s %7s\n", r.Side, r.Component,
+			dashIfZero(r.LoC), dashIfZero(r.ALUTs), dashIfZero(r.Regs), dashIfZero(r.BRAMs))
+		loc += r.LoC
+		aluts += r.ALUTs
+		regs += r.Regs
+		brams += r.BRAMs
+	}
+	fmt.Fprintf(&b, "%-8s %-24s %8d %9d %9d %7d\n", "", "Total", loc, aluts, regs, brams)
+	return b.String()
+}
+
+func dashIfZero(v int) string {
+	if v == 0 {
+		return "–"
+	}
+	return fmt.Sprintf("%d", v)
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/secmem"
+)
+
+// SealedBlob frames an encrypted configuration payload (a Packet Filter
+// policy or a transfer descriptor) for upload through the PCIe-SC's
+// configuration window. The paper encrypts policies before they enter
+// the configuration space so a privileged-software adversary cannot
+// inject rules (§4.1 "dynamic and secure configuration"); the frame
+// carries the stream counter, epoch, ciphertext and GCM tag.
+type SealedBlob struct {
+	Counter uint32
+	Epoch   uint32
+	Cipher  []byte
+	Tag     [secmem.TagSize]byte
+}
+
+const blobHeader = 4 + 4 + 4 // counter, epoch, cipher length
+
+// MarshalBlob frames a secmem.Sealed chunk for the wire.
+func MarshalBlob(s *secmem.Sealed) []byte {
+	buf := make([]byte, blobHeader+len(s.Ciphertext)+secmem.TagSize)
+	binary.LittleEndian.PutUint32(buf[0:], s.Counter)
+	binary.LittleEndian.PutUint32(buf[4:], s.Epoch)
+	binary.LittleEndian.PutUint32(buf[8:], uint32(len(s.Ciphertext)))
+	copy(buf[blobHeader:], s.Ciphertext)
+	copy(buf[blobHeader+len(s.Ciphertext):], s.Tag[:])
+	return buf
+}
+
+// UnmarshalBlob parses a framed configuration upload.
+func UnmarshalBlob(buf []byte) (*secmem.Sealed, error) {
+	if len(buf) < blobHeader+secmem.TagSize {
+		return nil, fmt.Errorf("core: sealed blob too short (%d bytes)", len(buf))
+	}
+	n := binary.LittleEndian.Uint32(buf[8:])
+	if int(n) != len(buf)-blobHeader-secmem.TagSize {
+		return nil, fmt.Errorf("core: sealed blob length field %d inconsistent with frame %d", n, len(buf))
+	}
+	s := &secmem.Sealed{
+		Counter:    binary.LittleEndian.Uint32(buf[0:]),
+		Epoch:      binary.LittleEndian.Uint32(buf[4:]),
+		Ciphertext: append([]byte(nil), buf[blobHeader:blobHeader+int(n)]...),
+	}
+	copy(s.Tag[:], buf[blobHeader+int(n):])
+	return s, nil
+}

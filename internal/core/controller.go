@@ -1,0 +1,705 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+)
+
+// PCIe-SC control register offsets within its own 4 KB Upstream BAR
+// (§7.2: "we allocate a 4KB Upstream Bar space on the PCIe-SC").
+const (
+	RegSCStatus      = 0x000 // RO: status bits
+	RegRuleDoorbell  = 0x010 // WO: decode the sealed rule in the rule window
+	RegDescDoorbell  = 0x018 // WO: decode the sealed descriptor in the window
+	RegDescRelease   = 0x020 // WO: release descriptor by ID
+	RegTeardown      = 0x028 // WO: destroy keys, clean xPU, drop regions
+	RegMetaBase      = 0x030 // RW: host address of the DMA-metadata batch buffer
+	RegMetaSize      = 0x038 // RW: batch buffer size
+	RegNotify        = 0x040 // WO: region-ready notify (the batched I/O write of §5)
+	RegRekeyDoorbell = 0x048 // WO: apply the sealed rekey command in the window
+	RegTagWindow     = 0x080 // WO: tag-record uploads (payload = packed records)
+	RegRuleWindow    = 0x100 // WO: sealed rule blob staging (256 B)
+	RegDescWindow    = 0x200 // WO: sealed descriptor blob staging (256 B)
+	RegRekeyWindow   = 0x300 // WO: sealed rekey command staging (256 B)
+	SCBarSize        = 0x1000
+)
+
+// Status bits.
+const (
+	SCStatusReady     = 1 << 0
+	SCStatusConfigErr = 1 << 1
+)
+
+// Stats aggregates the controller's observable behaviour for the
+// security evaluation and the trace tooling.
+type Stats struct {
+	Filter          FilterStats
+	DecryptedChunks uint64
+	EncryptedChunks uint64
+	VerifiedChunks  uint64
+	AuthFailures    uint64
+	ConfigRejects   uint64
+	GuardBlocks     uint64
+	Teardowns       uint64
+}
+
+// Controller is the PCIe Security Controller. On the host bus it is an
+// endpoint claiming (a) its own control BAR and (b) a shadow window over
+// the xPU's BAR0, so all host→device MMIO lands here first. On the
+// internal bus it is the upstream port through which all device DMA and
+// MSI traffic must pass. Every packet in both directions crosses the
+// Packet Filter.
+type Controller struct {
+	id      pcie.ID
+	bar     pcie.Region
+	hostBus *pcie.Bus
+
+	internal *pcie.Bus
+	xpuID    pcie.ID
+	xpuBar   pcie.Region
+
+	filter *Filter
+	params *ParamsManager
+	tags   *TagManager
+	guard  *EnvGuard
+
+	regions regionTable
+
+	// config is the stream guarding policy/descriptor uploads.
+	// mmioSeq tracks the next expected A3 MMIO sequence number.
+	mmioSeq uint32
+
+	status    uint64
+	regs      map[uint64]uint64
+	ruleBuf   []byte
+	descBuf   []byte
+	rekeyBuf  []byte
+	d2hChunks map[uint32]uint64
+
+	authorizedTVM pcie.ID
+	tvmPinned     bool
+
+	stats Stats
+
+	// onTeardown lets the platform hook environment cleaning.
+	onTeardown func()
+}
+
+// NewController builds a PCIe-SC with the given identity and control
+// BAR placement, guarding the xPU whose BAR0 shadow window is xpuBar.
+func NewController(id pcie.ID, bar pcie.Region, keys *secmem.KeyStore) *Controller {
+	return &Controller{
+		id:        id,
+		bar:       bar,
+		filter:    NewFilter(),
+		params:    NewParamsManager(keys),
+		tags:      NewTagManager(),
+		guard:     NewEnvGuard(),
+		regs:      make(map[uint64]uint64),
+		d2hChunks: make(map[uint32]uint64),
+		status:    SCStatusReady,
+	}
+}
+
+// AttachHostBus registers the controller's host-side presence: its own
+// control BAR plus the shadow claim over the xPU window.
+func (c *Controller) AttachHostBus(bus *pcie.Bus, xpuWindow pcie.Region) error {
+	c.hostBus = bus
+	c.xpuBar = xpuWindow
+	bus.Attach(c)
+	if err := bus.Claim(c.id, c.bar); err != nil {
+		return err
+	}
+	return bus.Claim(c.id, xpuWindow)
+}
+
+// AttachInternalBus wires the trusted downstream segment holding the
+// xPU.
+func (c *Controller) AttachInternalBus(bus *pcie.Bus, xpu pcie.ID) {
+	c.internal = bus
+	c.xpuID = xpu
+}
+
+// AttachInternalBusOnly configures a controller used as a Mux unit:
+// it wires the internal bus, the shadow window geometry, and the host
+// bus used for mastering — without claiming anything on the host bus
+// (the Mux owns the host-side presence).
+func (c *Controller) AttachInternalBusOnly(bus *pcie.Bus, xpu pcie.ID, window pcie.Region, host *pcie.Bus) {
+	c.internal = bus
+	c.xpuID = xpu
+	c.xpuBar = window
+	c.hostBus = host
+}
+
+// Keys exposes the controller's trust-module key store for
+// provisioning during trust establishment.
+func (c *Controller) Keys() *secmem.KeyStore { return c.params.keys }
+
+// SCStatusBits reports the controller's status register value.
+func (c *Controller) SCStatusBits() uint64 { return c.status }
+
+// DeviceID implements pcie.Endpoint.
+func (c *Controller) DeviceID() pcie.ID { return c.id }
+
+// Filter exposes the Packet Filter for rule installation during secure
+// boot (static platform rules) and for statistics.
+func (c *Controller) Filter() *Filter { return c.filter }
+
+// Params exposes the De/Encryption Parameters Manager for trust
+// establishment.
+func (c *Controller) Params() *ParamsManager { return c.params }
+
+// Guard exposes the environment guard for platform check installation.
+func (c *Controller) Guard() *EnvGuard { return c.guard }
+
+// Tags exposes the Authentication Tag Manager (tests and tooling).
+func (c *Controller) Tags() *TagManager { return c.tags }
+
+// Stats snapshots controller counters.
+func (c *Controller) Stats() Stats {
+	s := c.stats
+	s.Filter = c.filter.Stats()
+	return s
+}
+
+// SetTeardownHook installs a platform callback run after Teardown.
+func (c *Controller) SetTeardownHook(fn func()) { c.onTeardown = fn }
+
+// Regions reports live protected regions (tests).
+func (c *Controller) Regions() int { return c.regions.count() }
+
+// SetAuthorizedTVM restricts control-BAR access to one requester ID.
+// The sealed-blob crypto already stops policy forgery; this check
+// additionally denies unauthorized parties the DoS-ish knobs (teardown,
+// metadata redirection).
+func (c *Controller) SetAuthorizedTVM(id pcie.ID) { c.authorizedTVM = id; c.tvmPinned = true }
+
+// --- host-side traffic ------------------------------------------------------
+
+// Handle implements pcie.Endpoint for packets arriving from the host
+// bus: control-BAR accesses and shadowed xPU MMIO.
+func (c *Controller) Handle(p *pcie.Packet) *pcie.Packet {
+	if c.bar.Contains(p.Address) && (p.Kind == pcie.MRd || p.Kind == pcie.MWr) {
+		return c.handleControl(p)
+	}
+	verdict := c.filter.Classify(p)
+	switch verdict.Action {
+	case ActionDrop:
+		return c.reject(p)
+	case ActionPassThrough:
+		return c.forwardToDevice(p)
+	case ActionWriteProtect:
+		return c.handleGuardedMMIO(p)
+	case ActionWriteReadProtect:
+		// Sensitive MMIO (command payloads addressed at ccAI hardware,
+		// Figure 5 L2 row 1) must arrive through the control BAR's
+		// sealed windows; anything else here is misrouted.
+		return c.reject(p)
+	}
+	return c.reject(p)
+}
+
+func (c *Controller) reject(p *pcie.Packet) *pcie.Packet {
+	if p.Kind == pcie.MRd || p.Kind == pcie.CfgRd || p.Kind == pcie.CfgWr {
+		return pcie.NewCompletion(p, c.id, pcie.CplUR, nil)
+	}
+	return nil
+}
+
+func (c *Controller) forwardToDevice(p *pcie.Packet) *pcie.Packet {
+	if c.internal == nil {
+		return c.reject(p)
+	}
+	return c.internal.Route(p)
+}
+
+// handleGuardedMMIO applies action A3 to control traffic: the write's
+// MAC record must already sit in the tag queue (the Adaptor posts it
+// before issuing the write), and guarded registers must pass the
+// environment checks.
+func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
+	if p.Kind == pcie.MRd {
+		// Reads of guarded registers carry no payload to verify.
+		return c.forwardToDevice(p)
+	}
+	seq := c.mmioSeq
+	rec, ok := c.tags.Take(StreamMMIO, seq)
+	if !ok {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	key, _, err := c.params.keys.Material(StreamMMIO)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	hdr := MACHeader(seq, p.Address, uint32(len(p.Payload)))
+	// The 16-byte wire tag is the MAC truncated to TagSize; recompute
+	// and compare the truncation (constant-time over the full width).
+	want := secmem.MAC(key, hdr, p.Payload)
+	match := true
+	for i := 0; i < secmem.TagSize; i++ {
+		if want[i] != rec.Tag[i] {
+			match = false
+		}
+	}
+	if !match {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	c.mmioSeq++
+	c.stats.VerifiedChunks++
+
+	// Environment verification on guarded registers.
+	if len(p.Payload) >= 8 && p.Address >= c.xpuBar.Base {
+		reg := p.Address - c.xpuBar.Base
+		val := binary.LittleEndian.Uint64(p.Payload[:8])
+		if !c.guard.VerifyMMIO(reg, val) {
+			c.stats.GuardBlocks++
+			return c.reject(p)
+		}
+	}
+	return c.forwardToDevice(p)
+}
+
+// MACHeader is the byte layout both ends authenticate for A3 MMIO
+// writes: sequence number, target address, payload length. The Adaptor
+// mirrors this when computing the companion tag record.
+func MACHeader(seq uint32, addr uint64, n uint32) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint32(buf[0:], seq)
+	binary.LittleEndian.PutUint64(buf[4:], addr)
+	binary.LittleEndian.PutUint32(buf[12:], n)
+	return buf
+}
+
+// MMIOSeq reports the next expected A3 sequence number (the Adaptor
+// mirrors this counter).
+func (c *Controller) MMIOSeq() uint32 { return c.mmioSeq }
+
+// --- control BAR -------------------------------------------------------------
+
+func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
+	if c.tvmPinned && p.Requester != c.authorizedTVM {
+		c.stats.ConfigRejects++
+		return c.reject(p)
+	}
+	off := p.Address - c.bar.Base
+	if p.Kind == pcie.MRd {
+		buf := make([]byte, p.Length)
+		var tmp [8]byte
+		v := c.regs[off&^7]
+		if off&^7 == RegSCStatus {
+			v = c.status
+		}
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		copy(buf, tmp[:])
+		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, buf)
+	}
+	// Writes.
+	switch {
+	case off >= RegRuleWindow && off < RegRuleWindow+256:
+		c.ruleBuf = append([]byte(nil), p.Payload...)
+	case off >= RegDescWindow && off < RegDescWindow+256:
+		c.descBuf = append([]byte(nil), p.Payload...)
+	case off >= RegRekeyWindow && off < RegRekeyWindow+256:
+		c.rekeyBuf = append([]byte(nil), p.Payload...)
+	case off >= RegTagWindow && off < RegTagWindow+0x80:
+		c.ingestTags(p.Payload)
+	default:
+		c.controlWrite(off&^7, p.Payload)
+	}
+	return nil
+}
+
+func (c *Controller) controlWrite(reg uint64, payload []byte) {
+	var v uint64
+	var tmp [8]byte
+	copy(tmp[:], payload)
+	v = binary.LittleEndian.Uint64(tmp[:])
+	switch reg {
+	case RegRuleDoorbell:
+		c.installSealedRule()
+	case RegDescDoorbell:
+		c.installSealedDescriptor()
+	case RegRekeyDoorbell:
+		c.applySealedRekey()
+	case RegDescRelease:
+		c.regions.remove(uint32(v))
+	case RegTeardown:
+		c.Teardown()
+	case RegMetaBase, RegMetaSize, RegNotify:
+		c.regs[reg] = v
+	default:
+		c.regs[reg] = v
+	}
+}
+
+func (c *Controller) ingestTags(payload []byte) {
+	for len(payload) >= TagRecordSize {
+		rec := TagRecord{
+			Chunk: binary.LittleEndian.Uint32(payload[4:]),
+			Epoch: binary.LittleEndian.Uint32(payload[8:]),
+		}
+		streamHash := binary.LittleEndian.Uint32(payload[0:])
+		copy(rec.Tag[:], payload[12:12+secmem.TagSize])
+		rec.Stream = streamByHash(streamHash)
+		if rec.Stream != "" {
+			c.tags.Enqueue(rec)
+		}
+		payload = payload[TagRecordSize:]
+	}
+}
+
+func streamByHash(h uint32) string {
+	for _, s := range []string{StreamH2D, StreamD2H, StreamConfig, StreamMMIO} {
+		if hashStream(s) == h {
+			return s
+		}
+	}
+	return ""
+}
+
+func (c *Controller) installSealedRule() {
+	pt, err := c.openConfig(c.ruleBuf)
+	c.ruleBuf = nil
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	r, err := UnmarshalRule(pt)
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	if r.Action == actionToL2 {
+		c.filter.InstallL1(r)
+	} else {
+		c.filter.InstallL2(r)
+	}
+}
+
+func (c *Controller) installSealedDescriptor() {
+	pt, err := c.openConfig(c.descBuf)
+	c.descBuf = nil
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	d, err := UnmarshalDescriptor(pt)
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	if err := c.regions.add(d); err != nil {
+		c.configReject(err)
+	}
+}
+
+// RekeyCommand carries fresh stream material for the §6 IV-exhaustion
+// mitigation. It travels sealed under the config stream, so only the
+// attested TVM can rotate keys.
+type RekeyCommand struct {
+	Stream string
+	Key    []byte
+	Nonce  []byte
+}
+
+// Marshal encodes the command for sealed upload.
+func (rc RekeyCommand) Marshal() []byte {
+	out := []byte{byte(len(rc.Stream))}
+	out = append(out, rc.Stream...)
+	out = append(out, byte(len(rc.Key)))
+	out = append(out, rc.Key...)
+	out = append(out, byte(len(rc.Nonce)))
+	out = append(out, rc.Nonce...)
+	return out
+}
+
+// UnmarshalRekeyCommand parses a sealed rekey payload.
+func UnmarshalRekeyCommand(b []byte) (RekeyCommand, error) {
+	var rc RekeyCommand
+	read := func() ([]byte, error) {
+		if len(b) < 1 {
+			return nil, fmt.Errorf("core: truncated rekey command")
+		}
+		n := int(b[0])
+		if len(b) < 1+n {
+			return nil, fmt.Errorf("core: truncated rekey field")
+		}
+		v := append([]byte(nil), b[1:1+n]...)
+		b = b[1+n:]
+		return v, nil
+	}
+	name, err := read()
+	if err != nil {
+		return rc, err
+	}
+	rc.Stream = string(name)
+	if rc.Key, err = read(); err != nil {
+		return rc, err
+	}
+	if rc.Nonce, err = read(); err != nil {
+		return rc, err
+	}
+	return rc, nil
+}
+
+func (c *Controller) applySealedRekey() {
+	pt, err := c.openConfig(c.rekeyBuf)
+	c.rekeyBuf = nil
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	rc, err := UnmarshalRekeyCommand(pt)
+	if err != nil {
+		c.configReject(err)
+		return
+	}
+	if rc.Stream == StreamConfig {
+		// Rotating the config stream itself would let one sealed blob
+		// hand control to a new key without attestation; refuse.
+		c.configReject(fmt.Errorf("core: config stream cannot self-rekey"))
+		return
+	}
+	if rc.Stream == StreamMMIO {
+		// MMIO MACs use raw key material, not a stream context.
+		if err := c.params.keys.Install(rc.Stream, rc.Key, rc.Nonce); err != nil {
+			c.configReject(err)
+		}
+		return
+	}
+	if err := c.params.Rekey(rc.Stream, rc.Key, rc.Nonce); err != nil {
+		c.configReject(err)
+	}
+}
+
+func (c *Controller) openConfig(frame []byte) ([]byte, error) {
+	if frame == nil {
+		return nil, fmt.Errorf("core: empty config window")
+	}
+	sealed, err := UnmarshalBlob(frame)
+	if err != nil {
+		return nil, err
+	}
+	stream, err := c.params.Stream(StreamConfig)
+	if err != nil {
+		return nil, err
+	}
+	return stream.Open(sealed, nil)
+}
+
+func (c *Controller) configReject(err error) {
+	_ = err
+	c.stats.ConfigRejects++
+	c.status |= SCStatusConfigErr
+}
+
+// --- device-side traffic ------------------------------------------------------
+
+// internalPort is the controller's endpoint presence on the internal
+// bus: the upstream port every device-initiated packet must cross.
+type internalPort struct{ c *Controller }
+
+func (ip internalPort) DeviceID() pcie.ID                  { return ip.c.id }
+func (ip internalPort) Handle(p *pcie.Packet) *pcie.Packet { return ip.c.HandleFromDevice(p) }
+
+// InternalPort returns the controller's internal-bus endpoint, which
+// the platform attaches and gives claims over all host address windows
+// so device DMA and MSI traffic route through the filter.
+func (c *Controller) InternalPort() pcie.Endpoint { return internalPort{c} }
+
+// HandleFromDevice is the internal bus's upstream path: every DMA
+// request and MSI the xPU emits crosses the filter and, inside
+// protected regions, the crypto handlers.
+func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
+	verdict := c.filter.Classify(p)
+	switch verdict.Action {
+	case ActionDrop:
+		return c.reject(p)
+	case ActionPassThrough:
+		return c.hostBus.Route(p)
+	}
+
+	desc, ok := c.regions.find(p.Address)
+	if !ok {
+		// Classified protected but no registered region: fail closed.
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	switch {
+	case p.Kind == pcie.MRd && desc.Dir == DirH2D && desc.Class == ActionWriteReadProtect:
+		return c.decryptRead(p, desc)
+	case p.Kind == pcie.MRd && desc.Dir == DirH2D && desc.Class == ActionWriteProtect:
+		return c.verifiedRead(p, desc)
+	case p.Kind == pcie.MWr && desc.Dir == DirD2H && desc.Class == ActionWriteReadProtect:
+		return c.encryptWrite(p, desc)
+	default:
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+}
+
+// decryptRead services a device read of an A2 H2D region: fetch the
+// ciphertext chunk from host memory, match its tag, decrypt, and return
+// plaintext to the device.
+func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	chunk, err := desc.ChunkOf(p.Address, p.Length)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		return c.reject(p)
+	}
+	rec, ok := c.tags.Take(StreamH2D, desc.FirstCounter+chunk)
+	if !ok {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	stream, err := c.params.Stream(StreamH2D)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	sealed := &secmem.Sealed{
+		Counter:    desc.FirstCounter + chunk,
+		Epoch:      rec.Epoch,
+		Ciphertext: cpl.Payload,
+		Tag:        rec.Tag,
+	}
+	pt, err := stream.Open(sealed, desc.AAD(chunk))
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	c.stats.DecryptedChunks++
+	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+}
+
+// verifiedRead services a device read of an A3 H2D region (e.g. the
+// command ring): fetch plaintext, verify its one-shot MAC record.
+func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	chunk, err := desc.ChunkOf(p.Address, p.Length)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		return c.reject(p)
+	}
+	rec, ok := c.tags.Take(StreamMMIO, desc.ID<<16|chunk)
+	if !ok {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	key, _, err := c.params.keys.Material(StreamMMIO)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	want := secmem.MAC(key, desc.AAD(chunk), cpl.Payload)
+	for i := 0; i < secmem.TagSize; i++ {
+		if want[i] != rec.Tag[i] {
+			c.stats.AuthFailures++
+			return c.reject(p)
+		}
+	}
+	c.stats.VerifiedChunks++
+	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, cpl.Payload)
+}
+
+// encryptWrite services a device write into an A2 D2H region: seal the
+// plaintext, store ciphertext at the same host address, deposit the tag
+// record in the region's tag table.
+func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	chunk, err := desc.ChunkOf(p.Address, uint32(len(p.Payload)))
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	stream, err := c.params.Stream(StreamD2H)
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	sealed, err := stream.Seal(p.Payload, desc.AAD(chunk))
+	if err != nil {
+		c.stats.AuthFailures++
+		return c.reject(p)
+	}
+	c.hostBus.Route(pcie.NewMemWrite(c.id, p.Address, sealed.Ciphertext))
+	rec := TagRecord{Stream: StreamD2H, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag}
+	tagAddr := desc.TagBase + uint64(chunk)*TagRecordSize
+	c.hostBus.Route(pcie.NewMemWrite(c.id, tagAddr, rec.Marshal()))
+	c.stats.EncryptedChunks++
+	c.publishMetadata(desc.ID)
+	return nil
+}
+
+// publishMetadata implements the §5 I/O-read optimization: instead of
+// the Adaptor polling the SC for DMA metadata, the SC batches progress
+// counters into a TVM-resident buffer (one 8-byte completed-chunk count
+// per region) that the Adaptor reads as plain memory.
+func (c *Controller) publishMetadata(region uint32) {
+	c.d2hChunks[region]++
+	metaBase := c.regs[RegMetaBase]
+	if metaBase == 0 {
+		return
+	}
+	size := c.regs[RegMetaSize]
+	slot := metaBase + uint64(region)*8
+	if size > 0 && slot+8 > metaBase+size {
+		return // region id outside the configured batch window
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, c.d2hChunks[region])
+	c.hostBus.Route(pcie.NewMemWrite(c.id, slot, buf))
+}
+
+// D2HProgress reports completed chunks for a region — the MMIO-polled
+// fallback the non-optimized ablation uses in place of the metadata
+// batch buffer.
+func (c *Controller) D2HProgress(region uint32) uint64 { return c.d2hChunks[region] }
+
+// AttestDevice runs the §6 software-based attestation fallback against
+// the guarded xPU: write a fresh nonce to the device's attestation
+// register over the internal bus, read back the response digest, and
+// compare with the digest the verifier computes from the golden
+// firmware measurement. expected is the response the caller derived
+// (e.g. xpu.AttestDigest(goldenFirmware, nonce)); attestReg/respReg
+// are BAR0-relative.
+func (c *Controller) AttestDevice(nonce uint64, expected uint64, attestReg, respReg uint64) bool {
+	if c.internal == nil {
+		return false
+	}
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, nonce)
+	c.internal.Route(pcie.NewMemWrite(c.id, c.xpuBar.Base+attestReg, buf))
+	cpl := c.internal.Route(pcie.NewMemRead(c.id, c.xpuBar.Base+respReg, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess || len(cpl.Payload) < 8 {
+		return false
+	}
+	return binary.LittleEndian.Uint64(cpl.Payload) == expected
+}
+
+// Teardown destroys key material, drops regions and pending tags, and
+// triggers the environment guard's device clean. The filter's static
+// platform rules survive; per-session rules are the TVM's to reinstall.
+func (c *Controller) Teardown() {
+	c.stats.Teardowns++
+	c.params.DestroyAll()
+	c.regions.clear()
+	c.tags.Clear()
+	c.mmioSeq = 0
+	c.d2hChunks = make(map[uint32]uint64)
+	if c.onTeardown != nil {
+		c.onTeardown()
+	}
+}

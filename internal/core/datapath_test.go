@@ -1,0 +1,397 @@
+package core
+
+// Direct tests of the Packet Handler data paths: A2 decrypt-on-read /
+// encrypt-on-write, A3 verified reads and guarded MMIO, metadata
+// publication, and the §9 Mux. These complement the cross-package
+// integration tests by pinning the controller's behaviour in
+// isolation.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+)
+
+// dpRig extends ctlRig with full stream provisioning and TVM-side
+// stream replicas, so tests can seal/open payloads themselves.
+type dpRig struct {
+	*ctlRig
+	h2dTx  *secmem.Stream
+	d2hRx  *secmem.Stream
+	mmioKy []byte
+}
+
+func newDPRig(t *testing.T) *dpRig {
+	t.Helper()
+	r := newCtlRig(t)
+	d := &dpRig{ctlRig: r}
+	for _, s := range []string{StreamH2D, StreamD2H, StreamMMIO} {
+		key, nonce := secmem.FreshKey(), secmem.FreshNonce()
+		if err := r.sc.Keys().Install(s, key, nonce); err != nil {
+			t.Fatal(err)
+		}
+		switch s {
+		case StreamH2D:
+			d.h2dTx, _ = secmem.NewStream(key, nonce)
+		case StreamD2H:
+			d.d2hRx, _ = secmem.NewStream(key, nonce)
+		case StreamMMIO:
+			d.mmioKy = key
+		}
+		if s != StreamMMIO {
+			if err := r.sc.Params().Activate(s); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// L1 screens for both parties, then device-side DMA rules.
+	for _, rule := range L1Screen(1, tvmID) {
+		r.sc.Filter().InstallL1(rule)
+	}
+	for _, rule := range L1Screen(10, r.dev.id) {
+		r.sc.Filter().InstallL1(rule)
+	}
+	for _, k := range []pcie.Kind{pcie.MRd, pcie.MWr} {
+		r.sc.Filter().InstallL2(Rule{ID: 30, Mask: MatchKind | MatchRequester | MatchAddr,
+			Kind: k, Requester: r.dev.id, AddrLo: ctlMem, AddrHi: ctlMem + ctlMemN, Action: ActionWriteReadProtect})
+	}
+	// Host-side A3/A4 rules over the device window.
+	r.sc.Filter().InstallL2(Rule{ID: 31, Mask: MatchKind | MatchRequester | MatchAddr,
+		Kind: pcie.MWr, Requester: tvmID, AddrLo: ctlWin, AddrHi: ctlWin + 0x1000, Action: ActionWriteProtect})
+	r.sc.Filter().InstallL2(Rule{ID: 32, Mask: MatchKind | MatchRequester | MatchAddr,
+		Kind: pcie.MRd, Requester: tvmID, AddrLo: ctlWin, AddrHi: ctlWin + 0x1000, Action: ActionPassThrough})
+	return d
+}
+
+// stageH2D seals data into "host memory" and registers the region +
+// tags like the Adaptor would.
+func (d *dpRig) stageH2D(t *testing.T, base uint64, data []byte) Descriptor {
+	t.Helper()
+	desc := Descriptor{
+		ID: 7, Dir: DirH2D, Class: ActionWriteReadProtect,
+		Base: base, Len: uint64(len(data)), ChunkSize: ChunkSize,
+		FirstCounter: d.h2dTx.SendCounter() + 1,
+	}
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := uint32(off / ChunkSize)
+		sealed, err := d.h2dTx.Seal(data[off:end], desc.AAD(chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.hostMem[base+uint64(off)] = sealed.Ciphertext
+		d.sc.Tags().Enqueue(TagRecord{Stream: StreamH2D, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag})
+	}
+	if err := d.sc.regions.add(desc); err != nil {
+		t.Fatal(err)
+	}
+	return desc
+}
+
+func TestDecryptReadHappyPath(t *testing.T) {
+	d := newDPRig(t)
+	data := bytes.Repeat([]byte("0123456789abcdef"), 32) // 512 B = 2 chunks
+	d.stageH2D(t, ctlMem+0x1000, data)
+	for off := 0; off < len(data); off += ChunkSize {
+		cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, ctlMem+0x1000+uint64(off), ChunkSize, 0))
+		if cpl == nil || cpl.Status != pcie.CplSuccess {
+			t.Fatalf("chunk at %d rejected", off)
+		}
+		if !bytes.Equal(cpl.Payload, data[off:off+ChunkSize]) {
+			t.Fatalf("chunk at %d decrypted wrong", off)
+		}
+	}
+	if d.sc.Stats().DecryptedChunks != 2 {
+		t.Fatalf("decrypted = %d", d.sc.Stats().DecryptedChunks)
+	}
+}
+
+func TestDecryptReadMissingTagFails(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, ChunkSize)
+	d.stageH2D(t, ctlMem+0x1000, data)
+	d.sc.Tags().Clear() // tags never arrived
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, ctlMem+0x1000, ChunkSize, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("read succeeded without a tag record")
+	}
+	if d.sc.Stats().AuthFailures == 0 {
+		t.Fatal("auth failure not recorded")
+	}
+}
+
+func TestDecryptReadChunkBoundaryViolation(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 2*ChunkSize)
+	d.stageH2D(t, ctlMem+0x1000, data)
+	// A read straddling two chunks cannot be decrypted as one unit.
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, ctlMem+0x1000+128, ChunkSize, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("boundary-straddling read accepted")
+	}
+}
+
+func TestDecryptReadCorruptedHostDataFails(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, ChunkSize)
+	desc := d.stageH2D(t, ctlMem+0x1000, data)
+	ct := d.hostMem[desc.Base]
+	ct[0] ^= 1 // host flips a ciphertext bit at rest
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, ChunkSize, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("corrupted ciphertext decrypted")
+	}
+}
+
+func TestEncryptWriteDepositsCiphertextAndTags(t *testing.T) {
+	d := newDPRig(t)
+	desc := Descriptor{
+		ID: 9, Dir: DirD2H, Class: ActionWriteReadProtect,
+		Base: ctlMem + 0x4000, Len: 0x1000, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
+	}
+	if err := d.sc.regions.add(desc); err != nil {
+		t.Fatal(err)
+	}
+	result := bytes.Repeat([]byte{0xAB}, ChunkSize)
+	d.sc.HandleFromDevice(pcie.NewMemWrite(d.dev.id, desc.Base, result))
+
+	ct := d.hostMem[desc.Base]
+	if bytes.Equal(ct, result) {
+		t.Fatal("result stored as plaintext")
+	}
+	recBytes := d.hostMem[desc.TagBase]
+	if len(recBytes) != TagRecordSize {
+		t.Fatalf("tag record size = %d", len(recBytes))
+	}
+	// The TVM replica can open it.
+	sealed := &secmem.Sealed{
+		Counter:    binary.LittleEndian.Uint32(recBytes[4:]),
+		Epoch:      binary.LittleEndian.Uint32(recBytes[8:]),
+		Ciphertext: ct,
+	}
+	copy(sealed.Tag[:], recBytes[12:])
+	pt, err := d.d2hRx.Open(sealed, desc.AAD(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pt, result) {
+		t.Fatal("decrypted result mismatch")
+	}
+}
+
+func TestEncryptWritePublishesMetadata(t *testing.T) {
+	d := newDPRig(t)
+	desc := Descriptor{
+		ID: 3, Dir: DirD2H, Class: ActionWriteReadProtect,
+		Base: ctlMem + 0x4000, Len: 0x1000, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
+	}
+	if err := d.sc.regions.add(desc); err != nil {
+		t.Fatal(err)
+	}
+	metaBase := uint64(ctlMem + 0xf000)
+	d.host.Route(pcie.NewMemWrite(tvmID, ctlBar+RegMetaBase, le64(metaBase)))
+	d.host.Route(pcie.NewMemWrite(tvmID, ctlBar+RegMetaSize, le64(4096)))
+
+	d.sc.HandleFromDevice(pcie.NewMemWrite(d.dev.id, desc.Base, make([]byte, ChunkSize)))
+	d.sc.HandleFromDevice(pcie.NewMemWrite(d.dev.id, desc.Base+ChunkSize, make([]byte, ChunkSize)))
+
+	slot := d.hostMem[metaBase+uint64(desc.ID)*8]
+	if binary.LittleEndian.Uint64(slot) != 2 {
+		t.Fatalf("metadata slot = %v", slot)
+	}
+	if d.sc.D2HProgress(desc.ID) != 2 {
+		t.Fatalf("D2HProgress = %d", d.sc.D2HProgress(desc.ID))
+	}
+	// Out-of-window region IDs are not published.
+	big := Descriptor{ID: 4000, Dir: DirD2H, Class: ActionWriteReadProtect,
+		Base: ctlMem + 0x6000, Len: 0x1000, TagBase: ctlMem + 0x9000, ChunkSize: ChunkSize}
+	if err := d.sc.regions.add(big); err != nil {
+		t.Fatal(err)
+	}
+	d.sc.HandleFromDevice(pcie.NewMemWrite(d.dev.id, big.Base, make([]byte, ChunkSize)))
+	if _, exists := d.hostMem[metaBase+uint64(big.ID)*8]; exists {
+		t.Fatal("out-of-window metadata written")
+	}
+}
+
+func le64(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+func TestGuardedMMIOHappyAndTampered(t *testing.T) {
+	d := newDPRig(t)
+	write := func(seq uint32, reg uint64, val uint64, corrupt bool) {
+		payload := le64(val)
+		hdr := MACHeader(seq, ctlWin+reg, uint32(len(payload)))
+		mac := secmem.MAC(d.mmioKy, hdr, payload)
+		rec := TagRecord{Stream: StreamMMIO, Chunk: seq}
+		copy(rec.Tag[:], mac[:secmem.TagSize])
+		d.sc.Tags().Enqueue(rec)
+		if corrupt {
+			payload[0] ^= 1
+		}
+		d.sc.Handle(pcie.NewMemWrite(tvmID, ctlWin+reg, payload))
+	}
+	write(0, 0x10, 0x1234, false)
+	if d.dev.regs[0x10] != 0x1234 {
+		t.Fatal("guarded write lost")
+	}
+	write(1, 0x18, 0x5678, true)
+	if d.dev.regs[0x18] == 0x5679 || d.dev.regs[0x18] == 0x5678 {
+		t.Fatal("tampered guarded write reached the device")
+	}
+	if d.sc.Stats().AuthFailures == 0 {
+		t.Fatal("A3 failure not recorded")
+	}
+	// Sequence did not advance past the failure; the next good write
+	// must use seq 1.
+	write(1, 0x20, 0x9abc, false)
+	if d.dev.regs[0x20] != 0x9abc {
+		t.Fatal("sequence recovery failed")
+	}
+}
+
+func TestGuardedMMIOEnvCheck(t *testing.T) {
+	d := newDPRig(t)
+	d.sc.Guard().AddCheck(MMIOCheck{Name: "reg28", Reg: 0x28, Valid: func(v uint64) bool { return v < 100 }})
+	write := func(seq uint32, reg uint64, val uint64) {
+		payload := le64(val)
+		mac := secmem.MAC(d.mmioKy, MACHeader(seq, ctlWin+reg, 8), payload)
+		rec := TagRecord{Stream: StreamMMIO, Chunk: seq}
+		copy(rec.Tag[:], mac[:secmem.TagSize])
+		d.sc.Tags().Enqueue(rec)
+		d.sc.Handle(pcie.NewMemWrite(tvmID, ctlWin+reg, payload))
+	}
+	write(0, 0x28, 42)
+	if d.dev.regs[0x28] != 42 {
+		t.Fatal("valid value blocked")
+	}
+	write(1, 0x28, 5000) // valid MAC, invalid value
+	if d.dev.regs[0x28] == 5000 {
+		t.Fatal("environment guard bypassed")
+	}
+	if d.sc.Stats().GuardBlocks != 1 {
+		t.Fatalf("guard blocks = %d", d.sc.Stats().GuardBlocks)
+	}
+}
+
+func TestVerifiedReadPath(t *testing.T) {
+	d := newDPRig(t)
+	desc := Descriptor{ID: 5, Dir: DirH2D, Class: ActionWriteProtect,
+		Base: ctlMem + 0x2000, Len: 256, ChunkSize: 64}
+	if err := d.sc.regions.add(desc); err != nil {
+		t.Fatal(err)
+	}
+	entry := bytes.Repeat([]byte{7}, 64)
+	d.hostMem[desc.Base] = append([]byte(nil), entry...)
+	mac := secmem.MAC(d.mmioKy, desc.AAD(0), entry)
+	rec := TagRecord{Stream: StreamMMIO, Chunk: desc.ID<<16 | 0}
+	copy(rec.Tag[:], mac[:secmem.TagSize])
+	d.sc.Tags().Enqueue(rec)
+
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, 64, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess || !bytes.Equal(cpl.Payload, entry) {
+		t.Fatalf("verified read failed: %v", cpl)
+	}
+	if d.sc.Stats().VerifiedChunks != 1 {
+		t.Fatal("verification not counted")
+	}
+	// Host tampers with the plaintext after MAC posting.
+	d.hostMem[desc.Base][0] ^= 1
+	mac2 := secmem.MAC(d.mmioKy, desc.AAD(0), entry) // MAC of the original
+	rec2 := TagRecord{Stream: StreamMMIO, Chunk: desc.ID<<16 | 0}
+	copy(rec2.Tag[:], mac2[:secmem.TagSize])
+	d.sc.Tags().Enqueue(rec2)
+	cpl = d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, 64, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("tampered command entry verified")
+	}
+}
+
+func TestHandleFromDeviceWrongDirection(t *testing.T) {
+	d := newDPRig(t)
+	desc := d.stageH2D(t, ctlMem+0x1000, make([]byte, ChunkSize))
+	// Writing into an H2D region is a protocol violation.
+	failBefore := d.sc.Stats().AuthFailures
+	d.sc.HandleFromDevice(pcie.NewMemWrite(d.dev.id, desc.Base, make([]byte, 64)))
+	if d.sc.Stats().AuthFailures != failBefore+1 {
+		t.Fatal("wrong-direction access not rejected")
+	}
+}
+
+// --- Mux ------------------------------------------------------------------
+
+func TestMuxRoutesByAddressAndRequester(t *testing.T) {
+	hostA := newDPRig(t)
+	// A second unit with its own rig pieces is heavyweight; route-level
+	// behaviour is what matters here, so wrap the single controller in
+	// a mux and check dispatch boundaries.
+	mux := NewMux(pcie.MakeID(1, 0, 7))
+	unit := &MuxUnit{
+		Ctrl: hostA.sc,
+		Bar:  pcie.Region{Base: ctlBar, Size: SCBarSize},
+		Window: pcie.Region{
+			Base: ctlWin, Size: 0x1000},
+		XPU: hostA.dev.id, TVM: tvmID,
+	}
+	if err := mux.AddUnit(unit); err != nil {
+		t.Fatal(err)
+	}
+	if mux.Units() != 1 {
+		t.Fatal("unit not registered")
+	}
+	if _, ok := mux.Unit(hostA.dev.id); !ok {
+		t.Fatal("unit lookup failed")
+	}
+	// In-window traffic dispatches to the unit (pass-through read rule
+	// installed by newDPRig).
+	hostA.dev.regs[0x40] = 0x42
+	cpl := mux.Handle(pcie.NewMemRead(tvmID, ctlWin+0x40, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess || binary.LittleEndian.Uint64(cpl.Payload) != 0x42 {
+		t.Fatalf("mux window dispatch failed: %v", cpl)
+	}
+	// Outside every window: UR.
+	cpl = mux.Handle(pcie.NewMemRead(tvmID, 0xeeee_0000, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplUR {
+		t.Fatal("out-of-window access not rejected")
+	}
+	// Unknown device requester: rejected.
+	cpl = mux.HandleFromDevice(pcie.NewMemRead(pcie.MakeID(9, 0, 0), ctlMem, 64, 0))
+	if cpl == nil || cpl.Status != pcie.CplUR {
+		t.Fatal("unknown requester not rejected")
+	}
+	// TeardownAll reaches the unit.
+	mux.TeardownAll()
+	if hostA.sc.Stats().Teardowns != 1 {
+		t.Fatal("mux teardown did not propagate")
+	}
+}
+
+func TestActionAndPermissionStrings(t *testing.T) {
+	for _, a := range []Action{ActionDrop, ActionWriteReadProtect, ActionWriteProtect, ActionPassThrough, actionToL2} {
+		if a.String() == "" {
+			t.Fatal("empty action string")
+		}
+	}
+	for _, p := range []Permission{Prohibited, WriteReadProtected, WriteProtected, FullAccessible} {
+		if p.String() == "" {
+			t.Fatal("empty permission string")
+		}
+	}
+	d := Descriptor{ID: 1, Dir: DirD2H}
+	if DirH2D.String() != "H2D" || d.Dir.String() != "D2H" {
+		t.Fatal("direction strings wrong")
+	}
+	r := Rule{ID: 1, Action: ActionDrop}
+	if r.String() == "" {
+		t.Fatal("empty rule string")
+	}
+}

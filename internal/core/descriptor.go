@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dir is a transfer direction relative to the host.
+type Dir uint8
+
+const (
+	// DirH2D regions are read by the device (inputs, weights, commands).
+	DirH2D Dir = iota
+	// DirD2H regions are written by the device (results).
+	DirD2H
+)
+
+func (d Dir) String() string {
+	if d == DirH2D {
+		return "H2D"
+	}
+	return "D2H"
+}
+
+// Descriptor registers one protected transfer region with the PCIe-SC:
+// a span of host bounce-buffer memory, the security class applied to
+// device accesses inside it, and the cryptographic bookkeeping the
+// Packet Handlers need. The Adaptor uploads descriptors sealed under
+// the config stream, so the untrusted host cannot forge or redirect
+// them.
+type Descriptor struct {
+	ID    uint32
+	Dir   Dir
+	Class Action // ActionWriteReadProtect (A2) or ActionWriteProtect (A3)
+	Base  uint64
+	Len   uint64
+	// TagBase is where the SC deposits tag records for D2H regions.
+	TagBase uint64
+	// ChunkSize is the protection granularity: one IV counter / one MAC
+	// record per chunk. Data regions use the TLP payload size; command
+	// rings use their entry size.
+	ChunkSize uint32
+	// FirstCounter is the IV counter of chunk 0 for A2 H2D regions
+	// (the Adaptor sealed them with consecutive counters).
+	FirstCounter uint32
+	// Epoch pins the key epoch the region was sealed under.
+	Epoch uint32
+}
+
+// DescriptorSize is the serialized descriptor length.
+const DescriptorSize = 40
+
+// Marshal encodes the descriptor for sealed upload.
+func (d Descriptor) Marshal() []byte {
+	buf := make([]byte, DescriptorSize)
+	binary.LittleEndian.PutUint32(buf[0:], d.ID)
+	buf[4] = uint8(d.Dir)
+	buf[5] = uint8(d.Class)
+	binary.LittleEndian.PutUint64(buf[8:], d.Base)
+	binary.LittleEndian.PutUint64(buf[16:], d.Len)
+	binary.LittleEndian.PutUint64(buf[24:], d.TagBase)
+	binary.LittleEndian.PutUint32(buf[32:], d.ChunkSize)
+	binary.LittleEndian.PutUint16(buf[36:], uint16(d.FirstCounter))
+	binary.LittleEndian.PutUint16(buf[38:], uint16(d.FirstCounter>>16))
+	return buf
+}
+
+// UnmarshalDescriptor decodes a sealed-upload payload.
+func UnmarshalDescriptor(buf []byte) (Descriptor, error) {
+	if len(buf) < DescriptorSize {
+		return Descriptor{}, fmt.Errorf("core: descriptor blob too short (%d)", len(buf))
+	}
+	d := Descriptor{
+		ID:        binary.LittleEndian.Uint32(buf[0:]),
+		Dir:       Dir(buf[4]),
+		Class:     Action(buf[5]),
+		Base:      binary.LittleEndian.Uint64(buf[8:]),
+		Len:       binary.LittleEndian.Uint64(buf[16:]),
+		TagBase:   binary.LittleEndian.Uint64(buf[24:]),
+		ChunkSize: binary.LittleEndian.Uint32(buf[32:]),
+	}
+	d.FirstCounter = uint32(binary.LittleEndian.Uint16(buf[36:])) |
+		uint32(binary.LittleEndian.Uint16(buf[38:]))<<16
+	if d.Class != ActionWriteReadProtect && d.Class != ActionWriteProtect {
+		return Descriptor{}, fmt.Errorf("core: descriptor %d has non-protect class %v", d.ID, d.Class)
+	}
+	if d.ChunkSize == 0 || d.Len == 0 {
+		return Descriptor{}, fmt.Errorf("core: descriptor %d has empty geometry", d.ID)
+	}
+	return d, nil
+}
+
+// Contains reports whether addr falls in the region.
+func (d Descriptor) Contains(addr uint64) bool {
+	return addr >= d.Base && addr < d.Base+d.Len
+}
+
+// ChunkOf maps an address to its chunk index; the access must not cross
+// a chunk boundary.
+func (d Descriptor) ChunkOf(addr uint64, n uint32) (uint32, error) {
+	off := addr - d.Base
+	idx := uint32(off / uint64(d.ChunkSize))
+	if (off%uint64(d.ChunkSize))+uint64(n) > uint64(d.ChunkSize) {
+		return 0, fmt.Errorf("core: access [%#x,+%d) crosses chunk boundary in region %d", addr, n, d.ID)
+	}
+	return idx, nil
+}
+
+// AAD builds the additional authenticated data binding a chunk to its
+// region and position, preventing relocation of valid ciphertext.
+func (d Descriptor) AAD(chunk uint32) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf[0:], d.ID)
+	binary.LittleEndian.PutUint32(buf[4:], chunk)
+	return buf
+}
+
+// regionTable resolves device accesses to descriptors.
+type regionTable struct {
+	regions []Descriptor
+}
+
+func (rt *regionTable) add(d Descriptor) error {
+	for _, e := range rt.regions {
+		if d.Base < e.Base+e.Len && e.Base < d.Base+d.Len {
+			return fmt.Errorf("core: region %d overlaps region %d", d.ID, e.ID)
+		}
+	}
+	rt.regions = append(rt.regions, d)
+	return nil
+}
+
+func (rt *regionTable) find(addr uint64) (Descriptor, bool) {
+	for _, d := range rt.regions {
+		if d.Contains(addr) {
+			return d, true
+		}
+	}
+	return Descriptor{}, false
+}
+
+func (rt *regionTable) remove(id uint32) {
+	kept := rt.regions[:0]
+	for _, d := range rt.regions {
+		if d.ID != id {
+			kept = append(kept, d)
+		}
+	}
+	rt.regions = kept
+}
+
+func (rt *regionTable) clear() { rt.regions = nil }
+
+func (rt *regionTable) count() int { return len(rt.regions) }

@@ -1,0 +1,45 @@
+package core_test
+
+import (
+	"fmt"
+
+	"ccai/internal/core"
+	"ccai/internal/pcie"
+)
+
+// ExampleFilter_Classify reproduces the paper's Figure 5 walk-through:
+// an L1 screen admits the TVM's memory traffic to the L2 table, which
+// classifies by address-space sensitivity into Table 1's actions.
+func ExampleFilter_Classify() {
+	tvm := pcie.MakeID(0, 1, 0)
+	f := core.NewFilter()
+	for _, r := range core.L1Screen(1, tvm) {
+		f.InstallL1(r)
+	}
+	// L2: data bounce buffer is Write-Read Protected; doorbells are
+	// Write Protected; status reads pass through.
+	f.InstallL2(core.Rule{ID: 3, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvm, AddrLo: 0x1000, AddrHi: 0x5000,
+		Action: core.ActionWriteReadProtect})
+	f.InstallL2(core.Rule{ID: 2, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvm, AddrLo: 0x8000, AddrHi: 0x9000,
+		Action: core.ActionWriteProtect})
+	f.InstallL2(core.Rule{ID: 4, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MRd, Requester: tvm, AddrLo: 0x1000, AddrHi: 0x5000,
+		Action: core.ActionPassThrough})
+
+	packets := []*pcie.Packet{
+		pcie.NewMemWrite(tvm, 0x2000, []byte("model data")),         // sensitive
+		pcie.NewMemWrite(tvm, 0x8010, []byte{1}),                    // doorbell
+		pcie.NewMemRead(tvm, 0x2000, 64, 0),                         // status read
+		pcie.NewMemWrite(pcie.MakeID(0, 9, 0), 0x2000, []byte("!")), // rogue
+	}
+	for _, p := range packets {
+		fmt.Println(f.Classify(p).Action)
+	}
+	// Output:
+	// A2:write-read-protect
+	// A3:write-protect
+	// A4:pass-through
+	// A1:drop
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/pcie"
+)
+
+// Mask selects which header attributes an L1 rule compares, mirroring
+// the paper's 16-bit Mask field (§4.1): set bits are checked, clear
+// bits are wildcards. The mask is the mechanism that avoids
+// "over-engineering (preparing all rules for each xPU/TVM)" while still
+// defending every attribute against tampering.
+type Mask uint16
+
+const (
+	// MatchKind compares the packet type (combined format + memory
+	// access attributes, §7.2).
+	MatchKind Mask = 1 << iota
+	// MatchRequester compares the requester routing ID.
+	MatchRequester
+	// MatchCompleter compares the completer routing ID.
+	MatchCompleter
+	// MatchAddr compares the address against [AddrLo, AddrHi).
+	MatchAddr
+	// MatchTC compares the traffic class.
+	MatchTC
+)
+
+// Rule is one Packet Filter entry, usable in the L1 table (mask-based
+// coarse screening, verdict drop-or-descend) or the L2 table (exact
+// classification into a security action).
+type Rule struct {
+	ID        uint16
+	Mask      Mask
+	Kind      pcie.Kind
+	Requester pcie.ID
+	Completer pcie.ID
+	AddrLo    uint64
+	AddrHi    uint64
+	TC        uint8
+	Action    Action
+}
+
+// Matches reports whether the packet satisfies every masked field.
+func (r Rule) Matches(p *pcie.Packet) bool {
+	if r.Mask&MatchKind != 0 && p.Kind != r.Kind {
+		return false
+	}
+	if r.Mask&MatchRequester != 0 && p.Requester != r.Requester {
+		return false
+	}
+	if r.Mask&MatchCompleter != 0 && p.Completer != r.Completer {
+		return false
+	}
+	if r.Mask&MatchAddr != 0 && (p.Address < r.AddrLo || p.Address >= r.AddrHi) {
+		return false
+	}
+	if r.Mask&MatchTC != 0 && p.TC != r.TC {
+		return false
+	}
+	return true
+}
+
+func (r Rule) String() string {
+	return fmt.Sprintf("rule %d mask=%05b kind=%v req=%v cpl=%v addr=[%#x,%#x) -> %v",
+		r.ID, r.Mask, r.Kind, r.Requester, r.Completer, r.AddrLo, r.AddrHi, r.Action)
+}
+
+// RuleSize is the serialized policy size: 32 bytes per policy (§7.2).
+const RuleSize = 32
+
+// Marshal encodes the rule into its 32-byte policy format.
+func (r Rule) Marshal() []byte {
+	buf := make([]byte, RuleSize)
+	binary.LittleEndian.PutUint16(buf[0:], r.ID)
+	binary.LittleEndian.PutUint16(buf[2:], uint16(r.Mask))
+	buf[4] = uint8(r.Kind)
+	buf[5] = r.TC
+	buf[6] = uint8(r.Action)
+	binary.LittleEndian.PutUint16(buf[8:], uint16(r.Requester))
+	binary.LittleEndian.PutUint16(buf[10:], uint16(r.Completer))
+	binary.LittleEndian.PutUint64(buf[12:], r.AddrLo)
+	binary.LittleEndian.PutUint64(buf[20:], r.AddrHi)
+	return buf
+}
+
+// UnmarshalRule decodes a 32-byte policy.
+func UnmarshalRule(buf []byte) (Rule, error) {
+	if len(buf) < RuleSize {
+		return Rule{}, fmt.Errorf("core: policy blob too short (%d bytes)", len(buf))
+	}
+	r := Rule{
+		ID:        binary.LittleEndian.Uint16(buf[0:]),
+		Mask:      Mask(binary.LittleEndian.Uint16(buf[2:])),
+		Kind:      pcie.Kind(buf[4]),
+		TC:        buf[5],
+		Action:    Action(buf[6]),
+		Requester: pcie.ID(binary.LittleEndian.Uint16(buf[8:])),
+		Completer: pcie.ID(binary.LittleEndian.Uint16(buf[10:])),
+		AddrLo:    binary.LittleEndian.Uint64(buf[12:]),
+		AddrHi:    binary.LittleEndian.Uint64(buf[20:]),
+	}
+	if r.Action < ActionDrop || r.Action > actionToL2 {
+		return Rule{}, fmt.Errorf("core: policy %d has invalid action %d", r.ID, buf[6])
+	}
+	return r, nil
+}
+
+// Verdict is the filter's decision for one packet.
+type Verdict struct {
+	Action Action
+	// Rule identifies the matching rule (L2 when Action is a final
+	// classification reached via L2, otherwise L1).
+	Rule uint16
+	// Stage is 1 or 2, naming the deciding table.
+	Stage int
+}
+
+// FilterStats counts classifications per action for the trace tooling
+// and the RQ2 security tests.
+type FilterStats struct {
+	Dropped, Protected, Verified, Passed uint64
+}
+
+// Filter is the two-stage Packet Filter of Figure 5. The L1 table
+// screens with masked matches (first match wins; no match ⇒ drop); an
+// L1 verdict of actionToL2 descends into the L2 table for fine-grained
+// classification (first match wins; no match ⇒ drop, fail-closed).
+type Filter struct {
+	l1, l2 []Rule
+	stats  FilterStats
+}
+
+// NewFilter returns an empty, fail-closed filter: with no rules
+// installed every packet is Prohibited.
+func NewFilter() *Filter { return &Filter{} }
+
+// InstallL1 appends a rule to the L1 table.
+func (f *Filter) InstallL1(r Rule) { f.l1 = append(f.l1, r) }
+
+// InstallL2 appends a rule to the L2 table.
+func (f *Filter) InstallL2(r Rule) { f.l2 = append(f.l2, r) }
+
+// Clear removes all rules (used on rekey/teardown).
+func (f *Filter) Clear() {
+	f.l1 = nil
+	f.l2 = nil
+}
+
+// RuleCount reports installed rules per table.
+func (f *Filter) RuleCount() (l1, l2 int) { return len(f.l1), len(f.l2) }
+
+// Stats reports cumulative classification counts.
+func (f *Filter) Stats() FilterStats { return f.stats }
+
+// ResetStats zeroes counters between experiments.
+func (f *Filter) ResetStats() { f.stats = FilterStats{} }
+
+// Classify runs the packet through L1 then (if directed) L2 and returns
+// the verdict. Unmatched packets are dropped at either stage: the
+// filter is fail-closed, which is what blocks requests from
+// unauthorized TVMs, hosts or peer devices (§8.2).
+func (f *Filter) Classify(p *pcie.Packet) Verdict {
+	v := f.classify(p)
+	switch v.Action {
+	case ActionDrop:
+		f.stats.Dropped++
+	case ActionWriteReadProtect:
+		f.stats.Protected++
+	case ActionWriteProtect:
+		f.stats.Verified++
+	case ActionPassThrough:
+		f.stats.Passed++
+	}
+	return v
+}
+
+func (f *Filter) classify(p *pcie.Packet) Verdict {
+	for _, r := range f.l1 {
+		if !r.Matches(p) {
+			continue
+		}
+		if r.Action != actionToL2 {
+			return Verdict{Action: r.Action, Rule: r.ID, Stage: 1}
+		}
+		for _, r2 := range f.l2 {
+			if r2.Matches(p) {
+				return Verdict{Action: r2.Action, Rule: r2.ID, Stage: 2}
+			}
+		}
+		return Verdict{Action: ActionDrop, Stage: 2} // fail closed in L2
+	}
+	return Verdict{Action: ActionDrop, Stage: 1} // fail closed in L1
+}
+
+// L1Screen builds the standard L1 rule pair admitting memory
+// read/write requests from an authorized requester for deeper L2
+// inspection (Figure 5 ①).
+func L1Screen(id uint16, requester pcie.ID) []Rule {
+	return []Rule{
+		{ID: id, Mask: MatchKind | MatchRequester, Kind: pcie.MWr, Requester: requester, Action: actionToL2},
+		{ID: id + 1, Mask: MatchKind | MatchRequester, Kind: pcie.MRd, Requester: requester, Action: actionToL2},
+		{ID: id + 2, Mask: MatchKind | MatchRequester, Kind: pcie.CplD, Requester: requester, Action: actionToL2},
+		{ID: id + 3, Mask: MatchKind | MatchRequester, Kind: pcie.Cpl, Requester: requester, Action: actionToL2},
+	}
+}

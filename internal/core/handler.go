@@ -1,0 +1,236 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+)
+
+// StreamID names a protected data stream managed by the De/Encryption
+// Parameters Manager. The Adaptor and PCIe-SC agree on stream names
+// during trust establishment.
+const (
+	// StreamH2D protects host→device payloads (inputs, weights, code).
+	StreamH2D = "h2d"
+	// StreamD2H protects device→host payloads (results).
+	StreamD2H = "d2h"
+	// StreamConfig protects Packet Filter policy updates (§4.1
+	// "dynamic and secure configuration").
+	StreamConfig = "config"
+	// StreamMMIO keys the A3 integrity MACs on control traffic.
+	StreamMMIO = "mmio"
+)
+
+// ErrNoStream reports a protected packet arriving before its stream's
+// parameters were installed.
+var ErrNoStream = errors.New("core: no de/encryption parameters for stream")
+
+// ParamsManager is the De/Encryption Parameters Manager control panel
+// (§4.2): it owns the per-stream cryptographic parameters (key, the
+// 12-byte-nonce/4-byte-counter IV state) and hands out the secmem
+// streams the AES engine uses. Each logical transfer region binds to
+// one stream context.
+type ParamsManager struct {
+	keys    *secmem.KeyStore
+	streams map[string]*secmem.Stream
+}
+
+// NewParamsManager builds a manager over a key store (the PCIe-SC's
+// trust-module storage).
+func NewParamsManager(keys *secmem.KeyStore) *ParamsManager {
+	return &ParamsManager{keys: keys, streams: make(map[string]*secmem.Stream)}
+}
+
+// Activate instantiates the stream context for a named stream from
+// installed key material.
+func (pm *ParamsManager) Activate(name string) error {
+	s, err := pm.keys.Stream(name)
+	if err != nil {
+		return err
+	}
+	pm.streams[name] = s
+	return nil
+}
+
+// Stream returns the active context for name.
+func (pm *ParamsManager) Stream(name string) (*secmem.Stream, error) {
+	s, ok := pm.streams[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q", ErrNoStream, name)
+	}
+	return s, nil
+}
+
+// Rekey replaces a stream's parameters (IV-exhaustion mitigation, §6).
+func (pm *ParamsManager) Rekey(name string, key, nonce []byte) error {
+	s, ok := pm.streams[name]
+	if !ok {
+		return fmt.Errorf("%w %q", ErrNoStream, name)
+	}
+	if err := pm.keys.Install(name, key, nonce); err != nil {
+		return err
+	}
+	return s.Rekey(key, nonce)
+}
+
+// DestroyAll drops every context and zeroizes key material (teardown).
+func (pm *ParamsManager) DestroyAll() {
+	pm.streams = make(map[string]*secmem.Stream)
+	pm.keys.DestroyAll()
+}
+
+// Active reports how many stream contexts are live.
+func (pm *ParamsManager) Active() int { return len(pm.streams) }
+
+// --- Authentication Tag Manager -------------------------------------------
+
+// TagRecord is one entry in the authentication-tag packet queue: the
+// GCM tag and counter for a protected chunk, keyed by (stream, chunk
+// index). On the wire these arrive as companion tag packets; the
+// manager matches them to data packets by the tag attribute (§4.2).
+type TagRecord struct {
+	Stream string
+	Chunk  uint32
+	Epoch  uint32
+	Tag    [secmem.TagSize]byte
+}
+
+// TagRecordSize is the serialized tag-packet payload size.
+const TagRecordSize = 4 + 4 + 4 + secmem.TagSize // stream hash, chunk, epoch, tag
+
+// Marshal encodes the record as a tag-packet payload.
+func (t TagRecord) Marshal() []byte {
+	buf := make([]byte, TagRecordSize)
+	binary.LittleEndian.PutUint32(buf[0:], hashStream(t.Stream))
+	binary.LittleEndian.PutUint32(buf[4:], t.Chunk)
+	binary.LittleEndian.PutUint32(buf[8:], t.Epoch)
+	copy(buf[12:], t.Tag[:])
+	return buf
+}
+
+func hashStream(s string) uint32 {
+	var h uint32 = 2166136261
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// TagManager is the Authentication Tag Manager control panel: it queues
+// tag records and matches them with data chunks during verification.
+type TagManager struct {
+	pending map[uint64]TagRecord // key: stream hash << 32 | chunk
+	matched uint64
+	missing uint64
+}
+
+// NewTagManager returns an empty tag queue.
+func NewTagManager() *TagManager {
+	return &TagManager{pending: make(map[uint64]TagRecord)}
+}
+
+func tagKey(stream string, chunk uint32) uint64 {
+	return uint64(hashStream(stream))<<32 | uint64(chunk)
+}
+
+// Enqueue stores an arriving tag record.
+func (tm *TagManager) Enqueue(rec TagRecord) {
+	tm.pending[tagKey(rec.Stream, rec.Chunk)] = rec
+}
+
+// Take matches and removes the tag for (stream, chunk); ok is false
+// when no tag packet arrived, which fails the integrity check.
+func (tm *TagManager) Take(stream string, chunk uint32) (TagRecord, bool) {
+	k := tagKey(stream, chunk)
+	rec, ok := tm.pending[k]
+	if ok {
+		delete(tm.pending, k)
+		tm.matched++
+	} else {
+		tm.missing++
+	}
+	return rec, ok
+}
+
+// Depth reports queued, unmatched tags.
+func (tm *TagManager) Depth() int { return len(tm.pending) }
+
+// Stats reports matched and missing lookups.
+func (tm *TagManager) Stats() (matched, missing uint64) { return tm.matched, tm.missing }
+
+// Clear drops all pending tags.
+func (tm *TagManager) Clear() {
+	tm.pending = make(map[uint64]TagRecord)
+}
+
+// --- xPU environment guard --------------------------------------------------
+
+// MMIOCheck is one environment-verification predicate on a guarded
+// register: A3 traffic targeting Reg must satisfy Valid before being
+// forwarded (e.g. the xPU page-table base must point into the measured
+// region, §4 "checking the correctness of the xPU page table
+// register").
+type MMIOCheck struct {
+	Name  string
+	Reg   uint64 // BAR0-relative register offset
+	Valid func(value uint64) bool
+}
+
+// EnvGuard is the xPU environment guard (§4.2): it validates guarded
+// MMIO writes during computing and cleans the device on teardown.
+type EnvGuard struct {
+	checks   []MMIOCheck
+	violated []string
+	cleans   int
+}
+
+// NewEnvGuard returns a guard with no checks installed.
+func NewEnvGuard() *EnvGuard { return &EnvGuard{} }
+
+// AddCheck installs a register predicate.
+func (g *EnvGuard) AddCheck(c MMIOCheck) { g.checks = append(g.checks, c) }
+
+// VerifyMMIO validates a BAR0-relative register write; a false return
+// means the write must be blocked. Unguarded registers pass.
+func (g *EnvGuard) VerifyMMIO(reg uint64, value uint64) bool {
+	for _, c := range g.checks {
+		if c.Reg == reg && !c.Valid(value) {
+			g.violated = append(g.violated, c.Name)
+			return false
+		}
+	}
+	return true
+}
+
+// Violations lists failed checks so far.
+func (g *EnvGuard) Violations() []string { return g.violated }
+
+// Cleans reports how many environment cleans the guard triggered.
+func (g *EnvGuard) Cleans() int { return g.cleans }
+
+// CleanCmd describes how the guard resets the device: a soft
+// environment-reset MMIO when supported, otherwise a cold boot.
+type CleanCmd struct {
+	Soft bool
+	Reg  uint64
+	Val  uint64
+}
+
+// CleanPlan decides the teardown reset strategy for a device that does
+// or does not support software reset.
+func (g *EnvGuard) CleanPlan(softResetSupported bool, resetReg, softVal, coldVal uint64) CleanCmd {
+	g.cleans++
+	if softResetSupported {
+		return CleanCmd{Soft: true, Reg: resetReg, Val: softVal}
+	}
+	return CleanCmd{Soft: false, Reg: resetReg, Val: coldVal}
+}
+
+// ChunkSize is the protected-payload chunking granularity: one TLP
+// payload (Max_Payload_Size). Each chunk consumes one IV counter and
+// one tag record.
+const ChunkSize = pcie.MaxPayload

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"testing"
+
+	"ccai/internal/secmem"
+)
+
+func TestParamsManagerLifecycle(t *testing.T) {
+	ks := secmem.NewKeyStore()
+	pm := NewParamsManager(ks)
+	if _, err := pm.Stream(StreamH2D); err == nil {
+		t.Fatal("missing stream returned")
+	}
+	if err := ks.Install(StreamH2D, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Activate(StreamH2D); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pm.Stream(StreamH2D); err != nil {
+		t.Fatal(err)
+	}
+	if pm.Active() != 1 {
+		t.Fatalf("active = %d", pm.Active())
+	}
+	pm.DestroyAll()
+	if pm.Active() != 0 || ks.Count() != 0 {
+		t.Fatal("DestroyAll incomplete")
+	}
+}
+
+func TestParamsManagerRekey(t *testing.T) {
+	ks := secmem.NewKeyStore()
+	pm := NewParamsManager(ks)
+	if err := ks.Install(StreamD2H, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pm.Activate(StreamD2H); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := pm.Stream(StreamD2H)
+	if s.Epoch() != 0 {
+		t.Fatalf("initial epoch = %d", s.Epoch())
+	}
+	if err := pm.Rekey(StreamD2H, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+		t.Fatal(err)
+	}
+	if s.Epoch() != 1 {
+		t.Fatalf("epoch after rekey = %d", s.Epoch())
+	}
+	if err := pm.Rekey("unknown", secmem.FreshKey(), secmem.FreshNonce()); err == nil {
+		t.Fatal("rekey of unknown stream accepted")
+	}
+}
+
+func TestTagManagerMatchAndConsume(t *testing.T) {
+	tm := NewTagManager()
+	rec := TagRecord{Stream: StreamH2D, Chunk: 42, Epoch: 1}
+	rec.Tag[0] = 0xaa
+	tm.Enqueue(rec)
+	if tm.Depth() != 1 {
+		t.Fatalf("depth = %d", tm.Depth())
+	}
+	got, ok := tm.Take(StreamH2D, 42)
+	if !ok || got.Tag[0] != 0xaa || got.Epoch != 1 {
+		t.Fatalf("Take = %+v, %v", got, ok)
+	}
+	// One-shot: a second Take misses (replay freshness).
+	if _, ok := tm.Take(StreamH2D, 42); ok {
+		t.Fatal("tag record consumed twice")
+	}
+	matched, missing := tm.Stats()
+	if matched != 1 || missing != 1 {
+		t.Fatalf("stats = %d/%d", matched, missing)
+	}
+}
+
+func TestTagManagerKeysByStreamAndChunk(t *testing.T) {
+	tm := NewTagManager()
+	tm.Enqueue(TagRecord{Stream: StreamH2D, Chunk: 1})
+	if _, ok := tm.Take(StreamD2H, 1); ok {
+		t.Fatal("cross-stream tag matched")
+	}
+	if _, ok := tm.Take(StreamH2D, 2); ok {
+		t.Fatal("cross-chunk tag matched")
+	}
+	if _, ok := tm.Take(StreamH2D, 1); !ok {
+		t.Fatal("correct tag missed")
+	}
+}
+
+func TestTagRecordMarshalShape(t *testing.T) {
+	rec := TagRecord{Stream: StreamD2H, Chunk: 7, Epoch: 3}
+	for i := range rec.Tag {
+		rec.Tag[i] = byte(i)
+	}
+	buf := rec.Marshal()
+	if len(buf) != TagRecordSize {
+		t.Fatalf("record size = %d, want %d", len(buf), TagRecordSize)
+	}
+}
+
+func TestEnvGuardChecks(t *testing.T) {
+	g := NewEnvGuard()
+	g.AddCheck(MMIOCheck{
+		Name:  "page-table-in-range",
+		Reg:   0x50,
+		Valid: func(v uint64) bool { return v >= 0x1000 && v < 0x10000 },
+	})
+	if !g.VerifyMMIO(0x50, 0x2000) {
+		t.Fatal("valid page table rejected")
+	}
+	if g.VerifyMMIO(0x50, 0xffff_0000) {
+		t.Fatal("rogue page table accepted")
+	}
+	if !g.VerifyMMIO(0x99, 0xffff_0000) {
+		t.Fatal("unguarded register blocked")
+	}
+	if len(g.Violations()) != 1 || g.Violations()[0] != "page-table-in-range" {
+		t.Fatalf("violations = %v", g.Violations())
+	}
+}
+
+func TestEnvGuardCleanPlan(t *testing.T) {
+	g := NewEnvGuard()
+	soft := g.CleanPlan(true, 0x58, 2, 3)
+	if !soft.Soft || soft.Val != 2 {
+		t.Fatalf("soft plan = %+v", soft)
+	}
+	cold := g.CleanPlan(false, 0x58, 2, 3)
+	if cold.Soft || cold.Val != 3 {
+		t.Fatalf("cold plan = %+v", cold)
+	}
+	if g.Cleans() != 2 {
+		t.Fatalf("cleans = %d", g.Cleans())
+	}
+}
+
+func TestSealedBlobRoundTrip(t *testing.T) {
+	key, nonce := secmem.FreshKey(), secmem.FreshNonce()
+	tx, _ := secmem.NewStream(key, nonce)
+	rx, _ := secmem.NewStream(key, nonce)
+	sealed, err := tx.Seal([]byte("policy payload"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := MarshalBlob(sealed)
+	got, err := UnmarshalBlob(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rx.Open(got, nil)
+	if err != nil || string(pt) != "policy payload" {
+		t.Fatalf("Open: %q, %v", pt, err)
+	}
+}
+
+func TestSealedBlobRejectsMalformed(t *testing.T) {
+	if _, err := UnmarshalBlob(make([]byte, 8)); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	frame := make([]byte, blobHeader+secmem.TagSize+10)
+	frame[8] = 200 // length field inconsistent
+	if _, err := UnmarshalBlob(frame); err == nil {
+		t.Fatal("inconsistent length accepted")
+	}
+}
+
+func TestDescriptorMarshalRoundTrip(t *testing.T) {
+	d := Descriptor{
+		ID: 9, Dir: DirD2H, Class: ActionWriteReadProtect,
+		Base: 0x8000_0000, Len: 1 << 20, TagBase: 0x9000_0000,
+		ChunkSize: 256, FirstCounter: 0x12345,
+	}
+	got, err := UnmarshalDescriptor(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Epoch isn't serialized; zero both for comparison.
+	d.Epoch, got.Epoch = 0, 0
+	if got != d {
+		t.Fatalf("round trip: %+v vs %+v", got, d)
+	}
+}
+
+func TestDescriptorValidation(t *testing.T) {
+	bad := Descriptor{ID: 1, Class: ActionPassThrough, Len: 1, ChunkSize: 1}
+	if _, err := UnmarshalDescriptor(bad.Marshal()); err == nil {
+		t.Fatal("pass-through descriptor accepted")
+	}
+	empty := Descriptor{ID: 1, Class: ActionWriteReadProtect}
+	if _, err := UnmarshalDescriptor(empty.Marshal()); err == nil {
+		t.Fatal("empty descriptor accepted")
+	}
+}
+
+func TestDescriptorChunkGeometry(t *testing.T) {
+	d := Descriptor{ID: 1, Class: ActionWriteReadProtect, Base: 0x1000, Len: 0x1000, ChunkSize: 256}
+	idx, err := d.ChunkOf(0x1100, 256)
+	if err != nil || idx != 1 {
+		t.Fatalf("chunk = %d, %v", idx, err)
+	}
+	if _, err := d.ChunkOf(0x1180, 256); err == nil {
+		t.Fatal("boundary-crossing access accepted")
+	}
+	if aad := d.AAD(3); len(aad) != 8 {
+		t.Fatalf("AAD length = %d", len(aad))
+	}
+	if string(d.AAD(3)) == string(d.AAD(4)) {
+		t.Fatal("AAD not chunk-specific")
+	}
+}
+
+func TestRegionTableOverlapAndRemove(t *testing.T) {
+	var rt regionTable
+	a := Descriptor{ID: 1, Class: ActionWriteReadProtect, Base: 0x1000, Len: 0x1000, ChunkSize: 256}
+	b := Descriptor{ID: 2, Class: ActionWriteReadProtect, Base: 0x1800, Len: 0x1000, ChunkSize: 256}
+	if err := rt.add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.add(b); err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+	if _, ok := rt.find(0x1400); !ok {
+		t.Fatal("lookup failed")
+	}
+	rt.remove(1)
+	if _, ok := rt.find(0x1400); ok {
+		t.Fatal("removed region found")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"fmt"
+
+	"ccai/internal/pcie"
+)
+
+// Mux implements the paper's §9 extension "PCIe-SC for multiple xPUs
+// and users": one physical security controller serving several
+// (TVM, xPU) pairs. Each pair gets an isolated unit — its own Packet
+// Filter policies, stream keys, tag queues and transfer regions — and
+// the mux routes traffic to the right unit by the PCIe identifiers
+// involved: host-side packets by target address (control BAR or xPU
+// shadow window), device-side packets by requester ID. Unit
+// controllers present distinct function numbers upstream, so host
+// software sees them as virtual functions of one device.
+type Mux struct {
+	id    pcie.ID
+	units []*MuxUnit
+}
+
+// MuxUnit is one isolated (TVM, xPU) slice of the controller.
+type MuxUnit struct {
+	Ctrl *Controller
+	// Bar is the unit's control window; Window the shadowed xPU BAR.
+	Bar, Window pcie.Region
+	// XPU is the device this unit guards; TVM its authorized owner.
+	XPU pcie.ID
+	TVM pcie.ID
+}
+
+// NewMux creates an empty multi-unit controller with the given primary
+// upstream identity.
+func NewMux(id pcie.ID) *Mux { return &Mux{id: id} }
+
+// DeviceID implements pcie.Endpoint.
+func (m *Mux) DeviceID() pcie.ID { return m.id }
+
+// AddUnit registers a slice. The unit's controller must already be
+// attached to its internal bus; the caller claims Bar and Window for
+// the mux on the host bus.
+func (m *Mux) AddUnit(u *MuxUnit) error {
+	if u.Ctrl == nil {
+		return fmt.Errorf("core: mux unit without controller")
+	}
+	for _, e := range m.units {
+		if e.XPU == u.XPU {
+			return fmt.Errorf("core: xPU %v already sliced", u.XPU)
+		}
+		if e.TVM == u.TVM {
+			return fmt.Errorf("core: TVM %v already owns a slice", u.TVM)
+		}
+	}
+	u.Ctrl.SetAuthorizedTVM(u.TVM)
+	m.units = append(m.units, u)
+	return nil
+}
+
+// Units reports the registered slice count.
+func (m *Mux) Units() int { return len(m.units) }
+
+// Unit returns the slice guarding the given xPU.
+func (m *Mux) Unit(xpu pcie.ID) (*MuxUnit, bool) {
+	for _, u := range m.units {
+		if u.XPU == xpu {
+			return u, true
+		}
+	}
+	return nil, false
+}
+
+// Handle implements pcie.Endpoint for host-side traffic: the packet's
+// target address selects the unit; anything outside every unit's
+// windows is rejected.
+func (m *Mux) Handle(p *pcie.Packet) *pcie.Packet {
+	for _, u := range m.units {
+		if u.Bar.Contains(p.Address) || u.Window.Contains(p.Address) {
+			return u.Ctrl.Handle(p)
+		}
+	}
+	if p.Kind == pcie.MRd || p.Kind == pcie.CfgRd || p.Kind == pcie.CfgWr {
+		return pcie.NewCompletion(p, m.id, pcie.CplUR, nil)
+	}
+	return nil
+}
+
+// HandleFromDevice routes device-originated traffic (DMA, MSI) to the
+// unit owning the requesting xPU — the "unique PCIe identifiers"
+// dispatch of §9. Unknown requesters are rejected.
+func (m *Mux) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
+	if u, ok := m.Unit(p.Requester); ok {
+		return u.Ctrl.HandleFromDevice(p)
+	}
+	if p.Kind == pcie.MRd {
+		return pcie.NewCompletion(p, m.id, pcie.CplUR, nil)
+	}
+	return nil
+}
+
+// TeardownAll tears down every slice (chassis decommission).
+func (m *Mux) TeardownAll() {
+	for _, u := range m.units {
+		u.Ctrl.Teardown()
+	}
+}

@@ -1,0 +1,111 @@
+package mem
+
+import (
+	"fmt"
+
+	"ccai/internal/pcie"
+)
+
+// Perm is an IOMMU mapping permission mask.
+type Perm uint8
+
+const (
+	// PermRead allows the device to DMA-read the range.
+	PermRead Perm = 1 << iota
+	// PermWrite allows the device to DMA-write the range.
+	PermWrite
+)
+
+func (p Perm) String() string {
+	switch p {
+	case PermRead:
+		return "r-"
+	case PermWrite:
+		return "-w"
+	case PermRead | PermWrite:
+		return "rw"
+	}
+	return "--"
+}
+
+// IOMMU restricts device-initiated accesses to host memory. The paper's
+// threat model has the (untrusted) privileged software configure the
+// IOMMU to keep devices out of TVM private memory; ccAI relies on that
+// existing setting unchanged (§8.1 "ccAI follows existing IOMMU
+// settings"). The TVM's private pages are simply never mapped for any
+// device, while bounce buffers are mapped for the PCIe-SC only.
+type IOMMU struct {
+	maps map[pcie.ID][]mapping
+	// Faults records rejected accesses for the security tests.
+	Faults []Fault
+}
+
+type mapping struct {
+	base, size uint64
+	perm       Perm
+}
+
+// Fault describes one blocked device access.
+type Fault struct {
+	Device pcie.ID
+	Addr   uint64
+	Write  bool
+}
+
+func (f Fault) String() string {
+	op := "read"
+	if f.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("iommu fault: %v %s @%#x", f.Device, op, f.Addr)
+}
+
+// NewIOMMU returns an IOMMU with no mappings (default-deny).
+func NewIOMMU() *IOMMU {
+	return &IOMMU{maps: make(map[pcie.ID][]mapping)}
+}
+
+// Map grants device access to [base, base+size) with the given
+// permissions.
+func (u *IOMMU) Map(dev pcie.ID, base, size uint64, perm Perm) {
+	u.maps[dev] = append(u.maps[dev], mapping{base: base, size: size, perm: perm})
+}
+
+// MapBuffer grants device access to a buffer's full span.
+func (u *IOMMU) MapBuffer(dev pcie.ID, b *Buffer, perm Perm) {
+	u.Map(dev, b.Base(), uint64(b.Size()), perm)
+}
+
+// Unmap revokes every mapping of dev that intersects [base, base+size).
+func (u *IOMMU) Unmap(dev pcie.ID, base, size uint64) {
+	kept := u.maps[dev][:0]
+	for _, m := range u.maps[dev] {
+		if base < m.base+m.size && m.base < base+size {
+			continue
+		}
+		kept = append(kept, m)
+	}
+	u.maps[dev] = kept
+}
+
+// UnmapAll revokes all of a device's mappings (task teardown).
+func (u *IOMMU) UnmapAll(dev pcie.ID) { delete(u.maps, dev) }
+
+// Check validates one device access and records a fault when denied.
+func (u *IOMMU) Check(dev pcie.ID, addr uint64, size int64, write bool) bool {
+	need := PermRead
+	if write {
+		need = PermWrite
+	}
+	end := addr + uint64(size)
+	for _, m := range u.maps[dev] {
+		if addr >= m.base && end <= m.base+m.size && m.perm&need != 0 {
+			return true
+		}
+	}
+	u.Faults = append(u.Faults, Fault{Device: dev, Addr: addr, Write: write})
+	return false
+}
+
+// Mappings reports how many live mappings a device holds.
+func (u *IOMMU) Mappings(dev pcie.ID) int { return len(u.maps[dev]) }

@@ -1,0 +1,269 @@
+// Package mem models host physical memory as seen from the PCIe fabric:
+// an address space carved into regions, a page-grained allocator, bounce
+// buffers for ccAI's encrypted DMA staging, and an IOMMU that restricts
+// which device may reach which pages.
+//
+// Buffers come in two fidelities (DESIGN.md §2): materialized buffers
+// hold real bytes and flow through real AES-GCM; synthetic buffers track
+// only a size + deterministic content seed so multi-gigabyte model
+// weights don't require gigabytes of host RAM per benchmark iteration.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"ccai/internal/sim"
+)
+
+// PageSize is the allocation granule, matching the 4 KiB host page size
+// the paper's Adaptor maps bounce buffers with.
+const PageSize = 4096
+
+// Buffer is a contiguous span of host physical memory. A Buffer either
+// materializes its bytes (data != nil) or is synthetic: size-only with a
+// deterministic content generator, used for bulk tensors whose crypto
+// cost is accounted analytically.
+type Buffer struct {
+	base uint64
+	size int64
+	data []byte // nil for synthetic buffers
+	seed uint64 // content generator seed for synthetic buffers
+	name string
+}
+
+// Base reports the buffer's physical base address.
+func (b *Buffer) Base() uint64 { return b.base }
+
+// Size reports the buffer's length in bytes.
+func (b *Buffer) Size() int64 { return b.size }
+
+// Name reports the buffer's diagnostic label.
+func (b *Buffer) Name() string { return b.name }
+
+// Synthetic reports whether the buffer is size-only.
+func (b *Buffer) Synthetic() bool { return b.data == nil }
+
+// Seed reports the synthetic content seed (zero for materialized
+// buffers).
+func (b *Buffer) Seed() uint64 { return b.seed }
+
+// Bytes exposes the materialized contents; it panics for synthetic
+// buffers because code touching real bytes must never silently receive
+// fabricated ones.
+func (b *Buffer) Bytes() []byte {
+	if b.data == nil {
+		panic(fmt.Sprintf("mem: Bytes() on synthetic buffer %q", b.name))
+	}
+	return b.data
+}
+
+// Slice returns the materialized bytes in [off, off+n).
+func (b *Buffer) Slice(off, n int64) []byte {
+	if off < 0 || n < 0 || off+n > b.size {
+		panic(fmt.Sprintf("mem: slice [%d,%d) outside buffer %q of size %d", off, off+n, b.name, b.size))
+	}
+	return b.Bytes()[off : off+n]
+}
+
+// SampleChunk deterministically materializes one chunk of a synthetic
+// buffer (for spot-check integrity tests): chunk i of size n.
+func (b *Buffer) SampleChunk(i int64, n int) []byte {
+	out := make([]byte, n)
+	r := sim.NewRand(b.seed ^ uint64(i)*0x9e3779b97f4a7c15)
+	r.Bytes(out)
+	return out
+}
+
+// Contains reports whether addr lies inside the buffer.
+func (b *Buffer) Contains(addr uint64) bool {
+	return addr >= b.base && addr < b.base+uint64(b.size)
+}
+
+// Space is a host physical address space with a bump+free-list page
+// allocator per named region ("TVM private", "shared/bounce", ...).
+type Space struct {
+	regions map[string]*regionAlloc
+	// buffers indexes all live allocations by base address for DMA
+	// resolution.
+	buffers []*Buffer
+}
+
+type regionAlloc struct {
+	base, size uint64
+	next       uint64
+	free       []span // coalesced free list, sorted by base
+}
+
+type span struct{ base, size uint64 }
+
+// NewSpace returns an empty address space.
+func NewSpace() *Space {
+	return &Space{regions: make(map[string]*regionAlloc)}
+}
+
+// AddRegion defines a named allocatable window. Windows must not
+// overlap.
+func (s *Space) AddRegion(name string, base, size uint64) error {
+	if size == 0 {
+		return fmt.Errorf("mem: empty region %q", name)
+	}
+	for n, r := range s.regions {
+		if base < r.base+r.size && r.base < base+size {
+			return fmt.Errorf("mem: region %q overlaps %q", name, n)
+		}
+	}
+	s.regions[name] = &regionAlloc{base: base, size: size, next: base}
+	return nil
+}
+
+func align(v uint64) uint64 { return (v + PageSize - 1) &^ (PageSize - 1) }
+
+func (r *regionAlloc) alloc(size int64) (uint64, error) {
+	need := align(uint64(size))
+	// First-fit in the free list.
+	for i, f := range r.free {
+		if f.size >= need {
+			base := f.base
+			if f.size == need {
+				r.free = append(r.free[:i], r.free[i+1:]...)
+			} else {
+				r.free[i] = span{base: f.base + need, size: f.size - need}
+			}
+			return base, nil
+		}
+	}
+	if r.next+need > r.base+r.size {
+		return 0, fmt.Errorf("mem: region exhausted (%d bytes requested)", size)
+	}
+	base := r.next
+	r.next += need
+	return base, nil
+}
+
+func (r *regionAlloc) release(base uint64, size int64) {
+	need := align(uint64(size))
+	r.free = append(r.free, span{base: base, size: need})
+	sort.Slice(r.free, func(i, j int) bool { return r.free[i].base < r.free[j].base })
+	// Coalesce adjacent spans.
+	out := r.free[:0]
+	for _, f := range r.free {
+		if n := len(out); n > 0 && out[n-1].base+out[n-1].size == f.base {
+			out[n-1].size += f.size
+		} else {
+			out = append(out, f)
+		}
+	}
+	r.free = out
+}
+
+// Alloc materializes a zeroed buffer of the given size in region.
+func (s *Space) Alloc(region, name string, size int64) (*Buffer, error) {
+	b, err := s.allocCommon(region, name, size)
+	if err != nil {
+		return nil, err
+	}
+	b.data = make([]byte, size)
+	return b, nil
+}
+
+// AllocSynthetic reserves address space for a size-only buffer whose
+// contents are generated deterministically from seed.
+func (s *Space) AllocSynthetic(region, name string, size int64, seed uint64) (*Buffer, error) {
+	b, err := s.allocCommon(region, name, size)
+	if err != nil {
+		return nil, err
+	}
+	b.seed = seed
+	return b, nil
+}
+
+func (s *Space) allocCommon(region, name string, size int64) (*Buffer, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mem: non-positive allocation %q", name)
+	}
+	r, ok := s.regions[region]
+	if !ok {
+		return nil, fmt.Errorf("mem: unknown region %q", region)
+	}
+	base, err := r.alloc(size)
+	if err != nil {
+		return nil, fmt.Errorf("mem: %q in %q: %w", name, region, err)
+	}
+	b := &Buffer{base: base, size: size, name: name}
+	s.buffers = append(s.buffers, b)
+	return b, nil
+}
+
+// Free releases a buffer's pages back to its region.
+func (s *Space) Free(b *Buffer) {
+	for name, r := range s.regions {
+		if b.base >= r.base && b.base < r.base+r.size {
+			r.release(b.base, b.size)
+			_ = name
+			break
+		}
+	}
+	for i, x := range s.buffers {
+		if x == b {
+			s.buffers = append(s.buffers[:i], s.buffers[i+1:]...)
+			break
+		}
+	}
+	b.data = nil
+}
+
+// Resolve finds the live buffer containing addr.
+func (s *Space) Resolve(addr uint64) (*Buffer, bool) {
+	for _, b := range s.buffers {
+		if b.Contains(addr) {
+			return b, true
+		}
+	}
+	return nil, false
+}
+
+// Write stores data at a physical address inside a materialized buffer.
+func (s *Space) Write(addr uint64, data []byte) error {
+	b, ok := s.Resolve(addr)
+	if !ok {
+		return fmt.Errorf("mem: write to unmapped address %#x", addr)
+	}
+	off := int64(addr - b.base)
+	if off+int64(len(data)) > b.size {
+		return fmt.Errorf("mem: write overruns buffer %q", b.name)
+	}
+	copy(b.Bytes()[off:], data)
+	return nil
+}
+
+// Read loads n bytes from a physical address inside a materialized
+// buffer.
+func (s *Space) Read(addr uint64, n int64) ([]byte, error) {
+	b, ok := s.Resolve(addr)
+	if !ok {
+		return nil, fmt.Errorf("mem: read from unmapped address %#x", addr)
+	}
+	off := int64(addr - b.base)
+	if off+n > b.size {
+		return nil, fmt.Errorf("mem: read overruns buffer %q", b.name)
+	}
+	return append([]byte(nil), b.Bytes()[off:off+n]...), nil
+}
+
+// WriteUint64 stores a little-endian 64-bit value.
+func (s *Space) WriteUint64(addr uint64, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	return s.Write(addr, buf[:])
+}
+
+// ReadUint64 loads a little-endian 64-bit value.
+func (s *Space) ReadUint64(addr uint64) (uint64, error) {
+	b, err := s.Read(addr, 8)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}

@@ -1,0 +1,307 @@
+package mem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"ccai/internal/pcie"
+)
+
+func newTestSpace(t *testing.T) *Space {
+	t.Helper()
+	s := NewSpace()
+	if err := s.AddRegion("tvm", 0x1000_0000, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRegion("bounce", 0x8000_0000, 64<<20); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAllocReadWriteRoundTrip(t *testing.T) {
+	s := newTestSpace(t)
+	b, err := s.Alloc("tvm", "input", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("patient record #42: diagnosis pending")
+	if err := s.Write(b.Base()+100, msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Read(b.Base()+100, int64(len(msg)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestAllocPageAlignment(t *testing.T) {
+	s := newTestSpace(t)
+	a, _ := s.Alloc("tvm", "a", 100)
+	b, _ := s.Alloc("tvm", "b", 100)
+	if a.Base()%PageSize != 0 || b.Base()%PageSize != 0 {
+		t.Fatal("allocations not page aligned")
+	}
+	if b.Base()-a.Base() != PageSize {
+		t.Fatalf("sub-page alloc consumed %d bytes", b.Base()-a.Base())
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	s := NewSpace()
+	if err := s.AddRegion("tiny", 0x1000, 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc("tiny", "fits", 2*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Alloc("tiny", "overflow", 1); err == nil {
+		t.Fatal("exhausted region still allocated")
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	s := NewSpace()
+	if err := s.AddRegion("r", 0x1000, 4*PageSize); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Alloc("r", "a", PageSize)
+	bBuf, _ := s.Alloc("r", "b", PageSize)
+	c, _ := s.Alloc("r", "c", 2*PageSize)
+	_ = c
+	s.Free(a)
+	s.Free(bBuf)
+	// Freed a+b coalesce into a 2-page span that a new 2-page alloc fits.
+	d, err := s.Alloc("r", "d", 2*PageSize)
+	if err != nil {
+		t.Fatalf("coalesced reuse failed: %v", err)
+	}
+	if d.Base() != a.Base() {
+		t.Fatalf("reuse at %#x, want %#x", d.Base(), a.Base())
+	}
+}
+
+func TestResolveAfterFree(t *testing.T) {
+	s := newTestSpace(t)
+	b, _ := s.Alloc("tvm", "x", PageSize)
+	addr := b.Base()
+	s.Free(b)
+	if _, ok := s.Resolve(addr); ok {
+		t.Fatal("freed buffer still resolvable")
+	}
+	if err := s.Write(addr, []byte{1}); err == nil {
+		t.Fatal("write to freed memory succeeded")
+	}
+}
+
+func TestRegionOverlapRejected(t *testing.T) {
+	s := NewSpace()
+	if err := s.AddRegion("a", 0x1000, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddRegion("b", 0x1800, 0x1000); err == nil {
+		t.Fatal("overlapping region accepted")
+	}
+}
+
+func TestSyntheticBufferBehaviour(t *testing.T) {
+	s := newTestSpace(t)
+	if err := s.AddRegion("bulk", 0x100_0000_0000, 1<<40); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.AllocSynthetic("bulk", "weights", 14<<30, 7) // 14 GB costs no RAM
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.Synthetic() || w.Size() != 14<<30 {
+		t.Fatal("synthetic buffer misdescribed")
+	}
+	// Sampling the same chunk twice is deterministic; different chunks differ.
+	c0a, c0b := w.SampleChunk(0, 256), w.SampleChunk(0, 256)
+	c1 := w.SampleChunk(1, 256)
+	if !bytes.Equal(c0a, c0b) {
+		t.Fatal("SampleChunk non-deterministic")
+	}
+	if bytes.Equal(c0a, c1) {
+		t.Fatal("distinct chunks identical")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Bytes() on synthetic buffer did not panic")
+		}
+	}()
+	_ = w.Bytes()
+}
+
+func TestWriteOverrunRejected(t *testing.T) {
+	s := newTestSpace(t)
+	b, _ := s.Alloc("tvm", "small", PageSize)
+	if err := s.Write(b.Base()+uint64(b.Size())-4, make([]byte, 8)); err == nil {
+		t.Fatal("overrun write accepted")
+	}
+	if _, err := s.Read(b.Base()+uint64(b.Size())-4, 8); err == nil {
+		t.Fatal("overrun read accepted")
+	}
+}
+
+func TestUint64Helpers(t *testing.T) {
+	s := newTestSpace(t)
+	b, _ := s.Alloc("tvm", "regs", PageSize)
+	if err := s.WriteUint64(b.Base()+16, 0xdeadbeefcafef00d); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.ReadUint64(b.Base() + 16)
+	if err != nil || v != 0xdeadbeefcafef00d {
+		t.Fatalf("ReadUint64 = %#x, %v", v, err)
+	}
+}
+
+// Property: allocations never overlap one another.
+func TestAllocationsDisjointProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		s := NewSpace()
+		if err := s.AddRegion("r", 0, 1<<30); err != nil {
+			return false
+		}
+		var bufs []*Buffer
+		for _, sz := range sizes {
+			b, err := s.Alloc("r", "x", int64(sz)+1)
+			if err != nil {
+				return false
+			}
+			bufs = append(bufs, b)
+		}
+		for i := range bufs {
+			for j := i + 1; j < len(bufs); j++ {
+				a, b := bufs[i], bufs[j]
+				if a.Base() < b.Base()+uint64(b.Size()) && b.Base() < a.Base()+uint64(a.Size()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- IOMMU ----------------------------------------------------------------
+
+func TestIOMMUDefaultDeny(t *testing.T) {
+	u := NewIOMMU()
+	dev := pcie.MakeID(2, 0, 0)
+	if u.Check(dev, 0x1000, 64, false) {
+		t.Fatal("unmapped read allowed")
+	}
+	if len(u.Faults) != 1 {
+		t.Fatalf("faults = %d, want 1", len(u.Faults))
+	}
+}
+
+func TestIOMMUPermissionEnforcement(t *testing.T) {
+	u := NewIOMMU()
+	dev := pcie.MakeID(2, 0, 0)
+	u.Map(dev, 0x1000, 0x1000, PermRead)
+	if !u.Check(dev, 0x1800, 64, false) {
+		t.Fatal("mapped read denied")
+	}
+	if u.Check(dev, 0x1800, 64, true) {
+		t.Fatal("read-only mapping allowed a write")
+	}
+	// Range straddling the mapping edge must fail.
+	if u.Check(dev, 0x1fff, 64, false) {
+		t.Fatal("straddling access allowed")
+	}
+}
+
+func TestIOMMUIsolationBetweenDevices(t *testing.T) {
+	u := NewIOMMU()
+	xpu := pcie.MakeID(2, 0, 0)
+	rogue := pcie.MakeID(3, 0, 0)
+	u.Map(xpu, 0x1000, 0x1000, PermRead|PermWrite)
+	if u.Check(rogue, 0x1000, 16, true) {
+		t.Fatal("another device reached the mapping")
+	}
+}
+
+func TestIOMMUUnmap(t *testing.T) {
+	u := NewIOMMU()
+	dev := pcie.MakeID(2, 0, 0)
+	u.Map(dev, 0x1000, 0x1000, PermRead|PermWrite)
+	u.Map(dev, 0x8000, 0x1000, PermRead)
+	u.Unmap(dev, 0x1000, 0x1000)
+	if u.Check(dev, 0x1000, 16, false) {
+		t.Fatal("unmapped range still accessible")
+	}
+	if !u.Check(dev, 0x8000, 16, false) {
+		t.Fatal("unrelated mapping lost")
+	}
+	u.UnmapAll(dev)
+	if u.Mappings(dev) != 0 || u.Check(dev, 0x8000, 16, false) {
+		t.Fatal("UnmapAll incomplete")
+	}
+}
+
+func TestIOMMUMapBuffer(t *testing.T) {
+	s := newTestSpace(t)
+	b, _ := s.Alloc("bounce", "h2d", 8*PageSize)
+	u := NewIOMMU()
+	sc := pcie.MakeID(4, 0, 0)
+	u.MapBuffer(sc, b, PermRead)
+	if !u.Check(sc, b.Base()+100, 256, false) {
+		t.Fatal("buffer mapping not honoured")
+	}
+}
+
+func TestAccessorsAndSlice(t *testing.T) {
+	s := newTestSpace(t)
+	b, err := s.Alloc("tvm", "named", 2*PageSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Name() != "named" {
+		t.Fatalf("name = %q", b.Name())
+	}
+	copy(b.Bytes()[100:], []byte("window"))
+	if string(b.Slice(100, 6)) != "window" {
+		t.Fatal("Slice returned wrong view")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Slice did not panic")
+		}
+	}()
+	b.Slice(2*PageSize-2, 8)
+}
+
+func TestSyntheticSeedAccessor(t *testing.T) {
+	s := newTestSpace(t)
+	b, err := s.AllocSynthetic("tvm", "syn", PageSize, 1234)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seed() != 1234 {
+		t.Fatalf("seed = %d", b.Seed())
+	}
+}
+
+func TestPermAndFaultStrings(t *testing.T) {
+	for _, p := range []Perm{PermRead, PermWrite, PermRead | PermWrite, 0} {
+		if p.String() == "" {
+			t.Fatal("empty perm string")
+		}
+	}
+	f := Fault{Device: pcie.MakeID(3, 0, 0), Addr: 0x1234, Write: true}
+	if f.String() == "" {
+		t.Fatal("empty fault string")
+	}
+	fr := Fault{Device: pcie.MakeID(3, 0, 0), Addr: 0x1234, Write: false}
+	if f.String() == fr.String() {
+		t.Fatal("read/write faults indistinguishable")
+	}
+}

@@ -1,0 +1,230 @@
+package pcie
+
+import (
+	"strings"
+	"testing"
+
+	"ccai/internal/sim"
+)
+
+// Tests for the smaller surface: stringers, config DW access,
+// tap-on-completion behaviour, broadcast messages, and utilization
+// accounting.
+
+func TestStringers(t *testing.T) {
+	if !strings.Contains(Gen4.String(), "16GT/s") {
+		t.Errorf("Gen4 = %q", Gen4)
+	}
+	lc := LinkConfig{Gen: Gen3, Lanes: 8}
+	if lc.String() != "8GT/s x8" {
+		t.Errorf("LinkConfig = %q", lc)
+	}
+	if Downstream.String() != "downstream" || Upstream.String() != "upstream" {
+		t.Error("Dir strings wrong")
+	}
+	w := NewMemWrite(MakeID(0, 1, 0), 0x1000, []byte{1})
+	if !strings.Contains(w.String(), "MWr") {
+		t.Errorf("packet string = %q", w)
+	}
+	cpl := NewCompletion(NewMemRead(MakeID(0, 1, 0), 0x1000, 4, 2), MakeID(2, 0, 0), CplSuccess, []byte{1, 2, 3, 4})
+	if !strings.Contains(cpl.String(), "SC") {
+		t.Errorf("completion string = %q", cpl)
+	}
+	if CplUR.String() != "UR" || CplCA.String() != "CA" {
+		t.Error("status strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind has empty string")
+	}
+}
+
+func TestWireSize(t *testing.T) {
+	w := NewMemWrite(MakeID(0, 1, 0), 0x1000, make([]byte, 100))
+	if w.WireSize() != 100+HeaderOverhead {
+		t.Fatalf("WireSize = %d", w.WireSize())
+	}
+	r := NewMemRead(MakeID(0, 1, 0), 0x1000, 100, 0)
+	if r.WireSize() != HeaderOverhead {
+		t.Fatalf("read WireSize = %d", r.WireSize())
+	}
+}
+
+func TestConfigSpaceDWAccess(t *testing.T) {
+	c := NewConfigSpace(0x10de, 0x20b0, 0)
+	c.Write32(0x40, 0xdeadbeef)
+	if c.Read32(0x40) != 0xdeadbeef {
+		t.Fatal("DW round trip failed")
+	}
+	// Unaligned offsets snap to the DW.
+	if c.Read32(0x42) != 0xdeadbeef {
+		t.Fatal("offset alignment broken")
+	}
+}
+
+func TestBusNameAndEndpoints(t *testing.T) {
+	b := NewBus("segment-x")
+	if b.Name() != "segment-x" {
+		t.Fatal("name lost")
+	}
+	b.Attach(newEchoDevice(MakeID(3, 0, 0)))
+	b.Attach(newEchoDevice(MakeID(1, 0, 0)))
+	ids := b.Endpoints()
+	if len(ids) != 2 || ids[0] != MakeID(1, 0, 0) || ids[1] != MakeID(3, 0, 0) {
+		t.Fatalf("endpoints = %v", ids)
+	}
+}
+
+func TestBusDuplicateAttachPanics(t *testing.T) {
+	b := NewBus("x")
+	b.Attach(newEchoDevice(MakeID(1, 0, 0)))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	b.Attach(newEchoDevice(MakeID(1, 0, 0)))
+}
+
+func TestTapSeesCompletions(t *testing.T) {
+	b := NewBus("x")
+	d := newEchoDevice(MakeID(1, 0, 0))
+	b.Attach(d)
+	if err := b.Claim(d.id, Region{Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	d.mem[0x1000] = []byte("payload")
+	var kinds []Kind
+	b.AddTap(TapFunc(func(p *Packet) *Packet {
+		kinds = append(kinds, p.Kind)
+		return p
+	}))
+	b.Route(NewMemRead(MakeID(0, 0, 0), 0x1000, 7, 0))
+	if len(kinds) != 2 || kinds[0] != MRd || kinds[1] != CplD {
+		t.Fatalf("tap saw %v, want [MRd CplD]", kinds)
+	}
+}
+
+func TestTapCanDropCompletions(t *testing.T) {
+	b := NewBus("x")
+	d := newEchoDevice(MakeID(1, 0, 0))
+	b.Attach(d)
+	if err := b.Claim(d.id, Region{Base: 0x1000, Size: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	b.AddTap(TapFunc(func(p *Packet) *Packet {
+		if p.Kind == CplD {
+			return nil
+		}
+		return p
+	}))
+	if cpl := b.Route(NewMemRead(MakeID(0, 0, 0), 0x1000, 4, 0)); cpl != nil {
+		t.Fatal("dropped completion delivered")
+	}
+}
+
+func TestClearTaps(t *testing.T) {
+	b := NewBus("x")
+	hits := 0
+	b.AddTap(TapFunc(func(p *Packet) *Packet { hits++; return p }))
+	b.ClearTaps()
+	b.Route(NewMemWrite(MakeID(0, 0, 0), 0x1000, []byte{1}))
+	if hits != 0 {
+		t.Fatal("cleared tap still fired")
+	}
+}
+
+func TestBroadcastMessageReachesAll(t *testing.T) {
+	b := NewBus("x")
+	d1 := newEchoDevice(MakeID(1, 0, 0))
+	d2 := newEchoDevice(MakeID(2, 0, 0))
+	sender := MakeID(0, 5, 0)
+	b.Attach(d1)
+	b.Attach(d2)
+	msg := NewMessage(sender, 0x19, nil) // no completer: broadcast
+	b.Route(msg)
+	if len(d1.got) != 1 || len(d2.got) != 1 {
+		t.Fatalf("broadcast delivery: %d/%d", len(d1.got), len(d2.got))
+	}
+}
+
+func TestLinkUtilizationAndConfig(t *testing.T) {
+	l := NewLink("u", LinkConfig{Gen: Gen4, Lanes: 16})
+	if l.Config().Lanes != 16 {
+		t.Fatal("config lost")
+	}
+	l.Transfer(0, Downstream, 1<<20, 0)
+	l.Transfer(0, Upstream, 2<<20, 0)
+	down, up := l.Utilization()
+	if down <= 0 || up <= down {
+		t.Fatalf("utilization down=%v up=%v", down, up)
+	}
+	l.Reset()
+	down, up = l.Utilization()
+	if down != 0 || up != 0 {
+		t.Fatal("reset did not clear utilization")
+	}
+}
+
+func TestTransferExtraPacketsCost(t *testing.T) {
+	l := NewLink("e", LinkConfig{Gen: Gen4, Lanes: 16, PropagationDelay: 0})
+	plain := l.Transfer(0, Downstream, 1<<20, 0)
+	l.Reset()
+	withTags := l.Transfer(0, Downstream, 1<<20, 4096) // one tag pkt per data pkt
+	if withTags <= plain {
+		t.Fatal("companion packets cost nothing")
+	}
+}
+
+func TestLinkPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-lane link accepted")
+		}
+	}()
+	NewLink("bad", LinkConfig{Gen: Gen4, Lanes: 0})
+}
+
+func TestResourceNameAndRate(t *testing.T) {
+	r := sim.NewResource("nm", 100, 0)
+	if r.Name() != "nm" || r.Rate() != 100 {
+		t.Fatal("resource accessors broken")
+	}
+}
+
+func TestEnumerate(t *testing.T) {
+	b := NewBus("host")
+	// A device with real config space.
+	cfg := NewConfigSpace(0x10de, 0x20b0, 0)
+	devID := MakeID(2, 0, 0)
+	b.Attach(&cfgEndpoint{id: devID, cfg: cfg})
+	// An endpoint without config space (bridge-like).
+	b.Attach(newEchoDevice(MakeID(0, 0, 0)))
+
+	devs := Enumerate(b, MakeID(0, 1, 0))
+	if len(devs) != 1 {
+		t.Fatalf("enumerated %d devices, want 1", len(devs))
+	}
+	if devs[0].ID != devID || devs[0].VendorID != 0x10de || devs[0].DeviceID != 0x20b0 {
+		t.Fatalf("enumeration = %+v", devs[0])
+	}
+	out := RenderEnumeration(devs)
+	if !strings.Contains(out, "10de:20b0") {
+		t.Fatalf("render = %q", out)
+	}
+}
+
+type cfgEndpoint struct {
+	id  ID
+	cfg *ConfigSpace
+}
+
+func (c *cfgEndpoint) DeviceID() ID { return c.id }
+func (c *cfgEndpoint) Handle(p *Packet) *Packet {
+	if p.Kind == CfgRd {
+		buf := make([]byte, 4)
+		v := c.cfg.Read32(uint16(p.Address))
+		buf[0], buf[1], buf[2], buf[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		return NewCompletion(p, c.id, CplSuccess, buf)
+	}
+	return NewCompletion(p, c.id, CplUR, nil)
+}

@@ -1,0 +1,51 @@
+package pcie
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// EnumeratedDevice is one function discovered during bus enumeration.
+type EnumeratedDevice struct {
+	ID       ID
+	VendorID uint16
+	DeviceID uint16
+}
+
+// Enumerate performs an lspci-style scan of a bus segment: a type-0
+// configuration read of the vendor/device identity of every attached
+// endpoint, issued from the given requester. Endpoints that do not
+// implement config space (e.g. the host bridge model) are skipped.
+func Enumerate(bus *Bus, requester ID) []EnumeratedDevice {
+	var out []EnumeratedDevice
+	for _, id := range bus.Endpoints() {
+		if id == requester {
+			continue
+		}
+		req := &Packet{Header: Header{
+			Kind: CfgRd, Requester: requester, Completer: id,
+			Address: CfgVendorID, Length: 4,
+		}}
+		cpl := bus.Route(req)
+		if cpl == nil || cpl.Status != CplSuccess || len(cpl.Payload) < 4 {
+			continue
+		}
+		v := binary.LittleEndian.Uint32(cpl.Payload)
+		vendor := uint16(v)
+		if vendor == 0 || vendor == 0xffff {
+			continue // unimplemented config space
+		}
+		out = append(out, EnumeratedDevice{ID: id, VendorID: vendor, DeviceID: uint16(v >> 16)})
+	}
+	return out
+}
+
+// RenderEnumeration formats a scan like a miniature lspci listing.
+func RenderEnumeration(devs []EnumeratedDevice) string {
+	var b strings.Builder
+	for _, d := range devs {
+		fmt.Fprintf(&b, "%v  %04x:%04x\n", d.ID, d.VendorID, d.DeviceID)
+	}
+	return b.String()
+}

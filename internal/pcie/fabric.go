@@ -1,0 +1,198 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Endpoint is anything that terminates TLPs: an xPU device model, the
+// PCIe-SC, or the host bridge. Handle consumes a request and returns a
+// completion when the protocol requires one (MRd, CfgRd/CfgWr) and nil
+// for posted transactions. Implementations must not retain p.
+type Endpoint interface {
+	// DeviceID reports the endpoint's requester/completer ID.
+	DeviceID() ID
+	// Handle processes one inbound TLP.
+	Handle(p *Packet) *Packet
+}
+
+// Region describes a memory-space claim (a BAR window) owned by an
+// endpoint.
+type Region struct {
+	Base uint64
+	Size uint64
+	Name string
+}
+
+// Contains reports whether addr falls inside the region.
+func (r Region) Contains(addr uint64) bool {
+	return addr >= r.Base && addr < r.Base+r.Size
+}
+
+// End reports the first address past the region.
+func (r Region) End() uint64 { return r.Base + r.Size }
+
+// Bus routes TLPs between endpoints: memory requests by address (BAR
+// claims), completions and config requests by ID. It stands in for the
+// root complex + switch hierarchy; ccAI's PCIe-SC presents itself to the
+// host Bus as a single endpoint and owns a private downstream Bus to the
+// xPU ("internal PCIe" in Figure 3).
+type Bus struct {
+	name      string
+	endpoints map[ID]Endpoint
+	claims    []claim
+	// taps observe every packet routed through this bus segment, in
+	// order. The attack harness installs snoopers/tamperers here; the
+	// trace recorder uses the same hook.
+	taps []Tap
+}
+
+type claim struct {
+	region Region
+	owner  ID
+}
+
+// Tap observes and may transform packets crossing a bus segment. A tap
+// returning nil drops the packet (modelling deletion attacks). Taps run
+// in installation order.
+type Tap interface {
+	Tap(p *Packet) *Packet
+}
+
+// TapFunc adapts a function to the Tap interface.
+type TapFunc func(p *Packet) *Packet
+
+// Tap implements the Tap interface.
+func (f TapFunc) Tap(p *Packet) *Packet { return f(p) }
+
+// NewBus returns an empty bus segment with a diagnostic name.
+func NewBus(name string) *Bus {
+	return &Bus{name: name, endpoints: make(map[ID]Endpoint)}
+}
+
+// Name reports the bus segment's diagnostic name.
+func (b *Bus) Name() string { return b.name }
+
+// Attach registers an endpoint for ID-routed traffic.
+func (b *Bus) Attach(e Endpoint) {
+	if _, dup := b.endpoints[e.DeviceID()]; dup {
+		panic(fmt.Sprintf("pcie: duplicate endpoint %v on bus %s", e.DeviceID(), b.name))
+	}
+	b.endpoints[e.DeviceID()] = e
+}
+
+// Detach removes an endpoint and all its memory claims.
+func (b *Bus) Detach(id ID) {
+	delete(b.endpoints, id)
+	kept := b.claims[:0]
+	for _, c := range b.claims {
+		if c.owner != id {
+			kept = append(kept, c)
+		}
+	}
+	b.claims = kept
+}
+
+// Claim routes memory requests targeting the region to the owner ID.
+// Overlapping claims are rejected: address decode must be unambiguous.
+func (b *Bus) Claim(owner ID, r Region) error {
+	if r.Size == 0 {
+		return fmt.Errorf("pcie: empty claim %q", r.Name)
+	}
+	for _, c := range b.claims {
+		if r.Base < c.region.End() && c.region.Base < r.End() {
+			return fmt.Errorf("pcie: claim %q overlaps %q", r.Name, c.region.Name)
+		}
+	}
+	b.claims = append(b.claims, claim{region: r, owner: owner})
+	sort.Slice(b.claims, func(i, j int) bool { return b.claims[i].region.Base < b.claims[j].region.Base })
+	return nil
+}
+
+// AddTap installs a bus observer/mutator (snooping or tampering point).
+func (b *Bus) AddTap(t Tap) { b.taps = append(b.taps, t) }
+
+// ClearTaps removes all observers.
+func (b *Bus) ClearTaps() { b.taps = nil }
+
+// Owner resolves the endpoint claiming addr, if any.
+func (b *Bus) Owner(addr uint64) (ID, bool) {
+	// Claims are few (BAR windows); linear scan over sorted slice.
+	for _, c := range b.claims {
+		if c.region.Contains(addr) {
+			return c.owner, true
+		}
+	}
+	return 0, false
+}
+
+// Route delivers one TLP to its destination endpoint, applying taps in
+// order on the request and again on the returning completion (both
+// cross the same physical wire), and returns the completion produced
+// (nil for posted writes or dropped packets). Routing failures yield UR
+// completions for non-posted requests, exactly as real fabric would.
+func (b *Bus) Route(p *Packet) *Packet {
+	cpl := b.route(p)
+	if cpl == nil {
+		return nil
+	}
+	for _, t := range b.taps {
+		cpl = t.Tap(cpl)
+		if cpl == nil {
+			return nil // completion deleted in flight
+		}
+	}
+	return cpl
+}
+
+func (b *Bus) route(p *Packet) *Packet {
+	for _, t := range b.taps {
+		p = t.Tap(p)
+		if p == nil {
+			return nil // deleted in flight
+		}
+	}
+	var dst Endpoint
+	switch p.Kind {
+	case MRd, MWr:
+		owner, ok := b.Owner(p.Address)
+		if !ok {
+			return b.unsupported(p)
+		}
+		dst = b.endpoints[owner]
+	case Cpl, CplD:
+		dst = b.endpoints[p.Requester] // completions route back by requester ID
+	case CfgRd, CfgWr, Msg, MsgD:
+		dst = b.endpoints[p.Completer]
+		if dst == nil && (p.Kind == Msg || p.Kind == MsgD) {
+			// Broadcast-style message with no target: deliver to all.
+			for _, e := range b.endpoints {
+				if e.DeviceID() != p.Requester {
+					e.Handle(p.Clone())
+				}
+			}
+			return nil
+		}
+	}
+	if dst == nil {
+		return b.unsupported(p)
+	}
+	return dst.Handle(p)
+}
+
+func (b *Bus) unsupported(p *Packet) *Packet {
+	if p.Kind == MWr || p.Kind == Msg || p.Kind == MsgD || p.Kind == Cpl || p.Kind == CplD {
+		return nil // posted / completion: silently dropped
+	}
+	return NewCompletion(p, 0, CplUR, nil)
+}
+
+// Endpoints returns the attached endpoint IDs in ascending order.
+func (b *Bus) Endpoints() []ID {
+	ids := make([]ID, 0, len(b.endpoints))
+	for id := range b.endpoints {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}

@@ -1,0 +1,167 @@
+package pcie
+
+import (
+	"fmt"
+
+	"ccai/internal/sim"
+)
+
+// Gen identifies a PCIe generation, which fixes the per-lane signalling
+// rate and line encoding.
+type Gen int
+
+const (
+	// Gen3 signals at 8 GT/s with 128b/130b encoding.
+	Gen3 Gen = 3
+	// Gen4 signals at 16 GT/s with 128b/130b encoding.
+	Gen4 Gen = 4
+	// Gen5 signals at 32 GT/s with 128b/130b encoding.
+	Gen5 Gen = 5
+)
+
+// GTps reports the generation's per-lane transfer rate in GT/s.
+func (g Gen) GTps() float64 {
+	switch g {
+	case Gen3:
+		return 8
+	case Gen4:
+		return 16
+	case Gen5:
+		return 32
+	}
+	panic(fmt.Sprintf("pcie: unknown generation %d", g))
+}
+
+func (g Gen) String() string { return fmt.Sprintf("Gen%d (%gGT/s)", int(g), g.GTps()) }
+
+// encodingEfficiency is the 128b/130b line-code payload fraction used by
+// Gen3 and later.
+const encodingEfficiency = 128.0 / 130.0
+
+// LinkConfig describes one PCIe link's physical shape.
+type LinkConfig struct {
+	Gen   Gen
+	Lanes int
+	// PropagationDelay is the one-way flight latency of a TLP across the
+	// link (board trace + retimer + SerDes). Typical server boards sit
+	// near 150–500 ns.
+	PropagationDelay sim.Time
+}
+
+// RawBandwidth reports the link's post-encoding raw byte rate per
+// direction in bytes/second, before TLP framing overhead.
+func (c LinkConfig) RawBandwidth() float64 {
+	return c.Gen.GTps() * 1e9 / 8 * float64(c.Lanes) * encodingEfficiency
+}
+
+func (c LinkConfig) String() string {
+	return fmt.Sprintf("%gGT/s x%d", c.Gen.GTps(), c.Lanes)
+}
+
+// Link models one full-duplex PCIe link as two independent sim.Resources
+// (one per direction). Bulk DMA duration and ccAI's tag/metadata traffic
+// expansion are charged against these resources; the emergent saturation
+// behaviour reproduces Figure 12a.
+type Link struct {
+	cfg      LinkConfig
+	upstream *sim.Resource // device -> host direction
+	down     *sim.Resource // host -> device direction
+}
+
+// NewLink builds a link with the given configuration.
+func NewLink(name string, cfg LinkConfig) *Link {
+	if cfg.Lanes <= 0 {
+		panic("pcie: link needs at least one lane")
+	}
+	bw := cfg.RawBandwidth()
+	return &Link{
+		cfg:      cfg,
+		upstream: sim.NewResource(name+"/up", bw, 0),
+		down:     sim.NewResource(name+"/down", bw, 0),
+	}
+}
+
+// Config reports the link's current configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Reconfigure changes speed/width in place — the knob Figure 12a sweeps.
+func (l *Link) Reconfigure(cfg LinkConfig) {
+	if cfg.Lanes <= 0 {
+		panic("pcie: link needs at least one lane")
+	}
+	l.cfg = cfg
+	bw := cfg.RawBandwidth()
+	l.upstream.SetRate(bw)
+	l.down.SetRate(bw)
+}
+
+// Reset clears both directions' queue state between experiment runs.
+func (l *Link) Reset() {
+	l.upstream.Reset()
+	l.down.Reset()
+}
+
+// Dir selects a link direction.
+type Dir int
+
+const (
+	// Downstream is host→device.
+	Downstream Dir = iota
+	// Upstream is device→host.
+	Upstream
+)
+
+func (d Dir) String() string {
+	if d == Downstream {
+		return "downstream"
+	}
+	return "upstream"
+}
+
+func (l *Link) resource(d Dir) *sim.Resource {
+	if d == Upstream {
+		return l.upstream
+	}
+	return l.down
+}
+
+// WireBytes reports the total on-link size of transferring n payload
+// bytes as a stream of TLPs with maximum payload per packet, plus
+// extraPackets additional header-only packets (ccAI tag/metadata
+// companions).
+func WireBytes(n int64, extraPackets int64) int64 {
+	if n < 0 {
+		panic("pcie: negative transfer size")
+	}
+	packets := (n + MaxPayload - 1) / MaxPayload
+	return n + (packets+extraPackets)*HeaderOverhead
+}
+
+// TransferTime reports the duration n payload bytes occupy one direction
+// of an otherwise idle link.
+func (l *Link) TransferTime(n int64) sim.Time {
+	return l.upstream.ServiceTime(WireBytes(n, 0)) // both dirs share the rate
+}
+
+// Transfer schedules a bulk payload of n bytes (plus extra header-only
+// packets) onto direction d beginning no earlier than at, and returns
+// the completion instant including propagation delay.
+func (l *Link) Transfer(at sim.Time, d Dir, n int64, extraPackets int64) sim.Time {
+	end := l.resource(d).Use(at, WireBytes(n, extraPackets))
+	return end + l.cfg.PropagationDelay
+}
+
+// RoundTrip reports the latency of a minimal non-posted transaction
+// (request out, completion back) on an idle link — the basis of MMIO
+// read cost.
+func (l *Link) RoundTrip() sim.Time {
+	perPkt := l.upstream.ServiceTime(HeaderOverhead)
+	return 2 * (perPkt + l.cfg.PropagationDelay)
+}
+
+// Utilization reports cumulative busy time per direction.
+func (l *Link) Utilization() (down, up sim.Time) {
+	_, _, busyDown, _ := l.down.Stats()
+	_, _, busyUp, _ := l.upstream.Stats()
+	return busyDown, busyUp
+}

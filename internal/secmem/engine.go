@@ -1,0 +1,206 @@
+package secmem
+
+import (
+	"fmt"
+
+	"ccai/internal/sim"
+)
+
+// EngineKind distinguishes the three crypto execution environments the
+// evaluation compares (§5, §8.5).
+type EngineKind int
+
+const (
+	// HWEngine is the PCIe-SC's pipelined AES-GCM-SHA IP core.
+	HWEngine EngineKind = iota
+	// AESNI is the Adaptor's hardware-instruction path (Intel AES-NI).
+	AESNI
+	// Software is the scalar fallback used only by the non-optimized
+	// ablation in Figure 11.
+	Software
+)
+
+func (k EngineKind) String() string {
+	switch k {
+	case HWEngine:
+		return "pcie-sc-engine"
+	case AESNI:
+		return "aes-ni"
+	case Software:
+		return "software"
+	}
+	return fmt.Sprintf("EngineKind(%d)", int(k))
+}
+
+// EngineProfile fixes an engine's performance characteristics. All
+// calibration constants of the crypto model live here (DESIGN.md §5).
+type EngineProfile struct {
+	Kind EngineKind
+	// BytesPerSecond is single-context streaming throughput.
+	BytesPerSecond float64
+	// PerOp is the fixed setup cost per sealed chunk (key schedule
+	// reuse, descriptor handling).
+	PerOp sim.Time
+	// Parallelism is how many independent contexts can run at once
+	// (threads for CPU paths, pipeline lanes for the HW engine).
+	Parallelism int
+	// ContextSlots is the number of per-stream parameter sets the
+	// engine caches. The paper's De/Encryption Parameters Manager holds
+	// a fixed number of session contexts; overflowing it forces a
+	// parameter reload per chunk, the mechanism behind the overhead step
+	// between batch 12 and 24 in Figure 8b/d.
+	ContextSlots int
+	// ContextReload is the penalty for re-fetching an evicted context.
+	ContextReload sim.Time
+}
+
+// DefaultProfile returns the calibrated profile for an engine kind.
+// Numbers are representative of the hardware classes involved: an FPGA
+// AES-GCM pipeline sustains tens of GB/s; AES-NI on a server core ~4-5
+// GB/s/thread; scalar software AES a couple hundred MB/s.
+func DefaultProfile(kind EngineKind) EngineProfile {
+	switch kind {
+	case HWEngine:
+		return EngineProfile{
+			Kind:           HWEngine,
+			BytesPerSecond: 28e9,
+			PerOp:          120 * sim.Nanosecond,
+			Parallelism:    4,
+			ContextSlots:   16,
+			ContextReload:  600 * sim.Nanosecond,
+		}
+	case AESNI:
+		return EngineProfile{
+			Kind:           AESNI,
+			BytesPerSecond: 4.6e9,
+			PerOp:          250 * sim.Nanosecond,
+			Parallelism:    8,
+			ContextSlots:   1 << 16, // CPU caches contexts in memory
+			ContextReload:  0,
+		}
+	case Software:
+		return EngineProfile{
+			Kind:           Software,
+			BytesPerSecond: 220e6,
+			PerOp:          900 * sim.Nanosecond,
+			Parallelism:    1,
+			ContextSlots:   1 << 16,
+			ContextReload:  0,
+		}
+	}
+	panic("secmem: unknown engine kind")
+}
+
+// Engine is the timing model for a crypto unit. It serializes work onto
+// Parallelism lanes and tracks which stream contexts are resident.
+type Engine struct {
+	profile EngineProfile
+	lanes   []*sim.Resource
+	next    int
+	// resident tracks context slot occupancy with LRU eviction.
+	resident map[uint64]int // stream id -> recency stamp
+	stamp    int
+	reloads  uint64
+	ops      uint64
+	bytes    uint64
+}
+
+// NewEngine builds an engine from a profile.
+func NewEngine(p EngineProfile) *Engine {
+	if p.Parallelism <= 0 {
+		p.Parallelism = 1
+	}
+	e := &Engine{profile: p, resident: make(map[uint64]int)}
+	for i := 0; i < p.Parallelism; i++ {
+		e.lanes = append(e.lanes, sim.NewResource(fmt.Sprintf("%v/lane%d", p.Kind, i), p.BytesPerSecond, p.PerOp))
+	}
+	return e
+}
+
+// Profile reports the engine's configuration.
+func (e *Engine) Profile() EngineProfile { return e.profile }
+
+// touch updates the context cache and reports whether a reload penalty
+// applies for this stream.
+func (e *Engine) touch(stream uint64) bool {
+	e.stamp++
+	if _, ok := e.resident[stream]; ok {
+		e.resident[stream] = e.stamp
+		return false
+	}
+	if len(e.resident) >= e.profile.ContextSlots {
+		// Evict the least recently used context.
+		var victim uint64
+		oldest := int(^uint(0) >> 1)
+		for id, st := range e.resident {
+			if st < oldest {
+				oldest, victim = st, id
+			}
+		}
+		delete(e.resident, victim)
+		e.resident[stream] = e.stamp
+		e.reloads++
+		return true
+	}
+	e.resident[stream] = e.stamp
+	return false
+}
+
+// Process schedules n bytes of crypto work for the given stream starting
+// no earlier than at, and returns the completion instant. Lane choice is
+// round-robin; queueing behind earlier work on the chosen lane is
+// automatic.
+func (e *Engine) Process(at sim.Time, stream uint64, n int64) sim.Time {
+	lane := e.lanes[e.next]
+	e.next = (e.next + 1) % len(e.lanes)
+	if e.touch(stream) {
+		at += e.profile.ContextReload
+	}
+	e.ops++
+	if n > 0 {
+		e.bytes += uint64(n)
+	}
+	return lane.Use(at, n)
+}
+
+// ProcessAggregate models a large batched region processed with full
+// parallelism (the §5 optimization "allocate additional CPU threads and
+// cores"): the bytes split evenly across lanes.
+func (e *Engine) ProcessAggregate(at sim.Time, stream uint64, n int64) sim.Time {
+	if e.touch(stream) {
+		at += e.profile.ContextReload
+	}
+	per := n / int64(len(e.lanes))
+	var end sim.Time
+	for i, lane := range e.lanes {
+		chunk := per
+		if i == len(e.lanes)-1 {
+			chunk = n - per*int64(len(e.lanes)-1)
+		}
+		if t := lane.Use(at, chunk); t > end {
+			end = t
+		}
+	}
+	e.ops++
+	e.bytes += uint64(n)
+	return end
+}
+
+// ServiceTime reports the uncontended duration of n bytes on one lane.
+func (e *Engine) ServiceTime(n int64) sim.Time { return e.lanes[0].ServiceTime(n) }
+
+// Stats reports operations, bytes, and context reloads so far.
+func (e *Engine) Stats() (ops, bytes, reloads uint64) { return e.ops, e.bytes, e.reloads }
+
+// Reset clears queueing state, the context cache and statistics.
+func (e *Engine) Reset() {
+	for _, l := range e.lanes {
+		l.Reset()
+	}
+	e.resident = make(map[uint64]int)
+	e.stamp = 0
+	e.reloads = 0
+	e.ops = 0
+	e.bytes = 0
+	e.next = 0
+}

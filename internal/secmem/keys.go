@@ -1,0 +1,128 @@
+package secmem
+
+import (
+	"crypto/rand"
+	"fmt"
+	"sync"
+)
+
+// KeyStore holds the symmetric workload keys shared between a TVM and
+// its PCIe-SC (§6 "Workload key management"). Keys live only inside a
+// trust module on each side; teardown destroys them so a captured
+// device cannot decrypt recorded traffic afterwards.
+type KeyStore struct {
+	mu      sync.Mutex
+	entries map[string]*keyEntry
+}
+
+type keyEntry struct {
+	key   []byte
+	nonce []byte
+}
+
+// NewKeyStore returns an empty store.
+func NewKeyStore() *KeyStore {
+	return &KeyStore{entries: make(map[string]*keyEntry)}
+}
+
+// Install stores key material for a named stream (e.g. "h2d", "d2h",
+// "config"). The slices are copied.
+func (ks *KeyStore) Install(name string, key, nonce []byte) error {
+	if len(key) != KeySize {
+		return fmt.Errorf("secmem: key %q must be %d bytes", name, KeySize)
+	}
+	if len(nonce) != nonceBase {
+		return fmt.Errorf("secmem: nonce base %q must be %d bytes", name, nonceBase)
+	}
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	ks.entries[name] = &keyEntry{
+		key:   append([]byte(nil), key...),
+		nonce: append([]byte(nil), nonce...),
+	}
+	return nil
+}
+
+// Stream constructs a protected Stream from stored material.
+func (ks *KeyStore) Stream(name string) (*Stream, error) {
+	ks.mu.Lock()
+	e, ok := ks.entries[name]
+	ks.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("secmem: no key material for stream %q", name)
+	}
+	return NewStream(e.key, e.nonce)
+}
+
+// Material returns copies of the stored key and nonce base.
+func (ks *KeyStore) Material(name string) (key, nonce []byte, err error) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	e, ok := ks.entries[name]
+	if !ok {
+		return nil, nil, fmt.Errorf("secmem: no key material for stream %q", name)
+	}
+	return append([]byte(nil), e.key...), append([]byte(nil), e.nonce...), nil
+}
+
+// Has reports whether material exists for the stream.
+func (ks *KeyStore) Has(name string) bool {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	_, ok := ks.entries[name]
+	return ok
+}
+
+// Destroy zeroizes and removes one stream's material.
+func (ks *KeyStore) Destroy(name string) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	if e, ok := ks.entries[name]; ok {
+		zeroize(e.key)
+		zeroize(e.nonce)
+		delete(ks.entries, name)
+	}
+}
+
+// DestroyAll zeroizes everything — task teardown per §6 ("securely
+// destroy shared symmetric keys").
+func (ks *KeyStore) DestroyAll() {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	for name, e := range ks.entries {
+		zeroize(e.key)
+		zeroize(e.nonce)
+		delete(ks.entries, name)
+	}
+}
+
+// Count reports how many streams hold material.
+func (ks *KeyStore) Count() int {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return len(ks.entries)
+}
+
+func zeroize(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// FreshKey generates a random AES key.
+func FreshKey() []byte {
+	k := make([]byte, KeySize)
+	if _, err := rand.Read(k); err != nil {
+		panic(fmt.Sprintf("secmem: entropy failure: %v", err))
+	}
+	return k
+}
+
+// FreshNonce generates a random 8-byte nonce base.
+func FreshNonce() []byte {
+	n := make([]byte, nonceBase)
+	if _, err := rand.Read(n); err != nil {
+		panic(fmt.Sprintf("secmem: entropy failure: %v", err))
+	}
+	return n
+}

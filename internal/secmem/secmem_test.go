@@ -1,0 +1,388 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"ccai/internal/sim"
+)
+
+func testStreamPair(t *testing.T) (*Stream, *Stream) {
+	t.Helper()
+	key := FreshKey()
+	nonce := FreshNonce()
+	tx, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx, rx
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	aad := []byte("MWr addr=0x1000")
+	sealed, err := tx.Seal([]byte("model weights"), aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := rx.Open(sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(pt) != "model weights" {
+		t.Fatalf("plaintext = %q", pt)
+	}
+}
+
+func TestCiphertextDiffersFromPlaintext(t *testing.T) {
+	tx, _ := testStreamPair(t)
+	msg := []byte("sensitive prompt: my diagnosis history")
+	sealed, _ := tx.Seal(msg, nil)
+	if bytes.Contains(sealed.Ciphertext, msg[:8]) {
+		t.Fatal("ciphertext leaks plaintext prefix")
+	}
+}
+
+func TestSameplaintextDistinctCiphertexts(t *testing.T) {
+	tx, _ := testStreamPair(t)
+	a, _ := tx.Seal([]byte("repeat"), nil)
+	b, _ := tx.Seal([]byte("repeat"), nil)
+	if bytes.Equal(a.Ciphertext, b.Ciphertext) {
+		t.Fatal("IV counter not advancing: identical ciphertexts")
+	}
+}
+
+func TestTamperedCiphertextRejected(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	sealed, _ := tx.Seal([]byte("payload"), nil)
+	sealed.Ciphertext[0] ^= 1
+	if _, err := rx.Open(sealed, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered ciphertext accepted: %v", err)
+	}
+}
+
+func TestTamperedTagRejected(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	sealed, _ := tx.Seal([]byte("payload"), nil)
+	sealed.Tag[3] ^= 0x80
+	if _, err := rx.Open(sealed, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered tag accepted: %v", err)
+	}
+}
+
+func TestAADBindingEnforced(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	sealed, _ := tx.Seal([]byte("payload"), []byte("addr=0x1000"))
+	if _, err := rx.Open(sealed, []byte("addr=0x9999")); !errors.Is(err, ErrAuth) {
+		t.Fatalf("rerouted packet (changed AAD) accepted: %v", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	sealed, _ := tx.Seal([]byte("one"), nil)
+	if _, err := rx.Open(sealed, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(sealed, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("replay accepted: %v", err)
+	}
+}
+
+func TestReorderRejected(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	first, _ := tx.Seal([]byte("one"), nil)
+	second, _ := tx.Seal([]byte("two"), nil)
+	if _, err := rx.Open(second, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rx.Open(first, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("out-of-order packet accepted: %v", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	tx, _ := testStreamPair(t)
+	other, err := NewStream(FreshKey(), FreshNonce())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed, _ := tx.Seal([]byte("secret"), nil)
+	sealed2 := *sealed
+	if _, err := other.Open(&sealed2, nil); !errors.Is(err, ErrAuth) {
+		t.Fatalf("foreign key decrypted stream: %v", err)
+	}
+}
+
+func TestIVExhaustionForcesRekey(t *testing.T) {
+	tx, _ := testStreamPair(t)
+	tx.ForceCounter(^uint32(0) - 1)
+	if _, err := tx.Seal([]byte("last"), nil); err != nil {
+		t.Fatalf("penultimate counter failed: %v", err)
+	}
+	if _, err := tx.Seal([]byte("overflow"), nil); !errors.Is(err, ErrIVExhausted) {
+		t.Fatalf("IV exhaustion not detected: %v", err)
+	}
+	if tx.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", tx.Remaining())
+	}
+}
+
+func TestRekeyResetsAndIsolatesEpochs(t *testing.T) {
+	key, nonce := FreshKey(), FreshNonce()
+	tx, _ := NewStream(key, nonce)
+	rx, _ := NewStream(key, nonce)
+	old, _ := tx.Seal([]byte("pre-rekey"), nil)
+
+	k2, n2 := FreshKey(), FreshNonce()
+	if err := tx.Rekey(k2, n2); err != nil {
+		t.Fatal(err)
+	}
+	if err := rx.Rekey(k2, n2); err != nil {
+		t.Fatal(err)
+	}
+	if tx.Epoch() != 1 || tx.SendCounter() != 0 {
+		t.Fatalf("epoch=%d ctr=%d after rekey", tx.Epoch(), tx.SendCounter())
+	}
+	// A pre-rekey chunk must not open post-rekey (epoch pinning).
+	if _, err := rx.Open(old, nil); !errors.Is(err, ErrReplay) {
+		t.Fatalf("cross-epoch replay accepted: %v", err)
+	}
+	fresh, _ := tx.Seal([]byte("post-rekey"), nil)
+	if pt, err := rx.Open(fresh, nil); err != nil || string(pt) != "post-rekey" {
+		t.Fatalf("post-rekey traffic broken: %v", err)
+	}
+}
+
+func TestStreamValidatesMaterial(t *testing.T) {
+	if _, err := NewStream(make([]byte, 7), FreshNonce()); err == nil {
+		t.Fatal("short key accepted")
+	}
+	if _, err := NewStream(FreshKey(), make([]byte, 3)); err == nil {
+		t.Fatal("short nonce accepted")
+	}
+}
+
+// Property: every payload round-trips under matching streams.
+func TestSealOpenProperty(t *testing.T) {
+	key, nonce := FreshKey(), FreshNonce()
+	tx, _ := NewStream(key, nonce)
+	rx, _ := NewStream(key, nonce)
+	f := func(payload, aad []byte) bool {
+		sealed, err := tx.Seal(payload, aad)
+		if err != nil {
+			return false
+		}
+		pt, err := rx.Open(sealed, aad)
+		return err == nil && bytes.Equal(pt, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMACDetectsTampering(t *testing.T) {
+	key := FreshKey()
+	hdr, body := []byte("MWr 0x8000"), []byte("page table base = 0x4000")
+	tag := MAC(key, hdr, body)
+	if !VerifyMAC(key, hdr, body, tag) {
+		t.Fatal("valid MAC rejected")
+	}
+	body[0] ^= 1
+	if VerifyMAC(key, hdr, body, tag) {
+		t.Fatal("tampered payload passed MAC")
+	}
+	body[0] ^= 1
+	hdr[0] ^= 1
+	if VerifyMAC(key, hdr, body, tag) {
+		t.Fatal("tampered header passed MAC")
+	}
+}
+
+func TestMeasureDeterministic(t *testing.T) {
+	a := Measure([]byte("bitstream"), []byte("firmware"))
+	b := Measure([]byte("bitstream"), []byte("firmware"))
+	c := Measure([]byte("bitstream"), []byte("firmware!"))
+	if a != b {
+		t.Fatal("measurement non-deterministic")
+	}
+	if a == c {
+		t.Fatal("distinct inputs measured equal")
+	}
+}
+
+// --- key store -------------------------------------------------------------
+
+func TestKeyStoreLifecycle(t *testing.T) {
+	ks := NewKeyStore()
+	if err := ks.Install("h2d", FreshKey(), FreshNonce()); err != nil {
+		t.Fatal(err)
+	}
+	if !ks.Has("h2d") || ks.Count() != 1 {
+		t.Fatal("installed key missing")
+	}
+	if _, err := ks.Stream("h2d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ks.Stream("d2h"); err == nil {
+		t.Fatal("missing stream constructed")
+	}
+	ks.Destroy("h2d")
+	if ks.Has("h2d") {
+		t.Fatal("destroyed key still present")
+	}
+}
+
+func TestKeyStoreDestroyAll(t *testing.T) {
+	ks := NewKeyStore()
+	for _, n := range []string{"h2d", "d2h", "config"} {
+		if err := ks.Install(n, FreshKey(), FreshNonce()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ks.DestroyAll()
+	if ks.Count() != 0 {
+		t.Fatalf("count = %d after DestroyAll", ks.Count())
+	}
+}
+
+func TestKeyStoreRejectsBadMaterial(t *testing.T) {
+	ks := NewKeyStore()
+	if err := ks.Install("x", make([]byte, 5), FreshNonce()); err == nil {
+		t.Fatal("bad key accepted")
+	}
+	if err := ks.Install("x", FreshKey(), make([]byte, 2)); err == nil {
+		t.Fatal("bad nonce accepted")
+	}
+}
+
+func TestKeyStoreSharedMaterialInterops(t *testing.T) {
+	ks := NewKeyStore()
+	if err := ks.Install("h2d", FreshKey(), FreshNonce()); err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := ks.Stream("h2d")
+	rx, _ := ks.Stream("h2d")
+	sealed, _ := tx.Seal([]byte("hello"), nil)
+	if pt, err := rx.Open(sealed, nil); err != nil || string(pt) != "hello" {
+		t.Fatalf("store-derived streams don't interoperate: %v", err)
+	}
+}
+
+// --- engines ----------------------------------------------------------------
+
+func TestEngineThroughputOrdering(t *testing.T) {
+	hw := NewEngine(DefaultProfile(HWEngine))
+	ni := NewEngine(DefaultProfile(AESNI))
+	sw := NewEngine(DefaultProfile(Software))
+	const n = 1 << 20
+	thw := hw.ServiceTime(n)
+	tni := ni.ServiceTime(n)
+	tsw := sw.ServiceTime(n)
+	if !(thw < tni && tni < tsw) {
+		t.Fatalf("throughput ordering broken: hw=%v ni=%v sw=%v", thw, tni, tsw)
+	}
+}
+
+func TestEngineAggregateUsesParallelism(t *testing.T) {
+	e := NewEngine(DefaultProfile(AESNI))
+	serial := e.ServiceTime(64 << 20)
+	end := e.ProcessAggregate(0, 1, 64<<20)
+	// 8 lanes should give near-8x speedup over one lane.
+	ratio := float64(serial) / float64(end)
+	if ratio < 6 || ratio > 9 {
+		t.Fatalf("parallel speedup = %.1f, want ~8", ratio)
+	}
+}
+
+func TestEngineContextCacheStep(t *testing.T) {
+	p := DefaultProfile(HWEngine)
+	e := NewEngine(p)
+	// Cycle through fewer streams than slots: no reloads.
+	for round := 0; round < 3; round++ {
+		for s := uint64(0); s < 12; s++ {
+			e.Process(0, s, 256)
+		}
+	}
+	_, _, reloads := e.Stats()
+	if reloads != 0 {
+		t.Fatalf("reloads = %d with 12 streams over %d slots", reloads, p.ContextSlots)
+	}
+	// Cycle through more streams than slots: every touch reloads (LRU
+	// thrash), which is the Figure 8 batch-24 step.
+	e.Reset()
+	for round := 0; round < 3; round++ {
+		for s := uint64(0); s < 24; s++ {
+			e.Process(0, s, 256)
+		}
+	}
+	_, _, reloads = e.Stats()
+	if reloads == 0 {
+		t.Fatal("no reloads with 24 streams over 16 slots")
+	}
+}
+
+func TestEngineQueueing(t *testing.T) {
+	p := DefaultProfile(Software) // single lane: strict FIFO
+	e := NewEngine(p)
+	end1 := e.Process(0, 1, 1<<20)
+	end2 := e.Process(0, 1, 1<<20)
+	if end2 <= end1 {
+		t.Fatal("second op did not queue behind first")
+	}
+}
+
+func TestEngineResetClearsState(t *testing.T) {
+	e := NewEngine(DefaultProfile(HWEngine))
+	e.Process(0, 1, 4096)
+	e.Reset()
+	ops, bytes, reloads := e.Stats()
+	if ops != 0 || bytes != 0 || reloads != 0 {
+		t.Fatal("Reset left statistics")
+	}
+	if got := e.Process(0, 1, 4096); got != e.ServiceTime(4096) {
+		t.Fatalf("queue state survived reset: %v", got)
+	}
+}
+
+func TestEngineProcessAt(t *testing.T) {
+	e := NewEngine(DefaultProfile(HWEngine))
+	at := 5 * sim.Millisecond
+	if end := e.Process(at, 1, 256); end <= at {
+		t.Fatalf("completion %v not after offer %v", end, at)
+	}
+}
+
+func TestEngineProfileAndMaterialAccessors(t *testing.T) {
+	e := NewEngine(DefaultProfile(HWEngine))
+	if e.Profile().Kind != HWEngine {
+		t.Fatal("profile accessor broken")
+	}
+	if HWEngine.String() == "" || AESNI.String() == "" || Software.String() == "" || EngineKind(9).String() == "" {
+		t.Fatal("engine kind strings broken")
+	}
+	ks := NewKeyStore()
+	key, nonce := FreshKey(), FreshNonce()
+	if err := ks.Install("s", key, nonce); err != nil {
+		t.Fatal(err)
+	}
+	k2, n2, err := ks.Material("s")
+	if err != nil || !bytes.Equal(k2, key) || !bytes.Equal(n2, nonce) {
+		t.Fatal("material round trip failed")
+	}
+	// Returned copies must not alias the store.
+	k2[0] ^= 1
+	k3, _, _ := ks.Material("s")
+	if k3[0] != key[0] {
+		t.Fatal("Material aliases stored key")
+	}
+	if _, _, err := ks.Material("missing"); err == nil {
+		t.Fatal("missing material returned")
+	}
+}

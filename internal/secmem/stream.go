@@ -1,0 +1,189 @@
+// Package secmem implements ccAI's cryptographic machinery: AES-GCM
+// protected streams with the paper's IV discipline (12-byte nonce +
+// 4-byte big-endian counter, §7.2), IV-exhaustion rekeying (§6), plain
+// HMAC integrity for Write-Protected (A3) traffic, and performance
+// models for the three engines the evaluation distinguishes — the
+// PCIe-SC's pipelined hardware engine, the Adaptor's AES-NI path, and
+// the slow software path used by the Figure 11 "No Opt" ablation.
+package secmem
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// KeySize is the AES key length in bytes. The prototype uses AES-128
+// (§7.1 "AES-128 in our prototype").
+const KeySize = 16
+
+// TagSize is the GCM authentication tag length (§7.2: 16-byte tag).
+const TagSize = 16
+
+// NonceSize is the GCM IV length: 12-byte nonce; the low 4 bytes of the
+// nonce's companion counter give "12-byte nonce and 4-byte counter".
+const nonceBase = 8
+const NonceSize = 12
+
+// ErrIVExhausted reports that a stream consumed its entire 32-bit
+// counter space. Continuing would reuse an IV — the GCM fragility the
+// paper cites ([23, 29, 42]) — so callers must rekey first.
+var ErrIVExhausted = errors.New("secmem: IV counter exhausted; rekey required")
+
+// ErrAuth reports a failed integrity check on a protected payload.
+var ErrAuth = errors.New("secmem: authentication failed")
+
+// ErrReplay reports a sequence counter that moved backwards or repeated,
+// i.e. a replayed or reordered protected packet.
+var ErrReplay = errors.New("secmem: replayed or out-of-order counter")
+
+// Stream is one direction of a protected channel between the Adaptor and
+// the PCIe-SC. Both ends derive the same key and nonce base during trust
+// establishment; each encrypted chunk consumes one counter value, and
+// the receiver enforces strictly increasing counters, which defeats
+// replay and reordering on the untrusted bus segment (§8.2).
+type Stream struct {
+	aead      cipher.AEAD
+	nonceBase [nonceBase]byte
+	sendCtr   uint32
+	recvCtr   uint32 // highest counter accepted so far (0 = none)
+	epoch     uint32 // increments on rekey
+}
+
+// NewStream builds a protected stream from a 16-byte key and an 8-byte
+// nonce base (unique per stream direction).
+func NewStream(key []byte, nonce []byte) (*Stream, error) {
+	if len(key) != KeySize {
+		return nil, fmt.Errorf("secmem: key must be %d bytes, got %d", KeySize, len(key))
+	}
+	if len(nonce) != nonceBase {
+		return nil, fmt.Errorf("secmem: nonce base must be %d bytes, got %d", nonceBase, len(nonce))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{aead: aead}
+	copy(s.nonceBase[:], nonce)
+	return s, nil
+}
+
+// nonceFor assembles the 12-byte GCM IV for counter c.
+func (s *Stream) nonceFor(c uint32) []byte {
+	iv := make([]byte, NonceSize)
+	copy(iv, s.nonceBase[:])
+	binary.BigEndian.PutUint32(iv[nonceBase:], c)
+	return iv
+}
+
+// Sealed is one protected chunk: ciphertext, its GCM tag (carried by a
+// companion tag packet on the wire) and the counter that fixes its IV
+// and its position in the stream.
+type Sealed struct {
+	Counter    uint32
+	Epoch      uint32
+	Ciphertext []byte
+	Tag        [TagSize]byte
+}
+
+// Seal encrypts plaintext with the next counter, binding aad (typically
+// the serialized TLP header fields) into the tag.
+func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
+	if s.sendCtr == ^uint32(0) {
+		return nil, ErrIVExhausted
+	}
+	s.sendCtr++
+	c := s.sendCtr
+	out := s.aead.Seal(nil, s.nonceFor(c), plaintext, aad)
+	sealed := &Sealed{Counter: c, Epoch: s.epoch}
+	n := len(out) - TagSize
+	sealed.Ciphertext = out[:n]
+	copy(sealed.Tag[:], out[n:])
+	return sealed, nil
+}
+
+// Open authenticates and decrypts one chunk, enforcing the
+// strictly-increasing counter discipline.
+func (s *Stream) Open(sealed *Sealed, aad []byte) ([]byte, error) {
+	if sealed.Epoch != s.epoch {
+		return nil, fmt.Errorf("%w: epoch %d vs %d", ErrReplay, sealed.Epoch, s.epoch)
+	}
+	if sealed.Counter <= s.recvCtr {
+		return nil, fmt.Errorf("%w: counter %d after %d", ErrReplay, sealed.Counter, s.recvCtr)
+	}
+	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
+	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	s.recvCtr = sealed.Counter
+	return pt, nil
+}
+
+// SendCounter reports how many chunks have been sealed.
+func (s *Stream) SendCounter() uint32 { return s.sendCtr }
+
+// Epoch reports the stream's key epoch.
+func (s *Stream) Epoch() uint32 { return s.epoch }
+
+// Remaining reports how many counter values are left before exhaustion.
+func (s *Stream) Remaining() uint32 { return ^uint32(0) - s.sendCtr }
+
+// Rekey installs a fresh key + nonce base and resets both counters,
+// bumping the epoch. This is the paper's IV-exhaustion mitigation
+// ("generating and exchanging a new key", following H100 practice).
+func (s *Stream) Rekey(key, nonce []byte) error {
+	ns, err := NewStream(key, nonce)
+	if err != nil {
+		return err
+	}
+	s.aead = ns.aead
+	s.nonceBase = ns.nonceBase
+	s.sendCtr = 0
+	s.recvCtr = 0
+	s.epoch++
+	return nil
+}
+
+// ForceCounter positions the send counter for testing exhaustion paths.
+func (s *Stream) ForceCounter(c uint32) { s.sendCtr = c }
+
+// --- A3 (Write Protected) integrity ---------------------------------------
+
+// MAC computes the plain-integrity code used for Write-Protected packets
+// (action A3, Table 1): payload stays in the clear but carries an HMAC
+// binding payload and header so bus tampering is detected.
+func MAC(key, header, payload []byte) [32]byte {
+	m := hmac.New(sha256.New, key)
+	m.Write(header)
+	m.Write(payload)
+	var out [32]byte
+	copy(out[:], m.Sum(nil))
+	return out
+}
+
+// VerifyMAC checks an A3 integrity code in constant time.
+func VerifyMAC(key, header, payload []byte, tag [32]byte) bool {
+	want := MAC(key, header, payload)
+	return hmac.Equal(want[:], tag[:])
+}
+
+// Measure hashes arbitrary firmware/bitstream content for the secure
+// boot chain (SHA-256, matching the HRoT-Blade's PCR bank).
+func Measure(parts ...[]byte) [32]byte {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write(p)
+	}
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}

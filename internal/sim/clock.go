@@ -1,0 +1,152 @@
+// Package sim provides the deterministic virtual-time substrate on which
+// every ccAI experiment runs.
+//
+// The paper's prototype measures wall-clock seconds on a physical
+// Agilex-7 + A100 testbed. We reproduce the *shape* of those results in
+// a simulator, so time here is virtual: a Clock carries the current
+// simulation instant, an Engine orders discrete events, and Timeline /
+// Resource implement the transaction-level performance model used by
+// the benchmark harness (see DESIGN.md §5).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual simulation instant measured in nanoseconds since the
+// start of the run. It deliberately mirrors time.Duration so component
+// models can be written with familiar units.
+type Time int64
+
+// Common virtual-time units.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Duration converts a virtual instant (or span) into a time.Duration for
+// display. Virtual nanoseconds map one-to-one onto real nanoseconds.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds, the unit used by every
+// figure in the paper.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+func (t Time) String() string { return t.Duration().String() }
+
+// FromSeconds converts seconds into a virtual time span.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// event is a scheduled callback inside the Engine.
+type event struct {
+	at  Time
+	seq uint64 // tie-break so equal-time events fire in schedule order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) Peek() *event  { return h[0] }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+func (h eventHeap) nextAt() (Time, bool) {
+	if len(h) == 0 {
+		return 0, false
+	}
+	return h[0].at, true
+}
+
+// Engine is a discrete-event simulation core. It is single-threaded and
+// fully deterministic: events scheduled for the same instant fire in the
+// order they were scheduled.
+type Engine struct {
+	now    Time
+	seq    uint64
+	events eventHeap
+	// Stats
+	fired uint64
+}
+
+// NewEngine returns an Engine positioned at virtual time zero.
+func NewEngine() *Engine {
+	e := &Engine{}
+	heap.Init(&e.events)
+	return e
+}
+
+// Now reports the current virtual instant.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn after the given virtual delay. A negative delay is an
+// error in the caller's model and panics, because silently clamping it
+// would hide causality bugs.
+func (e *Engine) Schedule(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now+delay, fn)
+}
+
+// At runs fn at the given absolute virtual instant, which must not be in
+// the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Step fires the next event, if any, advancing the clock to its instant.
+// It reports whether an event fired.
+func (e *Engine) Step() bool {
+	if e.events.empty() {
+		return false
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	e.fired++
+	ev.fn()
+	return true
+}
+
+// Run fires events until the queue drains, returning the final instant.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events up to and including instant t, then sets the
+// clock to t. Events scheduled after t remain queued.
+func (e *Engine) RunUntil(t Time) {
+	for {
+		at, ok := e.events.nextAt()
+		if !ok || at > t {
+			break
+		}
+		e.Step()
+	}
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Fired reports the total number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }

@@ -1,0 +1,44 @@
+package sim
+
+// Rand is a small deterministic pseudo-random source (SplitMix64). Every
+// stochastic element of the simulation — workload prompt lengths,
+// synthetic payload bytes, sensor jitter — draws from a seeded Rand so
+// experiment runs are exactly reproducible.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a deterministic generator for the given seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Bytes fills p with pseudo-random bytes.
+func (r *Rand) Bytes(p []byte) {
+	for i := 0; i < len(p); i += 8 {
+		v := r.Uint64()
+		for j := 0; j < 8 && i+j < len(p); j++ {
+			p[i+j] = byte(v >> (8 * j))
+		}
+	}
+}

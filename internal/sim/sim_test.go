@@ -1,0 +1,285 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.Schedule(30*Microsecond, func() { got = append(got, 3) })
+	e.Schedule(10*Microsecond, func() { got = append(got, 1) })
+	e.Schedule(20*Microsecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Microsecond {
+		t.Fatalf("final time = %v, want 30µs", e.Now())
+	}
+}
+
+func TestEngineSameInstantFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(5*Microsecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events fired out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var trace []string
+	e.Schedule(1*Microsecond, func() {
+		trace = append(trace, "a")
+		e.Schedule(1*Microsecond, func() { trace = append(trace, "c") })
+	})
+	e.Schedule(2*Microsecond-1, func() { trace = append(trace, "b") })
+	e.Run()
+	want := "abc"
+	var got string
+	for _, s := range trace {
+		got += s
+	}
+	if got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(10*Microsecond, func() { fired++ })
+	e.Schedule(20*Microsecond, func() { fired++ })
+	e.RunUntil(15 * Microsecond)
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Now() != 15*Microsecond {
+		t.Fatalf("now = %v, want 15µs", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestEngineRejectsPastScheduling(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(10*Microsecond, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5*Microsecond, func() {})
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromSeconds(1.5) != 1500*Millisecond {
+		t.Fatalf("FromSeconds(1.5) = %v", FromSeconds(1.5))
+	}
+	if got := (2500 * Millisecond).Seconds(); got != 2.5 {
+		t.Fatalf("Seconds() = %v, want 2.5", got)
+	}
+}
+
+func TestTimelineAdvanceAndJoin(t *testing.T) {
+	tl := NewTimeline(0)
+	tl.Advance(5 * Microsecond)
+	fork := tl.Fork()
+	fork.Advance(20 * Microsecond)
+	tl.Advance(3 * Microsecond)
+	tl.Join(fork)
+	if tl.Now() != 25*Microsecond {
+		t.Fatalf("joined cursor = %v, want 25µs", tl.Now())
+	}
+}
+
+func TestTimelineWaitUntilNeverRewinds(t *testing.T) {
+	tl := NewTimeline(10 * Microsecond)
+	tl.WaitUntil(5 * Microsecond)
+	if tl.Now() != 10*Microsecond {
+		t.Fatalf("WaitUntil rewound the cursor to %v", tl.Now())
+	}
+}
+
+func TestResourceSerializesWork(t *testing.T) {
+	// 1 GB/s resource: 1000 bytes take 1µs.
+	r := NewResource("link", 1e9, 0)
+	end1 := r.Use(0, 1000)
+	if end1 != 1*Microsecond {
+		t.Fatalf("first op ends at %v, want 1µs", end1)
+	}
+	// Second op offered at t=0 must queue behind the first.
+	end2 := r.Use(0, 1000)
+	if end2 != 2*Microsecond {
+		t.Fatalf("queued op ends at %v, want 2µs", end2)
+	}
+	// An op offered after the queue drains starts immediately.
+	end3 := r.Use(10*Microsecond, 1000)
+	if end3 != 11*Microsecond {
+		t.Fatalf("late op ends at %v, want 11µs", end3)
+	}
+}
+
+func TestResourcePerOpCost(t *testing.T) {
+	r := NewResource("mmio", 0, 2*Microsecond)
+	if got := r.Use(0, 0); got != 2*Microsecond {
+		t.Fatalf("latency-only op = %v, want 2µs", got)
+	}
+	if got := r.Use(0, 123456); got != 4*Microsecond {
+		t.Fatalf("rate-free resource must ignore bytes; got %v", got)
+	}
+}
+
+func TestResourceStatsAndReset(t *testing.T) {
+	r := NewResource("eng", 1e9, Microsecond)
+	r.Use(0, 1000)
+	r.Use(0, 1000)
+	ops, bytes, busy, wait := r.Stats()
+	if ops != 2 || bytes != 2000 {
+		t.Fatalf("ops=%d bytes=%d", ops, bytes)
+	}
+	if busy != 4*Microsecond {
+		t.Fatalf("busy = %v, want 4µs", busy)
+	}
+	if wait != 2*Microsecond {
+		t.Fatalf("wait = %v, want 2µs", wait)
+	}
+	r.Reset()
+	ops, bytes, busy, wait = r.Stats()
+	if ops != 0 || bytes != 0 || busy != 0 || wait != 0 || r.FreeAt() != 0 {
+		t.Fatal("Reset did not clear state")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandBytesCoversTail(t *testing.T) {
+	r := NewRand(7)
+	p := make([]byte, 13) // deliberately not a multiple of 8
+	r.Bytes(p)
+	zero := 0
+	for _, b := range p {
+		if b == 0 {
+			zero++
+		}
+	}
+	if zero == len(p) {
+		t.Fatal("Bytes left buffer all-zero")
+	}
+}
+
+// Property: resource completion times are monotone non-decreasing when
+// offered in time order, and never precede offer time + service time.
+func TestResourceMonotoneProperty(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		r := NewResource("p", 5e8, 100*Nanosecond)
+		var at, last Time
+		for _, s := range sizes {
+			end := r.Use(at, int64(s))
+			if end < last {
+				return false
+			}
+			if end < at+r.ServiceTime(int64(s)) {
+				return false
+			}
+			last = end
+			at += Time(s) // offers move forward in time
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: engine executes every scheduled event exactly once and ends
+// at the maximum scheduled instant.
+func TestEngineCompletenessProperty(t *testing.T) {
+	f := func(delays []uint16) bool {
+		e := NewEngine()
+		count := 0
+		var max Time
+		for _, d := range delays {
+			dt := Time(d) * Microsecond
+			if dt > max {
+				max = dt
+			}
+			e.Schedule(dt, func() { count++ })
+		}
+		e.Run()
+		return count == len(delays) && (len(delays) == 0 || e.Now() == max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineFiredAndRandHelpers(t *testing.T) {
+	e := NewEngine()
+	e.Schedule(Microsecond, func() {})
+	e.Schedule(2*Microsecond, func() {})
+	e.Run()
+	if e.Fired() != 2 {
+		t.Fatalf("fired = %d", e.Fired())
+	}
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(10); v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := r.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestTimeStringAndNegativePanics(t *testing.T) {
+	if (1500 * Microsecond).String() == "" {
+		t.Fatal("empty time string")
+	}
+	tl := NewTimeline(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance did not panic")
+		}
+	}()
+	tl.Advance(-1)
+}

@@ -1,0 +1,150 @@
+package sim
+
+import "fmt"
+
+// Timeline is the transaction-level performance model used by the
+// benchmark harness. A Timeline tracks a single logical flow of work
+// (one inference request, one DMA stream, ...) as a cursor through
+// virtual time; shared hardware (a PCIe link, a crypto engine, an xPU
+// compute unit) is modelled by Resource, which serializes use.
+//
+// The split mirrors how the paper's numbers arise: end-to-end latency is
+// the critical path of a request's cursor, and contention (e.g. the
+// PCIe-SC crypto engine saturating at high batch sizes) emerges from
+// Resource queueing rather than from hand-tuned percentages.
+type Timeline struct {
+	cursor Time
+}
+
+// NewTimeline returns a Timeline starting at instant start.
+func NewTimeline(start Time) *Timeline { return &Timeline{cursor: start} }
+
+// Now reports the flow's current instant.
+func (tl *Timeline) Now() Time { return tl.cursor }
+
+// Advance moves the cursor forward by d (a purely local cost such as
+// on-device compute). Negative spans panic: they indicate a broken model.
+func (tl *Timeline) Advance(d Time) Time {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: advance by negative span %v", d))
+	}
+	tl.cursor += d
+	return tl.cursor
+}
+
+// WaitUntil moves the cursor to instant t if t is later; joining a
+// slower pipeline stage is the common use.
+func (tl *Timeline) WaitUntil(t Time) Time {
+	if t > tl.cursor {
+		tl.cursor = t
+	}
+	return tl.cursor
+}
+
+// Fork returns a new Timeline starting at the current cursor, for
+// modelling work that proceeds in parallel with this flow.
+func (tl *Timeline) Fork() *Timeline { return NewTimeline(tl.cursor) }
+
+// Join advances the cursor to the later of this flow and other —
+// a barrier between parallel branches.
+func (tl *Timeline) Join(other *Timeline) Time { return tl.WaitUntil(other.cursor) }
+
+// Resource models a serially-shared hardware unit with a fixed service
+// rate: a PCIe link direction, an AES engine, an HBM channel. Work is
+// served FIFO in the order it is offered. The zero value is not usable;
+// construct with NewResource.
+type Resource struct {
+	name string
+	// bytesPerSecond is the service rate; zero means the resource is
+	// latency-only (pure serialization point).
+	bytesPerSecond float64
+	// perOp is a fixed setup cost charged once per Use call.
+	perOp Time
+	// freeAt is the instant the resource next becomes idle.
+	freeAt Time
+
+	// Stats.
+	ops       uint64
+	bytes     uint64
+	busy      Time
+	waitTotal Time
+}
+
+// NewResource constructs a rate-limited shared resource. bytesPerSecond
+// of zero makes the resource latency-only (each op costs exactly perOp).
+func NewResource(name string, bytesPerSecond float64, perOp Time) *Resource {
+	if bytesPerSecond < 0 {
+		panic("sim: negative resource rate")
+	}
+	return &Resource{name: name, bytesPerSecond: bytesPerSecond, perOp: perOp}
+}
+
+// Name reports the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Rate reports the configured service rate in bytes per second.
+func (r *Resource) Rate() float64 { return r.bytesPerSecond }
+
+// SetRate changes the service rate; used by experiments that sweep link
+// bandwidth (Figure 12a).
+func (r *Resource) SetRate(bytesPerSecond float64) {
+	if bytesPerSecond < 0 {
+		panic("sim: negative resource rate")
+	}
+	r.bytesPerSecond = bytesPerSecond
+}
+
+// ServiceTime reports how long n bytes occupy the resource, excluding
+// queueing.
+func (r *Resource) ServiceTime(n int64) Time {
+	d := r.perOp
+	if r.bytesPerSecond > 0 && n > 0 {
+		d += Time(float64(n) / r.bytesPerSecond * float64(Second))
+	}
+	return d
+}
+
+// Use occupies the resource for n bytes of work starting no earlier than
+// instant at, and returns the instant the work completes. Queueing behind
+// earlier work is automatic.
+func (r *Resource) Use(at Time, n int64) Time {
+	start := at
+	if r.freeAt > start {
+		r.waitTotal += r.freeAt - start
+		start = r.freeAt
+	}
+	d := r.ServiceTime(n)
+	end := start + d
+	r.freeAt = end
+	r.ops++
+	if n > 0 {
+		r.bytes += uint64(n)
+	}
+	r.busy += d
+	return end
+}
+
+// UseOn is a convenience that advances a Timeline through the resource:
+// the flow blocks until service completes.
+func (r *Resource) UseOn(tl *Timeline, n int64) Time {
+	return tl.WaitUntil(r.Use(tl.Now(), n))
+}
+
+// FreeAt reports when the resource next becomes idle.
+func (r *Resource) FreeAt() Time { return r.freeAt }
+
+// Reset clears queue state and statistics; experiments call this between
+// runs so one configuration cannot contaminate the next.
+func (r *Resource) Reset() {
+	r.freeAt = 0
+	r.ops = 0
+	r.bytes = 0
+	r.busy = 0
+	r.waitTotal = 0
+}
+
+// Stats reports cumulative operation count, bytes served, busy time and
+// total queue wait.
+func (r *Resource) Stats() (ops, bytes uint64, busy, wait Time) {
+	return r.ops, r.bytes, r.busy, r.waitTotal
+}

@@ -1,0 +1,540 @@
+package xpu
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/pcie"
+)
+
+// Register offsets inside BAR0. The layout is deliberately generic —
+// every device in the fleet exposes the same functional surface, which
+// is what lets one unmodified "native driver" model and one PCIe-SC rule
+// set drive all of them.
+const (
+	RegID        = 0x000 // RO: device/vendor identity
+	RegStatus    = 0x008 // RO: status bits
+	RegDoorbell  = 0x010 // WO: ring to fetch commands
+	RegCmdBase   = 0x018 // RW: host address of command ring
+	RegCmdSize   = 0x020 // RW: ring entry count
+	RegCmdHead   = 0x028 // RO: device consumption index
+	RegCmdTail   = 0x030 // RW: driver production index
+	RegIntStatus = 0x038 // RW1C: interrupt cause bits
+	RegMSIAddr   = 0x040 // RW: MSI target address
+	RegMSIData   = 0x048 // RW: MSI payload
+	RegPageTable = 0x050 // RW: device page table base (guarded by ccAI)
+	RegReset     = 0x058 // WO: soft reset / environment clean
+	RegFWVersion = 0x060 // RO: firmware version hash prefix
+	// RegAttestNonce/RegAttestResp implement the §6 software-based
+	// attestation fallback for xPUs without their own HRoT: the
+	// PCIe-SC writes a challenge nonce, the device firmware computes a
+	// digest over (firmware identity ‖ nonce), the SC compares against
+	// the measurement it holds for the golden firmware.
+	RegAttestNonce = 0x068 // WO: challenge nonce
+	RegAttestResp  = 0x070 // RO: response digest
+	RegScratch     = 0x100 // RW: driver scratch area (64 bytes)
+	BAR0Size       = 0x1000
+)
+
+// Status bits.
+const (
+	StatusReady = 1 << 0
+	StatusBusy  = 1 << 1
+	StatusFault = 1 << 2
+)
+
+// Interrupt cause bits.
+const (
+	IntCmdDone = 1 << 0
+	IntFault   = 1 << 1
+)
+
+// Reset command values for RegReset.
+const (
+	ResetSoft = 1 // clear queues + scratch
+	ResetEnv  = 2 // environment clean: memory, registers, caches/TLB
+	ResetCold = 3 // full cold boot
+)
+
+// Command opcodes. The command ring lives in host memory; each entry is
+// 64 bytes.
+const (
+	OpNop = iota
+	// OpCopyH2D copies Src (host) -> Dst (device), Len bytes.
+	OpCopyH2D
+	// OpCopyD2H copies Src (device) -> Dst (host), Len bytes.
+	OpCopyD2H
+	// OpKernel runs a compute kernel: Param selects the kernel, Src/Dst
+	// are device buffers.
+	OpKernel
+	// OpFence raises IntCmdDone when all prior commands are complete.
+	OpFence
+)
+
+// Kernel identifiers for the functional compute path (correctness
+// tests): real LLM math is the timing model's job, but small reference
+// kernels prove data actually flows end to end through ccAI.
+const (
+	KernelVecAddConst = 1 // dst[i] = src[i] + param byte-wise
+	KernelChecksum    = 2 // dst[0:8] = FNV-1a(src)
+	KernelXORMask     = 3 // dst[i] = src[i] ^ param
+	// KernelMatVecRelu computes an int8 fully-connected layer:
+	// dst[r] = relu(Σ_c W[r,c]·x[c] >> 6) for an RxC weight matrix
+	// followed by the C-element input vector in src. Param's low 16
+	// bits carry C; R is derived from Len (the output length). This is
+	// the functional stand-in for real model math: small neural
+	// networks run byte-for-byte through the protected path.
+	KernelMatVecRelu = 4
+)
+
+// CmdSize is the size of one ring entry in bytes.
+const CmdSize = 64
+
+// Command is one ring entry.
+type Command struct {
+	Op    uint32
+	Param uint32
+	Src   uint64
+	Dst   uint64
+	Len   uint64
+}
+
+// Marshal encodes a command into a 64-byte ring entry.
+func (c Command) Marshal() []byte {
+	buf := make([]byte, CmdSize)
+	binary.LittleEndian.PutUint32(buf[0:], c.Op)
+	binary.LittleEndian.PutUint32(buf[4:], c.Param)
+	binary.LittleEndian.PutUint64(buf[8:], c.Src)
+	binary.LittleEndian.PutUint64(buf[16:], c.Dst)
+	binary.LittleEndian.PutUint64(buf[24:], c.Len)
+	return buf
+}
+
+// UnmarshalCommand decodes a ring entry.
+func UnmarshalCommand(buf []byte) (Command, error) {
+	if len(buf) < CmdSize {
+		return Command{}, fmt.Errorf("xpu: short command entry (%d bytes)", len(buf))
+	}
+	return Command{
+		Op:    binary.LittleEndian.Uint32(buf[0:]),
+		Param: binary.LittleEndian.Uint32(buf[4:]),
+		Src:   binary.LittleEndian.Uint64(buf[8:]),
+		Dst:   binary.LittleEndian.Uint64(buf[16:]),
+		Len:   binary.LittleEndian.Uint64(buf[24:]),
+	}, nil
+}
+
+// Upstream is the device's path toward the host: DMA requests and MSI
+// writes leave through it. In a ccAI deployment this is the PCIe-SC's
+// internal bus; in a vanilla deployment it is the host bus directly.
+type Upstream func(p *pcie.Packet) *pcie.Packet
+
+// Device is the functional accelerator model.
+type Device struct {
+	profile Profile
+	id      pcie.ID
+	cfg     *pcie.ConfigSpace
+	bar0    uint64
+	regs    map[uint64]uint64
+	scratch [64]byte
+
+	// Device memory: a byte arena sized far below MemBytes for the
+	// functional path (bulk tensors never materialize here).
+	devMem []byte
+
+	upstream Upstream
+
+	// Execution log for tests and the environment guard.
+	executed  []Command
+	faults    int
+	coldBoots int
+	envResets int
+}
+
+// NewDevice instantiates a device model at the given bus ID with BAR0
+// mapped at bar0.
+func NewDevice(profile Profile, id pcie.ID, bar0 uint64, functionalMem int) *Device {
+	if functionalMem <= 0 {
+		functionalMem = 1 << 20
+	}
+	d := &Device{
+		profile: profile,
+		id:      id,
+		cfg:     pcie.NewConfigSpace(profile.VendorID, profile.DeviceID, 0x030200),
+		bar0:    bar0,
+		regs:    make(map[uint64]uint64),
+		devMem:  make([]byte, functionalMem),
+	}
+	d.cfg.SetBAR(0, bar0)
+	d.cfg.EnableMaster(true)
+	d.regs[RegID] = uint64(profile.DeviceID)<<16 | uint64(profile.VendorID)
+	d.regs[RegStatus] = StatusReady
+	d.regs[RegFWVersion] = fwHash(profile.FirmwareVersion)
+	return d
+}
+
+// AttestDigest is the challenge-response function of the software
+// attestation protocol: a keyless digest over the firmware identity
+// and the fresh nonce. Both the device firmware and the verifier (the
+// PCIe-SC, which measured the golden firmware at secure boot) compute
+// it independently.
+func AttestDigest(firmware string, nonce uint64) uint64 {
+	h := fwHash(firmware)
+	for i := 0; i < 8; i++ {
+		h ^= (nonce >> (8 * i)) & 0xff
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+func fwHash(v string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(v); i++ {
+		h ^= uint64(v[i])
+		h *= 0x100000001b3
+	}
+	return h
+}
+
+// Profile reports the device's performance profile.
+func (d *Device) Profile() Profile { return d.profile }
+
+// DeviceID implements pcie.Endpoint.
+func (d *Device) DeviceID() pcie.ID { return d.id }
+
+// Config exposes the device's configuration space.
+func (d *Device) Config() *pcie.ConfigSpace { return d.cfg }
+
+// BAR0 reports the device's register window.
+func (d *Device) BAR0() pcie.Region {
+	return pcie.Region{Base: d.bar0, Size: BAR0Size, Name: d.profile.Name + "/bar0"}
+}
+
+// SetUpstream wires the device's host-facing path.
+func (d *Device) SetUpstream(u Upstream) { d.upstream = u }
+
+// DevMem exposes functional device memory for test assertions.
+func (d *Device) DevMem() []byte { return d.devMem }
+
+// Executed reports commands completed since the last reset.
+func (d *Device) Executed() []Command { return d.executed }
+
+// ColdBoots reports how many cold resets the device performed.
+func (d *Device) ColdBoots() int { return d.coldBoots }
+
+// EnvResets reports soft environment cleans performed.
+func (d *Device) EnvResets() int { return d.envResets }
+
+// Handle implements pcie.Endpoint for MMIO and config traffic.
+func (d *Device) Handle(p *pcie.Packet) *pcie.Packet {
+	switch p.Kind {
+	case pcie.CfgRd:
+		v := d.cfg.Read32(uint16(p.Address))
+		buf := make([]byte, 4)
+		binary.LittleEndian.PutUint32(buf, v)
+		return pcie.NewCompletion(p, d.id, pcie.CplSuccess, buf)
+	case pcie.CfgWr:
+		if len(p.Payload) >= 4 {
+			d.cfg.Write32(uint16(p.Address), binary.LittleEndian.Uint32(p.Payload))
+		}
+		return pcie.NewCompletion(p, d.id, pcie.CplSuccess, nil)
+	case pcie.MRd:
+		return d.mmioRead(p)
+	case pcie.MWr:
+		d.mmioWrite(p)
+		return nil
+	case pcie.Msg, pcie.MsgD:
+		return nil // power management etc.: absorbed
+	}
+	return pcie.NewCompletion(p, d.id, pcie.CplUR, nil)
+}
+
+func (d *Device) mmioRead(p *pcie.Packet) *pcie.Packet {
+	off := p.Address - d.bar0
+	if off >= BAR0Size {
+		return pcie.NewCompletion(p, d.id, pcie.CplUR, nil)
+	}
+	buf := make([]byte, p.Length)
+	if off >= RegScratch && off < RegScratch+64 {
+		copy(buf, d.scratch[off-RegScratch:])
+	} else {
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], d.regs[off&^7])
+		copy(buf, tmp[:])
+	}
+	return pcie.NewCompletion(p, d.id, pcie.CplSuccess, buf)
+}
+
+func (d *Device) mmioWrite(p *pcie.Packet) {
+	off := p.Address - d.bar0
+	if off >= BAR0Size || len(p.Payload) == 0 {
+		return
+	}
+	if off >= RegScratch && off < RegScratch+64 {
+		copy(d.scratch[off-RegScratch:], p.Payload)
+		return
+	}
+	var v uint64
+	tmp := make([]byte, 8)
+	copy(tmp, p.Payload)
+	v = binary.LittleEndian.Uint64(tmp)
+	reg := off &^ 7
+	switch reg {
+	case RegDoorbell:
+		d.regs[RegDoorbell] = v
+		d.pump()
+	case RegAttestNonce:
+		d.regs[RegAttestNonce] = v
+		d.regs[RegAttestResp] = AttestDigest(d.profile.FirmwareVersion, v)
+	case RegIntStatus:
+		d.regs[RegIntStatus] &^= v // write-1-to-clear
+	case RegReset:
+		d.reset(v)
+	case RegID, RegStatus, RegCmdHead, RegFWVersion, RegAttestResp:
+		// read-only: ignore
+	default:
+		d.regs[reg] = v
+	}
+}
+
+func (d *Device) reset(kind uint64) {
+	switch kind {
+	case ResetSoft:
+		d.regs[RegCmdHead] = 0
+		d.regs[RegCmdTail] = 0
+		d.scratch = [64]byte{}
+	case ResetEnv:
+		if !d.profile.SupportsSoftReset {
+			// Devices without soft reset treat this as a cold boot —
+			// exactly the environment-guard fallback in §4.2.
+			d.reset(ResetCold)
+			return
+		}
+		d.envResets++
+		d.wipe()
+	case ResetCold:
+		d.coldBoots++
+		d.wipe()
+		d.regs = map[uint64]uint64{
+			RegID:        uint64(d.profile.DeviceID)<<16 | uint64(d.profile.VendorID),
+			RegStatus:    StatusReady,
+			RegFWVersion: fwHash(d.profile.FirmwareVersion),
+		}
+	}
+}
+
+func (d *Device) wipe() {
+	for i := range d.devMem {
+		d.devMem[i] = 0
+	}
+	d.scratch = [64]byte{}
+	d.executed = nil
+	d.regs[RegCmdHead] = 0
+	d.regs[RegCmdTail] = 0
+	d.regs[RegPageTable] = 0
+}
+
+// pump drains the command ring: DMA-read each pending entry from host
+// memory, execute it, raise completion.
+func (d *Device) pump() {
+	if d.upstream == nil {
+		d.fault()
+		return
+	}
+	base := d.regs[RegCmdBase]
+	size := d.regs[RegCmdSize]
+	if size == 0 || size > 4096 {
+		d.fault()
+		return
+	}
+	head := d.regs[RegCmdHead]
+	tail := d.regs[RegCmdTail]
+	for head != tail {
+		entryAddr := base + (head%size)*CmdSize
+		data, ok := d.dmaRead(entryAddr, CmdSize)
+		if !ok {
+			d.fault()
+			return
+		}
+		cmd, err := UnmarshalCommand(data)
+		if err != nil {
+			d.fault()
+			return
+		}
+		if !d.execute(cmd) {
+			d.fault()
+			return
+		}
+		head++
+		d.regs[RegCmdHead] = head
+	}
+	d.raiseInterrupt(IntCmdDone)
+}
+
+func (d *Device) fault() {
+	d.faults++
+	d.regs[RegStatus] |= StatusFault
+	d.raiseInterrupt(IntFault)
+}
+
+// Faults reports command/DMA failures observed.
+func (d *Device) Faults() int { return d.faults }
+
+func (d *Device) raiseInterrupt(cause uint64) {
+	d.regs[RegIntStatus] |= cause
+	msiAddr := d.regs[RegMSIAddr]
+	if msiAddr == 0 || d.upstream == nil {
+		return
+	}
+	data := make([]byte, 4)
+	binary.LittleEndian.PutUint32(data, uint32(d.regs[RegMSIData]))
+	d.upstream(pcie.NewMemWrite(d.id, msiAddr, data))
+}
+
+// dmaRead issues chunked MRd requests upstream and concatenates
+// completions.
+func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		chunk := int64(pcie.MaxPayload)
+		if n < chunk {
+			chunk = n
+		}
+		req := pcie.NewMemRead(d.id, addr, uint32(chunk), 0)
+		cpl := d.upstream(req)
+		if cpl == nil || cpl.Status != pcie.CplSuccess {
+			return nil, false
+		}
+		out = append(out, cpl.Payload...)
+		addr += uint64(chunk)
+		n -= chunk
+	}
+	return out, true
+}
+
+// dmaWrite issues chunked MWr requests upstream.
+func (d *Device) dmaWrite(addr uint64, data []byte) bool {
+	for len(data) > 0 {
+		chunk := pcie.MaxPayload
+		if len(data) < chunk {
+			chunk = len(data)
+		}
+		req := pcie.NewMemWrite(d.id, addr, data[:chunk])
+		d.upstream(req)
+		addr += uint64(chunk)
+		data = data[chunk:]
+	}
+	return true
+}
+
+func (d *Device) execute(cmd Command) bool {
+	switch cmd.Op {
+	case OpNop, OpFence:
+	case OpCopyH2D:
+		if cmd.Dst+cmd.Len > uint64(len(d.devMem)) {
+			return false
+		}
+		data, ok := d.dmaRead(cmd.Src, int64(cmd.Len))
+		if !ok {
+			return false
+		}
+		copy(d.devMem[cmd.Dst:], data)
+	case OpCopyD2H:
+		if cmd.Src+cmd.Len > uint64(len(d.devMem)) {
+			return false
+		}
+		if !d.dmaWrite(cmd.Dst, d.devMem[cmd.Src:cmd.Src+cmd.Len]) {
+			return false
+		}
+	case OpKernel:
+		if !d.kernel(cmd) {
+			return false
+		}
+	default:
+		return false
+	}
+	d.executed = append(d.executed, cmd)
+	return true
+}
+
+func (d *Device) kernel(cmd Command) bool {
+	if cmd.Src+cmd.Len > uint64(len(d.devMem)) || cmd.Dst+cmd.Len > uint64(len(d.devMem)) {
+		return false
+	}
+	src := d.devMem[cmd.Src : cmd.Src+cmd.Len]
+	dst := d.devMem[cmd.Dst : cmd.Dst+cmd.Len]
+	switch cmd.Param >> 16 {
+	case KernelVecAddConst:
+		k := byte(cmd.Param)
+		for i := range src {
+			dst[i] = src[i] + k
+		}
+	case KernelChecksum:
+		if cmd.Len < 8 {
+			return false
+		}
+		var h uint64 = 0xcbf29ce484222325
+		for _, b := range src {
+			h ^= uint64(b)
+			h *= 0x100000001b3
+		}
+		binary.LittleEndian.PutUint64(dst[:8], h)
+	case KernelXORMask:
+		k := byte(cmd.Param)
+		for i := range src {
+			dst[i] = src[i] ^ k
+		}
+	case KernelMatVecRelu:
+		return d.matVecRelu(cmd)
+	default:
+		return false
+	}
+	return true
+}
+
+// matVecRelu runs the int8 fully-connected kernel. Layout at Src:
+// R*C weight bytes followed by C input bytes; Dst receives R output
+// bytes. All values are interpreted as int8; accumulation is int32
+// with an arithmetic >>6 rescale and ReLU clamp to [0,127].
+func (d *Device) matVecRelu(cmd Command) bool {
+	cols := int(cmd.Param & 0xffff)
+	rows := int(cmd.Len)
+	if cols <= 0 || rows <= 0 {
+		return false
+	}
+	wEnd := cmd.Src + uint64(rows*cols)
+	xEnd := wEnd + uint64(cols)
+	if xEnd > uint64(len(d.devMem)) || cmd.Dst+uint64(rows) > uint64(len(d.devMem)) {
+		return false
+	}
+	weights := d.devMem[cmd.Src:wEnd]
+	x := d.devMem[wEnd:xEnd]
+	out := d.devMem[cmd.Dst : cmd.Dst+uint64(rows)]
+	for r := 0; r < rows; r++ {
+		var acc int32
+		row := weights[r*cols : (r+1)*cols]
+		for c := 0; c < cols; c++ {
+			acc += int32(int8(row[c])) * int32(int8(x[c]))
+		}
+		acc >>= 6
+		if acc < 0 {
+			acc = 0
+		}
+		if acc > 127 {
+			acc = 127
+		}
+		out[r] = byte(acc)
+	}
+	return true
+}
+
+// MemResidue reports whether any non-zero byte remains in functional
+// device memory — the environment guard's post-teardown check.
+func (d *Device) MemResidue() bool {
+	for _, b := range d.devMem {
+		if b != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,170 @@
+// Package xpu models the accelerators ccAI protects. Each device has a
+// driver-visible functional interface — BAR-mapped registers, a
+// ring-buffer command queue, a DMA engine that masters the bus, device
+// memory, MSI interrupts — and a performance profile (memory bandwidth,
+// compute rate, PCIe link shape) used by the virtual-time workload
+// runner. The functional surface is what the PCIe Security Controller
+// interposes on, so it is deliberately identical across device types:
+// that uniformity is the paper's compatibility argument (G1).
+package xpu
+
+import (
+	"fmt"
+
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+)
+
+// Class is the accelerator category.
+type Class int
+
+const (
+	// GPU is a graphics-lineage accelerator.
+	GPU Class = iota
+	// NPU is a neural processing unit.
+	NPU
+	// FPGAAcc is an FPGA-based accelerator.
+	FPGAAcc
+)
+
+func (c Class) String() string {
+	switch c {
+	case GPU:
+		return "GPU"
+	case NPU:
+		return "NPU"
+	case FPGAAcc:
+		return "FPGA-Acc"
+	}
+	return fmt.Sprintf("Class(%d)", int(c))
+}
+
+// Profile captures one device model's identity and performance envelope.
+// The five entries below mirror the paper's evaluation fleet (§7); the
+// throughput numbers are public spec-sheet values, which is all the
+// shape of the figures depends on.
+type Profile struct {
+	Name   string
+	Vendor string
+	Class  Class
+
+	// VendorID/DeviceID populate config space.
+	VendorID, DeviceID uint16
+
+	// MemBytes is device memory capacity.
+	MemBytes int64
+	// MemBandwidth is device memory bandwidth in bytes/second — the
+	// decode-phase bottleneck for LLM inference.
+	MemBandwidth float64
+	// ComputeFLOPS is dense FP16/BF16 throughput in FLOP/s.
+	ComputeFLOPS float64
+	// Link is the device's PCIe connection.
+	Link pcie.LinkConfig
+	// KernelLaunch is the fixed host-visible cost of dispatching one
+	// kernel (driver + doorbell + device scheduling).
+	KernelLaunch sim.Time
+	// StepOverhead is the per-inference-iteration framework overhead
+	// (scheduler, sampling sync) independent of model size.
+	StepOverhead sim.Time
+	// SupportsSoftReset reports whether the device accepts MMIO-based
+	// environment reset commands; otherwise the environment guard
+	// falls back to a cold-boot reset (§4.2).
+	SupportsSoftReset bool
+	// FirmwareVersion participates in secure boot measurement.
+	FirmwareVersion string
+}
+
+func (p Profile) String() string { return p.Name }
+
+// Profiles for the paper's device fleet. Bandwidth/FLOPS are spec-sheet
+// class numbers; launch/step overheads are calibration constants
+// (DESIGN.md §5).
+var (
+	// A100 is the NVIDIA A100 40GB (PCIe Gen4 x16, 1555 GB/s HBM2e,
+	// 312 TFLOPS FP16 tensor).
+	A100 = Profile{
+		Name: "A100", Vendor: "NVIDIA", Class: GPU,
+		VendorID: 0x10de, DeviceID: 0x20b0,
+		MemBytes:          40 << 30,
+		MemBandwidth:      1555e9,
+		ComputeFLOPS:      312e12,
+		Link:              pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond},
+		KernelLaunch:      6 * sim.Microsecond,
+		StepOverhead:      250 * sim.Microsecond,
+		SupportsSoftReset: true,
+		FirmwareVersion:   "550.90.07",
+	}
+
+	// RTX4090Ti is the consumer Ada-class GPU from the paper's fleet
+	// (Gen4 x16, ~1 TB/s GDDR6X, ~330 TFLOPS FP16 with sparsity off).
+	RTX4090Ti = Profile{
+		Name: "RTX4090Ti", Vendor: "NVIDIA", Class: GPU,
+		VendorID: 0x10de, DeviceID: 0x2684,
+		MemBytes:          24 << 30,
+		MemBandwidth:      1008e9,
+		ComputeFLOPS:      165e12,
+		Link:              pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond},
+		KernelLaunch:      7 * sim.Microsecond,
+		StepOverhead:      300 * sim.Microsecond,
+		SupportsSoftReset: true,
+		FirmwareVersion:   "550.90.07",
+	}
+
+	// T4 is the NVIDIA T4 inference GPU (Gen3 x16, 320 GB/s GDDR6,
+	// 65 TFLOPS FP16).
+	T4 = Profile{
+		Name: "T4", Vendor: "NVIDIA", Class: GPU,
+		VendorID: 0x10de, DeviceID: 0x1eb8,
+		MemBytes:          16 << 30,
+		MemBandwidth:      320e9,
+		ComputeFLOPS:      65e12,
+		Link:              pcie.LinkConfig{Gen: pcie.Gen3, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond},
+		KernelLaunch:      8 * sim.Microsecond,
+		StepOverhead:      350 * sim.Microsecond,
+		SupportsSoftReset: true,
+		FirmwareVersion:   "550.90.07",
+	}
+
+	// N150d is the Tenstorrent Wormhole n150d NPU (Gen4 x16, 288 GB/s
+	// GDDR6, ~74 TFLOPS FP16-class).
+	N150d = Profile{
+		Name: "N150d", Vendor: "Tenstorrent", Class: NPU,
+		VendorID: 0x1e52, DeviceID: 0x401e,
+		MemBytes:          12 << 30,
+		MemBandwidth:      288e9,
+		ComputeFLOPS:      74e12,
+		Link:              pcie.LinkConfig{Gen: pcie.Gen4, Lanes: 16, PropagationDelay: 300 * sim.Nanosecond},
+		KernelLaunch:      10 * sim.Microsecond,
+		StepOverhead:      400 * sim.Microsecond,
+		SupportsSoftReset: false, // environment guard uses cold reset
+		FirmwareVersion:   "ttkmd-1.29",
+	}
+
+	// S60 is the Enflame S60 inference GPU (Gen5 x16-class link,
+	// ~768 GB/s, ~150 TFLOPS FP16-class).
+	S60 = Profile{
+		Name: "S60", Vendor: "Enflame", Class: GPU,
+		VendorID: 0x1f36, DeviceID: 0x6001,
+		MemBytes:          48 << 30,
+		MemBandwidth:      768e9,
+		ComputeFLOPS:      150e12,
+		Link:              pcie.LinkConfig{Gen: pcie.Gen5, Lanes: 16, PropagationDelay: 250 * sim.Nanosecond},
+		KernelLaunch:      7 * sim.Microsecond,
+		StepOverhead:      300 * sim.Microsecond,
+		SupportsSoftReset: true,
+		FirmwareVersion:   "1.4.0.3",
+	}
+)
+
+// Fleet returns the five evaluation devices in the paper's order.
+func Fleet() []Profile { return []Profile{A100, T4, RTX4090Ti, S60, N150d} }
+
+// ProfileByName resolves a fleet profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Fleet() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("xpu: unknown profile %q", name)
+}

@@ -1,0 +1,272 @@
+package ccai
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/adaptor"
+	"ccai/internal/core"
+	"ccai/internal/mem"
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+	"ccai/internal/tvm"
+	"ccai/internal/xpu"
+)
+
+// MultiPlatform implements the paper's §9 deployment extension: one
+// PCIe-SC chassis (a core.Mux) serving several (TVM, xPU) pairs with
+// fully isolated keys, policies and transfer regions per tenant. Each
+// tenant sees exactly the single-tenant programming model (an Adaptor,
+// a native driver, RunTask); isolation between tenants is enforced by
+// the mux's identifier-based dispatch plus the usual fail-closed
+// filters.
+type MultiPlatform struct {
+	Host    *pcie.Bus
+	Bridge  *HostBridge
+	IOMMU   *mem.IOMMU
+	Mux     *core.Mux
+	Tenants []*Tenant
+	space   *mem.Space
+}
+
+// Tenant is one (TVM, xPU) slice of a MultiPlatform.
+type Tenant struct {
+	Index   int
+	TVMID   pcie.ID
+	XPUID   pcie.ID
+	Guest   *tvm.Guest
+	Device  *xpu.Device
+	SC      *core.Controller
+	Adaptor *adaptor.Adaptor
+	Driver  *tvm.Driver
+
+	internal *pcie.Bus
+	shared   pcie.Region
+	ring     *adaptor.Region
+	tvmKeys  *secmem.KeyStore
+	trusted  bool
+	parent   *MultiPlatform
+}
+
+// Per-tenant address strides: tenant i's windows are offset by
+// i*tenantStride from the base map.
+const tenantStride = 0x0100_0000
+
+// NewMultiPlatform assembles one chassis serving len(profiles) tenants,
+// tenant i owning an instance of profiles[i].
+func NewMultiPlatform(profiles []xpu.Profile) (*MultiPlatform, error) {
+	if len(profiles) == 0 || len(profiles) > 8 {
+		return nil, fmt.Errorf("ccai: 1-8 tenants supported, got %d", len(profiles))
+	}
+	mp := &MultiPlatform{
+		Host:  pcie.NewBus("host"),
+		IOMMU: mem.NewIOMMU(),
+		space: mem.NewSpace(),
+		Mux:   core.NewMux(SCID),
+	}
+	mp.Bridge = &HostBridge{id: HostBridgeID, space: mp.space, iommu: mp.IOMMU}
+	mp.Host.Attach(mp.Bridge)
+	mp.Host.Attach(mp.Mux)
+	if err := mp.Host.Claim(HostBridgeID, pcie.Region{Base: msiBase, Size: msiSize, Name: "msi"}); err != nil {
+		return nil, err
+	}
+
+	for i, profile := range profiles {
+		if err := mp.addTenant(i, profile); err != nil {
+			return nil, fmt.Errorf("ccai: tenant %d: %w", i, err)
+		}
+	}
+	return mp, nil
+}
+
+func (mp *MultiPlatform) addTenant(i int, profile xpu.Profile) error {
+	stride := uint64(i) * tenantStride
+	tvmID := pcie.MakeID(0, uint8(1+i), 0)
+	xpuID := pcie.MakeID(uint8(2+i), 0, 0)
+	scUnitID := pcie.MakeID(1, 0, uint8(i)) // virtual function per slice
+	privBase := uint64(privateBase) + stride
+	shBase := uint64(sharedBase) + stride
+	xpuWin := pcie.Region{Base: uint64(xpuBARBase) + stride, Size: xpu.BAR0Size, Name: fmt.Sprintf("xpu%d-window", i)}
+	scBar := pcie.Region{Base: uint64(scBARBase) + stride, Size: core.SCBarSize, Name: fmt.Sprintf("sc-unit%d", i)}
+
+	if err := mp.space.AddRegion(fmt.Sprintf("private%d", i), privBase, privateSize/4); err != nil {
+		return err
+	}
+	sharedName := fmt.Sprintf("shared%d", i)
+	if err := mp.space.AddRegion(sharedName, shBase, sharedSize/4); err != nil {
+		return err
+	}
+	shared := pcie.Region{Base: shBase, Size: sharedSize / 4, Name: sharedName}
+	for _, r := range []pcie.Region{{Base: privBase, Size: privateSize / 4, Name: "ram"}, shared} {
+		if err := mp.Host.Claim(HostBridgeID, r); err != nil {
+			return err
+		}
+	}
+	// Unit SC may master only its tenant's shared window.
+	mp.IOMMU.Map(scUnitID, shared.Base, shared.Size, mem.PermRead|mem.PermWrite)
+
+	guest := &tvm.Guest{ID: tvmID, Space: mp.space}
+	device := xpu.NewDevice(profile, xpuID, xpuWin.Base, 1<<20)
+
+	internal := pcie.NewBus(fmt.Sprintf("internal%d", i))
+	internal.Attach(device)
+	if err := internal.Claim(xpuID, device.BAR0()); err != nil {
+		return err
+	}
+
+	scKeys := secmem.NewKeyStore()
+	sc := core.NewController(scUnitID, scBar, scKeys)
+	sc.AttachInternalBusOnly(internal, xpuID, xpuWin, mp.Host)
+	internal.Attach(sc.InternalPort())
+	for _, r := range []pcie.Region{shared, {Base: msiBase, Size: msiSize, Name: "msi"}} {
+		if err := internal.Claim(scUnitID, r); err != nil {
+			return err
+		}
+	}
+	device.SetUpstream(func(p *pcie.Packet) *pcie.Packet { return internal.Route(p) })
+	sc.SetTeardownHook(func() {
+		plan := sc.Guard().CleanPlan(profile.SupportsSoftReset, xpu.RegReset, xpu.ResetEnv, xpu.ResetCold)
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, plan.Val)
+		internal.Route(pcie.NewMemWrite(scUnitID, xpuWin.Base+plan.Reg, buf))
+	})
+
+	// Boot rules scoped to this tenant's identifiers and windows only.
+	f := sc.Filter()
+	for _, r := range core.L1Screen(1, tvmID) {
+		f.InstallL1(r)
+	}
+	for _, r := range core.L1Screen(10, xpuID) {
+		f.InstallL1(r)
+	}
+	f.InstallL2(core.Rule{ID: 20, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: tvmID, AddrLo: xpuWin.Base, AddrHi: xpuWin.End(), Action: core.ActionWriteProtect})
+	f.InstallL2(core.Rule{ID: 21, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MRd, Requester: tvmID, AddrLo: xpuWin.Base, AddrHi: xpuWin.End(), Action: core.ActionPassThrough})
+	for _, k := range []pcie.Kind{pcie.MRd, pcie.MWr} {
+		f.InstallL2(core.Rule{ID: 22, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: k, Requester: xpuID, AddrLo: shared.Base, AddrHi: shared.End(), Action: core.ActionWriteReadProtect})
+	}
+	f.InstallL2(core.Rule{ID: 24, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+		Kind: pcie.MWr, Requester: xpuID, AddrLo: msiBase, AddrHi: msiBase + msiSize, Action: core.ActionPassThrough})
+
+	if err := mp.Mux.AddUnit(&core.MuxUnit{Ctrl: sc, Bar: scBar, Window: xpuWin, XPU: xpuID, TVM: tvmID}); err != nil {
+		return err
+	}
+	for _, r := range []pcie.Region{scBar, xpuWin} {
+		if err := mp.Host.Claim(SCID, r); err != nil {
+			return err
+		}
+	}
+
+	t := &Tenant{
+		Index: i, TVMID: tvmID, XPUID: xpuID,
+		Guest: guest, Device: device, SC: sc,
+		internal: internal, shared: shared,
+		tvmKeys: secmem.NewKeyStore(),
+		parent:  mp,
+	}
+	t.Adaptor = adaptor.NewScoped(tvmID, mp.Host, mp.space, t.tvmKeys, scBar.Base, xpuWin.Base, sharedName, adaptor.Optimized())
+	mp.Tenants = append(mp.Tenants, t)
+	return nil
+}
+
+// EstablishTrust provisions one tenant's session keys on its SC unit
+// and Adaptor, then brings up the protected driver.
+func (t *Tenant) EstablishTrust() error {
+	for _, stream := range []string{core.StreamH2D, core.StreamD2H, core.StreamConfig, core.StreamMMIO} {
+		key, nonce := secmem.FreshKey(), secmem.FreshNonce()
+		if err := t.SC.Keys().Install(stream, key, nonce); err != nil {
+			return err
+		}
+		if err := t.tvmKeys.Install(stream, key, nonce); err != nil {
+			return err
+		}
+		if stream != core.StreamMMIO {
+			if err := t.SC.Params().Activate(stream); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.Adaptor.HWInit(); err != nil {
+		return err
+	}
+	const ringEntries = 64
+	ring, err := t.Adaptor.StageVerified(fmt.Sprintf("cmdring%d", t.Index), ringEntries*xpu.CmdSize, xpu.CmdSize)
+	if err != nil {
+		return err
+	}
+	t.ring = ring
+	port := &guardedPort{a: t.Adaptor}
+	t.Driver, err = tvm.NewDriver(port, t.Guest.Space, ring.Buf, ringEntries)
+	if err != nil {
+		return err
+	}
+	t.Driver.SetPreDoorbell(func(chunks []uint32) error {
+		return t.Adaptor.SyncVerified(t.ring, chunks)
+	})
+	if err := t.Driver.ConfigureMSI(msiBase, 0x41); err != nil {
+		return err
+	}
+	t.trusted = true
+	return nil
+}
+
+// RunTask executes a confidential task on the tenant's xPU; semantics
+// match Platform.RunTask.
+func (t *Tenant) RunTask(task Task) ([]byte, error) {
+	if !t.trusted {
+		return nil, fmt.Errorf("ccai: tenant %d: trust not established", t.Index)
+	}
+	if len(task.Input) == 0 {
+		return nil, fmt.Errorf("ccai: empty task input")
+	}
+	outLen := int64(len(task.Input))
+	if task.Kernel == KernelChecksum && outLen < 8 {
+		outLen = 8
+	}
+	in, err := t.Adaptor.StageH2D("task-input", task.Input)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Adaptor.ReleaseRegion(in)
+	out, err := t.Adaptor.PrepareD2H("task-output", outLen)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Adaptor.ReleaseRegion(out)
+
+	const devIn, devOut = 0x0, 0x40000
+	cmds := []xpu.Command{
+		{Op: xpu.OpCopyH2D, Src: in.Buf.Base(), Dst: devIn, Len: uint64(len(task.Input))},
+		{Op: xpu.OpKernel, Param: uint32(task.Kernel)<<16 | uint32(task.Param), Src: devIn, Dst: devOut, Len: uint64(outLen)},
+		{Op: xpu.OpCopyD2H, Src: devOut, Dst: out.Buf.Base(), Len: uint64(outLen)},
+	}
+	before := t.Driver.Tail()
+	if err := t.Driver.Submit(cmds...); err != nil {
+		return nil, err
+	}
+	head, err := t.Driver.Head()
+	if err != nil {
+		return nil, err
+	}
+	if head != before+uint64(len(cmds)) {
+		return nil, fmt.Errorf("ccai: tenant %d: device consumed %d/%d commands", t.Index, head-before, len(cmds))
+	}
+	return t.Adaptor.CollectD2H(out, outLen)
+}
+
+// Close tears down one tenant's session.
+func (t *Tenant) Close() {
+	if t.trusted {
+		t.Adaptor.Teardown()
+		t.trusted = false
+	}
+}
+
+// Close tears down every tenant.
+func (mp *MultiPlatform) Close() {
+	for _, t := range mp.Tenants {
+		t.Close()
+	}
+}

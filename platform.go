@@ -1,0 +1,398 @@
+// Package ccai is the public API of the ccAI reproduction: a compatible
+// and confidential system for xPU-based AI computing (MICRO '25). It
+// assembles the simulated platform — a Trusted VM with an unmodified
+// native driver, a host PCIe bus, the PCIe Security Controller
+// (PCIe-SC), an internal bus, and one of five xPU device models — and
+// exposes secure task execution, trust establishment, and the
+// experiment harness that regenerates the paper's tables and figures.
+//
+// Quickstart:
+//
+//	plat, _ := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+//	defer plat.Close()
+//	out, _ := plat.RunTask(ccai.Task{Input: data, Kernel: ccai.KernelXOR, Param: 0x5a})
+package ccai
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+
+	"ccai/internal/adaptor"
+	"ccai/internal/core"
+	"ccai/internal/hrot"
+	"ccai/internal/mem"
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+	"ccai/internal/tvm"
+	"ccai/internal/xpu"
+)
+
+// Mode selects whether the platform runs vanilla (xPU directly on the
+// host bus) or protected (PCIe-SC interposed).
+type Mode int
+
+const (
+	// Vanilla is the unprotected baseline every figure compares
+	// against.
+	Vanilla Mode = iota
+	// Protected interposes the PCIe-SC and routes staging through the
+	// Adaptor.
+	Protected
+)
+
+func (m Mode) String() string {
+	if m == Vanilla {
+		return "vanilla"
+	}
+	return "ccAI"
+}
+
+// Fixed platform address map.
+const (
+	privateBase = 0x1000_0000
+	privateSize = 64 << 20
+	sharedBase  = 0x8000_0000
+	sharedSize  = 64 << 20
+	msiBase     = 0xfee0_0000
+	msiSize     = 0x10_0000
+	xpuBARBase  = 0xd000_0000
+	scBARBase   = 0xd010_0000
+)
+
+// Bus/device identities.
+var (
+	// HostBridgeID is the root complex / memory controller.
+	HostBridgeID = pcie.MakeID(0, 0, 0)
+	// TVMID is the trusted VM's requester identity.
+	TVMID = pcie.MakeID(0, 1, 0)
+	// SCID is the PCIe Security Controller.
+	SCID = pcie.MakeID(1, 0, 0)
+	// XPUID is the accelerator.
+	XPUID = pcie.MakeID(2, 0, 0)
+)
+
+// Config parameterizes platform construction.
+type Config struct {
+	// XPU selects the device model; zero value defaults to A100.
+	XPU xpu.Profile
+	// Mode selects vanilla or protected operation.
+	Mode Mode
+	// Adaptor selects the §5 optimization set (Protected mode only);
+	// zero value means fully Optimized.
+	Adaptor *adaptor.Options
+	// RingEntries sizes the command ring (default 64).
+	RingEntries uint64
+	// GoldenFirmware is the firmware measurement the PCIe-SC attests
+	// the xPU against (§6's software-based attestation). Empty means
+	// the profile's shipped firmware — i.e. a genuine device. Tests
+	// set it to a different value to model a flashed/compromised xPU.
+	GoldenFirmware string
+}
+
+// HostBridge terminates device-initiated traffic on the host bus: DMA
+// into guest memory (IOMMU-checked) and MSI interrupt writes.
+type HostBridge struct {
+	id    pcie.ID
+	space *mem.Space
+	iommu *mem.IOMMU
+	msi   []uint32
+}
+
+// DeviceID implements pcie.Endpoint.
+func (h *HostBridge) DeviceID() pcie.ID { return h.id }
+
+// Handle implements pcie.Endpoint.
+func (h *HostBridge) Handle(p *pcie.Packet) *pcie.Packet {
+	if p.Address >= msiBase && p.Address < msiBase+msiSize {
+		if p.Kind == pcie.MWr && len(p.Payload) >= 4 {
+			h.msi = append(h.msi, binary.LittleEndian.Uint32(p.Payload))
+		}
+		return nil
+	}
+	switch p.Kind {
+	case pcie.MRd:
+		if !h.iommu.Check(p.Requester, p.Address, int64(p.Length), false) {
+			return pcie.NewCompletion(p, h.id, pcie.CplCA, nil)
+		}
+		data, err := h.space.Read(p.Address, int64(p.Length))
+		if err != nil {
+			return pcie.NewCompletion(p, h.id, pcie.CplUR, nil)
+		}
+		return pcie.NewCompletion(p, h.id, pcie.CplSuccess, data)
+	case pcie.MWr:
+		if !h.iommu.Check(p.Requester, p.Address, int64(len(p.Payload)), true) {
+			return nil // posted write silently dropped, fault recorded
+		}
+		_ = h.space.Write(p.Address, p.Payload)
+		return nil
+	}
+	return pcie.NewCompletion(p, h.id, pcie.CplUR, nil)
+}
+
+// Interrupts reports MSI payloads received so far.
+func (h *HostBridge) Interrupts() []uint32 { return h.msi }
+
+// Platform is one assembled machine: guest, buses, optional PCIe-SC,
+// device, and driver.
+type Platform struct {
+	Mode   Mode
+	Guest  *tvm.Guest
+	Host   *pcie.Bus
+	Bridge *HostBridge
+	IOMMU  *mem.IOMMU
+
+	Internal *pcie.Bus
+	Device   *xpu.Device
+
+	SC      *core.Controller
+	Adaptor *adaptor.Adaptor
+	Driver  *tvm.Driver
+
+	ring    *adaptor.Region // protected-mode ring region
+	ringBuf *mem.Buffer     // vanilla-mode ring buffer
+	tvmKeys *secmem.KeyStore
+	scKeys  *secmem.KeyStore
+	trusted bool
+	golden  string
+
+	// Blade is the HRoT-Blade populated by SecureBoot (nil until then).
+	Blade *hrot.Blade
+	// bootRules records the static policy for PCR measurement.
+	bootRules []core.Rule
+}
+
+// NewPlatform assembles and boots a platform.
+func NewPlatform(cfg Config) (*Platform, error) {
+	if cfg.XPU.Name == "" {
+		cfg.XPU = xpu.A100
+	}
+	if cfg.RingEntries == 0 {
+		cfg.RingEntries = 64
+	}
+	opts := adaptor.Optimized()
+	if cfg.Adaptor != nil {
+		opts = *cfg.Adaptor
+	}
+
+	guest, err := tvm.NewGuest(TVMID, privateBase, privateSize, sharedBase, sharedSize)
+	if err != nil {
+		return nil, err
+	}
+	p := &Platform{
+		Mode:   cfg.Mode,
+		Guest:  guest,
+		Host:   pcie.NewBus("host"),
+		IOMMU:  mem.NewIOMMU(),
+		golden: cfg.GoldenFirmware,
+	}
+	p.Bridge = &HostBridge{id: HostBridgeID, space: guest.Space, iommu: p.IOMMU}
+	p.Host.Attach(p.Bridge)
+	for _, r := range []pcie.Region{
+		{Base: privateBase, Size: privateSize, Name: "ram/private"},
+		{Base: sharedBase, Size: sharedSize, Name: "ram/shared"},
+		{Base: msiBase, Size: msiSize, Name: "msi"},
+	} {
+		if err := p.Host.Claim(HostBridgeID, r); err != nil {
+			return nil, err
+		}
+	}
+
+	p.Device = xpu.NewDevice(cfg.XPU, XPUID, xpuBARBase, 1<<20)
+
+	if cfg.Mode == Vanilla {
+		return p, p.assembleVanilla(cfg)
+	}
+	return p, p.assembleProtected(cfg, opts)
+}
+
+func (p *Platform) assembleVanilla(cfg Config) error {
+	p.Host.Attach(p.Device)
+	if err := p.Host.Claim(XPUID, p.Device.BAR0()); err != nil {
+		return err
+	}
+	p.Device.SetUpstream(func(pkt *pcie.Packet) *pcie.Packet { return p.Host.Route(pkt) })
+	// Vanilla DMA policy: the device may reach the shared (DMA-able)
+	// region, as a conventional driver would map it.
+	p.IOMMU.Map(XPUID, sharedBase, sharedSize, mem.PermRead|mem.PermWrite)
+
+	ring, err := p.Guest.Space.Alloc(tvm.SharedRegion, "cmdring", int64(cfg.RingEntries)*xpu.CmdSize)
+	if err != nil {
+		return err
+	}
+	p.ringBuf = ring
+	port := &tvm.DirectPort{ID: TVMID, Bus: p.Host, BAR0: xpuBARBase}
+	p.Driver, err = tvm.NewDriver(port, p.Guest.Space, ring, cfg.RingEntries)
+	if err != nil {
+		return err
+	}
+	return p.Driver.ConfigureMSI(msiBase, 0x41)
+}
+
+func (p *Platform) assembleProtected(cfg Config, opts adaptor.Options) error {
+	p.Internal = pcie.NewBus("internal")
+	p.Internal.Attach(p.Device)
+	if err := p.Internal.Claim(XPUID, p.Device.BAR0()); err != nil {
+		return err
+	}
+
+	p.scKeys = secmem.NewKeyStore()
+	p.tvmKeys = secmem.NewKeyStore()
+	p.SC = core.NewController(SCID, pcie.Region{Base: scBARBase, Size: core.SCBarSize, Name: "pcie-sc"}, p.scKeys)
+	if err := p.SC.AttachHostBus(p.Host, p.Device.BAR0()); err != nil {
+		return err
+	}
+	p.SC.AttachInternalBus(p.Internal, XPUID)
+	p.SC.SetAuthorizedTVM(TVMID)
+	// The SC's internal port claims every host window on the internal
+	// bus, so all device-initiated traffic (DMA, MSI) routes through the
+	// filter — and is observable on the internal segment like real wire
+	// traffic.
+	p.Internal.Attach(p.SC.InternalPort())
+	for _, r := range []pcie.Region{
+		{Base: privateBase, Size: privateSize, Name: "up/private"},
+		{Base: sharedBase, Size: sharedSize, Name: "up/shared"},
+		{Base: msiBase, Size: msiSize, Name: "up/msi"},
+	} {
+		if err := p.Internal.Claim(SCID, r); err != nil {
+			return err
+		}
+	}
+	p.SC.SetTeardownHook(func() {
+		// Environment guard: clean the device on session teardown.
+		plan := p.SC.Guard().CleanPlan(p.Device.Profile().SupportsSoftReset, xpu.RegReset, xpu.ResetEnv, xpu.ResetCold)
+		buf := make([]byte, 8)
+		binary.LittleEndian.PutUint64(buf, plan.Val)
+		p.Internal.Route(pcie.NewMemWrite(SCID, xpuBARBase+plan.Reg, buf))
+	})
+	p.Device.SetUpstream(func(pkt *pcie.Packet) *pcie.Packet { return p.Internal.Route(pkt) })
+
+	// The SC (not the device) masters the host bus; only the shared
+	// bounce window is mapped for it. The TVM-private region stays
+	// unmapped for every device — the paper's IOMMU assumption.
+	p.IOMMU.Map(SCID, sharedBase, sharedSize, mem.PermRead|mem.PermWrite)
+
+	p.installBootRules()
+
+	p.Adaptor = adaptor.New(TVMID, p.Host, p.Guest.Space, p.tvmKeys, scBARBase, xpuBARBase, opts)
+	return nil
+}
+
+// installBootRules loads the static platform policy measured at secure
+// boot: the L1 screen for the TVM and the xPU, and the L2
+// classification of Figure 5 adapted to the platform address map.
+func (p *Platform) installBootRules() {
+	f := p.SC.Filter()
+	for _, r := range core.L1Screen(1, TVMID) {
+		f.InstallL1(r)
+		p.recordBootRule(r)
+	}
+	for _, r := range core.L1Screen(10, XPUID) {
+		f.InstallL1(r)
+		p.recordBootRule(r)
+	}
+	bar := p.Device.BAR0()
+	l2 := []core.Rule{
+		// TVM control writes to the xPU window: Write Protected (A3).
+		{ID: 20, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: pcie.MWr, Requester: TVMID, AddrLo: bar.Base, AddrHi: bar.End(),
+			Action: core.ActionWriteProtect},
+		// TVM reads of xPU status: Full Accessible (A4).
+		{ID: 21, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: pcie.MRd, Requester: TVMID, AddrLo: bar.Base, AddrHi: bar.End(),
+			Action: core.ActionPassThrough},
+		// xPU DMA into the shared window: protected (descriptor
+		// decides A2 vs A3 per region).
+		{ID: 22, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: pcie.MRd, Requester: XPUID, AddrLo: sharedBase, AddrHi: sharedBase + sharedSize,
+			Action: core.ActionWriteReadProtect},
+		{ID: 23, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: pcie.MWr, Requester: XPUID, AddrLo: sharedBase, AddrHi: sharedBase + sharedSize,
+			Action: core.ActionWriteReadProtect},
+		// xPU interrupts: Full Accessible (A4).
+		{ID: 24, Mask: core.MatchKind | core.MatchRequester | core.MatchAddr,
+			Kind: pcie.MWr, Requester: XPUID, AddrLo: msiBase, AddrHi: msiBase + msiSize,
+			Action: core.ActionPassThrough},
+	}
+	for _, r := range l2 {
+		f.InstallL2(r)
+		p.recordBootRule(r)
+	}
+}
+
+// EstablishTrust provisions the session's symmetric streams on both
+// ends. In deployment this material comes out of the Figure 6 remote
+// attestation + key exchange (see internal/attest and the attestation
+// example); the platform helper runs the same installation step with
+// locally generated keys. Before provisioning anything, the PCIe-SC
+// software-attests the xPU firmware (§6): a device answering the
+// challenge wrongly never receives keys.
+func (p *Platform) EstablishTrust() error {
+	if p.Mode != Protected {
+		return nil
+	}
+	var nonceBuf [8]byte
+	if _, err := rand.Read(nonceBuf[:]); err != nil {
+		return err
+	}
+	nonce := binary.LittleEndian.Uint64(nonceBuf[:])
+	golden := p.golden
+	if golden == "" {
+		golden = p.Device.Profile().FirmwareVersion
+	}
+	expected := xpu.AttestDigest(golden, nonce)
+	if !p.SC.AttestDevice(nonce, expected, xpu.RegAttestNonce, xpu.RegAttestResp) {
+		return errors.New("ccai: xPU firmware attestation failed; refusing to provision keys")
+	}
+	for _, stream := range []string{core.StreamH2D, core.StreamD2H, core.StreamConfig, core.StreamMMIO} {
+		key, nonce := secmem.FreshKey(), secmem.FreshNonce()
+		if err := p.scKeys.Install(stream, key, nonce); err != nil {
+			return err
+		}
+		if err := p.tvmKeys.Install(stream, key, nonce); err != nil {
+			return err
+		}
+		if stream != core.StreamMMIO { // MMIO uses raw MAC keys, not a stream
+			if err := p.SC.Params().Activate(stream); err != nil {
+				return err
+			}
+		}
+	}
+	if err := p.Adaptor.HWInit(); err != nil {
+		return err
+	}
+	p.trusted = true
+	return p.setupProtectedDriver()
+}
+
+func (p *Platform) setupProtectedDriver() error {
+	const ringEntries = 64
+	ring, err := p.Adaptor.StageVerified("cmdring", ringEntries*xpu.CmdSize, xpu.CmdSize)
+	if err != nil {
+		return err
+	}
+	p.ring = ring
+	port := &guardedPort{a: p.Adaptor}
+	p.Driver, err = tvm.NewDriver(port, p.Guest.Space, ring.Buf, ringEntries)
+	if err != nil {
+		return err
+	}
+	p.Driver.SetPreDoorbell(func(chunks []uint32) error {
+		return p.Adaptor.SyncVerified(p.ring, chunks)
+	})
+	return p.Driver.ConfigureMSI(msiBase, 0x41)
+}
+
+// guardedPort carries driver MMIO through the Adaptor's A3 protocol.
+type guardedPort struct{ a *adaptor.Adaptor }
+
+func (g *guardedPort) WriteReg(reg uint64, v uint64) error { return g.a.GuardedWrite(reg, v) }
+func (g *guardedPort) ReadReg(reg uint64) (uint64, error)  { return g.a.DeviceRead(reg) }
+
+// Close tears the session down: keys destroyed, device cleaned.
+func (p *Platform) Close() {
+	if p.Mode == Protected && p.Adaptor != nil && p.trusted {
+		p.Adaptor.Teardown()
+		p.trusted = false
+	}
+}

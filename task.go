@@ -1,0 +1,110 @@
+package ccai
+
+import (
+	"fmt"
+
+	"ccai/internal/tvm"
+	"ccai/internal/xpu"
+)
+
+// Kernel selects a functional reference kernel for task execution.
+// Real model math is handled by the timing model (internal/bench);
+// these kernels prove that data actually flows end-to-end through the
+// protected path byte-for-byte.
+type Kernel uint32
+
+const (
+	// KernelAdd computes out[i] = in[i] + param.
+	KernelAdd Kernel = xpu.KernelVecAddConst
+	// KernelChecksum computes an FNV-1a digest of the input.
+	KernelChecksum Kernel = xpu.KernelChecksum
+	// KernelXOR computes out[i] = in[i] ^ param.
+	KernelXOR Kernel = xpu.KernelXORMask
+)
+
+// Task is one confidential xPU job: input data, a kernel, and its
+// parameter. Output size equals input size (KernelChecksum pads to 8).
+type Task struct {
+	Input  []byte
+	Kernel Kernel
+	Param  uint8
+}
+
+// RunTask executes a task on the platform's device using the native
+// driver flow: stage input, submit copy/kernel/copy commands, collect
+// the result. Under Protected mode the input crosses the host bus only
+// as ciphertext and the result returns encrypted; under Vanilla it
+// travels in the clear (which the adversary tests exploit).
+func (p *Platform) RunTask(t Task) ([]byte, error) {
+	if len(t.Input) == 0 {
+		return nil, fmt.Errorf("ccai: empty task input")
+	}
+	if p.Mode == Protected && !p.trusted {
+		return nil, fmt.Errorf("ccai: trust not established; call EstablishTrust first")
+	}
+	outLen := int64(len(t.Input))
+	if t.Kernel == KernelChecksum && outLen < 8 {
+		outLen = 8
+	}
+
+	var inAddr, outAddr uint64
+	var collect func() ([]byte, error)
+	var release func()
+
+	if p.Mode == Protected {
+		in, err := p.Adaptor.StageH2D("task-input", t.Input)
+		if err != nil {
+			return nil, err
+		}
+		out, err := p.Adaptor.PrepareD2H("task-output", outLen)
+		if err != nil {
+			p.Adaptor.ReleaseRegion(in)
+			return nil, err
+		}
+		inAddr, outAddr = in.Buf.Base(), out.Buf.Base()
+		collect = func() ([]byte, error) { return p.Adaptor.CollectD2H(out, outLen) }
+		release = func() {
+			p.Adaptor.ReleaseRegion(in)
+			p.Adaptor.ReleaseRegion(out)
+		}
+	} else {
+		in, err := p.Guest.Space.Alloc(tvm.SharedRegion, "task-input", int64(len(t.Input)))
+		if err != nil {
+			return nil, err
+		}
+		copy(in.Bytes(), t.Input)
+		out, err := p.Guest.Space.Alloc(tvm.SharedRegion, "task-output", outLen)
+		if err != nil {
+			p.Guest.Space.Free(in)
+			return nil, err
+		}
+		inAddr, outAddr = in.Base(), out.Base()
+		collect = func() ([]byte, error) { return append([]byte(nil), out.Bytes()...), nil }
+		release = func() {
+			p.Guest.Space.Free(in)
+			p.Guest.Space.Free(out)
+		}
+	}
+	defer release()
+
+	// The device-memory layout for the task: input at 0, output after.
+	const devIn, devOut = 0x0, 0x40000
+	cmds := []xpu.Command{
+		{Op: xpu.OpCopyH2D, Src: inAddr, Dst: devIn, Len: uint64(len(t.Input))},
+		{Op: xpu.OpKernel, Param: uint32(t.Kernel)<<16 | uint32(t.Param), Src: devIn, Dst: devOut, Len: uint64(outLen)},
+		{Op: xpu.OpCopyD2H, Src: devOut, Dst: outAddr, Len: uint64(outLen)},
+	}
+	before := p.Driver.Tail()
+	if err := p.Driver.Submit(cmds...); err != nil {
+		return nil, err
+	}
+	head, err := p.Driver.Head()
+	if err != nil {
+		return nil, err
+	}
+	if head != before+uint64(len(cmds)) {
+		st, _ := p.Driver.Status()
+		return nil, fmt.Errorf("ccai: device consumed %d/%d commands (status %#x)", head-before, len(cmds), st)
+	}
+	return collect()
+}
