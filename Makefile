@@ -2,9 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt experiments clean
+.PHONY: all build test race bench fuzz vet fmt experiments clean ci
 
 all: build test
+
+# Everything a merge gate needs: static checks, the full suite, the
+# race detector over the concurrent retry paths, and a short fuzz pass
+# over the attacker-facing parsers (fault plans included).
+ci: vet test race
+	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 
 build:
 	$(GO) build ./...
@@ -33,6 +40,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzUnmarshalBlob -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzUnmarshalRekeyCommand -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzControllerControlWindow -fuzztime=15s ./internal/core/
+	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=15s ./internal/fault/
 
 # Regenerate every table and figure of the paper's evaluation.
 experiments:

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"bytes"
 	"fmt"
 	"log"
 
@@ -68,9 +69,19 @@ func main() {
 			return pk.Kind == pcie.CplD && pk.Requester == ccai.SCID
 		}, Count: 1}
 		p.Host.AddTap(t)
-		_, err := p.RunTask(ccai.Task{Input: secret, Kernel: ccai.KernelAdd, Param: 0})
+		out, err := p.RunTask(ccai.Task{Input: secret, Kernel: ccai.KernelAdd, Param: 0})
+		if t.Tampered() == 0 {
+			return "tamperer never fired; scenario vacuous"
+		}
+		if p.SC.Stats().AuthFailures == 0 {
+			return "BROKEN: corrupted packet was not detected"
+		}
 		if err == nil {
-			return "BROKEN: computed on corrupted data"
+			if !bytes.Equal(out, secret) {
+				return "BROKEN: computed on corrupted data"
+			}
+			return fmt.Sprintf("defended: GCM tag mismatch rejected the packet (%d auth failures), task recovered with correct output",
+				p.SC.Stats().AuthFailures)
 		}
 		return fmt.Sprintf("defended: GCM tag mismatch stopped the task (%d auth failures recorded)",
 			p.SC.Stats().AuthFailures)

@@ -11,11 +11,13 @@ package adaptor
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ccai/internal/core"
 	"ccai/internal/mem"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
+	"ccai/internal/sim"
 )
 
 // Options select the §5 optimizations. The defaults (all on) are the
@@ -57,12 +59,21 @@ type Region struct {
 	Buf      *mem.Buffer
 	TagBuf   *mem.Buffer
 	PlainLen int64
+	// Recs retains the posted tag records so recovery can repost them
+	// after tag-packet loss (RepostTags).
+	Recs []core.TagRecord
 }
 
 // Adaptor is the TVM-side component instance. It owns the TVM replicas
 // of the protected streams (negotiated during trust establishment) and
 // the staging memory in the shared region.
 type Adaptor struct {
+	// mu serializes all session state: stream replicas, sequence
+	// numbers, recovery counters. Retry paths run under it, so
+	// concurrent staging/collect calls cannot interleave half-recovered
+	// state.
+	mu sync.Mutex
+
 	id    pcie.ID
 	bus   *pcie.Bus
 	space *mem.Space
@@ -74,6 +85,7 @@ type Adaptor struct {
 	opts    Options
 	mmioSeq uint32
 	nextID  uint32
+	nextTag uint8 // transaction tag for non-posted requests; fresh per attempt
 
 	h2d    *secmem.Stream // seal side
 	d2h    *secmem.Stream // open side
@@ -81,7 +93,10 @@ type Adaptor struct {
 
 	metaBuf *mem.Buffer
 
-	io IOStats
+	io     IOStats
+	policy RetryPolicy
+	clock  *sim.Engine
+	rec    RecoveryStats
 }
 
 // SharedRegion is the mem.Space region name the Adaptor stages bounce
@@ -101,6 +116,7 @@ func NewScoped(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStor
 	return &Adaptor{
 		id: id, bus: bus, space: space, keys: keys,
 		scBar: scBar, xpuBar: xpuBar, region: region, opts: opts, nextID: 1,
+		nextTag: 1, policy: DefaultRetryPolicy(),
 	}
 }
 
@@ -108,11 +124,17 @@ func NewScoped(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStor
 func (a *Adaptor) Options() Options { return a.opts }
 
 // IO reports cumulative MMIO interaction counts.
-func (a *Adaptor) IO() IOStats { return a.io }
+func (a *Adaptor) IO() IOStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.io
+}
 
 // HWInit activates the Adaptor's stream replicas from negotiated key
 // material and programs the metadata batch buffer (§7.1 hw_init).
 func (a *Adaptor) HWInit() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	var err error
 	if a.h2d, err = a.keys.Stream(core.StreamH2D); err != nil {
 		return fmt.Errorf("adaptor: %w", err)
@@ -148,11 +170,13 @@ func (a *Adaptor) mmioWrite64(off uint64, v uint64) {
 	a.mmioWrite(off, buf)
 }
 
-// SCStatus reads the controller's status register (an I/O read).
+// SCStatus reads the controller's status register (an I/O read with
+// the full retry discipline).
 func (a *Adaptor) SCStatus() uint64 {
-	a.io.MMIOReads++
-	cpl := a.bus.Route(pcie.NewMemRead(a.id, a.scBar+core.RegSCStatus, 8, 0))
-	if cpl == nil || cpl.Status != pcie.CplSuccess {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cpl, err := a.readWithRetry(a.scBar + core.RegSCStatus)
+	if err != nil {
 		return 0
 	}
 	return binary.LittleEndian.Uint64(cpl.Payload)
@@ -163,7 +187,12 @@ func (a *Adaptor) SCStatus() uint64 {
 // InstallRule seals a Packet Filter policy under the config stream and
 // uploads it through the rule window (§4.1's encrypted configuration).
 func (a *Adaptor) InstallRule(r core.Rule) error {
-	sealed, err := a.config.Seal(r.Marshal(), nil)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.config == nil {
+		return fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
+	}
+	sealed, err := a.sealWithRetry(a.config, r.Marshal(), nil)
 	if err != nil {
 		return fmt.Errorf("adaptor: seal rule: %w", err)
 	}
@@ -173,7 +202,7 @@ func (a *Adaptor) InstallRule(r core.Rule) error {
 }
 
 func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
-	sealed, err := a.config.Seal(d.Marshal(), nil)
+	sealed, err := a.sealWithRetry(a.config, d.Marshal(), nil)
 	if err != nil {
 		return fmt.Errorf("adaptor: seal descriptor: %w", err)
 	}
@@ -185,6 +214,8 @@ func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
 // ReleaseRegion drops a transfer region on the SC and frees its staging
 // memory.
 func (a *Adaptor) ReleaseRegion(r *Region) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.mmioWrite64(core.RegDescRelease, uint64(r.Desc.ID))
 	if r.Buf != nil {
 		a.space.Free(r.Buf)
@@ -228,10 +259,12 @@ func (a *Adaptor) postTags(recs []core.TagRecord) {
 // The returned region's bounce address is what the native driver's DMA
 // descriptors point at.
 func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.h2d == nil {
 		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
 	}
-	if _, err := a.MaybeRekey(); err != nil {
+	if _, err := a.maybeRekeyLocked(); err != nil {
 		return nil, err
 	}
 	buf, err := a.space.Alloc(a.region, name, int64(len(data)))
@@ -254,7 +287,7 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 			end = len(data)
 		}
 		chunk := uint32(off / core.ChunkSize)
-		sealed, err := a.h2d.Seal(data[off:end], desc.AAD(chunk))
+		sealed, err := a.sealWithRetry(a.h2d, data[off:end], desc.AAD(chunk))
 		if err != nil {
 			a.space.Free(buf)
 			return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
@@ -271,13 +304,18 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 	a.postTags(recs)
 	// One region-ready notify: the batched I/O write of §5.
 	a.mmioWrite64(core.RegNotify, uint64(desc.ID))
-	return &Region{Desc: desc, Buf: buf, PlainLen: int64(len(data))}, nil
+	return &Region{Desc: desc, Buf: buf, PlainLen: int64(len(data)), Recs: recs}, nil
 }
 
 // StageVerified stages plaintext the device may read under action A3
 // (e.g. the command ring): the data sits in the clear but each chunk
 // carries a one-shot MAC record keyed to its region position.
 func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Region, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.config == nil {
+		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
+	}
 	buf, err := a.space.Alloc(a.region, name, size)
 	if err != nil {
 		return nil, fmt.Errorf("adaptor: verified alloc: %w", err)
@@ -299,6 +337,8 @@ func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Reg
 // this right before ringing a doorbell that will make the device read
 // those chunks.
 func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	key, _, err := a.keys.Material(core.StreamMMIO)
 	if err != nil {
 		return fmt.Errorf("adaptor: %w", err)
@@ -319,6 +359,8 @@ func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
 // PrepareD2H allocates a result bounce region plus its tag table and
 // registers both with the SC.
 func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.d2h == nil {
 		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
 	}
@@ -351,6 +393,8 @@ func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
 // otherwise by polling the SC over MMIO (the §5 anti-pattern, counted
 // as an I/O read).
 func (a *Adaptor) D2HProgress(r *Region, sc *core.Controller) uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if a.opts.BatchedMetadata && a.metaBuf != nil {
 		v, err := a.space.ReadUint64(a.metaBuf.Base() + uint64(r.Desc.ID)*8)
 		if err != nil {
@@ -366,6 +410,11 @@ func (a *Adaptor) D2HProgress(r *Region, sc *core.Controller) uint64 {
 // (decrypt_data): ciphertext from the bounce buffer, tags from the tag
 // table, counters enforced in order by the d2h stream replica.
 func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.d2h == nil {
+		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
+	}
 	if n > r.PlainLen {
 		return nil, fmt.Errorf("adaptor: collect %d bytes from %d-byte region", n, r.PlainLen)
 	}
@@ -383,7 +432,7 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 			Ciphertext: r.Buf.Slice(off, end-off),
 		}
 		copy(sealed.Tag[:], recBytes[12:])
-		pt, err := a.d2h.Open(sealed, r.Desc.AAD(chunk))
+		pt, err := a.openWithRetry(a.d2h, sealed, r.Desc.AAD(chunk))
 		if err != nil {
 			return nil, fmt.Errorf("adaptor: decrypt_data chunk %d: %w", chunk, err)
 		}
@@ -398,6 +447,8 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 // register: post the MAC record for the upcoming sequence number, then
 // issue the write through the SC's shadow window.
 func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	key, _, err := a.keys.Material(core.StreamMMIO)
 	if err != nil {
 		return fmt.Errorf("adaptor: %w", err)
@@ -417,12 +468,14 @@ func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 }
 
 // DeviceRead performs a pass-through (A4) read of a device register
-// through the SC window.
+// through the SC window, with bounded retry on completion timeout and
+// stale-completion suppression.
 func (a *Adaptor) DeviceRead(reg uint64) (uint64, error) {
-	a.io.MMIOReads++
-	cpl := a.bus.Route(pcie.NewMemRead(a.id, a.xpuBar+reg, 8, 0))
-	if cpl == nil || cpl.Status != pcie.CplSuccess {
-		return 0, fmt.Errorf("adaptor: device read at %#x rejected", reg)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cpl, err := a.readWithRetry(a.xpuBar + reg)
+	if err != nil {
+		return 0, err
 	}
 	return binary.LittleEndian.Uint64(cpl.Payload), nil
 }
@@ -438,12 +491,18 @@ const RekeyThreshold = 1 << 16
 // under the config stream, uploaded through the rekey window, and
 // installed on both ends with a bumped epoch.
 func (a *Adaptor) RekeyStream(stream string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rekeyStreamLocked(stream)
+}
+
+func (a *Adaptor) rekeyStreamLocked(stream string) error {
 	if a.config == nil {
 		return fmt.Errorf("adaptor: session not established")
 	}
 	key, nonce := secmem.FreshKey(), secmem.FreshNonce()
 	cmd := core.RekeyCommand{Stream: stream, Key: key, Nonce: nonce}
-	sealed, err := a.config.Seal(cmd.Marshal(), nil)
+	sealed, err := a.sealWithRetry(a.config, cmd.Marshal(), nil)
 	if err != nil {
 		return fmt.Errorf("adaptor: seal rekey: %w", err)
 	}
@@ -470,15 +529,21 @@ func (a *Adaptor) RekeyStream(stream string) error {
 // reports which streams were rotated. Call it between transfers; the
 // staging helpers call it implicitly.
 func (a *Adaptor) MaybeRekey() ([]string, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.maybeRekeyLocked()
+}
+
+func (a *Adaptor) maybeRekeyLocked() ([]string, error) {
 	var rotated []string
 	if a.h2d != nil && a.h2d.Remaining() < RekeyThreshold {
-		if err := a.RekeyStream(core.StreamH2D); err != nil {
+		if err := a.rekeyStreamLocked(core.StreamH2D); err != nil {
 			return rotated, err
 		}
 		rotated = append(rotated, core.StreamH2D)
 	}
 	if a.d2h != nil && a.d2h.Remaining() < RekeyThreshold {
-		if err := a.RekeyStream(core.StreamD2H); err != nil {
+		if err := a.rekeyStreamLocked(core.StreamD2H); err != nil {
 			return rotated, err
 		}
 		rotated = append(rotated, core.StreamD2H)
@@ -489,6 +554,12 @@ func (a *Adaptor) MaybeRekey() ([]string, error) {
 // Teardown destroys the session: the SC wipes keys/regions and cleans
 // the device; the TVM side zeroizes its own replicas.
 func (a *Adaptor) Teardown() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.teardownLocked()
+}
+
+func (a *Adaptor) teardownLocked() {
 	a.mmioWrite64(core.RegTeardown, 1)
 	a.keys.DestroyAll()
 	a.h2d, a.d2h, a.config = nil, nil, nil

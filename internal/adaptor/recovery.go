@@ -1,0 +1,297 @@
+package adaptor
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"ccai/internal/core"
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+	"ccai/internal/sim"
+)
+
+// RetryPolicy bounds the Adaptor's recovery behaviour. Every retryable
+// operation gets at most 1+MaxRetries attempts with exponential backoff
+// charged to the virtual clock; when attempts run out the Adaptor does
+// not limp along — it reports the failure so the caller can fail closed
+// (teardown through the environment guard), because a confidential
+// session in an unknown state is worth less than no session.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the first try.
+	MaxRetries int
+	// Backoff is the wait before the first retry.
+	Backoff sim.Time
+	// Multiplier scales the wait between consecutive retries (≥1).
+	Multiplier int
+}
+
+// DefaultRetryPolicy matches PCIe completion-timeout practice scaled to
+// the simulation: four retries starting at 5µs, doubling.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 4, Backoff: 5 * sim.Microsecond, Multiplier: 2}
+}
+
+// RecoveryStats counts fault-recovery activity. The fault matrix
+// asserts on these to prove recovery actually exercised the injected
+// path rather than silently passing.
+type RecoveryStats struct {
+	// Timeouts counts non-posted requests that saw no completion.
+	Timeouts uint64
+	// Retries counts re-issued requests (all causes).
+	Retries uint64
+	// Recovered counts operations that failed at least once and then
+	// succeeded.
+	Recovered uint64
+	// StaleSuppressed counts completions discarded because their
+	// transaction tag did not match the outstanding request.
+	StaleSuppressed uint64
+	// CryptoRetries counts crypto ops re-run after secmem.ErrTransient.
+	CryptoRetries uint64
+	// Reposts counts tag-table re-uploads after suspected tag loss.
+	Reposts uint64
+	// Resyncs counts A3 MMIO sequence re-synchronisations that actually
+	// moved the local sequence number.
+	Resyncs uint64
+	// Exhausted counts operations that ran out of retries.
+	Exhausted uint64
+	// FailClosed counts fail-closed teardowns.
+	FailClosed uint64
+	// LastFailure describes the most recent fail-closed cause.
+	LastFailure string
+}
+
+// SetRetryPolicy installs the recovery policy (zero value = no
+// retries).
+func (a *Adaptor) SetRetryPolicy(p RetryPolicy) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.policy = p
+}
+
+// SetClock attaches the virtual clock that backoff waits are charged
+// to. Without a clock retries are immediate (still bounded).
+func (a *Adaptor) SetClock(clk *sim.Engine) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.clock = clk
+}
+
+// Recovery reports a snapshot of the recovery counters.
+func (a *Adaptor) Recovery() RecoveryStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.rec
+}
+
+// backoff charges one wait to the virtual clock and scales the delay.
+// Callers hold a.mu.
+func (a *Adaptor) backoff(d *sim.Time) {
+	if a.clock != nil && *d > 0 {
+		a.clock.RunUntil(a.clock.Now() + *d)
+	}
+	m := a.policy.Multiplier
+	if m < 1 {
+		m = 1
+	}
+	*d *= sim.Time(m)
+}
+
+// readWithRetry issues a non-posted read with a fresh transaction tag
+// per attempt, retrying on completion timeout and suppressing stale
+// completions (tag mismatch) without accepting their data. A UR/CA
+// completion is a definitive policy answer and is never retried.
+// Callers hold a.mu.
+func (a *Adaptor) readWithRetry(addr uint64) (*pcie.Packet, error) {
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		tag := a.nextTag
+		a.nextTag++
+		a.io.MMIOReads++
+		cpl := a.bus.Route(pcie.NewMemRead(a.id, addr, 8, tag))
+		if cpl != nil && cpl.Tag != tag {
+			// A completion for a request we no longer have outstanding:
+			// stale or duplicated in flight. Accepting it would hand the
+			// caller another transaction's (possibly older) data, so it
+			// is suppressed and the attempt treated as timed out.
+			a.rec.StaleSuppressed++
+			cpl = nil
+		} else if cpl == nil {
+			a.rec.Timeouts++
+		}
+		if cpl != nil {
+			if cpl.Status != pcie.CplSuccess {
+				return nil, fmt.Errorf("adaptor: read %#x rejected (%v)", addr, cpl.Status)
+			}
+			if attempt > 0 {
+				a.rec.Recovered++
+			}
+			return cpl, nil
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			return nil, fmt.Errorf("adaptor: read %#x: no completion after %d attempts", addr, attempt+1)
+		}
+		a.rec.Retries++
+		a.backoff(&delay)
+	}
+}
+
+// sealWithRetry runs Seal, retrying only on transient engine faults.
+// ErrTransient fires before the stream consumes an IV counter, so the
+// retry seals with the SAME counter the failed attempt would have used
+// — a retransmit never reuses an IV because the failed attempt never
+// allocated one. Callers hold a.mu.
+func (a *Adaptor) sealWithRetry(s *secmem.Stream, pt, aad []byte) (*secmem.Sealed, error) {
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		sealed, err := s.Seal(pt, aad)
+		if !errors.Is(err, secmem.ErrTransient) {
+			if err == nil && attempt > 0 {
+				a.rec.Recovered++
+			}
+			return sealed, err
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			return nil, err
+		}
+		a.rec.CryptoRetries++
+		a.backoff(&delay)
+	}
+}
+
+// openWithRetry is sealWithRetry for the decrypt side. Auth and replay
+// failures are security verdicts, not faults — only ErrTransient
+// retries. Callers hold a.mu.
+func (a *Adaptor) openWithRetry(s *secmem.Stream, sealed *secmem.Sealed, aad []byte) ([]byte, error) {
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		pt, err := s.Open(sealed, aad)
+		if !errors.Is(err, secmem.ErrTransient) {
+			if err == nil && attempt > 0 {
+				a.rec.Recovered++
+			}
+			return pt, err
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			return nil, err
+		}
+		a.rec.CryptoRetries++
+		a.backoff(&delay)
+	}
+}
+
+// RepostTags re-uploads a region's retained tag records after suspected
+// tag-packet loss. The SC re-verifies already-consumed chunks through
+// its duplicate-read cache, so reposting is idempotent and never
+// weakens the replay discipline.
+func (a *Adaptor) RepostTags(r *Region) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(r.Recs) == 0 {
+		return
+	}
+	a.rec.Reposts++
+	a.postTags(r.Recs)
+}
+
+// ResyncMMIO re-aligns the A3 guarded-write sequence number with the
+// SC's expectation (exposed read-only at RegMMIOSeq). A guarded write
+// lost on the link desynchronises the two counters permanently —
+// every subsequent write would fail verification — so recovery reads
+// the authoritative value back.
+func (a *Adaptor) ResyncMMIO() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.config == nil {
+		return fmt.Errorf("adaptor: session not established")
+	}
+	cpl, err := a.readWithRetry(a.scBar + core.RegMMIOSeq)
+	if err != nil {
+		return err
+	}
+	seq := uint32(binary.LittleEndian.Uint64(cpl.Payload))
+	if seq != a.mmioSeq {
+		a.rec.Resyncs++
+		a.mmioSeq = seq
+	}
+	return nil
+}
+
+// MMIOSeq reports the local A3 sequence number (test observability).
+func (a *Adaptor) MMIOSeq() uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mmioSeq
+}
+
+// FailClosed tears the session down in response to unrecoverable
+// faults: keys zeroized on both ends, device cleaned through the
+// environment guard (via the SC teardown path). Confidentiality is
+// preserved by construction — nothing that was protected becomes less
+// protected because the session died.
+func (a *Adaptor) FailClosed(reason string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.rec.FailClosed++
+	a.rec.LastFailure = reason
+	a.teardownLocked()
+}
+
+// InstallCryptoFault threads a transient-fault hook into every stream
+// replica the Adaptor seals/opens with (fault-injection wiring).
+func (a *Adaptor) InstallCryptoFault(fn func(op string) error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, s := range []*secmem.Stream{a.h2d, a.d2h, a.config} {
+		if s != nil {
+			s.SetFaultHook(fn)
+		}
+	}
+}
+
+// AuditIVs installs an (epoch, counter) observer on the Adaptor's
+// seal-side streams — the oracle behind the "no IV reuse under any
+// fault" matrix invariant.
+func (a *Adaptor) AuditIVs(stream string, fn func(epoch, counter uint32)) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, err := a.streamLocked(stream)
+	if err != nil {
+		return err
+	}
+	s.SetIVAudit(fn)
+	return nil
+}
+
+// ForceStreamCounter positions a stream's send counter (exhaustion and
+// wraparound testing).
+func (a *Adaptor) ForceStreamCounter(stream string, c uint32) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s, err := a.streamLocked(stream)
+	if err != nil {
+		return err
+	}
+	s.ForceCounter(c)
+	return nil
+}
+
+// streamLocked resolves a stream replica by name. Callers hold a.mu.
+func (a *Adaptor) streamLocked(stream string) (*secmem.Stream, error) {
+	var s *secmem.Stream
+	switch stream {
+	case core.StreamH2D:
+		s = a.h2d
+	case core.StreamD2H:
+		s = a.d2h
+	case core.StreamConfig:
+		s = a.config
+	}
+	if s == nil {
+		return nil, fmt.Errorf("adaptor: no stream replica %q", stream)
+	}
+	return s, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"ccai/internal/pcie"
@@ -20,6 +21,7 @@ const (
 	RegMetaSize      = 0x038 // RW: batch buffer size
 	RegNotify        = 0x040 // WO: region-ready notify (the batched I/O write of §5)
 	RegRekeyDoorbell = 0x048 // WO: apply the sealed rekey command in the window
+	RegMMIOSeq       = 0x050 // RO: next expected A3 MMIO sequence number (recovery resync)
 	RegTagWindow     = 0x080 // WO: tag-record uploads (payload = packed records)
 	RegRuleWindow    = 0x100 // WO: sealed rule blob staging (256 B)
 	RegDescWindow    = 0x200 // WO: sealed descriptor blob staging (256 B)
@@ -44,6 +46,12 @@ type Stats struct {
 	ConfigRejects   uint64
 	GuardBlocks     uint64
 	Teardowns       uint64
+	// DuplicateReads counts benign retransmits re-served from the
+	// verified-chunk record (duplicate-read suppression): the chunk was
+	// re-fetched and re-authenticated against its retained tag without
+	// advancing the stream counter, so recovery never weakens the
+	// replay discipline.
+	DuplicateReads uint64
 }
 
 // Controller is the PCIe Security Controller. On the host bus it is an
@@ -79,6 +87,12 @@ type Controller struct {
 	rekeyBuf  []byte
 	d2hChunks map[uint32]uint64
 
+	// verified retains the tag record of every H2D chunk already
+	// accepted once, keyed by descriptor ID << 32 | chunk, so a benign
+	// retransmit (device re-read after a fault) can be re-verified and
+	// re-served without loosening the stream's replay watermark.
+	verified map[uint64]TagRecord
+
 	authorizedTVM pcie.ID
 	tvmPinned     bool
 
@@ -100,6 +114,7 @@ func NewController(id pcie.ID, bar pcie.Region, keys *secmem.KeyStore) *Controll
 		guard:     NewEnvGuard(),
 		regs:      make(map[uint64]uint64),
 		d2hChunks: make(map[uint32]uint64),
+		verified:  make(map[uint64]TagRecord),
 		status:    SCStatusReady,
 	}
 }
@@ -292,8 +307,11 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 		buf := make([]byte, p.Length)
 		var tmp [8]byte
 		v := c.regs[off&^7]
-		if off&^7 == RegSCStatus {
+		switch off &^ 7 {
+		case RegSCStatus:
 			v = c.status
+		case RegMMIOSeq:
+			v = uint64(c.mmioSeq)
 		}
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		copy(buf, tmp[:])
@@ -329,6 +347,7 @@ func (c *Controller) controlWrite(reg uint64, payload []byte) {
 		c.applySealedRekey()
 	case RegDescRelease:
 		c.regions.remove(uint32(v))
+		c.dropVerified(uint32(v))
 	case RegTeardown:
 		c.Teardown()
 	case RegMetaBase, RegMetaSize, RegNotify:
@@ -557,15 +576,36 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 	if cpl == nil || cpl.Status != pcie.CplSuccess {
 		return c.reject(p)
 	}
-	rec, ok := c.tags.Take(StreamH2D, desc.FirstCounter+chunk)
-	if !ok {
-		c.stats.AuthFailures++
-		return c.reject(p)
-	}
 	stream, err := c.params.Stream(StreamH2D)
 	if err != nil {
 		c.stats.AuthFailures++
 		return c.reject(p)
+	}
+	vkey := uint64(desc.ID)<<32 | uint64(chunk)
+	rec, ok := c.tags.Take(StreamH2D, desc.FirstCounter+chunk)
+	if !ok {
+		// Duplicate-read suppression: a device retrying DMA after a
+		// fault legitimately re-reads chunks whose tags were already
+		// consumed. Re-verify against the retained record without
+		// touching the replay watermark; anything never accepted before
+		// stays fail-closed.
+		vrec, seen := c.verified[vkey]
+		if !seen {
+			c.stats.AuthFailures++
+			return c.reject(p)
+		}
+		pt, err := stream.OpenStateless(&secmem.Sealed{
+			Counter:    desc.FirstCounter + chunk,
+			Epoch:      vrec.Epoch,
+			Ciphertext: cpl.Payload,
+			Tag:        vrec.Tag,
+		}, desc.AAD(chunk))
+		if err != nil {
+			c.stats.AuthFailures++
+			return c.reject(p)
+		}
+		c.stats.DuplicateReads++
+		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 	}
 	sealed := &secmem.Sealed{
 		Counter:    desc.FirstCounter + chunk,
@@ -574,10 +614,22 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		Tag:        rec.Tag,
 	}
 	pt, err := stream.Open(sealed, desc.AAD(chunk))
+	if errors.Is(err, secmem.ErrReplay) {
+		// The Adaptor reposted the whole tag table after a loss, so this
+		// chunk's counter is already behind the watermark — treat like
+		// any other benign retransmit.
+		if _, seen := c.verified[vkey]; seen {
+			if pt, err2 := stream.OpenStateless(sealed, desc.AAD(chunk)); err2 == nil {
+				c.stats.DuplicateReads++
+				return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+			}
+		}
+	}
 	if err != nil {
 		c.stats.AuthFailures++
 		return c.reject(p)
 	}
+	c.verified[vkey] = rec
 	c.stats.DecryptedChunks++
 	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 }
@@ -643,6 +695,15 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	return nil
 }
 
+// dropVerified forgets retained chunk records for a released region.
+func (c *Controller) dropVerified(region uint32) {
+	for k := range c.verified {
+		if uint32(k>>32) == region {
+			delete(c.verified, k)
+		}
+	}
+}
+
 // publishMetadata implements the §5 I/O-read optimization: instead of
 // the Adaptor polling the SC for DMA metadata, the SC batches progress
 // counters into a TVM-resident buffer (one 8-byte completed-chunk count
@@ -699,6 +760,7 @@ func (c *Controller) Teardown() {
 	c.tags.Clear()
 	c.mmioSeq = 0
 	c.d2hChunks = make(map[uint32]uint64)
+	c.verified = make(map[uint64]TagRecord)
 	if c.onTeardown != nil {
 		c.onTeardown()
 	}

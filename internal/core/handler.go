@@ -126,6 +126,12 @@ type TagManager struct {
 	pending map[uint64]TagRecord // key: stream hash << 32 | chunk
 	matched uint64
 	missing uint64
+
+	// fault, when set, may drop an arriving tag record — the
+	// tag-packet-loss fault class. A dropped tag makes the matching
+	// data chunk fail closed until the Adaptor reposts it.
+	fault        func(rec TagRecord) bool
+	droppedFault uint64
 }
 
 // NewTagManager returns an empty tag queue.
@@ -139,8 +145,19 @@ func tagKey(stream string, chunk uint32) uint64 {
 
 // Enqueue stores an arriving tag record.
 func (tm *TagManager) Enqueue(rec TagRecord) {
+	if tm.fault != nil && tm.fault(rec) {
+		tm.droppedFault++
+		return
+	}
 	tm.pending[tagKey(rec.Stream, rec.Chunk)] = rec
 }
+
+// SetFaultHook installs (or clears, with nil) the tag-packet-loss
+// injection point.
+func (tm *TagManager) SetFaultHook(fn func(rec TagRecord) bool) { tm.fault = fn }
+
+// DroppedByFault reports tag records lost to injected faults.
+func (tm *TagManager) DroppedByFault() uint64 { return tm.droppedFault }
 
 // Take matches and removes the tag for (stream, chunk); ok is false
 // when no tag packet arrived, which fails the integrity check.

@@ -1,0 +1,229 @@
+// Package fault is the deterministic fault-injection layer of the
+// simulated ccAI stack. The paper's threat model (§8.2) covers an
+// active adversary; this package covers the *benign* failures a
+// production PCIe-SC must also survive — link bit errors, lost TLPs,
+// completion timeouts, device hangs, lost interrupts, transient crypto
+// engine errors, tag-packet loss — without ever weakening the security
+// invariants of DESIGN.md §6. A fault may cost retries and latency; it
+// must never cost confidentiality, integrity, or freshness.
+//
+// Everything is seed-replayable: a Plan is either decoded from bytes or
+// generated from a seed, an Injector fires the plan's events at
+// deterministic match indices (optionally gated on the internal/sim
+// virtual clock), and the firing log records exactly what happened so a
+// chaos scenario can be replayed bit-for-bit in CI.
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/sim"
+)
+
+// Class identifies one fault class. The zero value is invalid so a
+// zeroed Event can never fire.
+type Class uint8
+
+const (
+	// CorruptTLP flips one payload bit of a matching packet on the
+	// untrusted link segment (link bit error below the LCRC residual).
+	CorruptTLP Class = iota + 1
+	// DropTLP deletes a matching posted packet in flight.
+	DropTLP
+	// TruncateTLP cuts a matching packet's payload short (malformed
+	// TLP; the filter and handlers must fail closed).
+	TruncateTLP
+	// DropCompletion deletes a completion in flight — the requester
+	// observes a completion timeout and must retry or fail closed.
+	DropCompletion
+	// StaleCompletion delays a completion and delivers it in place of a
+	// later one, so the requester sees a completion whose transaction
+	// tag does not match its outstanding request (duplicate/stale
+	// completion). Accepting it would be a freshness violation.
+	StaleCompletion
+	// DoorbellHang makes the xPU swallow doorbell rings: the command
+	// queue stalls with no error indication (firmware scheduler hang).
+	DoorbellHang
+	// DropMSI loses the MSI write of an interrupt the device latched.
+	DropMSI
+	// CryptoTransient injects a recoverable crypto-engine error
+	// (secmem.ErrTransient); no IV counter is consumed by the failed
+	// operation.
+	CryptoTransient
+	// TagLoss drops an authentication-tag record on arrival at the
+	// Authentication Tag Manager, orphaning its data chunk until the
+	// Adaptor reposts the tag table.
+	TagLoss
+
+	numClasses
+)
+
+var classNames = [...]string{
+	"invalid", "corrupt-tlp", "drop-tlp", "truncate-tlp", "drop-completion",
+	"stale-completion", "doorbell-hang", "drop-msi", "crypto-transient", "tag-loss",
+}
+
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("Class(%d)", uint8(c))
+}
+
+// Valid reports whether c names a real fault class.
+func (c Class) Valid() bool { return c >= CorruptTLP && c < numClasses }
+
+// Classes lists every fault class in declaration order.
+func Classes() []Class {
+	out := make([]Class, 0, int(numClasses)-1)
+	for c := CorruptTLP; c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Event is one scheduled fault: after Skip matching opportunities pass,
+// fire Count times on consecutive opportunities, but not before virtual
+// instant At (when the injector has a clock).
+type Event struct {
+	Class Class
+	// Skip is the number of matching opportunities to let pass
+	// unharmed before the event arms.
+	Skip uint16
+	// Count is how many times the event fires; 0 decodes as 1.
+	Count uint16
+	// At gates the event on the virtual clock: it stays dormant until
+	// sim.Time(At)*sim.Microsecond. Ignored when the injector has no
+	// clock.
+	At uint32
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("%v{skip=%d count=%d at=%dµs}", e.Class, e.Skip, e.Count, e.At)
+}
+
+// Decoder hard limits: plans are attacker-adjacent input (they ride in
+// CI config and fuzz corpora), so the decoder bounds everything.
+const (
+	// MaxEvents bounds a plan's event list.
+	MaxEvents = 64
+	// MaxSkip bounds Event.Skip.
+	MaxSkip = 4096
+	// MaxCount bounds Event.Count.
+	MaxCount = 256
+	// MaxAt bounds Event.At (µs of virtual time).
+	MaxAt = 10_000_000
+)
+
+// Plan is a reproducible chaos scenario: a seed (provenance + payload
+// randomness) and an ordered event list.
+type Plan struct {
+	Seed   uint64
+	Events []Event
+}
+
+// planMagic/planVersion frame the serialized form.
+var planMagic = [4]byte{'F', 'P', 'L', 'N'}
+
+const planVersion = 1
+
+// eventWireSize is the serialized size of one event.
+const eventWireSize = 1 + 2 + 2 + 4
+
+// Marshal serializes the plan.
+func (p Plan) Marshal() []byte {
+	buf := make([]byte, 0, 4+1+8+2+len(p.Events)*eventWireSize)
+	buf = append(buf, planMagic[:]...)
+	buf = append(buf, planVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, p.Seed)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(p.Events)))
+	for _, e := range p.Events {
+		buf = append(buf, byte(e.Class))
+		buf = binary.LittleEndian.AppendUint16(buf, e.Skip)
+		buf = binary.LittleEndian.AppendUint16(buf, e.Count)
+		buf = binary.LittleEndian.AppendUint32(buf, e.At)
+	}
+	return buf
+}
+
+// UnmarshalPlan parses a serialized plan, validating every structural
+// invariant; malformed input yields an error, never a partial plan.
+func UnmarshalPlan(data []byte) (Plan, error) {
+	var p Plan
+	if len(data) < 4+1+8+2 {
+		return p, fmt.Errorf("fault: plan truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != planMagic {
+		return p, fmt.Errorf("fault: bad plan magic %q", data[:4])
+	}
+	if data[4] != planVersion {
+		return p, fmt.Errorf("fault: unsupported plan version %d", data[4])
+	}
+	p.Seed = binary.LittleEndian.Uint64(data[5:13])
+	n := int(binary.LittleEndian.Uint16(data[13:15]))
+	if n > MaxEvents {
+		return Plan{}, fmt.Errorf("fault: %d events exceeds limit %d", n, MaxEvents)
+	}
+	body := data[15:]
+	if len(body) != n*eventWireSize {
+		return Plan{}, fmt.Errorf("fault: event section is %d bytes, want %d", len(body), n*eventWireSize)
+	}
+	if n > 0 {
+		p.Events = make([]Event, 0, n)
+	}
+	for i := 0; i < n; i++ {
+		off := i * eventWireSize
+		e := Event{
+			Class: Class(body[off]),
+			Skip:  binary.LittleEndian.Uint16(body[off+1:]),
+			Count: binary.LittleEndian.Uint16(body[off+3:]),
+			At:    binary.LittleEndian.Uint32(body[off+5:]),
+		}
+		if !e.Class.Valid() {
+			return Plan{}, fmt.Errorf("fault: event %d has invalid class %d", i, body[off])
+		}
+		if e.Count == 0 {
+			e.Count = 1
+		}
+		if e.Skip > MaxSkip || e.Count > MaxCount || e.At > MaxAt {
+			return Plan{}, fmt.Errorf("fault: event %d out of bounds (%v)", i, e)
+		}
+		p.Events = append(p.Events, e)
+	}
+	return p, nil
+}
+
+// Generate builds a deterministic chaos plan from a seed: n events
+// drawn from the given classes (all classes when none are named), with
+// small skips and counts so scenarios stay fast. The same seed always
+// yields the same plan.
+func Generate(seed uint64, n int, classes ...Class) Plan {
+	if n <= 0 {
+		n = 4
+	}
+	if n > MaxEvents {
+		n = MaxEvents
+	}
+	if len(classes) == 0 {
+		classes = Classes()
+	}
+	r := sim.NewRand(seed)
+	p := Plan{Seed: seed}
+	for i := 0; i < n; i++ {
+		p.Events = append(p.Events, Event{
+			Class: classes[r.Intn(len(classes))],
+			Skip:  uint16(r.Intn(8)),
+			Count: uint16(r.Intn(3) + 1),
+		})
+	}
+	return p
+}
+
+// Single is the one-event plan: the workhorse of the fault×invariant
+// matrix, where each cell injects exactly one class deterministically.
+func Single(seed uint64, class Class, skip, count int) Plan {
+	return Plan{Seed: seed, Events: []Event{{
+		Class: class, Skip: uint16(skip), Count: uint16(count),
+	}}}
+}

@@ -1,0 +1,244 @@
+package fault
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+	"ccai/internal/xpu"
+)
+
+func TestPlanRoundTrip(t *testing.T) {
+	for _, p := range []Plan{
+		{Seed: 0},
+		{Seed: 42, Events: []Event{{Class: CorruptTLP, Skip: 3, Count: 2, At: 17}}},
+		Generate(7, 12),
+		Generate(0xdeadbeef, MaxEvents),
+		Single(9, TagLoss, 1, 4),
+	} {
+		got, err := UnmarshalPlan(p.Marshal())
+		if err != nil {
+			t.Fatalf("unmarshal(%v): %v", p, err)
+		}
+		// Count==0 normalizes to 1 on decode.
+		want := p
+		want.Events = append([]Event(nil), p.Events...)
+		for i := range want.Events {
+			if want.Events[i].Count == 0 {
+				want.Events[i].Count = 1
+			}
+		}
+		if got.Seed != want.Seed || !reflect.DeepEqual(got.Events, want.Events) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+}
+
+func TestUnmarshalRejectsMalformed(t *testing.T) {
+	good := Single(1, DropTLP, 0, 1).Marshal()
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        good[:8],
+		"bad magic":    append([]byte("XXXX"), good[4:]...),
+		"bad version":  func() []byte { b := bytes.Clone(good); b[4] = 99; return b }(),
+		"bad class":    func() []byte { b := bytes.Clone(good); b[15] = 0; return b }(),
+		"class high":   func() []byte { b := bytes.Clone(good); b[15] = byte(numClasses); return b }(),
+		"body surplus": append(bytes.Clone(good), 0xff),
+		"count claim": func() []byte {
+			b := bytes.Clone(good)
+			b[13], b[14] = 0xff, 0xff // claim 65535 events, supply one
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalPlan(data); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, b := Generate(1234, 16), Generate(1234, 16)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	c := Generate(1235, 16)
+	if reflect.DeepEqual(a.Events, c.Events) {
+		t.Fatal("different seeds produced identical plans")
+	}
+	for _, e := range a.Events {
+		if !e.Class.Valid() {
+			t.Fatalf("generated invalid class in %v", e)
+		}
+	}
+}
+
+func trafficMWr(i int) *pcie.Packet {
+	return pcie.NewMemWrite(pcie.MakeID(0, 8, 0), 0x8000_0000+uint64(i)*64, bytes.Repeat([]byte{byte(i)}, 64))
+}
+
+func TestInjectorSkipCountSemantics(t *testing.T) {
+	inj := NewInjector(Single(5, DropTLP, 2, 2))
+	var dropped []int
+	for i := 0; i < 8; i++ {
+		if inj.Tap(trafficMWr(i)) == nil {
+			dropped = append(dropped, i)
+		}
+	}
+	// Skip=2: packets 0,1 pass; Count=2: packets 2,3 dropped; rest pass.
+	if !reflect.DeepEqual(dropped, []int{2, 3}) {
+		t.Fatalf("dropped %v, want [2 3]", dropped)
+	}
+	if !inj.Exhausted() {
+		t.Fatal("plan should be exhausted")
+	}
+	if inj.Fired(DropTLP) != 2 || inj.TotalFired() != 2 {
+		t.Fatalf("fired=%d total=%d, want 2/2", inj.Fired(DropTLP), inj.TotalFired())
+	}
+}
+
+func TestInjectorDeterministicReplay(t *testing.T) {
+	plan := Generate(99, 10, CorruptTLP, TruncateTLP, DropTLP)
+	run := func() ([][]byte, []Firing) {
+		inj := NewInjector(plan)
+		var out [][]byte
+		for i := 0; i < 40; i++ {
+			p := inj.Tap(trafficMWr(i))
+			if p == nil {
+				out = append(out, nil)
+				continue
+			}
+			out = append(out, bytes.Clone(p.Payload))
+		}
+		return out, inj.Log()
+	}
+	o1, l1 := run()
+	o2, l2 := run()
+	if !reflect.DeepEqual(o1, o2) {
+		t.Fatal("same plan + same traffic produced different packet mutations")
+	}
+	if !reflect.DeepEqual(l1, l2) {
+		t.Fatalf("firing logs differ:\n%v\n%v", l1, l2)
+	}
+	if len(l1) == 0 {
+		t.Fatal("plan never fired")
+	}
+}
+
+func TestInjectorCorruptFlipsExactlyOneBit(t *testing.T) {
+	inj := NewInjector(Single(3, CorruptTLP, 0, 1))
+	orig := trafficMWr(0)
+	got := inj.Tap(orig.Clone())
+	if got == nil {
+		t.Fatal("corrupt must not drop")
+	}
+	diff := 0
+	for i := range orig.Payload {
+		x := orig.Payload[i] ^ got.Payload[i]
+		for ; x != 0; x &= x - 1 {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("flipped %d bits, want exactly 1", diff)
+	}
+}
+
+func TestInjectorTruncateShortens(t *testing.T) {
+	inj := NewInjector(Single(8, TruncateTLP, 0, 1))
+	got := inj.Tap(trafficMWr(0))
+	if got == nil {
+		t.Fatal("truncate must not drop")
+	}
+	if len(got.Payload) >= 64 || got.Length != uint32(len(got.Payload)) {
+		t.Fatalf("payload %d bytes (len field %d), want shorter than 64 and consistent", len(got.Payload), got.Length)
+	}
+}
+
+func TestInjectorCompletionClasses(t *testing.T) {
+	req := pcie.NewMemRead(pcie.MakeID(0, 8, 0), 0x8000_0000, 64, 7)
+	mk := func(tag uint8, fill byte) *pcie.Packet {
+		r := req.Clone()
+		r.Tag = tag
+		return pcie.NewCompletion(r, pcie.MakeID(0, 2, 0), pcie.CplSuccess, bytes.Repeat([]byte{fill}, 64))
+	}
+
+	inj := NewInjector(Single(1, DropCompletion, 0, 1))
+	if inj.Tap(mk(1, 0xaa)) != nil {
+		t.Fatal("drop-completion should delete the completion")
+	}
+	if inj.Tap(mk(2, 0xbb)) == nil {
+		t.Fatal("only one completion should be dropped")
+	}
+
+	inj = NewInjector(Single(1, StaleCompletion, 0, 2))
+	if got := inj.Tap(mk(1, 0xaa)); got != nil {
+		t.Fatal("first stale firing should delay (deliver nothing)")
+	}
+	got := inj.Tap(mk(2, 0xbb))
+	if got == nil || got.Tag != 1 || got.Payload[0] != 0xaa {
+		t.Fatalf("second firing should deliver the stale completion (tag 1), got %v", got)
+	}
+	if got := inj.Tap(mk(3, 0xcc)); got == nil || got.Tag != 3 {
+		t.Fatalf("after plan exhausted completions flow untouched, got %v", got)
+	}
+}
+
+func TestInjectorDeviceAndMatchScoping(t *testing.T) {
+	inj := NewInjector(Plan{Seed: 2, Events: []Event{
+		{Class: DoorbellHang, Count: 1},
+		{Class: DropMSI, Count: 1},
+	}})
+	if !inj.DeviceFault(xpu.FaultDoorbell) || inj.DeviceFault(xpu.FaultDoorbell) {
+		t.Fatal("doorbell hang should fire exactly once")
+	}
+	if !inj.DeviceFault(xpu.FaultMSI) || inj.DeviceFault(xpu.FaultMSI) {
+		t.Fatal("msi drop should fire exactly once")
+	}
+	if inj.DeviceFault("unknown-point") {
+		t.Fatal("unknown hook points never fire")
+	}
+
+	// Match scoping: only packets to 0x9000_0000+ are eligible.
+	inj = NewInjector(Single(4, DropTLP, 0, 1))
+	inj.SetMatch(func(p *pcie.Packet) bool { return p.Address >= 0x9000_0000 })
+	if inj.Tap(trafficMWr(0)) == nil {
+		t.Fatal("non-matching packet must pass untouched")
+	}
+	hit := pcie.NewMemWrite(pcie.MakeID(0, 8, 0), 0x9000_0000, []byte{1})
+	if inj.Tap(hit) != nil {
+		t.Fatal("matching packet should be dropped")
+	}
+}
+
+func TestInjectorClockGating(t *testing.T) {
+	clk := sim.NewEngine()
+	inj := NewInjector(Plan{Seed: 1, Events: []Event{{Class: DropTLP, Count: 1, At: 5}}})
+	inj.SetClock(clk)
+	if inj.Tap(trafficMWr(0)) == nil {
+		t.Fatal("event gated at t=5µs must not fire at t=0")
+	}
+	clk.RunUntil(5 * sim.Microsecond)
+	if inj.Tap(trafficMWr(1)) != nil {
+		t.Fatal("event should fire once the clock reaches its At instant")
+	}
+	log := inj.Log()
+	if len(log) != 1 || log[0].At != 5*sim.Microsecond {
+		t.Fatalf("firing log %v, want one firing at 5µs", log)
+	}
+}
+
+func TestInjectorCryptoTransient(t *testing.T) {
+	inj := NewInjector(Single(6, CryptoTransient, 1, 1))
+	if err := inj.CryptoFault("seal"); err != nil {
+		t.Fatalf("skip=1: first op must pass, got %v", err)
+	}
+	if err := inj.CryptoFault("seal"); err == nil {
+		t.Fatal("second op should hit the transient fault")
+	}
+	if err := inj.CryptoFault("open"); err != nil {
+		t.Fatalf("plan exhausted, got %v", err)
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 )
 
 // KeySize is the AES key length in bytes. The prototype uses AES-128
@@ -41,17 +42,35 @@ var ErrAuth = errors.New("secmem: authentication failed")
 // i.e. a replayed or reordered protected packet.
 var ErrReplay = errors.New("secmem: replayed or out-of-order counter")
 
+// ErrTransient reports a recoverable crypto-engine fault (a pipeline
+// stall, an ECC hiccup in the engine's working SRAM). The operation
+// consumed no stream state — in particular no IV counter — so the
+// caller may simply retry; the fault layer injects these to exercise
+// recovery paths.
+var ErrTransient = errors.New("secmem: transient crypto-engine fault")
+
 // Stream is one direction of a protected channel between the Adaptor and
 // the PCIe-SC. Both ends derive the same key and nonce base during trust
 // establishment; each encrypted chunk consumes one counter value, and
 // the receiver enforces strictly increasing counters, which defeats
 // replay and reordering on the untrusted bus segment (§8.2).
 type Stream struct {
+	mu        sync.Mutex
 	aead      cipher.AEAD
 	nonceBase [nonceBase]byte
 	sendCtr   uint32
 	recvCtr   uint32 // highest counter accepted so far (0 = none)
 	epoch     uint32 // increments on rekey
+
+	// fault, when set, is consulted before each engine operation and
+	// may return ErrTransient to model a recoverable engine error. It
+	// fires before any stream state changes, so a failed operation
+	// never consumes an IV counter.
+	fault func(op string) error
+	// ivAudit, when set, observes every (epoch, counter) pair consumed
+	// by Seal — the test oracle for the "no IV is ever reused"
+	// invariant.
+	ivAudit func(epoch, counter uint32)
 }
 
 // NewStream builds a protected stream from a 16-byte key and an 8-byte
@@ -95,13 +114,26 @@ type Sealed struct {
 }
 
 // Seal encrypts plaintext with the next counter, binding aad (typically
-// the serialized TLP header fields) into the tag.
+// the serialized TLP header fields) into the tag. Safe for concurrent
+// use: the counter check and increment happen under the stream lock, so
+// pipelined in-flight packets can never double-allocate (and therefore
+// never reuse) an IV, even at the exhaustion boundary.
 func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault != nil {
+		if err := s.fault("seal"); err != nil {
+			return nil, err
+		}
+	}
 	if s.sendCtr == ^uint32(0) {
 		return nil, ErrIVExhausted
 	}
 	s.sendCtr++
 	c := s.sendCtr
+	if s.ivAudit != nil {
+		s.ivAudit(s.epoch, c)
+	}
 	out := s.aead.Seal(nil, s.nonceFor(c), plaintext, aad)
 	sealed := &Sealed{Counter: c, Epoch: s.epoch}
 	n := len(out) - TagSize
@@ -113,6 +145,13 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 // Open authenticates and decrypts one chunk, enforcing the
 // strictly-increasing counter discipline.
 func (s *Stream) Open(sealed *Sealed, aad []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault != nil {
+		if err := s.fault("open"); err != nil {
+			return nil, err
+		}
+	}
 	if sealed.Epoch != s.epoch {
 		return nil, fmt.Errorf("%w: epoch %d vs %d", ErrReplay, sealed.Epoch, s.epoch)
 	}
@@ -128,14 +167,72 @@ func (s *Stream) Open(sealed *Sealed, aad []byte) ([]byte, error) {
 	return pt, nil
 }
 
+// OpenStateless authenticates and decrypts a chunk that was ALREADY
+// accepted once (its counter is at or below the receive watermark)
+// without advancing any stream state. This is the duplicate-read
+// suppression primitive: a benign retransmit — the device re-fetching a
+// chunk after a link fault — re-verifies against the retained tag and
+// is re-served, while the strictly-increasing discipline of Open keeps
+// rejecting genuinely replayed traffic presented as new data. Chunks
+// that were never accepted do not qualify and fail with ErrReplay.
+func (s *Stream) OpenStateless(sealed *Sealed, aad []byte) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.fault != nil {
+		if err := s.fault("open"); err != nil {
+			return nil, err
+		}
+	}
+	if sealed.Epoch != s.epoch {
+		return nil, fmt.Errorf("%w: epoch %d vs %d", ErrReplay, sealed.Epoch, s.epoch)
+	}
+	if sealed.Counter > s.recvCtr {
+		return nil, fmt.Errorf("%w: counter %d never accepted (watermark %d)", ErrReplay, sealed.Counter, s.recvCtr)
+	}
+	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
+	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
+	if err != nil {
+		return nil, ErrAuth
+	}
+	return pt, nil
+}
+
+// SetFaultHook installs (or clears, with nil) the transient-fault
+// injection point consulted before each engine operation.
+func (s *Stream) SetFaultHook(fn func(op string) error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fault = fn
+}
+
+// SetIVAudit installs an observer for every IV (epoch, counter) the
+// seal side consumes. Test instrumentation only; it must not block.
+func (s *Stream) SetIVAudit(fn func(epoch, counter uint32)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ivAudit = fn
+}
+
 // SendCounter reports how many chunks have been sealed.
-func (s *Stream) SendCounter() uint32 { return s.sendCtr }
+func (s *Stream) SendCounter() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sendCtr
+}
 
 // Epoch reports the stream's key epoch.
-func (s *Stream) Epoch() uint32 { return s.epoch }
+func (s *Stream) Epoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch
+}
 
 // Remaining reports how many counter values are left before exhaustion.
-func (s *Stream) Remaining() uint32 { return ^uint32(0) - s.sendCtr }
+func (s *Stream) Remaining() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ^uint32(0) - s.sendCtr
+}
 
 // Rekey installs a fresh key + nonce base and resets both counters,
 // bumping the epoch. This is the paper's IV-exhaustion mitigation
@@ -145,6 +242,8 @@ func (s *Stream) Rekey(key, nonce []byte) error {
 	if err != nil {
 		return err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.aead = ns.aead
 	s.nonceBase = ns.nonceBase
 	s.sendCtr = 0
@@ -154,7 +253,11 @@ func (s *Stream) Rekey(key, nonce []byte) error {
 }
 
 // ForceCounter positions the send counter for testing exhaustion paths.
-func (s *Stream) ForceCounter(c uint32) { s.sendCtr = c }
+func (s *Stream) ForceCounter(c uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sendCtr = c
+}
 
 // --- A3 (Write Protected) integrity ---------------------------------------
 

@@ -149,6 +149,32 @@ func (d *Driver) Submit(cmds ...xpu.Command) error {
 	return d.port.WriteReg(xpu.RegDoorbell, 1)
 }
 
+// Kick recovers a stalled submission: it re-reads the device's head,
+// re-runs the pre-doorbell hook for every not-yet-consumed slot (ccAI's
+// ring MAC records are one-shot, so a re-fetch after a lost doorbell
+// needs fresh ones), rewrites the tail register and rings the doorbell
+// again. Safe when nothing is pending — the device ignores a doorbell
+// with head == tail.
+func (d *Driver) Kick() error {
+	head, err := d.Head()
+	if err != nil {
+		return fmt.Errorf("tvm: kick: %w", err)
+	}
+	if d.preDoorbell != nil && head < d.tail {
+		chunks := make([]uint32, 0, d.tail-head)
+		for i := head; i < d.tail; i++ {
+			chunks = append(chunks, uint32(i%d.ringSize))
+		}
+		if err := d.preDoorbell(chunks); err != nil {
+			return fmt.Errorf("tvm: kick: %w", err)
+		}
+	}
+	if err := d.port.WriteReg(xpu.RegCmdTail, d.tail); err != nil {
+		return err
+	}
+	return d.port.WriteReg(xpu.RegDoorbell, 1)
+}
+
 // Head reads the device's consumption index.
 func (d *Driver) Head() (uint64, error) { return d.port.ReadReg(xpu.RegCmdHead) }
 

@@ -129,6 +129,25 @@ func UnmarshalCommand(buf []byte) (Command, error) {
 // internal bus; in a vanilla deployment it is the host bus directly.
 type Upstream func(p *pcie.Packet) *pcie.Packet
 
+// Fault-injection points a FaultHook is consulted at. These model
+// benign device failures — firmware scheduler stalls and interrupt
+// delivery loss — not adversarial behaviour; the security invariants
+// must hold regardless.
+const (
+	// FaultDoorbell: a true return makes the device ignore this
+	// doorbell ring (command-queue hang). The driver's stall-recovery
+	// path re-rings it.
+	FaultDoorbell = "doorbell"
+	// FaultMSI: a true return loses the MSI write for an interrupt the
+	// device just latched in RegIntStatus. Drivers that poll (or
+	// re-read IntStatus on timeout) recover.
+	FaultMSI = "msi"
+)
+
+// FaultHook is consulted at each fault point; returning true makes the
+// fault fire. A nil hook means a perfectly reliable device.
+type FaultHook func(point string) bool
+
 // Device is the functional accelerator model.
 type Device struct {
 	profile Profile
@@ -144,11 +163,15 @@ type Device struct {
 
 	upstream Upstream
 
+	faultHook FaultHook
+
 	// Execution log for tests and the environment guard.
-	executed  []Command
-	faults    int
-	coldBoots int
-	envResets int
+	executed   []Command
+	faults     int
+	coldBoots  int
+	envResets  int
+	hangs      int
+	msiDropped int
 }
 
 // NewDevice instantiates a device model at the given bus ID with BAR0
@@ -212,6 +235,15 @@ func (d *Device) BAR0() pcie.Region {
 
 // SetUpstream wires the device's host-facing path.
 func (d *Device) SetUpstream(u Upstream) { d.upstream = u }
+
+// SetFaultHook wires the benign-failure injection layer (nil clears).
+func (d *Device) SetFaultHook(h FaultHook) { d.faultHook = h }
+
+// Hangs reports doorbell rings the device swallowed under fault.
+func (d *Device) Hangs() int { return d.hangs }
+
+// MSIDropped reports interrupts whose MSI write was lost under fault.
+func (d *Device) MSIDropped() int { return d.msiDropped }
 
 // DevMem exposes functional device memory for test assertions.
 func (d *Device) DevMem() []byte { return d.devMem }
@@ -282,6 +314,10 @@ func (d *Device) mmioWrite(p *pcie.Packet) {
 	switch reg {
 	case RegDoorbell:
 		d.regs[RegDoorbell] = v
+		if d.faultHook != nil && d.faultHook(FaultDoorbell) {
+			d.hangs++ // command queue hang: ring swallowed, no progress
+			return
+		}
 		d.pump()
 	case RegAttestNonce:
 		d.regs[RegAttestNonce] = v
@@ -384,6 +420,10 @@ func (d *Device) raiseInterrupt(cause uint64) {
 	d.regs[RegIntStatus] |= cause
 	msiAddr := d.regs[RegMSIAddr]
 	if msiAddr == 0 || d.upstream == nil {
+		return
+	}
+	if d.faultHook != nil && d.faultHook(FaultMSI) {
+		d.msiDropped++ // cause bit stays latched; polling still observes it
 		return
 	}
 	data := make([]byte, 4)

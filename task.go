@@ -3,6 +3,7 @@ package ccai
 import (
 	"fmt"
 
+	"ccai/internal/adaptor"
 	"ccai/internal/tvm"
 	"ccai/internal/xpu"
 )
@@ -50,6 +51,7 @@ func (p *Platform) RunTask(t Task) ([]byte, error) {
 	var inAddr, outAddr uint64
 	var collect func() ([]byte, error)
 	var release func()
+	var inRegion *adaptor.Region
 
 	if p.Mode == Protected {
 		in, err := p.Adaptor.StageH2D("task-input", t.Input)
@@ -61,6 +63,7 @@ func (p *Platform) RunTask(t Task) ([]byte, error) {
 			p.Adaptor.ReleaseRegion(in)
 			return nil, err
 		}
+		inRegion = in
 		inAddr, outAddr = in.Buf.Base(), out.Buf.Base()
 		collect = func() ([]byte, error) { return p.Adaptor.CollectD2H(out, outLen) }
 		release = func() {
@@ -98,13 +101,56 @@ func (p *Platform) RunTask(t Task) ([]byte, error) {
 	if err := p.Driver.Submit(cmds...); err != nil {
 		return nil, err
 	}
+	want := before + uint64(len(cmds))
 	head, err := p.Driver.Head()
-	if err != nil {
+	if err != nil && p.Mode != Protected {
 		return nil, err
 	}
-	if head != before+uint64(len(cmds)) {
+	if err == nil && head == want {
+		return collect()
+	}
+	if p.Mode != Protected {
 		st, _ := p.Driver.Status()
 		return nil, fmt.Errorf("ccai: device consumed %d/%d commands (status %#x)", head-before, len(cmds), st)
 	}
+	if err := p.recoverSubmission(inRegion, before, want); err != nil {
+		return nil, err
+	}
 	return collect()
+}
+
+// submitRecoveryAttempts bounds the stalled-submission recovery loop.
+const submitRecoveryAttempts = 3
+
+// recoverSubmission drives the Protected-mode recovery ladder for a
+// submission the device did not fully consume: re-align the A3 MMIO
+// sequence (a lost guarded write desynchronises it permanently), repost
+// the input region's tag table (tag-packet loss orphans chunks), then
+// kick the driver (re-sync ring MACs, re-ring the doorbell). If the
+// device still hasn't consumed everything after bounded attempts, the
+// Adaptor tears the session down fail-closed: keys zeroized on both
+// ends and the device cleaned through the environment guard, because a
+// half-run confidential task must not leave a live session behind.
+func (p *Platform) recoverSubmission(in *adaptor.Region, before, want uint64) error {
+	for attempt := 0; attempt < submitRecoveryAttempts; attempt++ {
+		if err := p.Adaptor.ResyncMMIO(); err != nil {
+			break
+		}
+		if in != nil {
+			p.Adaptor.RepostTags(in)
+		}
+		if err := p.Driver.Kick(); err != nil {
+			continue
+		}
+		head, err := p.Driver.Head()
+		if err == nil && head == want {
+			return nil
+		}
+	}
+	st, _ := p.Driver.Status()
+	head, _ := p.Driver.Head()
+	reason := fmt.Sprintf("submission stalled: device consumed %d/%d commands (status %#x)", head-before, want-before, st)
+	p.Adaptor.FailClosed(reason)
+	p.trusted = false
+	return fmt.Errorf("ccai: %s; session torn down", reason)
 }
