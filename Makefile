@@ -2,14 +2,15 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz vet fmt experiments clean ci
+.PHONY: all build test race bench bench-smoke cover fuzz vet fmt experiments clean ci
 
 all: build test
 
 # Everything a merge gate needs: static checks, the full suite, the
-# race detector over the concurrent retry paths, and a short fuzz pass
-# over the attacker-facing parsers (fault plans included).
-ci: vet test race
+# race detector over the concurrent retry paths, a one-iteration pass
+# over every benchmark (so they can't rot), and a short fuzz pass over
+# the attacker-facing parsers (fault plans included).
+ci: vet test race bench-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 
@@ -31,6 +32,16 @@ fmt:
 # One testing.B benchmark per paper table/figure, plus micro-benchmarks.
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Compile and run every benchmark exactly once — a smoke test that
+# keeps benchmark code building and passing without paying for timing.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+# Coverage summary across the module.
+cover:
+	$(GO) test -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 # Short fuzz campaigns over every attacker-facing parser.
 fuzz:

@@ -199,6 +199,34 @@ func BenchmarkProtectedTask(b *testing.B) {
 	}
 }
 
+// BenchmarkProtectedTaskObserved is BenchmarkProtectedTask with the
+// observability layer on — the overhead acceptance gate: compare the
+// two ns/op figures; instrumentation must stay within a few percent
+// (span/counter work is atomic increments and slice appends, no I/O).
+func BenchmarkProtectedTaskObserved(b *testing.B) {
+	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected, Observe: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plat.EstablishTrust(); err != nil {
+		b.Fatal(err)
+	}
+	defer plat.Close()
+	input := make([]byte, 4096)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.RunTask(ccai.Task{Input: input, Kernel: ccai.KernelAdd, Param: 1}); err != nil {
+			b.Fatal(err)
+		}
+		if i%1024 == 1023 {
+			// Keep retained spans bounded so the benchmark measures the
+			// hot path, not allocator pressure from an ever-growing log.
+			plat.Observability().T().Reset()
+		}
+	}
+}
+
 // BenchmarkVanillaTask is the unprotected functional baseline.
 func BenchmarkVanillaTask(b *testing.B) {
 	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Vanilla})

@@ -3,23 +3,33 @@
 //
 //	ccai-bench                  # everything
 //	ccai-bench -only fig8       # one experiment (table1..3, fig8..fig12b)
+//	ccai-bench -only micro      # just the end-to-end micro-benchmarks
 //	ccai-bench -src /path/repo  # repository root for Table 3 LoC counts
+//
+// Alongside the human tables it writes BENCH_results.json — wall-clock
+// micro-benchmarks of the real simulated pipeline (not the analytical
+// timing model) — so the perf trajectory is machine-trackable across
+// revisions. Disable with -out "".
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
+	"ccai"
 	"ccai/internal/bench"
 	"ccai/internal/llm"
 	"ccai/internal/xpu"
 )
 
 func main() {
-	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition")
+	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition,micro")
 	src := flag.String("src", ".", "repository root for Table 3 LoC measurement")
+	out := flag.String("out", "BENCH_results.json", "machine-readable micro-benchmark results path (empty disables)")
 	flag.Parse()
 
 	cm := bench.Defaults()
@@ -133,4 +143,104 @@ func main() {
 		}
 		fmt.Println(bench.RenderFig12b(rows))
 	}
+	if want("micro") && *out != "" {
+		results, err := microBench()
+		if err != nil {
+			fail("micro", err)
+		}
+		if err := writeResults(*out, results); err != nil {
+			fail("micro", err)
+		}
+		fmt.Println(renderMicro(*out, results))
+	}
+}
+
+// benchResult is one BENCH_results.json entry, mirroring testing.B's
+// headline numbers so external tooling can diff runs.
+type benchResult struct {
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp uint64  `json:"bytes_per_op"`
+	Iterations int     `json:"iterations"`
+}
+
+// microIters bounds each micro-benchmark's sample count. Small on
+// purpose: this is a trajectory tracker, not a statistics engine.
+const microIters = 8
+
+// microBench times the real end-to-end pipeline (wall clock, not the
+// timing model): vanilla vs. protected task execution at two transfer
+// sizes, plus the protected path with observability on — the number the
+// overhead acceptance criterion watches.
+func microBench() ([]benchResult, error) {
+	type cfg struct {
+		name    string
+		mode    ccai.Mode
+		observe bool
+		size    int
+	}
+	cases := []cfg{
+		{"task/vanilla/4KiB", ccai.Vanilla, false, 4 << 10},
+		{"task/vanilla/64KiB", ccai.Vanilla, false, 64 << 10},
+		{"task/ccAI/4KiB", ccai.Protected, false, 4 << 10},
+		{"task/ccAI/64KiB", ccai.Protected, false, 64 << 10},
+		{"task/ccAI-observed/64KiB", ccai.Protected, true, 64 << 10},
+	}
+	var results []benchResult
+	for _, c := range cases {
+		plat, err := ccai.NewPlatform(ccai.Config{Mode: c.mode, Observe: c.observe})
+		if err != nil {
+			return nil, err
+		}
+		if err := plat.EstablishTrust(); err != nil {
+			plat.Close()
+			return nil, err
+		}
+		input := make([]byte, c.size)
+		for i := range input {
+			input[i] = byte(i)
+		}
+		task := ccai.Task{Input: input, Kernel: ccai.KernelXOR, Param: 0x5a}
+		if _, err := plat.RunTask(task); err != nil { // warm-up
+			plat.Close()
+			return nil, err
+		}
+		start := time.Now()
+		for i := 0; i < microIters; i++ {
+			if _, err := plat.RunTask(task); err != nil {
+				plat.Close()
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		plat.Close()
+		results = append(results, benchResult{
+			Name:       c.name,
+			NsPerOp:    float64(elapsed.Nanoseconds()) / microIters,
+			BytesPerOp: uint64(c.size),
+			Iterations: microIters,
+		})
+	}
+	return results, nil
+}
+
+func writeResults(path string, results []benchResult) error {
+	doc := struct {
+		Tool    string        `json:"tool"`
+		Results []benchResult `json:"results"`
+	}{Tool: "ccai-bench", Results: results}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func renderMicro(path string, results []benchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "End-to-end micro-benchmarks (wall clock, %d iters) -> %s\n", microIters, path)
+	for _, r := range results {
+		fmt.Fprintf(&b, "  %-28s %14.0f ns/op %10d bytes/op\n", r.Name, r.NsPerOp, r.BytesPerOp)
+	}
+	return b.String()
 }

@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestCaptureDumpReadRoundTrip drives the CLI end to end: run a
+// protected task dumping a host-bus capture, re-read the capture, and
+// assert the re-read summary matches what the live run recorded.
+func TestCaptureDumpReadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	capPath := filepath.Join(dir, "host.ccap")
+
+	var liveOut bytes.Buffer
+	if err := run([]string{"-bytes", "2048", "-dump", capPath}, &liveOut); err != nil {
+		t.Fatalf("dump run: %v", err)
+	}
+	live := liveOut.String()
+	if !strings.Contains(live, "task complete on A100") {
+		t.Fatalf("dump run output unexpected:\n%s", live)
+	}
+	m := regexp.MustCompile(`capture: (\d+) packets written`).FindStringSubmatch(live)
+	if m == nil {
+		t.Fatalf("no capture line in output:\n%s", live)
+	}
+	wantPkts := m[1]
+
+	var readOut bytes.Buffer
+	if err := run([]string{"-read", capPath}, &readOut); err != nil {
+		t.Fatalf("read run: %v", err)
+	}
+	read := readOut.String()
+	if !strings.Contains(read, fmt.Sprintf("capture %s: %s packets", capPath, wantPkts)) {
+		t.Fatalf("re-read record count does not match the %s written:\n%s", wantPkts, read)
+	}
+
+	// The live host-bus summary and the replayed capture summary must
+	// agree on totals (first line carries "N packets, M payload bytes").
+	liveTotals := regexp.MustCompile(`segment "host bus \(untrusted\)": (.*)\n`).FindStringSubmatch(live)
+	capTotals := regexp.MustCompile(`segment "capture": (.*)\n`).FindStringSubmatch(read)
+	if liveTotals == nil || capTotals == nil {
+		t.Fatalf("summaries missing:\nlive:\n%s\nread:\n%s", live, read)
+	}
+	if liveTotals[1] != capTotals[1] {
+		t.Fatalf("summary mismatch: live %q vs capture %q", liveTotals[1], capTotals[1])
+	}
+	if !strings.Contains(read, "first 10 packets:") {
+		t.Fatalf("packet preview missing:\n%s", read)
+	}
+}
+
+// TestMetricsAndTimelineFlags checks the observability flags: -metrics
+// prints the registry and -timeline writes a valid Chrome trace.
+func TestMetricsAndTimelineFlags(t *testing.T) {
+	dir := t.TempDir()
+	tlPath := filepath.Join(dir, "timeline.json")
+
+	var out bytes.Buffer
+	if err := run([]string{"-bytes", "1024", "-metrics", "-timeline", tlPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"observability metrics:",
+		"sc.decrypted_chunks",
+		"driver.submits",
+		"timeline:",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+
+	data, err := os.ReadFile(tlPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("timeline not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"run_task", "classify", "seal", "open", "tag_match"} {
+		if !names[want] {
+			t.Fatalf("timeline missing %q span", want)
+		}
+	}
+	// The CLI's task payload is a repeating "confidential" pattern; the
+	// export must not carry it.
+	if bytes.Contains(data, []byte("confidentialconfidential")) {
+		t.Fatal("timeline export contains task payload")
+	}
+}

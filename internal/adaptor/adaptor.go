@@ -15,6 +15,7 @@ import (
 
 	"ccai/internal/core"
 	"ccai/internal/mem"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/sim"
@@ -97,6 +98,11 @@ type Adaptor struct {
 	policy RetryPolicy
 	clock  *sim.Engine
 	rec    RecoveryStats
+
+	// hub propagates observability to streams activated in HWInit; obs
+	// holds the cached handles (zero value = uninstrumented).
+	hub *obsv.Hub
+	obs adaptorObs
 }
 
 // SharedRegion is the mem.Space region name the Adaptor stages bounce
@@ -145,6 +151,10 @@ func (a *Adaptor) HWInit() error {
 	if a.config, err = a.keys.Stream(core.StreamConfig); err != nil {
 		return fmt.Errorf("adaptor: %w", err)
 	}
+	track := obsv.TrackCrypto + "/adaptor"
+	a.h2d.SetObserver(a.hub, track, core.StreamH2D)
+	a.d2h.SetObserver(a.hub, track, core.StreamD2H)
+	a.config.SetObserver(a.hub, track, core.StreamConfig)
 	if a.opts.BatchedMetadata {
 		buf, err := a.space.Alloc(a.region, "dma-metadata", mem.PageSize)
 		if err != nil {
@@ -161,6 +171,7 @@ func (a *Adaptor) HWInit() error {
 
 func (a *Adaptor) mmioWrite(off uint64, payload []byte) {
 	a.io.MMIOWrites++
+	a.obs.mmioWrites.Inc()
 	a.bus.Route(pcie.NewMemWrite(a.id, a.scBar+off, payload))
 }
 
@@ -230,6 +241,9 @@ func (a *Adaptor) ReleaseRegion(r *Region) {
 // postTags uploads tag records; batched mode packs as many as fit one
 // TLP payload, non-optimized mode issues one I/O write per record.
 func (a *Adaptor) postTags(recs []core.TagRecord) {
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "post_tags",
+		obsv.I64("records", int64(len(recs))))
+	defer sp.End()
 	if !a.opts.BatchTags {
 		for _, r := range recs {
 			a.mmioWrite(core.RegTagWindow, r.Marshal())
@@ -264,6 +278,9 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 	if a.h2d == nil {
 		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
 	}
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "stage_h2d",
+		obsv.Str("region", name), obsv.I64("bytes", int64(len(data))))
+	defer sp.End()
 	if _, err := a.maybeRekeyLocked(); err != nil {
 		return nil, err
 	}
@@ -316,6 +333,9 @@ func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Reg
 	if a.config == nil {
 		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
 	}
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "stage_verified",
+		obsv.Str("region", name), obsv.I64("bytes", size))
+	defer sp.End()
 	buf, err := a.space.Alloc(a.region, name, size)
 	if err != nil {
 		return nil, fmt.Errorf("adaptor: verified alloc: %w", err)
@@ -339,6 +359,9 @@ func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Reg
 func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "sync_verified",
+		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("chunks", int64(len(chunks))))
+	defer sp.End()
 	key, _, err := a.keys.Material(core.StreamMMIO)
 	if err != nil {
 		return fmt.Errorf("adaptor: %w", err)
@@ -364,6 +387,9 @@ func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
 	if a.d2h == nil {
 		return nil, fmt.Errorf("adaptor: session not established (HWInit) or already torn down")
 	}
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "prepare_d2h",
+		obsv.Str("region", name), obsv.I64("bytes", size))
+	defer sp.End()
 	buf, err := a.space.Alloc(a.region, name, size)
 	if err != nil {
 		return nil, fmt.Errorf("adaptor: d2h alloc: %w", err)
@@ -403,6 +429,7 @@ func (a *Adaptor) D2HProgress(r *Region, sc *core.Controller) uint64 {
 		return v
 	}
 	a.io.MMIOReads++
+	a.obs.mmioReads.Inc()
 	return sc.D2HProgress(r.Desc.ID)
 }
 
@@ -418,6 +445,9 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 	if n > r.PlainLen {
 		return nil, fmt.Errorf("adaptor: collect %d bytes from %d-byte region", n, r.PlainLen)
 	}
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "collect_d2h",
+		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("bytes", n))
+	defer sp.End()
 	out := make([]byte, 0, n)
 	for off := int64(0); off < n; off += core.ChunkSize {
 		end := off + core.ChunkSize
@@ -449,6 +479,8 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "guarded_write", obsv.Hex("reg", reg))
+	defer sp.End()
 	key, _, err := a.keys.Material(core.StreamMMIO)
 	if err != nil {
 		return fmt.Errorf("adaptor: %w", err)
@@ -473,6 +505,8 @@ func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 func (a *Adaptor) DeviceRead(reg uint64) (uint64, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "device_read", obsv.Hex("reg", reg))
+	defer sp.End()
 	cpl, err := a.readWithRetry(a.xpuBar + reg)
 	if err != nil {
 		return 0, err
@@ -508,6 +542,8 @@ func (a *Adaptor) rekeyStreamLocked(stream string) error {
 	}
 	a.mmioWrite(core.RegRekeyWindow, core.MarshalBlob(sealed))
 	a.mmioWrite64(core.RegRekeyDoorbell, 1)
+	a.obs.rekeys.Inc()
+	a.obs.tracer.Instant(obsv.TrackAdaptor, "rekey", obsv.Str("stream", stream))
 
 	// Mirror on the TVM side.
 	if err := a.keys.Install(stream, key, nonce); err != nil {
@@ -560,6 +596,7 @@ func (a *Adaptor) Teardown() {
 }
 
 func (a *Adaptor) teardownLocked() {
+	a.obs.tracer.Instant(obsv.TrackAdaptor, "teardown")
 	a.mmioWrite64(core.RegTeardown, 1)
 	a.keys.DestroyAll()
 	a.h2d, a.d2h, a.config = nil, nil, nil

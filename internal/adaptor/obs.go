@@ -1,0 +1,63 @@
+package adaptor
+
+import (
+	"ccai/internal/core"
+	"ccai/internal/obsv"
+)
+
+// adaptorObs caches the Adaptor's observability handles. The zero value
+// (all-nil handles) is the uninstrumented state: every increment and
+// Begin/End call is nil-safe, so the hot path never branches on
+// enablement. Counters mirror RecoveryStats one-for-one so the fault
+// matrix's exactly-once assertions hold for the metrics too.
+type adaptorObs struct {
+	tracer *obsv.Tracer
+
+	mmioWrites, mmioReads *obsv.Counter
+	rekeys                *obsv.Counter
+
+	timeouts, retries, recovered *obsv.Counter
+	staleSuppressed              *obsv.Counter
+	cryptoRetries                *obsv.Counter
+	reposts, resyncs             *obsv.Counter
+	exhausted, failClosed        *obsv.Counter
+}
+
+// SetObserver instruments the Adaptor and its active stream replicas;
+// streams activated later (HWInit) inherit the hub. A nil hub clears
+// everything.
+func (a *Adaptor) SetObserver(h *obsv.Hub) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.hub = h
+	track := obsv.TrackCrypto + "/adaptor"
+	if a.h2d != nil {
+		a.h2d.SetObserver(h, track, core.StreamH2D)
+	}
+	if a.d2h != nil {
+		a.d2h.SetObserver(h, track, core.StreamD2H)
+	}
+	if a.config != nil {
+		a.config.SetObserver(h, track, core.StreamConfig)
+	}
+	if h == nil {
+		a.obs = adaptorObs{}
+		return
+	}
+	reg := h.Reg()
+	a.obs = adaptorObs{
+		tracer:          h.T(),
+		mmioWrites:      reg.Counter("adaptor.mmio.writes"),
+		mmioReads:       reg.Counter("adaptor.mmio.reads"),
+		rekeys:          reg.Counter("adaptor.rekeys"),
+		timeouts:        reg.Counter("adaptor.recovery.timeouts"),
+		retries:         reg.Counter("adaptor.recovery.retries"),
+		recovered:       reg.Counter("adaptor.recovery.recovered"),
+		staleSuppressed: reg.Counter("adaptor.recovery.stale_suppressed"),
+		cryptoRetries:   reg.Counter("adaptor.recovery.crypto_retries"),
+		reposts:         reg.Counter("adaptor.recovery.reposts"),
+		resyncs:         reg.Counter("adaptor.recovery.resyncs"),
+		exhausted:       reg.Counter("adaptor.recovery.exhausted"),
+		failClosed:      reg.Counter("adaptor.recovery.fail_closed"),
+	}
+}

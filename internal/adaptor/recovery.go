@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"ccai/internal/core"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/sim"
@@ -108,6 +109,7 @@ func (a *Adaptor) readWithRetry(addr uint64) (*pcie.Packet, error) {
 		tag := a.nextTag
 		a.nextTag++
 		a.io.MMIOReads++
+		a.obs.mmioReads.Inc()
 		cpl := a.bus.Route(pcie.NewMemRead(a.id, addr, 8, tag))
 		if cpl != nil && cpl.Tag != tag {
 			// A completion for a request we no longer have outstanding:
@@ -115,9 +117,12 @@ func (a *Adaptor) readWithRetry(addr uint64) (*pcie.Packet, error) {
 			// caller another transaction's (possibly older) data, so it
 			// is suppressed and the attempt treated as timed out.
 			a.rec.StaleSuppressed++
+			a.obs.staleSuppressed.Inc()
+			a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.stale_suppressed", obsv.Hex("addr", addr))
 			cpl = nil
 		} else if cpl == nil {
 			a.rec.Timeouts++
+			a.obs.timeouts.Inc()
 		}
 		if cpl != nil {
 			if cpl.Status != pcie.CplSuccess {
@@ -125,14 +130,19 @@ func (a *Adaptor) readWithRetry(addr uint64) (*pcie.Packet, error) {
 			}
 			if attempt > 0 {
 				a.rec.Recovered++
+				a.obs.recovered.Inc()
 			}
 			return cpl, nil
 		}
 		if attempt >= a.policy.MaxRetries {
 			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
 			return nil, fmt.Errorf("adaptor: read %#x: no completion after %d attempts", addr, attempt+1)
 		}
 		a.rec.Retries++
+		a.obs.retries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.retry",
+			obsv.Hex("addr", addr), obsv.I64("attempt", int64(attempt+1)))
 		a.backoff(&delay)
 	}
 }
@@ -149,14 +159,18 @@ func (a *Adaptor) sealWithRetry(s *secmem.Stream, pt, aad []byte) (*secmem.Seale
 		if !errors.Is(err, secmem.ErrTransient) {
 			if err == nil && attempt > 0 {
 				a.rec.Recovered++
+				a.obs.recovered.Inc()
 			}
 			return sealed, err
 		}
 		if attempt >= a.policy.MaxRetries {
 			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
 			return nil, err
 		}
 		a.rec.CryptoRetries++
+		a.obs.cryptoRetries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.crypto_retry", obsv.Str("op", "seal"))
 		a.backoff(&delay)
 	}
 }
@@ -171,14 +185,18 @@ func (a *Adaptor) openWithRetry(s *secmem.Stream, sealed *secmem.Sealed, aad []b
 		if !errors.Is(err, secmem.ErrTransient) {
 			if err == nil && attempt > 0 {
 				a.rec.Recovered++
+				a.obs.recovered.Inc()
 			}
 			return pt, err
 		}
 		if attempt >= a.policy.MaxRetries {
 			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
 			return nil, err
 		}
 		a.rec.CryptoRetries++
+		a.obs.cryptoRetries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.crypto_retry", obsv.Str("op", "open"))
 		a.backoff(&delay)
 	}
 }
@@ -194,6 +212,9 @@ func (a *Adaptor) RepostTags(r *Region) {
 		return
 	}
 	a.rec.Reposts++
+	a.obs.reposts.Inc()
+	a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.repost_tags",
+		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("records", int64(len(r.Recs))))
 	a.postTags(r.Recs)
 }
 
@@ -215,6 +236,8 @@ func (a *Adaptor) ResyncMMIO() error {
 	seq := uint32(binary.LittleEndian.Uint64(cpl.Payload))
 	if seq != a.mmioSeq {
 		a.rec.Resyncs++
+		a.obs.resyncs.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.resync_mmio", obsv.U64("seq", uint64(seq)))
 		a.mmioSeq = seq
 	}
 	return nil
@@ -237,6 +260,8 @@ func (a *Adaptor) FailClosed(reason string) {
 	defer a.mu.Unlock()
 	a.rec.FailClosed++
 	a.rec.LastFailure = reason
+	a.obs.failClosed.Inc()
+	a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.fail_closed", obsv.Str("reason", reason))
 	a.teardownLocked()
 }
 

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 )
@@ -98,8 +99,62 @@ type Controller struct {
 
 	stats Stats
 
+	// obs mirrors stats into the metrics registry and records spans.
+	// The zero value (all-nil handles) is the uninstrumented state, so
+	// increments and Begin/End calls never branch.
+	obs controllerObs
+
 	// onTeardown lets the platform hook environment cleaning.
 	onTeardown func()
+}
+
+// controllerObs holds the controller's cached observability handles.
+type controllerObs struct {
+	tracer                  *obsv.Tracer
+	decrypted, encrypted    *obsv.Counter
+	verified, authFail      *obsv.Counter
+	cfgRejects, guardBlocks *obsv.Counter
+	teardowns, dupReads     *obsv.Counter
+}
+
+// SetObserver instruments the controller and its control panels
+// (filter, params manager, tag manager); a nil hub clears everything.
+func (c *Controller) SetObserver(h *obsv.Hub) {
+	c.filter.SetObserver(h)
+	c.params.SetObserver(h, obsv.TrackCrypto+"/sc")
+	c.tags.SetObserver(h)
+	if h == nil {
+		c.obs = controllerObs{}
+		return
+	}
+	reg := h.Reg()
+	c.obs = controllerObs{
+		tracer:      h.T(),
+		decrypted:   reg.Counter("sc.decrypted_chunks"),
+		encrypted:   reg.Counter("sc.encrypted_chunks"),
+		verified:    reg.Counter("sc.verified_chunks"),
+		authFail:    reg.Counter("sc.auth_failures"),
+		cfgRejects:  reg.Counter("sc.config_rejects"),
+		guardBlocks: reg.Counter("sc.guard_blocks"),
+		teardowns:   reg.Counter("sc.teardowns"),
+		dupReads:    reg.Counter("sc.duplicate_reads"),
+	}
+}
+
+// authFailed counts one integrity failure in both stats and metrics.
+func (c *Controller) authFailed() {
+	c.stats.AuthFailures++
+	c.obs.authFail.Inc()
+}
+
+// tagMatch wraps TagManager.Take in a tag_match span.
+func (c *Controller) tagMatch(stream string, chunk uint32) (TagRecord, bool) {
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "tag_match",
+		obsv.Str("stream", stream), obsv.U64("chunk", uint64(chunk)))
+	rec, ok := c.tags.Take(stream, chunk)
+	sp.Attr(obsv.Bool("matched", ok))
+	sp.End()
+	return rec, ok
 }
 
 // NewController builds a PCIe-SC with the given identity and control
@@ -240,15 +295,18 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		// Reads of guarded registers carry no payload to verify.
 		return c.forwardToDevice(p)
 	}
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "guarded_mmio",
+		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(len(p.Payload))))
+	defer sp.End()
 	seq := c.mmioSeq
-	rec, ok := c.tags.Take(StreamMMIO, seq)
+	rec, ok := c.tagMatch(StreamMMIO, seq)
 	if !ok {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	key, _, err := c.params.keys.Material(StreamMMIO)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	hdr := MACHeader(seq, p.Address, uint32(len(p.Payload)))
@@ -262,11 +320,12 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		}
 	}
 	if !match {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	c.mmioSeq++
 	c.stats.VerifiedChunks++
+	c.obs.verified.Inc()
 
 	// Environment verification on guarded registers.
 	if len(p.Payload) >= 8 && p.Address >= c.xpuBar.Base {
@@ -274,6 +333,7 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		val := binary.LittleEndian.Uint64(p.Payload[:8])
 		if !c.guard.VerifyMMIO(reg, val) {
 			c.stats.GuardBlocks++
+			c.obs.guardBlocks.Inc()
 			return c.reject(p)
 		}
 	}
@@ -300,6 +360,7 @@ func (c *Controller) MMIOSeq() uint32 { return c.mmioSeq }
 func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 	if c.tvmPinned && p.Requester != c.authorizedTVM {
 		c.stats.ConfigRejects++
+		c.obs.cfgRejects.Inc()
 		return c.reject(p)
 	}
 	off := p.Address - c.bar.Base
@@ -515,6 +576,7 @@ func (c *Controller) openConfig(frame []byte) ([]byte, error) {
 func (c *Controller) configReject(err error) {
 	_ = err
 	c.stats.ConfigRejects++
+	c.obs.cfgRejects.Inc()
 	c.status |= SCStatusConfigErr
 }
 
@@ -547,7 +609,7 @@ func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 	desc, ok := c.regions.find(p.Address)
 	if !ok {
 		// Classified protected but no registered region: fail closed.
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	switch {
@@ -558,7 +620,7 @@ func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 	case p.Kind == pcie.MWr && desc.Dir == DirD2H && desc.Class == ActionWriteReadProtect:
 		return c.encryptWrite(p, desc)
 	default:
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 }
@@ -567,9 +629,13 @@ func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 // ciphertext chunk from host memory, match its tag, decrypt, and return
 // plaintext to the device.
 func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "decrypt_read",
+		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(p.Length)),
+		obsv.U64("region", uint64(desc.ID)))
+	defer sp.End()
 	chunk, err := desc.ChunkOf(p.Address, p.Length)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
@@ -578,11 +644,11 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 	}
 	stream, err := c.params.Stream(StreamH2D)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	vkey := uint64(desc.ID)<<32 | uint64(chunk)
-	rec, ok := c.tags.Take(StreamH2D, desc.FirstCounter+chunk)
+	rec, ok := c.tagMatch(StreamH2D, desc.FirstCounter+chunk)
 	if !ok {
 		// Duplicate-read suppression: a device retrying DMA after a
 		// fault legitimately re-reads chunks whose tags were already
@@ -591,7 +657,7 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		// stays fail-closed.
 		vrec, seen := c.verified[vkey]
 		if !seen {
-			c.stats.AuthFailures++
+			c.authFailed()
 			return c.reject(p)
 		}
 		pt, err := stream.OpenStateless(&secmem.Sealed{
@@ -601,10 +667,11 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 			Tag:        vrec.Tag,
 		}, desc.AAD(chunk))
 		if err != nil {
-			c.stats.AuthFailures++
+			c.authFailed()
 			return c.reject(p)
 		}
 		c.stats.DuplicateReads++
+		c.obs.dupReads.Inc()
 		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 	}
 	sealed := &secmem.Sealed{
@@ -621,49 +688,56 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		if _, seen := c.verified[vkey]; seen {
 			if pt, err2 := stream.OpenStateless(sealed, desc.AAD(chunk)); err2 == nil {
 				c.stats.DuplicateReads++
+				c.obs.dupReads.Inc()
 				return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 			}
 		}
 	}
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	c.verified[vkey] = rec
 	c.stats.DecryptedChunks++
+	c.obs.decrypted.Inc()
 	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 }
 
 // verifiedRead services a device read of an A3 H2D region (e.g. the
 // command ring): fetch plaintext, verify its one-shot MAC record.
 func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "verified_read",
+		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(p.Length)),
+		obsv.U64("region", uint64(desc.ID)))
+	defer sp.End()
 	chunk, err := desc.ChunkOf(p.Address, p.Length)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
 	if cpl == nil || cpl.Status != pcie.CplSuccess {
 		return c.reject(p)
 	}
-	rec, ok := c.tags.Take(StreamMMIO, desc.ID<<16|chunk)
+	rec, ok := c.tagMatch(StreamMMIO, desc.ID<<16|chunk)
 	if !ok {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	key, _, err := c.params.keys.Material(StreamMMIO)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	want := secmem.MAC(key, desc.AAD(chunk), cpl.Payload)
 	for i := 0; i < secmem.TagSize; i++ {
 		if want[i] != rec.Tag[i] {
-			c.stats.AuthFailures++
+			c.authFailed()
 			return c.reject(p)
 		}
 	}
 	c.stats.VerifiedChunks++
+	c.obs.verified.Inc()
 	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, cpl.Payload)
 }
 
@@ -671,19 +745,23 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 // plaintext, store ciphertext at the same host address, deposit the tag
 // record in the region's tag table.
 func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "encrypt_write",
+		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(len(p.Payload))),
+		obsv.U64("region", uint64(desc.ID)))
+	defer sp.End()
 	chunk, err := desc.ChunkOf(p.Address, uint32(len(p.Payload)))
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	stream, err := c.params.Stream(StreamD2H)
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	sealed, err := stream.Seal(p.Payload, desc.AAD(chunk))
 	if err != nil {
-		c.stats.AuthFailures++
+		c.authFailed()
 		return c.reject(p)
 	}
 	c.hostBus.Route(pcie.NewMemWrite(c.id, p.Address, sealed.Ciphertext))
@@ -691,6 +769,7 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	tagAddr := desc.TagBase + uint64(chunk)*TagRecordSize
 	c.hostBus.Route(pcie.NewMemWrite(c.id, tagAddr, rec.Marshal()))
 	c.stats.EncryptedChunks++
+	c.obs.encrypted.Inc()
 	c.publishMetadata(desc.ID)
 	return nil
 }
@@ -755,6 +834,8 @@ func (c *Controller) AttestDevice(nonce uint64, expected uint64, attestReg, resp
 // platform rules survive; per-session rules are the TVM's to reinstall.
 func (c *Controller) Teardown() {
 	c.stats.Teardowns++
+	c.obs.teardowns.Inc()
+	c.obs.tracer.Instant(obsv.TrackSC, "teardown")
 	c.params.DestroyAll()
 	c.regions.clear()
 	c.tags.Clear()

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 )
 
@@ -131,6 +132,46 @@ type FilterStats struct {
 type Filter struct {
 	l1, l2 []Rule
 	stats  FilterStats
+	obs    *filterObs
+}
+
+// filterObs caches the per-action classification counters and the
+// tracer. Only header metadata (kind, action, rule ID, stage) is ever
+// recorded.
+type filterObs struct {
+	tracer                      *obsv.Tracer
+	drop, protect, verify, pass *obsv.Counter
+}
+
+// actionLabel renders an action as a metric-label token.
+func actionLabel(a Action) string {
+	switch a {
+	case ActionDrop:
+		return "A1_drop"
+	case ActionWriteReadProtect:
+		return "A2_write_read_protect"
+	case ActionWriteProtect:
+		return "A3_write_protect"
+	case ActionPassThrough:
+		return "A4_pass_through"
+	}
+	return "unknown"
+}
+
+// SetObserver instruments the filter; a nil hub clears instrumentation.
+func (f *Filter) SetObserver(h *obsv.Hub) {
+	if h == nil {
+		f.obs = nil
+		return
+	}
+	reg := h.Reg()
+	f.obs = &filterObs{
+		tracer:  h.T(),
+		drop:    reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionDrop))),
+		protect: reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteReadProtect))),
+		verify:  reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteProtect))),
+		pass:    reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionPassThrough))),
+	}
 }
 
 // NewFilter returns an empty, fail-closed filter: with no rules
@@ -163,6 +204,11 @@ func (f *Filter) ResetStats() { f.stats = FilterStats{} }
 // filter is fail-closed, which is what blocks requests from
 // unauthorized TVMs, hosts or peer devices (§8.2).
 func (f *Filter) Classify(p *pcie.Packet) Verdict {
+	var sp obsv.ActiveSpan
+	if o := f.obs; o != nil {
+		sp = o.tracer.Begin(obsv.TrackFilter, "classify",
+			obsv.Str("kind", p.Kind.String()), obsv.Hex("addr", p.Address))
+	}
 	v := f.classify(p)
 	switch v.Action {
 	case ActionDrop:
@@ -173,6 +219,21 @@ func (f *Filter) Classify(p *pcie.Packet) Verdict {
 		f.stats.Verified++
 	case ActionPassThrough:
 		f.stats.Passed++
+	}
+	if o := f.obs; o != nil {
+		switch v.Action {
+		case ActionDrop:
+			o.drop.Inc()
+		case ActionWriteReadProtect:
+			o.protect.Inc()
+		case ActionWriteProtect:
+			o.verify.Inc()
+		case ActionPassThrough:
+			o.pass.Inc()
+		}
+		sp.Attr(obsv.Str("action", actionLabel(v.Action)),
+			obsv.U64("rule", uint64(v.Rule)), obsv.I64("stage", int64(v.Stage)))
+		sp.End()
 	}
 	return v
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 )
@@ -36,6 +37,20 @@ var ErrNoStream = errors.New("core: no de/encryption parameters for stream")
 type ParamsManager struct {
 	keys    *secmem.KeyStore
 	streams map[string]*secmem.Stream
+
+	// hub/track propagate observability to streams activated later.
+	hub   *obsv.Hub
+	track string
+}
+
+// SetObserver instruments existing streams and records the hub so
+// streams activated afterwards inherit it.
+func (pm *ParamsManager) SetObserver(h *obsv.Hub, track string) {
+	pm.hub = h
+	pm.track = track
+	for name, s := range pm.streams {
+		s.SetObserver(h, track, name)
+	}
 }
 
 // NewParamsManager builds a manager over a key store (the PCIe-SC's
@@ -51,6 +66,7 @@ func (pm *ParamsManager) Activate(name string) error {
 	if err != nil {
 		return err
 	}
+	s.SetObserver(pm.hub, pm.track, name)
 	pm.streams[name] = s
 	return nil
 }
@@ -132,6 +148,29 @@ type TagManager struct {
 	// data chunk fail closed until the Adaptor reposts it.
 	fault        func(rec TagRecord) bool
 	droppedFault uint64
+
+	obs tagObs
+}
+
+// tagObs mirrors the manager's counters into the metrics registry. The
+// zero value (all-nil handles) is the uninstrumented state.
+type tagObs struct {
+	enqueued, matched, missing, dropped *obsv.Counter
+}
+
+// SetObserver instruments the tag manager; a nil hub clears it.
+func (tm *TagManager) SetObserver(h *obsv.Hub) {
+	if h == nil {
+		tm.obs = tagObs{}
+		return
+	}
+	reg := h.Reg()
+	tm.obs = tagObs{
+		enqueued: reg.Counter("sc.tags.enqueued"),
+		matched:  reg.Counter("sc.tags.matched"),
+		missing:  reg.Counter("sc.tags.missing"),
+		dropped:  reg.Counter("sc.tags.dropped_by_fault"),
+	}
 }
 
 // NewTagManager returns an empty tag queue.
@@ -147,9 +186,11 @@ func tagKey(stream string, chunk uint32) uint64 {
 func (tm *TagManager) Enqueue(rec TagRecord) {
 	if tm.fault != nil && tm.fault(rec) {
 		tm.droppedFault++
+		tm.obs.dropped.Inc()
 		return
 	}
 	tm.pending[tagKey(rec.Stream, rec.Chunk)] = rec
+	tm.obs.enqueued.Inc()
 }
 
 // SetFaultHook installs (or clears, with nil) the tag-packet-loss
@@ -167,8 +208,10 @@ func (tm *TagManager) Take(stream string, chunk uint32) (TagRecord, bool) {
 	if ok {
 		delete(tm.pending, k)
 		tm.matched++
+		tm.obs.matched.Inc()
 	} else {
 		tm.missing++
+		tm.obs.missing.Inc()
 	}
 	return rec, ok
 }

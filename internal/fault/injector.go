@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"ccai/internal/core"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/sim"
@@ -63,6 +64,20 @@ type Injector struct {
 	// stash holds the delayed completion of a StaleCompletion in
 	// progress.
 	stash *pcie.Packet
+
+	// obsTracer/obsReg record each firing as an instant event and a
+	// per-class counter. Firings are rare, so the registry lookup per
+	// firing is acceptable and spares a 9-handle cache.
+	obsTracer *obsv.Tracer
+	obsReg    *obsv.Registry
+}
+
+// SetObserver instruments the injector; a nil hub clears it.
+func (inj *Injector) SetObserver(h *obsv.Hub) {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	inj.obsTracer = h.T()
+	inj.obsReg = h.Reg()
 }
 
 // NewInjector builds an injector for the plan. Payload mutations
@@ -126,6 +141,9 @@ func (inj *Injector) fires(class Class) bool {
 		ev.fired++
 		inj.stats.Fired[class]++
 		inj.log = append(inj.log, Firing{Class: class, Index: i, At: inj.now()})
+		inj.obsReg.Counter(obsv.Name("fault.fired", "class", class.String())).Inc()
+		inj.obsTracer.Instant(obsv.TrackFault, "fault_injected",
+			obsv.Str("class", class.String()), obsv.U64("index", i))
 		return true
 	}
 	return false

@@ -1,0 +1,45 @@
+package obsv
+
+// Hub bundles the metrics registry and the span tracer that one
+// platform's components share. A nil *Hub (observability off) hands out
+// nil handles everywhere, so instrumentation sites never branch on
+// enablement themselves.
+type Hub struct {
+	Metrics *Registry
+	Tracer  *Tracer
+}
+
+// NewHub builds an enabled hub.
+func NewHub() *Hub {
+	return &Hub{Metrics: NewRegistry(), Tracer: NewTracer()}
+}
+
+// Reg returns the registry (nil when the hub is nil).
+func (h *Hub) Reg() *Registry {
+	if h == nil {
+		return nil
+	}
+	return h.Metrics
+}
+
+// T returns the tracer (nil when the hub is nil).
+func (h *Hub) T() *Tracer {
+	if h == nil {
+		return nil
+	}
+	return h.Tracer
+}
+
+// Canonical track names, one per pipeline stage owner. Keeping them
+// here (rather than scattered string literals) is what lets the
+// timeline tests assert full pipeline coverage.
+const (
+	TrackTask    = "task"
+	TrackAdaptor = "tvm/adaptor"
+	TrackDriver  = "tvm/driver"
+	TrackSC      = "pcie-sc"
+	TrackFilter  = "pcie-sc/filter"
+	TrackCrypto  = "crypto"
+	TrackXPU     = "xpu"
+	TrackFault   = "fault"
+)

@@ -1,0 +1,312 @@
+// Package obsv is the dependency-free observability layer of the ccAI
+// reproduction: an atomic metrics registry (counters, gauges,
+// fixed-bucket histograms), per-task span tracing on the virtual clock,
+// and a Chrome trace-event exporter so a protected task's timeline can
+// be inspected in chrome://tracing or Perfetto.
+//
+// Two rules govern everything here:
+//
+//  1. Confidentiality: metric names, labels and span attributes carry
+//     only metadata — stream names, packet kinds, sizes, actions,
+//     counters — never payload bytes. A timeline export of a protected
+//     task must be publishable without leaking the task.
+//  2. Zero cost when off: every handle type (*Counter, *Gauge,
+//     *Histogram, *Tracer, *ActiveSpan) is nil-safe, so instrumented
+//     components hold possibly-nil handles and the disabled hot path
+//     pays only a nil check.
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric. The zero value is
+// usable; a nil *Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value reports the current count (0 for a nil counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can move both ways (queue depths, live
+// regions). A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative allowed).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value reports the current level (0 for a nil gauge).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Bounds are inclusive upper
+// edges in ascending order; one implicit overflow bucket catches the
+// rest. A nil *Histogram is a no-op.
+type Histogram struct {
+	bounds  []int64
+	buckets []atomic.Uint64 // len(bounds)+1
+	count   atomic.Uint64
+	sum     atomic.Int64
+}
+
+// SizeBuckets is the default byte-size bucket layout (64 B .. 1 MiB).
+func SizeBuckets() []int64 {
+	return []int64{64, 256, 1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20}
+}
+
+// DurationBuckets is the default virtual-nanosecond bucket layout
+// (100 ns .. 10 ms).
+func DurationBuckets() []int64 {
+	return []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count reports total samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum reports the sum of all samples.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Registry is a named-metric table. Lookups are get-or-create and safe
+// for concurrent use; handles are cached by the instrumented component
+// so the hot path never touches the map. A nil *Registry hands out nil
+// handles, which is how "observability off" costs nothing.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Name composes a metric name with label pairs in a stable, rendered
+// form: Name("x.y", "stream", "h2d") == `x.y{stream=h2d}`.
+func Name(base string, kv ...string) string {
+	if len(kv) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteByte('=')
+		b.WriteString(kv[i+1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Bounds
+// are fixed at creation; a later call with different bounds returns the
+// original histogram unchanged.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]int64(nil), bounds...)
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// HistValue is one histogram in a snapshot.
+type HistValue struct {
+	Name    string   `json:"name"`
+	Count   uint64   `json:"count"`
+	Sum     int64    `json:"sum"`
+	Bounds  []int64  `json:"bounds"`
+	Buckets []uint64 `json:"buckets"`
+}
+
+// Snapshot is a consistent-enough copy of the registry for rendering:
+// each value is read atomically (cross-metric skew is acceptable for
+// monitoring output).
+type Snapshot struct {
+	Counters map[string]uint64 `json:"counters"`
+	Gauges   map[string]int64  `json:"gauges"`
+	Hists    []HistValue       `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{Counters: make(map[string]uint64), Gauges: make(map[string]int64)}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	names := make([]string, 0, len(r.hists))
+	for name := range r.hists {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := r.hists[name]
+		hv := HistValue{Name: name, Count: h.count.Load(), Sum: h.sum.Load(),
+			Bounds: append([]int64(nil), h.bounds...)}
+		for i := range h.buckets {
+			hv.Buckets = append(hv.Buckets, h.buckets[i].Load())
+		}
+		snap.Hists = append(snap.Hists, hv)
+	}
+	return snap
+}
+
+// RenderText renders the snapshot as sorted, aligned text for CLIs.
+func (s Snapshot) RenderText() string {
+	var b strings.Builder
+	keys := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-56s %12d\n", k, s.Counters[k])
+	}
+	keys = keys[:0]
+	for k := range s.Gauges {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-56s %12d (gauge)\n", k, s.Gauges[k])
+	}
+	for _, h := range s.Hists {
+		fmt.Fprintf(&b, "%-56s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+		for i, n := range h.Buckets {
+			if n == 0 {
+				continue
+			}
+			if i < len(h.Bounds) {
+				fmt.Fprintf(&b, "  le %-10d %12d\n", h.Bounds[i], n)
+			} else {
+				fmt.Fprintf(&b, "  le +inf       %12d\n", n)
+			}
+		}
+	}
+	return b.String()
+}
+
+// RenderText renders the registry's current state as text.
+func (r *Registry) RenderText() string { return r.Snapshot().RenderText() }
+
+// JSON renders the registry's current state as a JSON document.
+func (r *Registry) JSON() ([]byte, error) {
+	return json.MarshalIndent(r.Snapshot(), "", "  ")
+}

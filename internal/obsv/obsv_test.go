@@ -1,0 +1,224 @@
+package obsv
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccai/internal/sim"
+)
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x.ops")
+	b := r.Counter("x.ops")
+	if a != b {
+		t.Fatal("same name returned distinct counters")
+	}
+	a.Inc()
+	b.Add(2)
+	if got := r.Counter("x.ops").Value(); got != 3 {
+		t.Fatalf("counter = %d, want 3", got)
+	}
+	g := r.Gauge("x.depth")
+	g.Set(5)
+	g.Add(-2)
+	if got := r.Gauge("x.depth").Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestName(t *testing.T) {
+	if got := Name("x.y"); got != "x.y" {
+		t.Fatalf("Name no-labels = %q", got)
+	}
+	if got := Name("x.y", "stream", "h2d", "side", "sc"); got != "x.y{stream=h2d,side=sc}" {
+		t.Fatalf("Name = %q", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.bytes", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1026 {
+		t.Fatalf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	snap := r.Snapshot()
+	if len(snap.Hists) != 1 {
+		t.Fatalf("snapshot has %d histograms", len(snap.Hists))
+	}
+	hv := snap.Hists[0]
+	// 5 and 10 land in le-10; 11 in le-100; 1000 in overflow.
+	want := []uint64{2, 1, 1}
+	for i, n := range want {
+		if hv.Buckets[i] != n {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, hv.Buckets[i], n, hv.Buckets)
+		}
+	}
+}
+
+func TestSnapshotRender(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.ops").Inc()
+	r.Gauge("a.depth").Set(7)
+	r.Histogram("a.bytes", SizeBuckets()).Observe(128)
+	text := r.RenderText()
+	for _, want := range []string{"a.ops", "a.depth", "a.bytes", "(gauge)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("RenderText missing %q:\n%s", want, text)
+		}
+	}
+	data, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if snap.Counters["a.ops"] != 1 || snap.Gauges["a.depth"] != 7 {
+		t.Fatalf("round-tripped snapshot wrong: %+v", snap)
+	}
+}
+
+// TestNilSafety covers the "observability off" contract: every handle
+// type must ignore calls on nil receivers.
+func TestNilSafety(t *testing.T) {
+	var h *Hub
+	h.Reg().Counter("x").Inc()
+	h.Reg().Counter("x").Add(3)
+	h.Reg().Gauge("y").Set(1)
+	h.Reg().Histogram("z", SizeBuckets()).Observe(1)
+	if h.Reg().Counter("x").Value() != 0 {
+		t.Fatal("nil counter reported a value")
+	}
+	snap := h.Reg().Snapshot()
+	if len(snap.Counters) != 0 {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	tr := h.T()
+	tr.SetClock(nil)
+	tr.SetLimit(1)
+	if id := tr.StartTask(); id != 0 {
+		t.Fatalf("nil tracer task id = %d", id)
+	}
+	sp := tr.Begin(TrackTask, "noop")
+	sp.Attr(Str("k", "v"))
+	sp.End()
+	tr.Instant(TrackTask, "noop")
+	tr.EndTask()
+	tr.Reset()
+	if tr.Spans() != nil || tr.Dropped() != 0 {
+		t.Fatal("nil tracer recorded something")
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+}
+
+func TestTracerTaskScopes(t *testing.T) {
+	tr := NewTracer()
+	id1 := tr.StartTask()
+	sp := tr.Begin(TrackSC, "inside")
+	sp.End()
+	tr.EndTask()
+	out := tr.Begin(TrackSC, "outside")
+	out.End()
+	id2 := tr.StartTask()
+	tr.Instant(TrackFault, "inside2")
+	tr.EndTask()
+	if id1 != 1 || id2 != 2 {
+		t.Fatalf("task ids = %d, %d", id1, id2)
+	}
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans", len(spans))
+	}
+	if spans[0].Task != id1 || spans[1].Task != 0 || spans[2].Task != id2 {
+		t.Fatalf("task tags wrong: %d %d %d", spans[0].Task, spans[1].Task, spans[2].Task)
+	}
+	if spans[1].End < spans[1].Start {
+		t.Fatal("synthetic clock not monotonic")
+	}
+}
+
+func TestTracerVirtualClock(t *testing.T) {
+	tr := NewTracer()
+	var now sim.Time
+	tr.SetClock(func() sim.Time { return now })
+	sp := tr.Begin(TrackXPU, "dma")
+	now = 500 * sim.Nanosecond
+	sp.End()
+	spans := tr.Spans()
+	if spans[0].Start != 0 || spans[0].End != 500*sim.Nanosecond {
+		t.Fatalf("span times %v..%v", spans[0].Start, spans[0].End)
+	}
+}
+
+func TestTracerSpanCap(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(3)
+	for i := 0; i < 5; i++ {
+		tr.Instant(TrackSC, "e")
+	}
+	if len(tr.Spans()) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(tr.Spans()))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("dropped = %d, want 2", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	tr.StartTask()
+	sp := tr.Begin(TrackFilter, "classify", Str("kind", "MWr"))
+	sp.Attr(Str("action", "A3_write_protect"))
+	sp.End()
+	tr.Instant(TrackFault, "fault_injected", Str("class", "CorruptTLP"))
+	tr.EndTask()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	var haveX, haveI, haveMeta bool
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			haveX = true
+			if ev.Name != "classify" || ev.Args["action"] != "A3_write_protect" {
+				t.Fatalf("complete event wrong: %+v", ev)
+			}
+		case "i":
+			haveI = true
+		case "M":
+			haveMeta = true
+		}
+	}
+	if !haveX || !haveI || !haveMeta {
+		t.Fatalf("export missing event kinds: X=%v i=%v M=%v", haveX, haveI, haveMeta)
+	}
+}

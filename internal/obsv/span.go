@@ -1,0 +1,407 @@
+package obsv
+
+import (
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ccai/internal/sim"
+)
+
+// attrKind discriminates an Attr's stored value. Numeric kinds keep the
+// raw number and render on export only — the recording hot path never
+// formats strings.
+type attrKind uint8
+
+const (
+	attrStr attrKind = iota
+	attrU64
+	attrI64
+	attrHex
+	attrBool
+)
+
+// Attr is one span attribute: metadata only (stream names, sizes,
+// register offsets, actions) — never payload bytes. Build with the
+// typed constructors; read with Val. Numeric attributes are stored
+// unformatted so recording them costs no allocation.
+type Attr struct {
+	Key  string
+	str  string
+	num  uint64
+	kind attrKind
+}
+
+// Str builds a string attribute. Values should be low-cardinality
+// (names, actions, states): the tracer interns them for the lifetime
+// of the process, so unbounded-cardinality values would leak table
+// space — encode those as numbers instead.
+func Str(k, v string) Attr { return Attr{Key: k, str: v} }
+
+// U64 builds an unsigned integer attribute.
+func U64(k string, v uint64) Attr { return Attr{Key: k, num: v, kind: attrU64} }
+
+// I64 builds a signed integer attribute.
+func I64(k string, v int64) Attr { return Attr{Key: k, num: uint64(v), kind: attrI64} }
+
+// Hex builds a hexadecimal address attribute.
+func Hex(k string, v uint64) Attr { return Attr{Key: k, num: v, kind: attrHex} }
+
+// Bool builds a boolean attribute.
+func Bool(k string, v bool) Attr {
+	var n uint64
+	if v {
+		n = 1
+	}
+	return Attr{Key: k, num: n, kind: attrBool}
+}
+
+// Val renders the attribute value.
+func (a Attr) Val() string {
+	switch a.kind {
+	case attrU64:
+		return strconv.FormatUint(a.num, 10)
+	case attrI64:
+		return strconv.FormatInt(int64(a.num), 10)
+	case attrHex:
+		return "0x" + strconv.FormatUint(a.num, 16)
+	case attrBool:
+		return strconv.FormatBool(a.num != 0)
+	}
+	return a.str
+}
+
+// maxSpanAttrs bounds attributes per span. They live inline in the
+// record so recording never heap-allocates; extras are dropped.
+const maxSpanAttrs = 6
+
+// Span is one finished interval (or, when End == Start and Instant is
+// set, a point event) on a named track, as materialized by Spans().
+type Span struct {
+	Track   string
+	Name    string
+	Task    uint64 // 0 = outside any task
+	Start   sim.Time
+	End     sim.Time
+	Instant bool
+
+	nattrs uint8
+	attrs  [maxSpanAttrs]Attr
+}
+
+// Attrs returns the span's attributes.
+func (s *Span) Attrs() []Attr { return s.attrs[:s.nattrs] }
+
+// sym is an interned-string handle. Records store syms instead of
+// string headers so the retained span buffer carries no pointers and
+// the garbage collector never scans it.
+type sym uint32
+
+// symtab interns strings. Lookup of an already-known string is a
+// single lock-free sync.Map load; the write path (first sighting of a
+// string, ~dozens over a process lifetime) takes the mutex.
+type symtab struct {
+	ids   sync.Map // string → sym
+	mu    sync.Mutex
+	names []string
+}
+
+func (st *symtab) sym(s string) sym {
+	if v, ok := st.ids.Load(s); ok {
+		return v.(sym)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if v, ok := st.ids.Load(s); ok {
+		return v.(sym)
+	}
+	id := sym(len(st.names))
+	st.names = append(st.names, s)
+	st.ids.Store(s, id)
+	return id
+}
+
+// name resolves a sym; only snapshot paths call it.
+func (st *symtab) name(id sym) string {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if int(id) < len(st.names) {
+		return st.names[id]
+	}
+	return ""
+}
+
+// recAttr is the in-buffer attribute: for attrStr the num field holds
+// the value's sym, otherwise the raw number. Pointer-free.
+type recAttr struct {
+	key  sym
+	num  uint64
+	kind attrKind
+}
+
+// rec is the in-buffer span record. It contains no pointers, so a
+// []rec is allocated in a no-scan region: a full buffer of retained
+// history costs the garbage collector nothing per cycle. Strings are
+// rebuilt from the symbol table when Spans() materializes records.
+type rec struct {
+	track   sym
+	name    sym
+	task    uint64
+	start   sim.Time
+	end     sim.Time
+	instant bool
+	nattrs  uint8
+	attrs   [maxSpanAttrs]recAttr
+}
+
+func (r *rec) addAttrs(st *symtab, attrs []Attr) {
+	for _, a := range attrs {
+		if r.nattrs >= maxSpanAttrs {
+			return
+		}
+		ra := recAttr{key: st.sym(a.Key), num: a.num, kind: a.kind}
+		if a.kind == attrStr {
+			ra.num = uint64(st.sym(a.str))
+		}
+		r.attrs[r.nattrs] = ra
+		r.nattrs++
+	}
+}
+
+// spanBuf is one fixed-capacity recording epoch: records are written
+// in place at fetch-add slots until full, then are counted as dropped.
+// Reset swaps the whole buffer, so recording never takes a lock.
+type spanBuf struct {
+	next    atomic.Uint64
+	dropped atomic.Uint64
+	buf     []rec
+}
+
+// Tracer collects spans on the virtual clock. Without an attached
+// clock it falls back to a deterministic synthetic tick (fallbackTick
+// virtual nanoseconds per timestamp sample), so exported timelines stay
+// ordered and replayable even on the purely functional path, which
+// never advances a sim.Engine. A nil *Tracer is a no-op.
+//
+// The hot path is lock- and allocation-free: timestamps and task scope
+// are atomics, attributes live inline in the record, and Begin
+// reserves a preallocated buffer slot at a fetch-add index and writes
+// the span in place — End only stamps the finish time. Records hold
+// interned-symbol handles instead of strings, so the retained buffer
+// is invisible to the garbage collector. Only Reset/SetLimit (buffer
+// swaps) and snapshot reads take the mutex.
+type Tracer struct {
+	clock   atomic.Pointer[func() sim.Time]
+	tick    atomic.Int64
+	taskSeq atomic.Uint64
+	curTask atomic.Uint64
+	cur     atomic.Pointer[spanBuf]
+	syms    symtab
+
+	mu    sync.Mutex // serializes buffer swaps against each other
+	limit int
+}
+
+// fallbackTick is the synthetic-clock step per timestamp sample.
+const fallbackTick = 20 * sim.Nanosecond
+
+// DefaultSpanLimit bounds retained spans so long-running sessions do
+// not grow without bound; older spans are kept, newer ones dropped and
+// counted. The buffer is preallocated (~150 B per slot, pointer-free),
+// so the limit is also a memory budget — the default holds a few
+// dozen tasks of history in well under a MiB. Raise it with SetLimit
+// before capturing long sessions.
+const DefaultSpanLimit = 1 << 12
+
+// NewTracer returns a tracer on the synthetic clock.
+func NewTracer() *Tracer {
+	t := &Tracer{limit: DefaultSpanLimit}
+	t.cur.Store(&spanBuf{buf: make([]rec, DefaultSpanLimit)})
+	return t
+}
+
+// SetClock attaches a virtual-time source (typically sim.Engine.Now);
+// nil reverts to the synthetic tick.
+func (t *Tracer) SetClock(fn func() sim.Time) {
+	if t == nil {
+		return
+	}
+	if fn == nil {
+		t.clock.Store(nil)
+		return
+	}
+	t.clock.Store(&fn)
+}
+
+// SetLimit caps retained spans (≤0 resets to the default). The change
+// discards already-recorded spans.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = DefaultSpanLimit
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.limit = n
+	t.cur.Store(&spanBuf{buf: make([]rec, n)})
+}
+
+// now samples the clock.
+func (t *Tracer) now() sim.Time {
+	if fn := t.clock.Load(); fn != nil {
+		return (*fn)()
+	}
+	return sim.Time(t.tick.Add(int64(fallbackTick)))
+}
+
+// StartTask opens a new task scope: spans begun until EndTask carry the
+// returned task ID.
+func (t *Tracer) StartTask() uint64 {
+	if t == nil {
+		return 0
+	}
+	id := t.taskSeq.Add(1)
+	t.curTask.Store(id)
+	return id
+}
+
+// EndTask closes the current task scope.
+func (t *Tracer) EndTask() {
+	if t != nil {
+		t.curTask.Store(0)
+	}
+}
+
+// ActiveSpan is an open interval; End finishes it. The zero value
+// (from a nil tracer, or when the buffer is full) ignores every call,
+// so callers never branch on enablement.
+type ActiveSpan struct {
+	t *Tracer
+	r *rec
+}
+
+// reserve claims the current buffer's next slot, counting a drop (and
+// returning nil) when full. Buffers are never reused, so a claimed
+// slot is zero-valued and written exactly once.
+func (t *Tracer) reserve() *rec {
+	b := t.cur.Load()
+	// Saturated fast path: once full, skip the fetch-add — a plain
+	// load keeps the steady-state cost of a capped buffer at two
+	// loads and one increment per span.
+	if b.next.Load() >= uint64(len(b.buf)) {
+		b.dropped.Add(1)
+		return nil
+	}
+	i := b.next.Add(1) - 1
+	if i >= uint64(len(b.buf)) {
+		b.dropped.Add(1)
+		return nil
+	}
+	return &b.buf[i]
+}
+
+// Begin opens a span on the given track. The record is written in
+// place in its preallocated buffer slot, so the common
+// sp := Begin(...); defer sp.End() pattern does not heap-allocate or
+// copy. An unfinished span exports with End == 0.
+func (t *Tracer) Begin(track, name string, attrs ...Attr) ActiveSpan {
+	if t == nil {
+		return ActiveSpan{}
+	}
+	r := t.reserve()
+	if r == nil {
+		return ActiveSpan{}
+	}
+	r.track, r.name = t.syms.sym(track), t.syms.sym(name)
+	r.task = t.curTask.Load()
+	r.start = t.now()
+	r.addAttrs(&t.syms, attrs)
+	return ActiveSpan{t: t, r: r}
+}
+
+// Attr appends attributes to an open span.
+func (a *ActiveSpan) Attr(attrs ...Attr) {
+	if a == nil || a.r == nil {
+		return
+	}
+	a.r.addAttrs(&a.t.syms, attrs)
+}
+
+// End closes the span.
+func (a *ActiveSpan) End() {
+	if a == nil || a.r == nil {
+		return
+	}
+	a.r.end = a.t.now()
+}
+
+// Instant records a point event (fault firings, teardowns).
+func (t *Tracer) Instant(track, name string, attrs ...Attr) {
+	if t == nil {
+		return
+	}
+	r := t.reserve()
+	if r == nil {
+		return
+	}
+	at := t.now()
+	r.track, r.name, r.task = t.syms.sym(track), t.syms.sym(name), t.curTask.Load()
+	r.start, r.end, r.instant = at, at, true
+	r.addAttrs(&t.syms, attrs)
+}
+
+// Spans materializes a copy of all recorded spans in begin order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	b := t.cur.Load()
+	n := b.next.Load()
+	if n > uint64(len(b.buf)) {
+		n = uint64(len(b.buf))
+	}
+	recs := append([]rec(nil), b.buf[:n]...)
+	t.mu.Unlock()
+
+	spans := make([]Span, len(recs))
+	for i := range recs {
+		r := &recs[i]
+		s := &spans[i]
+		s.Track = t.syms.name(r.track)
+		s.Name = t.syms.name(r.name)
+		s.Task, s.Start, s.End, s.Instant = r.task, r.start, r.end, r.instant
+		s.nattrs = r.nattrs
+		for j := 0; j < int(r.nattrs); j++ {
+			ra := r.attrs[j]
+			a := Attr{Key: t.syms.name(ra.key), num: ra.num, kind: ra.kind}
+			if ra.kind == attrStr {
+				a.str = t.syms.name(sym(ra.num))
+				a.num = 0
+			}
+			s.attrs[j] = a
+		}
+	}
+	return spans
+}
+
+// Dropped reports spans lost to the retention cap since the last Reset.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.cur.Load().dropped.Load()
+}
+
+// Reset clears recorded spans and the drop counter (task numbering
+// continues, so task IDs stay unique across a session).
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cur.Store(&spanBuf{buf: make([]rec, t.limit)})
+}

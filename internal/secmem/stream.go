@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+
+	"ccai/internal/obsv"
 )
 
 // KeySize is the AES key length in bytes. The prototype uses AES-128
@@ -71,6 +73,50 @@ type Stream struct {
 	// by Seal — the test oracle for the "no IV is ever reused"
 	// invariant.
 	ivAudit func(epoch, counter uint32)
+
+	// obs carries the optional observability handles. All fields are
+	// nil-safe, so the uninstrumented hot path pays one nil check.
+	obs *streamObs
+}
+
+// streamObs holds cached metric handles and the tracer for one stream
+// endpoint. Spans and counters carry only metadata (stream name, side,
+// byte counts, counters) — never plaintext or ciphertext bytes.
+type streamObs struct {
+	tracer *obsv.Tracer
+	track  string
+	name   string
+
+	sealOps, sealBytes *obsv.Counter
+	openOps, openBytes *obsv.Counter
+	authFail, replay   *obsv.Counter
+	rekeys             *obsv.Counter
+}
+
+// SetObserver instruments this stream endpoint. track names the tracer
+// track (e.g. "tvm/adaptor/crypto"); name is the stream ("h2d"). A nil
+// hub clears instrumentation.
+func (s *Stream) SetObserver(h *obsv.Hub, track, name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h == nil {
+		s.obs = nil
+		return
+	}
+	reg := h.Reg()
+	label := func(base string) string { return obsv.Name(base, "stream", name, "side", track) }
+	s.obs = &streamObs{
+		tracer:    h.T(),
+		track:     track,
+		name:      name,
+		sealOps:   reg.Counter(label("secmem.seal.ops")),
+		sealBytes: reg.Counter(label("secmem.seal.bytes")),
+		openOps:   reg.Counter(label("secmem.open.ops")),
+		openBytes: reg.Counter(label("secmem.open.bytes")),
+		authFail:  reg.Counter(label("secmem.auth_failures")),
+		replay:    reg.Counter(label("secmem.replay_rejects")),
+		rekeys:    reg.Counter(label("secmem.rekeys")),
+	}
 }
 
 // NewStream builds a protected stream from a 16-byte key and an 8-byte
@@ -129,6 +175,11 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 	if s.sendCtr == ^uint32(0) {
 		return nil, ErrIVExhausted
 	}
+	var sp obsv.ActiveSpan
+	if o := s.obs; o != nil {
+		sp = o.tracer.Begin(o.track, "seal",
+			obsv.Str("stream", o.name), obsv.I64("bytes", int64(len(plaintext))))
+	}
 	s.sendCtr++
 	c := s.sendCtr
 	if s.ivAudit != nil {
@@ -139,6 +190,12 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 	n := len(out) - TagSize
 	sealed.Ciphertext = out[:n]
 	copy(sealed.Tag[:], out[n:])
+	if o := s.obs; o != nil {
+		sp.Attr(obsv.U64("ctr", uint64(c)), obsv.U64("epoch", uint64(s.epoch)))
+		sp.End()
+		o.sealOps.Inc()
+		o.sealBytes.Add(uint64(len(plaintext)))
+	}
 	return sealed, nil
 }
 
@@ -153,18 +210,41 @@ func (s *Stream) Open(sealed *Sealed, aad []byte) ([]byte, error) {
 		}
 	}
 	if sealed.Epoch != s.epoch {
+		s.obsReplay()
 		return nil, fmt.Errorf("%w: epoch %d vs %d", ErrReplay, sealed.Epoch, s.epoch)
 	}
 	if sealed.Counter <= s.recvCtr {
+		s.obsReplay()
 		return nil, fmt.Errorf("%w: counter %d after %d", ErrReplay, sealed.Counter, s.recvCtr)
+	}
+	var sp obsv.ActiveSpan
+	if o := s.obs; o != nil {
+		sp = o.tracer.Begin(o.track, "open",
+			obsv.Str("stream", o.name), obsv.I64("bytes", int64(len(sealed.Ciphertext))),
+			obsv.U64("ctr", uint64(sealed.Counter)))
 	}
 	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
 	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
 	if err != nil {
+		if o := s.obs; o != nil {
+			o.authFail.Inc()
+		}
 		return nil, ErrAuth
 	}
 	s.recvCtr = sealed.Counter
+	if o := s.obs; o != nil {
+		sp.End()
+		o.openOps.Inc()
+		o.openBytes.Add(uint64(len(pt)))
+	}
 	return pt, nil
+}
+
+// obsReplay counts one replay rejection. Callers hold s.mu.
+func (s *Stream) obsReplay() {
+	if o := s.obs; o != nil {
+		o.replay.Inc()
+	}
 }
 
 // OpenStateless authenticates and decrypts a chunk that was ALREADY
@@ -184,15 +264,32 @@ func (s *Stream) OpenStateless(sealed *Sealed, aad []byte) ([]byte, error) {
 		}
 	}
 	if sealed.Epoch != s.epoch {
+		s.obsReplay()
 		return nil, fmt.Errorf("%w: epoch %d vs %d", ErrReplay, sealed.Epoch, s.epoch)
 	}
 	if sealed.Counter > s.recvCtr {
+		s.obsReplay()
 		return nil, fmt.Errorf("%w: counter %d never accepted (watermark %d)", ErrReplay, sealed.Counter, s.recvCtr)
+	}
+	var sp obsv.ActiveSpan
+	if o := s.obs; o != nil {
+		sp = o.tracer.Begin(o.track, "open",
+			obsv.Str("stream", o.name), obsv.Str("mode", "stateless"),
+			obsv.I64("bytes", int64(len(sealed.Ciphertext))),
+			obsv.U64("ctr", uint64(sealed.Counter)))
 	}
 	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
 	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
 	if err != nil {
+		if o := s.obs; o != nil {
+			o.authFail.Inc()
+		}
 		return nil, ErrAuth
+	}
+	if o := s.obs; o != nil {
+		sp.End()
+		o.openOps.Inc()
+		o.openBytes.Add(uint64(len(pt)))
 	}
 	return pt, nil
 }
@@ -249,6 +346,11 @@ func (s *Stream) Rekey(key, nonce []byte) error {
 	s.sendCtr = 0
 	s.recvCtr = 0
 	s.epoch++
+	if o := s.obs; o != nil {
+		o.rekeys.Inc()
+		o.tracer.Instant(o.track, "rekey",
+			obsv.Str("stream", o.name), obsv.U64("epoch", uint64(s.epoch)))
+	}
 	return nil
 }
 

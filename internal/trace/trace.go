@@ -22,7 +22,7 @@ type Recorder struct {
 	mu sync.Mutex
 
 	byKind      map[pcie.Kind]*kindStats
-	byRequester map[pcie.ID]uint64
+	byRequester map[pcie.ID]*requesterStats
 	packets     uint64
 	payload     uint64
 
@@ -37,11 +37,19 @@ type kindStats struct {
 	payload uint64
 }
 
+// requesterStats is one requester's traffic volume: packets and the
+// payload bytes they carried (posted writes and completions; requests
+// without payload count packets only).
+type requesterStats struct {
+	count   uint64
+	payload uint64
+}
+
 // NewRecorder returns a statistics-only recorder.
 func NewRecorder() *Recorder {
 	return &Recorder{
 		byKind:      make(map[pcie.Kind]*kindStats),
-		byRequester: make(map[pcie.ID]uint64),
+		byRequester: make(map[pcie.ID]*requesterStats),
 	}
 }
 
@@ -64,7 +72,13 @@ func (r *Recorder) Tap(p *pcie.Packet) *pcie.Packet {
 	}
 	ks.count++
 	ks.payload += uint64(len(p.Payload))
-	r.byRequester[p.Requester]++
+	rs := r.byRequester[p.Requester]
+	if rs == nil {
+		rs = &requesterStats{}
+		r.byRequester[p.Requester] = rs
+	}
+	rs.count++
+	rs.payload += uint64(len(p.Payload))
 	r.packets++
 	r.payload += uint64(len(p.Payload))
 	if r.keep && len(r.retained) < r.limit {
@@ -85,6 +99,18 @@ func (r *Recorder) PayloadBytes() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.payload
+}
+
+// RequesterStats reports one requester's packet and payload-byte
+// totals.
+func (r *Recorder) RequesterStats(id pcie.ID) (packets, payloadBytes uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	rs := r.byRequester[id]
+	if rs == nil {
+		return 0, 0
+	}
+	return rs.count, rs.payload
 }
 
 // Retained returns the kept packets.
@@ -126,7 +152,8 @@ func (r *Recorder) Summary(name string) string {
 	}
 	sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
 	for _, id := range reqs {
-		fmt.Fprintf(&b, "  requester %v: %d pkts\n", id, r.byRequester[id])
+		rs := r.byRequester[id]
+		fmt.Fprintf(&b, "  requester %v: %d pkts %12d bytes\n", id, rs.count, rs.payload)
 	}
 	if r.keep && len(r.retained) > 0 {
 		fmt.Fprintf(&b, "  payload entropy: %.2f bits/byte (ciphertext ~8.0)\n", r.entropyLocked())
@@ -162,7 +189,7 @@ func (r *Recorder) Reset() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byKind = make(map[pcie.Kind]*kindStats)
-	r.byRequester = make(map[pcie.ID]uint64)
+	r.byRequester = make(map[pcie.ID]*requesterStats)
 	r.packets = 0
 	r.payload = 0
 	r.retained = nil

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"ccai/internal/mem"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/xpu"
 )
@@ -96,6 +97,29 @@ type Driver struct {
 	// chunk indices about to be consumed; ccAI's platform glue uses it
 	// to post MAC records. Vanilla leaves it nil.
 	preDoorbell func(chunks []uint32) error
+
+	obs driverObs
+}
+
+// driverObs caches the driver's observability handles; the zero value
+// is the uninstrumented state.
+type driverObs struct {
+	tracer  *obsv.Tracer
+	submits *obsv.Counter
+	kicks   *obsv.Counter
+}
+
+// SetObserver instruments the driver; a nil hub clears it.
+func (d *Driver) SetObserver(h *obsv.Hub) {
+	if h == nil {
+		d.obs = driverObs{}
+		return
+	}
+	d.obs = driverObs{
+		tracer:  h.T(),
+		submits: h.Reg().Counter("driver.submits"),
+		kicks:   h.Reg().Counter("driver.kicks"),
+	}
 }
 
 // NewDriver initializes the driver against a port and a ring buffer of
@@ -128,6 +152,9 @@ func (d *Driver) ConfigureMSI(addr uint64, data uint32) error {
 
 // Submit writes commands into the ring and rings the doorbell.
 func (d *Driver) Submit(cmds ...xpu.Command) error {
+	sp := d.obs.tracer.Begin(obsv.TrackDriver, "submit", obsv.I64("cmds", int64(len(cmds))))
+	defer sp.End()
+	d.obs.submits.Inc()
 	chunks := make([]uint32, 0, len(cmds))
 	for _, c := range cmds {
 		slot := d.tail % d.ringSize
@@ -156,6 +183,9 @@ func (d *Driver) Submit(cmds ...xpu.Command) error {
 // again. Safe when nothing is pending — the device ignores a doorbell
 // with head == tail.
 func (d *Driver) Kick() error {
+	sp := d.obs.tracer.Begin(obsv.TrackDriver, "kick", obsv.U64("tail", d.tail))
+	defer sp.End()
+	d.obs.kicks.Inc()
 	head, err := d.Head()
 	if err != nil {
 		return fmt.Errorf("tvm: kick: %w", err)

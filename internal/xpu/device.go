@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 )
 
@@ -172,6 +173,53 @@ type Device struct {
 	envResets  int
 	hangs      int
 	msiDropped int
+
+	obs deviceObs
+}
+
+// deviceObs caches the device's observability handles; the zero value
+// is the uninstrumented state.
+type deviceObs struct {
+	tracer     *obsv.Tracer
+	doorbells  *obsv.Counter
+	hangs      *obsv.Counter
+	msiDropped *obsv.Counter
+	faults     *obsv.Counter
+	commands   *obsv.Counter
+}
+
+// SetObserver instruments the device model; a nil hub clears it.
+func (d *Device) SetObserver(h *obsv.Hub) {
+	if h == nil {
+		d.obs = deviceObs{}
+		return
+	}
+	reg := h.Reg()
+	d.obs = deviceObs{
+		tracer:     h.T(),
+		doorbells:  reg.Counter("xpu.doorbells"),
+		hangs:      reg.Counter("xpu.doorbell_hangs"),
+		msiDropped: reg.Counter("xpu.msi_dropped"),
+		faults:     reg.Counter("xpu.faults"),
+		commands:   reg.Counter("xpu.commands"),
+	}
+}
+
+// opName renders a command opcode as a span attribute value.
+func opName(op uint32) string {
+	switch op {
+	case OpNop:
+		return "nop"
+	case OpCopyH2D:
+		return "copy_h2d"
+	case OpCopyD2H:
+		return "copy_d2h"
+	case OpKernel:
+		return "kernel"
+	case OpFence:
+		return "fence"
+	}
+	return fmt.Sprintf("op%d", op)
 }
 
 // NewDevice instantiates a device model at the given bus ID with BAR0
@@ -314,8 +362,11 @@ func (d *Device) mmioWrite(p *pcie.Packet) {
 	switch reg {
 	case RegDoorbell:
 		d.regs[RegDoorbell] = v
+		d.obs.doorbells.Inc()
 		if d.faultHook != nil && d.faultHook(FaultDoorbell) {
 			d.hangs++ // command queue hang: ring swallowed, no progress
+			d.obs.hangs.Inc()
+			d.obs.tracer.Instant(obsv.TrackXPU, "doorbell_hang")
 			return
 		}
 		d.pump()
@@ -385,6 +436,9 @@ func (d *Device) pump() {
 	}
 	head := d.regs[RegCmdHead]
 	tail := d.regs[RegCmdTail]
+	sp := d.obs.tracer.Begin(obsv.TrackXPU, "pump",
+		obsv.U64("head", head), obsv.U64("tail", tail))
+	defer sp.End()
 	for head != tail {
 		entryAddr := base + (head%size)*CmdSize
 		data, ok := d.dmaRead(entryAddr, CmdSize)
@@ -409,6 +463,8 @@ func (d *Device) pump() {
 
 func (d *Device) fault() {
 	d.faults++
+	d.obs.faults.Inc()
+	d.obs.tracer.Instant(obsv.TrackXPU, "device_fault")
 	d.regs[RegStatus] |= StatusFault
 	d.raiseInterrupt(IntFault)
 }
@@ -424,6 +480,8 @@ func (d *Device) raiseInterrupt(cause uint64) {
 	}
 	if d.faultHook != nil && d.faultHook(FaultMSI) {
 		d.msiDropped++ // cause bit stays latched; polling still observes it
+		d.obs.msiDropped.Inc()
+		d.obs.tracer.Instant(obsv.TrackXPU, "msi_dropped")
 		return
 	}
 	data := make([]byte, 4)
@@ -434,6 +492,9 @@ func (d *Device) raiseInterrupt(cause uint64) {
 // dmaRead issues chunked MRd requests upstream and concatenates
 // completions.
 func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
+	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_read",
+		obsv.Hex("addr", addr), obsv.I64("bytes", n))
+	defer sp.End()
 	out := make([]byte, 0, n)
 	for n > 0 {
 		chunk := int64(pcie.MaxPayload)
@@ -454,6 +515,9 @@ func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
 
 // dmaWrite issues chunked MWr requests upstream.
 func (d *Device) dmaWrite(addr uint64, data []byte) bool {
+	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_write",
+		obsv.Hex("addr", addr), obsv.I64("bytes", int64(len(data))))
+	defer sp.End()
 	for len(data) > 0 {
 		chunk := pcie.MaxPayload
 		if len(data) < chunk {
@@ -468,6 +532,10 @@ func (d *Device) dmaWrite(addr uint64, data []byte) bool {
 }
 
 func (d *Device) execute(cmd Command) bool {
+	sp := d.obs.tracer.Begin(obsv.TrackXPU, "exec",
+		obsv.Str("op", opName(cmd.Op)), obsv.I64("bytes", int64(cmd.Len)))
+	defer sp.End()
+	d.obs.commands.Inc()
 	switch cmd.Op {
 	case OpNop, OpFence:
 	case OpCopyH2D:

@@ -1,0 +1,320 @@
+package ccai
+
+// Observability-layer integration tests: a protected task's exported
+// timeline must cover the full pipeline (classify → seal → DMA →
+// tag-match → open), recovery rungs must increment their metrics
+// exactly once under fixed fault seeds (the fault_matrix_test.go
+// seeds), and no metric, span, or exported timeline may ever contain
+// payload plaintext.
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"ccai/internal/fault"
+	"ccai/internal/obsv"
+	"ccai/internal/xpu"
+)
+
+// observedPlatform is protectedPlatform with the observability layer
+// enabled.
+func observedPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p, err := NewPlatform(Config{XPU: xpu.A100, Mode: Protected, Observe: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.EstablishTrust(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// timelineNames exports the timeline and returns the set of event
+// names, plus the raw JSON for content assertions.
+func timelineNames(t *testing.T, p *Platform) (map[string]bool, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := p.WriteTimeline(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("timeline is not valid JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	return names, buf.Bytes()
+}
+
+func TestTimelineCoversPipeline(t *testing.T) {
+	p := observedPlatform(t)
+	out, err := p.RunTask(Task{Input: secret, Kernel: KernelXOR, Param: 0x5a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range secret {
+		if out[i] != secret[i]^0x5a {
+			t.Fatalf("byte %d wrong under observation", i)
+		}
+	}
+
+	names, export := timelineNames(t, p)
+	// The acceptance chain classify → seal → DMA → tag-match → open,
+	// plus the stages around it.
+	for _, want := range []string{
+		"establish_trust", "run_task", // session/task API
+		"classify",     // pcie-sc/filter
+		"seal", "open", // secmem, both ends
+		"dma_read", "dma_write", // xpu DMA
+		"tag_match",                // core MAC lookup
+		"submit",                   // tvm driver
+		"stage_h2d", "collect_d2h", // adaptor staging
+		"pump", "exec", // device execution
+	} {
+		if !names[want] {
+			t.Fatalf("timeline missing %q span; have %v", want, names)
+		}
+	}
+
+	// Spans recorded during the task carry its task ID.
+	var classifyInTask bool
+	for _, sp := range p.Observability().T().Spans() {
+		if sp.Name == "classify" && sp.Task != 0 {
+			classifyInTask = true
+		}
+	}
+	if !classifyInTask {
+		t.Fatal("no classify span carries a task ID")
+	}
+
+	// Confidentiality: the export and the metrics must be publishable.
+	if bytes.Contains(export, secret) {
+		t.Fatal("timeline export contains the plaintext secret")
+	}
+	metricsText := p.MetricsSnapshot().RenderText()
+	if strings.Contains(metricsText, string(secret)) {
+		t.Fatal("metrics text contains the plaintext secret")
+	}
+	for _, sp := range p.Observability().T().Spans() {
+		for _, a := range sp.Attrs() {
+			if strings.Contains(a.Val(), string(secret)) || strings.Contains(a.Key, string(secret)) {
+				t.Fatalf("span %s attr %s leaks the secret", sp.Name, a.Key)
+			}
+		}
+	}
+
+	// The metric mirrors must agree with the SC's own statistics.
+	c := p.MetricsSnapshot().Counters
+	st := p.SC.Stats()
+	for _, m := range []struct {
+		name string
+		want uint64
+	}{
+		{"sc.decrypted_chunks", st.DecryptedChunks},
+		{"sc.encrypted_chunks", st.EncryptedChunks},
+		{"sc.verified_chunks", st.VerifiedChunks},
+		{"sc.auth_failures", st.AuthFailures},
+	} {
+		if c[m.name] != m.want {
+			t.Fatalf("%s = %d, SC stats say %d", m.name, c[m.name], m.want)
+		}
+	}
+	if c["sc.decrypted_chunks"] == 0 || c["sc.encrypted_chunks"] == 0 {
+		t.Fatal("protected task decrypted/encrypted nothing; test vacuous")
+	}
+	if c[obsv.Name("task.runs", "mode", "ccAI", "status", "ok")] != 1 {
+		t.Fatalf("task.runs counter wrong: %v", c)
+	}
+}
+
+func TestTimelineShowsFaultRecovery(t *testing.T) {
+	p := observedPlatform(t)
+	inj := fault.NewInjector(fault.Single(matrixSeeds[0], fault.DoorbellHang, 0, 1))
+	inj.SetObserver(p.Obs)
+	p.Device.SetFaultHook(inj.DeviceFault)
+
+	out, err := p.RunTask(Task{Input: taskInput(), Kernel: KernelXOR, Param: 0x5a})
+	if err != nil {
+		t.Fatalf("single doorbell hang must be recoverable: %v", err)
+	}
+	if in := taskInput(); out[0] != in[0]^0x5a {
+		t.Fatal("recovered task produced wrong data")
+	}
+
+	names, _ := timelineNames(t, p)
+	for _, want := range []string{"fault_injected", "doorbell_hang", "recovery.repost_tags", "kick"} {
+		if !names[want] {
+			t.Fatalf("fault-run timeline missing %q; have %v", want, names)
+		}
+	}
+	c := p.MetricsSnapshot().Counters
+	if got := c[obsv.Name("fault.fired", "class", fault.DoorbellHang.String())]; got != 1 {
+		t.Fatalf("fault.fired = %d, want 1", got)
+	}
+	if c["xpu.doorbell_hangs"] != 1 || c["driver.kicks"] != 1 {
+		t.Fatalf("hang/kick counters wrong: hangs=%d kicks=%d",
+			c["xpu.doorbell_hangs"], c["driver.kicks"])
+	}
+}
+
+// assertRecoveryMirrors checks every adaptor.recovery.* counter against
+// the RecoveryStats struct the fault matrix already trusts.
+func assertRecoveryMirrors(t *testing.T, p *Platform) {
+	t.Helper()
+	c := p.MetricsSnapshot().Counters
+	rec := p.Adaptor.Recovery()
+	for _, m := range []struct {
+		name string
+		want uint64
+	}{
+		{"adaptor.recovery.timeouts", rec.Timeouts},
+		{"adaptor.recovery.retries", rec.Retries},
+		{"adaptor.recovery.recovered", rec.Recovered},
+		{"adaptor.recovery.stale_suppressed", rec.StaleSuppressed},
+		{"adaptor.recovery.crypto_retries", rec.CryptoRetries},
+		{"adaptor.recovery.reposts", rec.Reposts},
+		{"adaptor.recovery.resyncs", rec.Resyncs},
+		{"adaptor.recovery.exhausted", rec.Exhausted},
+		{"adaptor.recovery.fail_closed", rec.FailClosed},
+	} {
+		if c[m.name] != m.want {
+			t.Fatalf("%s = %d but RecoveryStats says %d", m.name, c[m.name], m.want)
+		}
+	}
+}
+
+// TestRecoveryRungMetricsExactlyOnce injects one fault per recovery
+// rung under a fixed matrix seed and asserts the rung's metric
+// increments exactly once — and mirrors RecoveryStats bit-for-bit.
+func TestRecoveryRungMetricsExactlyOnce(t *testing.T) {
+	seed := matrixSeeds[0]
+	run := func(t *testing.T, p *Platform) {
+		t.Helper()
+		out, err := p.RunTask(Task{Input: taskInput(), Kernel: KernelXOR, Param: 0x5a})
+		if err != nil {
+			t.Fatalf("single fault must be recoverable: %v", err)
+		}
+		if in := taskInput(); out[0] != in[0]^0x5a {
+			t.Fatal("recovered task produced wrong data")
+		}
+	}
+
+	t.Run("crypto_retry", func(t *testing.T) {
+		p := observedPlatform(t)
+		inj := fault.NewInjector(fault.Single(seed, fault.CryptoTransient, 0, 1))
+		inj.SetObserver(p.Obs)
+		p.Adaptor.InstallCryptoFault(inj.CryptoFault)
+		run(t, p)
+		c := p.MetricsSnapshot().Counters
+		if c["adaptor.recovery.crypto_retries"] != 1 {
+			t.Fatalf("crypto_retries = %d, want exactly 1", c["adaptor.recovery.crypto_retries"])
+		}
+		if c["adaptor.recovery.recovered"] != 1 {
+			t.Fatalf("recovered = %d, want exactly 1", c["adaptor.recovery.recovered"])
+		}
+		if c["adaptor.recovery.fail_closed"] != 0 || c["adaptor.recovery.exhausted"] != 0 {
+			t.Fatal("recoverable fault must not exhaust or fail closed")
+		}
+		assertRecoveryMirrors(t, p)
+	})
+
+	t.Run("tag_repost", func(t *testing.T) {
+		p := observedPlatform(t)
+		inj := fault.NewInjector(fault.Single(seed, fault.TagLoss, 0, 1))
+		inj.SetObserver(p.Obs)
+		p.SC.Tags().SetFaultHook(inj.TagFault)
+		run(t, p)
+		c := p.MetricsSnapshot().Counters
+		if c["adaptor.recovery.reposts"] != 1 {
+			t.Fatalf("reposts = %d, want exactly 1", c["adaptor.recovery.reposts"])
+		}
+		if c["sc.tags.dropped_by_fault"] != 1 {
+			t.Fatalf("tags dropped = %d, want exactly 1", c["sc.tags.dropped_by_fault"])
+		}
+		assertRecoveryMirrors(t, p)
+	})
+
+	t.Run("stale_suppressed", func(t *testing.T) {
+		p := observedPlatform(t)
+		// Two firings: the first stashes a completion (a timeout), the
+		// second delivers it in place of a newer one — a stale tag the
+		// adaptor must suppress exactly once.
+		inj := fault.NewInjector(fault.Single(seed, fault.StaleCompletion, 0, 2))
+		inj.SetObserver(p.Obs)
+		p.Host.AddTap(inj)
+		run(t, p)
+		c := p.MetricsSnapshot().Counters
+		if c["adaptor.recovery.stale_suppressed"] != 1 {
+			t.Fatalf("stale_suppressed = %d, want exactly 1", c["adaptor.recovery.stale_suppressed"])
+		}
+		if c["adaptor.recovery.retries"] == 0 {
+			t.Fatal("stale completions must cost retries")
+		}
+		assertRecoveryMirrors(t, p)
+	})
+}
+
+// TestFailClosedTeardownMetrics hangs every doorbell so the recovery
+// ladder exhausts and the session must fail closed — exactly once, with
+// the teardown visible in both metrics and the timeline.
+func TestFailClosedTeardownMetrics(t *testing.T) {
+	p := observedPlatform(t)
+	inj := fault.NewInjector(fault.Single(matrixSeeds[0], fault.DoorbellHang, 0, 16))
+	inj.SetObserver(p.Obs)
+	p.Device.SetFaultHook(inj.DeviceFault)
+
+	if _, err := p.RunTask(Task{Input: taskInput(), Kernel: KernelXOR, Param: 0x5a}); err == nil {
+		t.Fatal("permanently hung doorbell must fail the task")
+	}
+	if p.trusted {
+		t.Fatal("session still trusted after fail-closed teardown")
+	}
+	c := p.MetricsSnapshot().Counters
+	if c["adaptor.recovery.fail_closed"] != 1 {
+		t.Fatalf("fail_closed = %d, want exactly 1", c["adaptor.recovery.fail_closed"])
+	}
+	if c["sc.teardowns"] == 0 {
+		t.Fatal("SC never saw the teardown")
+	}
+	if c[obsv.Name("task.runs", "mode", "ccAI", "status", "error")] != 1 {
+		t.Fatalf("task.runs error counter wrong: %v", c)
+	}
+	names, _ := timelineNames(t, p)
+	for _, want := range []string{"recovery.fail_closed", "teardown"} {
+		if !names[want] {
+			t.Fatalf("fail-closed timeline missing %q", want)
+		}
+	}
+	assertRecoveryMirrors(t, p)
+}
+
+// TestObservabilityOffIsInert pins the zero-cost contract at the API
+// level: without Config.Observe the hub is nil, exports refuse, and the
+// snapshot is empty — while the task still runs.
+func TestObservabilityOffIsInert(t *testing.T) {
+	p := protectedPlatform(t, xpu.A100)
+	if p.Observability() != nil {
+		t.Fatal("hub exists without Config.Observe")
+	}
+	if _, err := p.RunTask(Task{Input: []byte("plain run"), Kernel: KernelAdd, Param: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(p.MetricsSnapshot().Counters); n != 0 {
+		t.Fatalf("disabled platform recorded %d counters", n)
+	}
+	var buf bytes.Buffer
+	if err := p.WriteTimeline(&buf); err == nil {
+		t.Fatal("WriteTimeline must refuse when observability is off")
+	}
+}

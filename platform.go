@@ -17,11 +17,13 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
+	"io"
 
 	"ccai/internal/adaptor"
 	"ccai/internal/core"
 	"ccai/internal/hrot"
 	"ccai/internal/mem"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/tvm"
@@ -88,6 +90,11 @@ type Config struct {
 	// the profile's shipped firmware — i.e. a genuine device. Tests
 	// set it to a different value to model a flashed/compromised xPU.
 	GoldenFirmware string
+	// Observe enables the observability layer: a metrics registry and a
+	// span tracer wired through every pipeline stage (filter, crypto,
+	// adaptor, driver, device). Off (the default) every instrumentation
+	// site sees nil handles and costs nothing.
+	Observe bool
 }
 
 // HostBridge terminates device-initiated traffic on the host bus: DMA
@@ -160,7 +167,29 @@ type Platform struct {
 	Blade *hrot.Blade
 	// bootRules records the static policy for PCR measurement.
 	bootRules []core.Rule
+
+	// Obs is the observability hub (nil unless Config.Observe).
+	Obs *obsv.Hub
 }
+
+// Observability returns the platform's hub, nil when observability is
+// off. All obsv types no-op on nil, so callers may chain freely:
+// plat.Observability().T().Spans() is safe either way.
+func (p *Platform) Observability() *obsv.Hub { return p.Obs }
+
+// WriteTimeline exports every recorded span as Chrome trace-event JSON
+// (load in chrome://tracing or Perfetto). An error is returned when
+// observability is off.
+func (p *Platform) WriteTimeline(w io.Writer) error {
+	if p.Obs == nil {
+		return errors.New("ccai: observability not enabled (Config.Observe)")
+	}
+	return p.Obs.Tracer.WriteChromeTrace(w)
+}
+
+// MetricsSnapshot returns a point-in-time copy of every metric. The
+// zero Snapshot is returned when observability is off.
+func (p *Platform) MetricsSnapshot() obsv.Snapshot { return p.Obs.Reg().Snapshot() }
 
 // NewPlatform assembles and boots a platform.
 func NewPlatform(cfg Config) (*Platform, error) {
@@ -186,6 +215,9 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		IOMMU:  mem.NewIOMMU(),
 		golden: cfg.GoldenFirmware,
 	}
+	if cfg.Observe {
+		p.Obs = obsv.NewHub()
+	}
 	p.Bridge = &HostBridge{id: HostBridgeID, space: guest.Space, iommu: p.IOMMU}
 	p.Host.Attach(p.Bridge)
 	for _, r := range []pcie.Region{
@@ -199,6 +231,9 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	}
 
 	p.Device = xpu.NewDevice(cfg.XPU, XPUID, xpuBARBase, 1<<20)
+	if p.Obs != nil {
+		p.Device.SetObserver(p.Obs)
+	}
 
 	if cfg.Mode == Vanilla {
 		return p, p.assembleVanilla(cfg)
@@ -225,6 +260,9 @@ func (p *Platform) assembleVanilla(cfg Config) error {
 	p.Driver, err = tvm.NewDriver(port, p.Guest.Space, ring, cfg.RingEntries)
 	if err != nil {
 		return err
+	}
+	if p.Obs != nil {
+		p.Driver.SetObserver(p.Obs)
 	}
 	return p.Driver.ConfigureMSI(msiBase, 0x41)
 }
@@ -275,6 +313,10 @@ func (p *Platform) assembleProtected(cfg Config, opts adaptor.Options) error {
 	p.installBootRules()
 
 	p.Adaptor = adaptor.New(TVMID, p.Host, p.Guest.Space, p.tvmKeys, scBARBase, xpuBARBase, opts)
+	if p.Obs != nil {
+		p.SC.SetObserver(p.Obs)
+		p.Adaptor.SetObserver(p.Obs)
+	}
 	return nil
 }
 
@@ -331,6 +373,8 @@ func (p *Platform) EstablishTrust() error {
 	if p.Mode != Protected {
 		return nil
 	}
+	sp := p.Obs.T().Begin(obsv.TrackTask, "establish_trust", obsv.Str("xpu", p.Device.Profile().Name))
+	defer sp.End()
 	var nonceBuf [8]byte
 	if _, err := rand.Read(nonceBuf[:]); err != nil {
 		return err
@@ -376,6 +420,9 @@ func (p *Platform) setupProtectedDriver() error {
 	p.Driver, err = tvm.NewDriver(port, p.Guest.Space, ring.Buf, ringEntries)
 	if err != nil {
 		return err
+	}
+	if p.Obs != nil {
+		p.Driver.SetObserver(p.Obs)
 	}
 	p.Driver.SetPreDoorbell(func(chunks []uint32) error {
 		return p.Adaptor.SyncVerified(p.ring, chunks)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ccai/internal/adaptor"
+	"ccai/internal/obsv"
 	"ccai/internal/tvm"
 	"ccai/internal/xpu"
 )
@@ -23,6 +24,18 @@ const (
 	KernelXOR Kernel = xpu.KernelXORMask
 )
 
+func (k Kernel) String() string {
+	switch k {
+	case KernelAdd:
+		return "add"
+	case KernelChecksum:
+		return "checksum"
+	case KernelXOR:
+		return "xor"
+	}
+	return fmt.Sprintf("kernel%d", uint32(k))
+}
+
 // Task is one confidential xPU job: input data, a kernel, and its
 // parameter. Output size equals input size (KernelChecksum pads to 8).
 type Task struct {
@@ -36,7 +49,33 @@ type Task struct {
 // the result. Under Protected mode the input crosses the host bus only
 // as ciphertext and the result returns encrypted; under Vanilla it
 // travels in the clear (which the adversary tests exploit).
+//
+// With observability on (Config.Observe) each run opens a task scope:
+// every span recorded until the task returns carries the same task ID,
+// and the run itself is one "run_task" span on the task track tagged
+// with the kernel, input size and outcome — metadata only, never the
+// data.
 func (p *Platform) RunTask(t Task) ([]byte, error) {
+	tr := p.Obs.T()
+	id := tr.StartTask()
+	defer tr.EndTask()
+	sp := tr.Begin(obsv.TrackTask, "run_task",
+		obsv.U64("task", id),
+		obsv.Str("kernel", t.Kernel.String()),
+		obsv.I64("in_bytes", int64(len(t.Input))),
+		obsv.Str("mode", p.Mode.String()))
+	out, err := p.runTask(t)
+	status := "ok"
+	if err != nil {
+		status = "error"
+	}
+	sp.Attr(obsv.Str("status", status), obsv.I64("out_bytes", int64(len(out))))
+	sp.End()
+	p.Obs.Reg().Counter(obsv.Name("task.runs", "mode", p.Mode.String(), "status", status)).Inc()
+	return out, err
+}
+
+func (p *Platform) runTask(t Task) ([]byte, error) {
 	if len(t.Input) == 0 {
 		return nil, fmt.Errorf("ccai: empty task input")
 	}
