@@ -2,15 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke cover fuzz vet fmt experiments clean ci
+.PHONY: all build test race stress bench bench-smoke cover fuzz vet fmt experiments clean ci
 
 all: build test
 
 # Everything a merge gate needs: static checks, the full suite, the
-# race detector over the concurrent retry paths, a one-iteration pass
-# over every benchmark (so they can't rot), and a short fuzz pass over
-# the attacker-facing parsers (fault plans included).
-ci: vet test race bench-smoke
+# race detector over the concurrent retry paths, the multi-tenant
+# stress matrix, a one-iteration pass over every benchmark (so they
+# can't rot), and a short fuzz pass over the attacker-facing parsers
+# (fault plans included).
+ci: vet test race stress bench-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 
@@ -22,6 +23,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# The multi-tenant concurrency stress matrix (N tenants × fault classes
+# × seeds) plus the shared-layer concurrency tests, run twice under the
+# race detector so scheduling varies between passes.
+stress:
+	$(GO) test -race -count=2 -run 'TestConcurrencyStressMatrix|TestConcurrentMultiTenantServing|TestSameTenantConcurrentCallsSerialize|Concurrent' ./ ./internal/core/ ./internal/secmem/
 
 vet:
 	$(GO) vet ./...

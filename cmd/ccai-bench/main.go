@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -221,7 +222,71 @@ func microBench() ([]benchResult, error) {
 			Iterations: microIters,
 		})
 	}
-	return results, nil
+	serving, err := servingBench()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, serving...), nil
+}
+
+// servingBench measures aggregate multi-tenant throughput: the same
+// task mix executed serialized (one tenant at a time) and concurrently
+// through MultiPlatform.RunTasks. The concurrent number divided by the
+// serialized one is the serving engine's scaling factor; it only
+// exceeds 1 when GOMAXPROCS allows the per-tenant pipelines to overlap.
+func servingBench() ([]benchResult, error) {
+	const tenants = 4
+	const size = 64 << 10
+	profiles := make([]xpu.Profile, tenants)
+	for i := range profiles {
+		profiles[i] = xpu.A100
+	}
+	mp, err := ccai.NewMultiPlatform(profiles)
+	if err != nil {
+		return nil, err
+	}
+	defer mp.Close()
+	if err := mp.EstablishTrustAll(); err != nil {
+		return nil, err
+	}
+	input := make([]byte, size)
+	for i := range input {
+		input[i] = byte(i)
+	}
+	var tasks []ccai.TenantTask
+	for i := 0; i < microIters; i++ {
+		for tn := 0; tn < tenants; tn++ {
+			tasks = append(tasks, ccai.TenantTask{Tenant: tn, Task: ccai.Task{Input: input, Kernel: ccai.KernelXOR, Param: 0x5a}})
+		}
+	}
+	// Warm-up: one task per tenant.
+	for tn := 0; tn < tenants; tn++ {
+		if _, err := mp.Tenants[tn].RunTask(tasks[tn].Task); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	for _, tt := range tasks {
+		if _, err := mp.Tenants[tt.Tenant].RunTask(tt.Task); err != nil {
+			return nil, err
+		}
+	}
+	serialized := time.Since(start)
+
+	start = time.Now()
+	for _, res := range mp.RunTasks(tasks) {
+		if res.Err != nil {
+			return nil, res.Err
+		}
+	}
+	concurrent := time.Since(start)
+
+	n := float64(len(tasks))
+	return []benchResult{
+		{Name: "serve/4-tenant/serialized/64KiB", NsPerOp: float64(serialized.Nanoseconds()) / n, BytesPerOp: size, Iterations: len(tasks)},
+		{Name: "serve/4-tenant/concurrent/64KiB", NsPerOp: float64(concurrent.Nanoseconds()) / n, BytesPerOp: size, Iterations: len(tasks)},
+	}, nil
 }
 
 func writeResults(path string, results []benchResult) error {
@@ -238,9 +303,20 @@ func writeResults(path string, results []benchResult) error {
 
 func renderMicro(path string, results []benchResult) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "End-to-end micro-benchmarks (wall clock, %d iters) -> %s\n", microIters, path)
+	fmt.Fprintf(&b, "End-to-end micro-benchmarks (wall clock, %d iters, GOMAXPROCS=%d) -> %s\n",
+		microIters, runtime.GOMAXPROCS(0), path)
+	var serial, conc float64
 	for _, r := range results {
-		fmt.Fprintf(&b, "  %-28s %14.0f ns/op %10d bytes/op\n", r.Name, r.NsPerOp, r.BytesPerOp)
+		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op\n", r.Name, r.NsPerOp, r.BytesPerOp)
+		switch r.Name {
+		case "serve/4-tenant/serialized/64KiB":
+			serial = r.NsPerOp
+		case "serve/4-tenant/concurrent/64KiB":
+			conc = r.NsPerOp
+		}
+	}
+	if serial > 0 && conc > 0 {
+		fmt.Fprintf(&b, "  serving speedup (serialized/concurrent): %.2fx\n", serial/conc)
 	}
 	return b.String()
 }

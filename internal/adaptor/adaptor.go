@@ -11,6 +11,7 @@ package adaptor
 import (
 	"encoding/binary"
 	"fmt"
+	"runtime"
 	"sync"
 
 	"ccai/internal/core"
@@ -33,9 +34,14 @@ type Options struct {
 	// HWCrypto uses AES-NI-class hardware instructions for
 	// de/encryption (timing model; the functional bytes are identical).
 	HWCrypto bool
-	// ParallelCrypto spreads crypto across extra CPU threads (timing
-	// model).
+	// ParallelCrypto spreads crypto across extra CPU threads: chunk
+	// seal/open within one region fans out over a bounded worker pool
+	// (the paper's "allocate additional CPU threads" optimization).
 	ParallelCrypto bool
+	// CryptoWorkers bounds the parallel-crypto pool. Zero means auto:
+	// min(GOMAXPROCS, 8) when ParallelCrypto is set, otherwise 1
+	// (serial).
+	CryptoWorkers int
 }
 
 // Optimized is the full ccAI optimization set.
@@ -98,6 +104,7 @@ type Adaptor struct {
 	policy RetryPolicy
 	clock  *sim.Engine
 	rec    RecoveryStats
+	pool   *secmem.Pool // per-chunk crypto fan-out
 
 	// hub propagates observability to streams activated in HWInit; obs
 	// holds the cached handles (zero value = uninstrumented).
@@ -119,12 +126,24 @@ func New(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStore, scB
 // NewScoped is New with an explicit staging-region name; multi-tenant
 // platforms give each tenant its own shared window.
 func NewScoped(id pcie.ID, bus *pcie.Bus, space *mem.Space, keys *secmem.KeyStore, scBar, xpuBar uint64, region string, opts Options) *Adaptor {
+	w := opts.CryptoWorkers
+	if w <= 0 {
+		w = 1
+		if opts.ParallelCrypto {
+			if w = runtime.GOMAXPROCS(0); w > 8 {
+				w = 8
+			}
+		}
+	}
 	return &Adaptor{
 		id: id, bus: bus, space: space, keys: keys,
 		scBar: scBar, xpuBar: xpuBar, region: region, opts: opts, nextID: 1,
-		nextTag: 1, policy: DefaultRetryPolicy(),
+		nextTag: 1, policy: DefaultRetryPolicy(), pool: secmem.NewPool(w),
 	}
 }
+
+// CryptoWorkers reports the resolved parallel-crypto pool width.
+func (a *Adaptor) CryptoWorkers() int { return a.pool.Workers() }
 
 // Options reports the active optimization set.
 func (a *Adaptor) Options() Options { return a.opts }
@@ -296,20 +315,27 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 	}
 	a.nextID++
 
-	var recs []core.TagRecord
-	out := buf.Bytes()
+	// Chunk the payload, then seal the whole batch: counters are
+	// reserved contiguously under the stream lock and the AES-GCM work
+	// fans out over the crypto pool (§5 parallel-crypto optimization).
+	var pts, aads [][]byte
 	for off := 0; off < len(data); off += core.ChunkSize {
 		end := off + core.ChunkSize
 		if end > len(data) {
 			end = len(data)
 		}
-		chunk := uint32(off / core.ChunkSize)
-		sealed, err := a.sealWithRetry(a.h2d, data[off:end], desc.AAD(chunk))
-		if err != nil {
-			a.space.Free(buf)
-			return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
-		}
-		copy(out[off:end], sealed.Ciphertext)
+		pts = append(pts, data[off:end])
+		aads = append(aads, desc.AAD(uint32(off/core.ChunkSize)))
+	}
+	sealedChunks, err := a.sealBatchWithRetry(a.h2d, pts, aads)
+	if err != nil {
+		a.space.Free(buf)
+		return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
+	}
+	recs := make([]core.TagRecord, 0, len(sealedChunks))
+	out := buf.Bytes()
+	for i, sealed := range sealedChunks {
+		copy(out[i*core.ChunkSize:], sealed.Ciphertext)
 		recs = append(recs, core.TagRecord{
 			Stream: core.StreamH2D, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag,
 		})
@@ -448,7 +474,12 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "collect_d2h",
 		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("bytes", n))
 	defer sp.End()
-	out := make([]byte, 0, n)
+	// Assemble the batch from the bounce buffer + tag table, then
+	// authenticate/decrypt on the crypto pool; the stream replica
+	// enforces the strictly-increasing counter discipline across the
+	// whole batch.
+	var sealedChunks []*secmem.Sealed
+	var aads [][]byte
 	for off := int64(0); off < n; off += core.ChunkSize {
 		end := off + core.ChunkSize
 		if end > n {
@@ -462,10 +493,15 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 			Ciphertext: r.Buf.Slice(off, end-off),
 		}
 		copy(sealed.Tag[:], recBytes[12:])
-		pt, err := a.openWithRetry(a.d2h, sealed, r.Desc.AAD(chunk))
-		if err != nil {
-			return nil, fmt.Errorf("adaptor: decrypt_data chunk %d: %w", chunk, err)
-		}
+		sealedChunks = append(sealedChunks, sealed)
+		aads = append(aads, r.Desc.AAD(chunk))
+	}
+	pts, err := a.openBatchWithRetry(a.d2h, sealedChunks, aads)
+	if err != nil {
+		return nil, fmt.Errorf("adaptor: decrypt_data: %w", err)
+	}
+	out := make([]byte, 0, n)
+	for _, pt := range pts {
 		out = append(out, pt...)
 	}
 	return out, nil

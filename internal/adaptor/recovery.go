@@ -175,6 +175,59 @@ func (a *Adaptor) sealWithRetry(s *secmem.Stream, pt, aad []byte) (*secmem.Seale
 	}
 }
 
+// sealBatchWithRetry is sealWithRetry over a whole chunk batch. A
+// transient fault aborts the batch before any counter is reserved, so
+// the retry re-seals the identical batch with the identical counter
+// range — never an IV reuse. Callers hold a.mu.
+func (a *Adaptor) sealBatchWithRetry(s *secmem.Stream, pts, aads [][]byte) ([]*secmem.Sealed, error) {
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		sealed, err := s.SealBatch(pts, aads, a.pool)
+		if !errors.Is(err, secmem.ErrTransient) {
+			if err == nil && attempt > 0 {
+				a.rec.Recovered++
+				a.obs.recovered.Inc()
+			}
+			return sealed, err
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
+			return nil, err
+		}
+		a.rec.CryptoRetries++
+		a.obs.cryptoRetries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.crypto_retry", obsv.Str("op", "seal"))
+		a.backoff(&delay)
+	}
+}
+
+// openBatchWithRetry is the batch decrypt twin: only ErrTransient
+// retries (it fires before any watermark movement); auth and replay
+// failures are verdicts. Callers hold a.mu.
+func (a *Adaptor) openBatchWithRetry(s *secmem.Stream, sealed []*secmem.Sealed, aads [][]byte) ([][]byte, error) {
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		pts, err := s.OpenBatch(sealed, aads, a.pool)
+		if !errors.Is(err, secmem.ErrTransient) {
+			if err == nil && attempt > 0 {
+				a.rec.Recovered++
+				a.obs.recovered.Inc()
+			}
+			return pts, err
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
+			return nil, err
+		}
+		a.rec.CryptoRetries++
+		a.obs.cryptoRetries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.crypto_retry", obsv.Str("op", "open"))
+		a.backoff(&delay)
+	}
+}
+
 // openWithRetry is sealWithRetry for the decrypt side. Auth and replay
 // failures are security verdicts, not faults — only ErrTransient
 // retries. Callers hold a.mu.

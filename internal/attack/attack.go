@@ -9,13 +9,17 @@ package attack
 
 import (
 	"bytes"
+	"sync"
 
 	"ccai/internal/pcie"
 )
 
 // Snooper records every packet crossing a bus segment — the PCIe bus
-// snooping attack ([72] in the paper). It never modifies traffic.
+// snooping attack ([72] in the paper). It never modifies traffic. All
+// methods are safe for concurrent use: a snooper on a shared segment
+// sees traffic from every tenant pipeline at once.
 type Snooper struct {
+	mu      sync.Mutex
 	packets []*pcie.Packet
 }
 
@@ -24,20 +28,33 @@ func NewSnooper() *Snooper { return &Snooper{} }
 
 // Tap implements pcie.Tap.
 func (s *Snooper) Tap(p *pcie.Packet) *pcie.Packet {
-	s.packets = append(s.packets, p.Clone())
+	q := p.Clone()
+	s.mu.Lock()
+	s.packets = append(s.packets, q)
+	s.mu.Unlock()
 	return p
 }
 
-// Packets returns everything captured.
-func (s *Snooper) Packets() []*pcie.Packet { return s.packets }
+// Packets returns a snapshot of everything captured.
+func (s *Snooper) Packets() []*pcie.Packet {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*pcie.Packet(nil), s.packets...)
+}
 
 // Reset clears the capture buffer.
-func (s *Snooper) Reset() { s.packets = nil }
+func (s *Snooper) Reset() {
+	s.mu.Lock()
+	s.packets = nil
+	s.mu.Unlock()
+}
 
 // SawPlaintext reports whether any captured payload contains the given
 // byte sequence — the confidentiality oracle: if a secret substring is
 // visible on the untrusted segment, protection failed.
 func (s *Snooper) SawPlaintext(secret []byte) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for _, p := range s.packets {
 		if len(p.Payload) > 0 && bytes.Contains(p.Payload, secret) {
 			return true
@@ -48,6 +65,8 @@ func (s *Snooper) SawPlaintext(secret []byte) bool {
 
 // PayloadBytes reports total payload bytes captured.
 func (s *Snooper) PayloadBytes() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	n := 0
 	for _, p := range s.packets {
 		n += len(p.Payload)
@@ -62,7 +81,9 @@ type Tamperer struct {
 	// packet.
 	Match func(p *pcie.Packet) bool
 	// Count limits how many packets to corrupt (0 = unlimited).
-	Count    int
+	Count int
+
+	mu       sync.Mutex
 	tampered int
 }
 
@@ -74,17 +95,24 @@ func (t *Tamperer) Tap(p *pcie.Packet) *pcie.Packet {
 	if t.Match != nil && !t.Match(p) {
 		return p
 	}
+	t.mu.Lock()
 	if t.Count > 0 && t.tampered >= t.Count {
+		t.mu.Unlock()
 		return p
 	}
 	t.tampered++
+	t.mu.Unlock()
 	q := p.Clone()
 	q.Payload[len(q.Payload)/2] ^= 0x80
 	return q
 }
 
 // Tampered reports how many packets were corrupted.
-func (t *Tamperer) Tampered() int { return t.tampered }
+func (t *Tamperer) Tampered() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tampered
+}
 
 // Redirector rewrites the target address of matching packets — the
 // "route packets carrying sensitive data to unexpected TVMs or other
@@ -92,7 +120,9 @@ func (t *Tamperer) Tampered() int { return t.tampered }
 type Redirector struct {
 	Match  func(p *pcie.Packet) bool
 	NewDst uint64
-	hits   int
+
+	mu   sync.Mutex
+	hits int
 }
 
 // Tap implements pcie.Tap.
@@ -102,17 +132,25 @@ func (r *Redirector) Tap(p *pcie.Packet) *pcie.Packet {
 	}
 	q := p.Clone()
 	q.Address = r.NewDst
+	r.mu.Lock()
 	r.hits++
+	r.mu.Unlock()
 	return q
 }
 
 // Hits reports redirected packets.
-func (r *Redirector) Hits() int { return r.hits }
+func (r *Redirector) Hits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits
+}
 
 // Dropper deletes matching packets in flight.
 type Dropper struct {
-	Match   func(p *pcie.Packet) bool
-	Count   int
+	Match func(p *pcie.Packet) bool
+	Count int
+
+	mu      sync.Mutex
 	dropped int
 }
 
@@ -121,26 +159,40 @@ func (d *Dropper) Tap(p *pcie.Packet) *pcie.Packet {
 	if d.Match != nil && !d.Match(p) {
 		return p
 	}
+	d.mu.Lock()
 	if d.Count > 0 && d.dropped >= d.Count {
+		d.mu.Unlock()
 		return p
 	}
 	d.dropped++
+	d.mu.Unlock()
 	return nil
 }
 
 // Dropped reports deleted packets.
-func (d *Dropper) Dropped() int { return d.dropped }
+func (d *Dropper) Dropped() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.dropped
+}
 
 // Recorder captures packets matching a predicate for later replay.
+// Captured may be read directly only once the bus is quiescent; Tap is
+// safe under concurrent traffic.
 type Recorder struct {
 	Match    func(p *pcie.Packet) bool
 	Captured []*pcie.Packet
+
+	mu sync.Mutex
 }
 
 // Tap implements pcie.Tap.
 func (r *Recorder) Tap(p *pcie.Packet) *pcie.Packet {
 	if r.Match == nil || r.Match(p) {
-		r.Captured = append(r.Captured, p.Clone())
+		q := p.Clone()
+		r.mu.Lock()
+		r.Captured = append(r.Captured, q)
+		r.mu.Unlock()
 	}
 	return p
 }

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"ccai/internal/pcie"
+	"ccai/internal/secmem"
+)
+
+// "costarring" and "liquid" are a known FNV-1a 32-bit colliding pair;
+// the tag wire format identifies streams by that hash alone, so these
+// two names are the concrete attack vector the (stream, chunk) keying
+// and Activate-time rejection defend against.
+const (
+	collideA = "costarring"
+	collideB = "liquid"
+)
+
+func TestStreamHashCollisionPairHolds(t *testing.T) {
+	if hashStream(collideA) != hashStream(collideB) {
+		t.Fatalf("test vector broken: %q and %q no longer collide", collideA, collideB)
+	}
+	if collideA == collideB {
+		t.Fatal("pair must be distinct names")
+	}
+}
+
+// TestTagManagerNoCrossMatchOnHashCollision is the regression test for
+// hash-keyed pending tags: a record posted for one stream must never
+// satisfy a take for a different stream, even when both names share a
+// wire hash. On the pre-fix code (pending keyed by chunk/hash alone)
+// the second Take succeeded with the foreign record.
+func TestTagManagerNoCrossMatchOnHashCollision(t *testing.T) {
+	tm := NewTagManager()
+	rec := TagRecord{Stream: collideA, Chunk: 7, Epoch: 1}
+	rec.Tag[0] = 0xaa
+	tm.Enqueue(rec)
+
+	if got, ok := tm.Take(collideB, 7); ok {
+		t.Fatalf("tag for %q matched stream %q: %+v", collideA, collideB, got)
+	}
+	got, ok := tm.Take(collideA, 7)
+	if !ok || got.Tag[0] != 0xaa {
+		t.Fatalf("legitimate take failed: %+v %v", got, ok)
+	}
+	if _, ok := tm.Take(collideA, 7); ok {
+		t.Fatal("record taken twice")
+	}
+	if matched, missing := tm.Stats(); matched != 1 || missing != 2 {
+		t.Fatalf("stats = (%d matched, %d missing), want (1, 2)", matched, missing)
+	}
+}
+
+// TestActivateRejectsStreamHashCollision: two live streams must never
+// share a wire hash, so the second activation fails closed.
+func TestActivateRejectsStreamHashCollision(t *testing.T) {
+	ks := secmem.NewKeyStore()
+	for _, name := range []string{collideA, collideB} {
+		if err := ks.Install(name, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm := NewParamsManager(ks)
+	if err := pm.Activate(collideA); err != nil {
+		t.Fatalf("first activation: %v", err)
+	}
+	err := pm.Activate(collideB)
+	if !errors.Is(err, ErrStreamHashCollision) {
+		t.Fatalf("colliding activation: got %v, want ErrStreamHashCollision", err)
+	}
+	if pm.Active() != 1 {
+		t.Fatalf("active streams = %d, want 1", pm.Active())
+	}
+	// Re-activating the same name is not a collision.
+	if err := pm.Activate(collideA); err != nil {
+		t.Fatalf("idempotent re-activation: %v", err)
+	}
+}
+
+// TestActivateRejectsReservedNameCollision: a name colliding with a
+// well-known stream is rejected even when that stream is not active.
+func TestActivateRejectsReservedNameCollision(t *testing.T) {
+	// Find no collision with the constants among our pair — instead
+	// verify the reserved names themselves always activate (no false
+	// positives) and that the well-known set is internally collision
+	// free.
+	seen := map[uint32]string{}
+	for _, name := range wellKnownStreams {
+		if prev, dup := seen[hashStream(name)]; dup {
+			t.Fatalf("well-known streams %q and %q collide", prev, name)
+		}
+		seen[hashStream(name)] = name
+	}
+	ks := secmem.NewKeyStore()
+	pm := NewParamsManager(ks)
+	for _, name := range []string{StreamH2D, StreamD2H, StreamConfig} {
+		if err := ks.Install(name, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+			t.Fatal(err)
+		}
+		if err := pm.Activate(name); err != nil {
+			t.Fatalf("activate %q: %v", name, err)
+		}
+	}
+}
+
+// TestForwardToDeviceRejectsStaleCompletion is the regression test for
+// the stale-completion confidentiality hole: the internal bus delivers
+// a completion answering a *different* transaction (a delayed plaintext
+// chunk completion originally destined for the device), and the SC must
+// fail closed instead of forwarding the foreign payload to the host.
+// Pre-fix, forwardToDevice returned whatever the internal segment
+// handed back, leaking decrypted chunk data across the trust boundary.
+func TestForwardToDeviceRejectsStaleCompletion(t *testing.T) {
+	r := newCtlRig(t)
+	r.installRule(t, Rule{ID: 1, Mask: MatchKind | MatchRequester, Kind: pcie.MRd, Requester: tvmID, Action: actionToL2})
+	r.installRule(t, Rule{ID: 2, Mask: MatchKind | MatchRequester | MatchAddr,
+		Kind: pcie.MRd, Requester: tvmID, AddrLo: ctlWin, AddrHi: ctlWin + 0x1000, Action: ActionPassThrough})
+	r.dev.regs[0x40] = 0x77
+
+	// Model the injector's stash: in place of the register read's
+	// completion, the internal segment delivers a held plaintext chunk
+	// completion for the device's own earlier DMA read (requester = the
+	// device, foreign transaction tag).
+	plaintext := bytes.Repeat([]byte{0x5e}, 64)
+	armed := true
+	r.inner.AddTap(pcie.TapFunc(func(p *pcie.Packet) *pcie.Packet {
+		if armed && (p.Kind == pcie.Cpl || p.Kind == pcie.CplD) {
+			armed = false
+			src := pcie.NewMemRead(r.dev.id, ctlWin+0x80, uint32(len(plaintext)), 9)
+			return pcie.NewCompletion(src, pcie.MakeID(1, 0, 0), pcie.CplSuccess, plaintext)
+		}
+		return p
+	}))
+
+	before := r.sc.Stats().AuthFailures
+	cpl := r.host.Route(pcie.NewMemRead(tvmID, ctlWin+0x40, 8, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatalf("stale completion forwarded to host: %v", cpl)
+	}
+	if cpl != nil && bytes.Contains(cpl.Payload, plaintext) {
+		t.Fatal("plaintext crossed the SC on a stale completion")
+	}
+	if r.sc.Stats().AuthFailures == before {
+		t.Fatal("stale completion not recorded as auth failure")
+	}
+	// The path still works once the stale condition clears.
+	cpl = r.host.Route(pcie.NewMemRead(tvmID, ctlWin+0x40, 8, 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		t.Fatalf("clean read after stale rejection failed: %v", cpl)
+	}
+}
+
+// TestTagManagerPendingCap drives the queue past its cap and checks
+// fail-closed eviction: oldest records leave, accounting matches, and
+// the evicted records' chunks can no longer match.
+func TestTagManagerPendingCap(t *testing.T) {
+	tm := NewTagManager()
+	tm.SetPendingCap(8)
+	if tm.PendingCap() != 8 {
+		t.Fatalf("cap = %d, want 8", tm.PendingCap())
+	}
+	for i := uint32(0); i < 20; i++ {
+		tm.Enqueue(TagRecord{Stream: StreamH2D, Chunk: i})
+	}
+	if d := tm.Depth(); d != 8 {
+		t.Fatalf("depth = %d, want 8 (cap)", d)
+	}
+	if ev := tm.Evicted(); ev != 12 {
+		t.Fatalf("evicted = %d, want 12", ev)
+	}
+	// Oldest 12 are gone (fail closed), newest 8 remain.
+	if _, ok := tm.Take(StreamH2D, 0); ok {
+		t.Fatal("evicted record still matchable")
+	}
+	if _, ok := tm.Take(StreamH2D, 19); !ok {
+		t.Fatal("newest record lost")
+	}
+	// Restoring the default re-opens headroom.
+	tm.SetPendingCap(0)
+	if tm.PendingCap() != DefaultTagCap {
+		t.Fatalf("cap = %d, want default %d", tm.PendingCap(), DefaultTagCap)
+	}
+}
+
+// TestTagManagerCapShrinkEvictsImmediately: lowering the cap below the
+// current depth evicts down to the new bound at once.
+func TestTagManagerCapShrinkEvictsImmediately(t *testing.T) {
+	tm := NewTagManager()
+	for i := uint32(0); i < 16; i++ {
+		tm.Enqueue(TagRecord{Stream: StreamD2H, Chunk: i})
+	}
+	tm.SetPendingCap(4)
+	if d := tm.Depth(); d != 4 {
+		t.Fatalf("depth after shrink = %d, want 4", d)
+	}
+	if ev := tm.Evicted(); ev != 12 {
+		t.Fatalf("evicted = %d, want 12", ev)
+	}
+}
+
+// TestTagManagerConcurrent hammers Enqueue/Take/Depth from many
+// goroutines under -race: every record is matched exactly once and
+// the final accounting balances.
+func TestTagManagerConcurrent(t *testing.T) {
+	tm := NewTagManager()
+	const workers, perWorker = 8, 200
+	var wg sync.WaitGroup
+	var taken [workers]uint64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stream := fmt.Sprintf("s%d", w)
+			for i := 0; i < perWorker; i++ {
+				tm.Enqueue(TagRecord{Stream: stream, Chunk: uint32(i)})
+				if _, ok := tm.Take(stream, uint32(i)); ok {
+					taken[w]++
+				}
+				tm.Depth()
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total uint64
+	for _, n := range taken {
+		total += n
+	}
+	matched, _ := tm.Stats()
+	if matched != total || total != workers*perWorker {
+		t.Fatalf("matched = %d, takes = %d, want %d", matched, total, workers*perWorker)
+	}
+	if tm.Depth() != 0 {
+		t.Fatalf("depth = %d after draining, want 0", tm.Depth())
+	}
+}
+
+// TestParamsManagerConcurrent runs Activate / Stream / Rekey /
+// DestroyAll in parallel under -race and checks the manager stays
+// consistent: Active() equals the number of streams that survive, no
+// lost updates, no panics.
+func TestParamsManagerConcurrent(t *testing.T) {
+	ks := secmem.NewKeyStore()
+	names := []string{StreamH2D, StreamD2H, StreamConfig}
+	for _, n := range names {
+		if err := ks.Install(n, secmem.FreshKey(), secmem.FreshNonce()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pm := NewParamsManager(ks)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := names[i%len(names)]
+			for j := 0; j < 100; j++ {
+				_ = pm.Activate(name)
+				if s, err := pm.Stream(name); err == nil && s == nil {
+					t.Error("nil stream with nil error")
+				}
+				if j%10 == 0 {
+					_ = pm.Rekey(name, secmem.FreshKey(), secmem.FreshNonce())
+				}
+				pm.Active()
+				pm.NameByHash(hashStream(name))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if a := pm.Active(); a != len(names) {
+		t.Fatalf("active = %d, want %d", a, len(names))
+	}
+	pm.DestroyAll()
+	if a := pm.Active(); a != 0 {
+		t.Fatalf("active after destroy = %d, want 0", a)
+	}
+}
+
+// TestEnvGuardConcurrent verifies MMIO checks and violation accounting
+// under parallel use: the number of recorded violations must equal the
+// number of rejected writes.
+func TestEnvGuardConcurrent(t *testing.T) {
+	g := NewEnvGuard()
+	g.AddCheck(MMIOCheck{Name: "even-only", Reg: 0x10, Valid: func(v uint64) bool { return v%2 == 0 }})
+	const workers, perWorker = 8, 100
+	var wg sync.WaitGroup
+	var rejected [workers]int
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if !g.VerifyMMIO(0x10, uint64(w*perWorker+i)) {
+					rejected[w]++
+				}
+				g.Violations()
+				g.Cleans()
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := 0
+	for _, n := range rejected {
+		want += n
+	}
+	if want != workers*perWorker/2 {
+		t.Fatalf("rejected = %d, want %d", want, workers*perWorker/2)
+	}
+	if got := len(g.Violations()); got != want {
+		t.Fatalf("violations = %d, want %d (lost updates)", got, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -77,6 +78,14 @@ type Controller struct {
 
 	regions regionTable
 
+	// mu guards the controller's own mutable state below (mmioSeq,
+	// status, regs, the config staging buffers, d2hChunks, verified,
+	// stats). Control panels (filter, params, tags, guard, regions)
+	// carry their own leaf locks and may be called while mu is held;
+	// mu is NEVER held across a bus Route call — routing can reenter
+	// this controller on the same goroutine (doorbell → DMA upstream).
+	mu sync.Mutex
+
 	// config is the stream guarding policy/descriptor uploads.
 	// mmioSeq tracks the next expected A3 MMIO sequence number.
 	mmioSeq uint32
@@ -142,8 +151,11 @@ func (c *Controller) SetObserver(h *obsv.Hub) {
 }
 
 // authFailed counts one integrity failure in both stats and metrics.
+// It takes c.mu and must not be called with it held.
 func (c *Controller) authFailed() {
+	c.mu.Lock()
 	c.stats.AuthFailures++
+	c.mu.Unlock()
 	c.obs.authFail.Inc()
 }
 
@@ -209,7 +221,11 @@ func (c *Controller) AttachInternalBusOnly(bus *pcie.Bus, xpu pcie.ID, window pc
 func (c *Controller) Keys() *secmem.KeyStore { return c.params.keys }
 
 // SCStatusBits reports the controller's status register value.
-func (c *Controller) SCStatusBits() uint64 { return c.status }
+func (c *Controller) SCStatusBits() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.status
+}
 
 // DeviceID implements pcie.Endpoint.
 func (c *Controller) DeviceID() pcie.ID { return c.id }
@@ -230,7 +246,9 @@ func (c *Controller) Tags() *TagManager { return c.tags }
 
 // Stats snapshots controller counters.
 func (c *Controller) Stats() Stats {
+	c.mu.Lock()
 	s := c.stats
+	c.mu.Unlock()
 	s.Filter = c.filter.Stats()
 	return s
 }
@@ -244,7 +262,8 @@ func (c *Controller) Regions() int { return c.regions.count() }
 // SetAuthorizedTVM restricts control-BAR access to one requester ID.
 // The sealed-blob crypto already stops policy forgery; this check
 // additionally denies unauthorized parties the DoS-ish knobs (teardown,
-// metadata redirection).
+// metadata redirection). Like the bus attachments, it is assembly-time
+// configuration: call before traffic flows, never concurrently with it.
 func (c *Controller) SetAuthorizedTVM(id pcie.ID) { c.authorizedTVM = id; c.tvmPinned = true }
 
 // --- host-side traffic ------------------------------------------------------
@@ -283,7 +302,27 @@ func (c *Controller) forwardToDevice(p *pcie.Packet) *pcie.Packet {
 	if c.internal == nil {
 		return c.reject(p)
 	}
-	return c.internal.Route(p)
+	cpl := c.internal.Route(p)
+	if staleCpl(p, cpl) {
+		// A completion answering a different transaction (delayed,
+		// duplicated, or misrouted on the device segment) must never be
+		// forwarded across the boundary: the stale payload may be
+		// plaintext the SC decrypted for the device.
+		c.authFailed()
+		return c.reject(p)
+	}
+	return cpl
+}
+
+// staleCpl reports whether cpl answers a transaction other than req:
+// a mismatched transaction tag or requester ID marks a stale or
+// foreign completion, which the SC fails closed on rather than carry
+// across the trust boundary in either direction.
+func staleCpl(req, cpl *pcie.Packet) bool {
+	if cpl == nil || (cpl.Kind != pcie.Cpl && cpl.Kind != pcie.CplD) {
+		return false
+	}
+	return cpl.Requester != req.Requester || cpl.Tag != req.Tag
 }
 
 // handleGuardedMMIO applies action A3 to control traffic: the write's
@@ -298,14 +337,21 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 	sp := c.obs.tracer.Begin(obsv.TrackSC, "guarded_mmio",
 		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(len(p.Payload))))
 	defer sp.End()
+	// The sequence check, MAC verify and counter advance form one
+	// atomic step under mu so concurrent guarded writes cannot both
+	// claim the same sequence number. The leaf locks taken inside
+	// (tags, keystore, guard) never call back into the controller.
+	c.mu.Lock()
 	seq := c.mmioSeq
 	rec, ok := c.tagMatch(StreamMMIO, seq)
 	if !ok {
+		c.mu.Unlock()
 		c.authFailed()
 		return c.reject(p)
 	}
 	key, _, err := c.params.keys.Material(StreamMMIO)
 	if err != nil {
+		c.mu.Unlock()
 		c.authFailed()
 		return c.reject(p)
 	}
@@ -320,11 +366,13 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		}
 	}
 	if !match {
+		c.mu.Unlock()
 		c.authFailed()
 		return c.reject(p)
 	}
 	c.mmioSeq++
 	c.stats.VerifiedChunks++
+	c.mu.Unlock()
 	c.obs.verified.Inc()
 
 	// Environment verification on guarded registers.
@@ -332,7 +380,9 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		reg := p.Address - c.xpuBar.Base
 		val := binary.LittleEndian.Uint64(p.Payload[:8])
 		if !c.guard.VerifyMMIO(reg, val) {
+			c.mu.Lock()
 			c.stats.GuardBlocks++
+			c.mu.Unlock()
 			c.obs.guardBlocks.Inc()
 			return c.reject(p)
 		}
@@ -353,20 +403,24 @@ func MACHeader(seq uint32, addr uint64, n uint32) []byte {
 
 // MMIOSeq reports the next expected A3 sequence number (the Adaptor
 // mirrors this counter).
-func (c *Controller) MMIOSeq() uint32 { return c.mmioSeq }
+func (c *Controller) MMIOSeq() uint32 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mmioSeq
+}
 
 // --- control BAR -------------------------------------------------------------
 
 func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 	if c.tvmPinned && p.Requester != c.authorizedTVM {
-		c.stats.ConfigRejects++
-		c.obs.cfgRejects.Inc()
+		c.configReject(nil)
 		return c.reject(p)
 	}
 	off := p.Address - c.bar.Base
 	if p.Kind == pcie.MRd {
 		buf := make([]byte, p.Length)
 		var tmp [8]byte
+		c.mu.Lock()
 		v := c.regs[off&^7]
 		switch off &^ 7 {
 		case RegSCStatus:
@@ -374,6 +428,7 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 		case RegMMIOSeq:
 			v = uint64(c.mmioSeq)
 		}
+		c.mu.Unlock()
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		copy(buf, tmp[:])
 		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, buf)
@@ -381,17 +436,33 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 	// Writes.
 	switch {
 	case off >= RegRuleWindow && off < RegRuleWindow+256:
-		c.ruleBuf = append([]byte(nil), p.Payload...)
+		c.stageConfig(&c.ruleBuf, p.Payload)
 	case off >= RegDescWindow && off < RegDescWindow+256:
-		c.descBuf = append([]byte(nil), p.Payload...)
+		c.stageConfig(&c.descBuf, p.Payload)
 	case off >= RegRekeyWindow && off < RegRekeyWindow+256:
-		c.rekeyBuf = append([]byte(nil), p.Payload...)
+		c.stageConfig(&c.rekeyBuf, p.Payload)
 	case off >= RegTagWindow && off < RegTagWindow+0x80:
 		c.ingestTags(p.Payload)
 	default:
 		c.controlWrite(off&^7, p.Payload)
 	}
 	return nil
+}
+
+// stageConfig copies a sealed blob into its staging buffer under mu.
+func (c *Controller) stageConfig(buf *[]byte, payload []byte) {
+	c.mu.Lock()
+	*buf = append([]byte(nil), payload...)
+	c.mu.Unlock()
+}
+
+// takeConfig claims and clears a staging buffer under mu.
+func (c *Controller) takeConfig(buf *[]byte) []byte {
+	c.mu.Lock()
+	frame := *buf
+	*buf = nil
+	c.mu.Unlock()
+	return frame
 }
 
 func (c *Controller) controlWrite(reg uint64, payload []byte) {
@@ -411,10 +482,10 @@ func (c *Controller) controlWrite(reg uint64, payload []byte) {
 		c.dropVerified(uint32(v))
 	case RegTeardown:
 		c.Teardown()
-	case RegMetaBase, RegMetaSize, RegNotify:
-		c.regs[reg] = v
 	default:
+		c.mu.Lock()
 		c.regs[reg] = v
+		c.mu.Unlock()
 	}
 }
 
@@ -426,7 +497,7 @@ func (c *Controller) ingestTags(payload []byte) {
 		}
 		streamHash := binary.LittleEndian.Uint32(payload[0:])
 		copy(rec.Tag[:], payload[12:12+secmem.TagSize])
-		rec.Stream = streamByHash(streamHash)
+		rec.Stream = c.streamByHash(streamHash)
 		if rec.Stream != "" {
 			c.tags.Enqueue(rec)
 		}
@@ -434,18 +505,25 @@ func (c *Controller) ingestTags(payload []byte) {
 	}
 }
 
-func streamByHash(h uint32) string {
-	for _, s := range []string{StreamH2D, StreamD2H, StreamConfig, StreamMMIO} {
-		if hashStream(s) == h {
-			return s
+// streamByHash resolves a wire stream hash against the active streams
+// plus the platform's well-known names (MMIO tags arrive before any
+// stream context exists). Activation rejects colliding names, so the
+// resolution is unambiguous, and a hash matching nothing drops the
+// record (fail closed).
+func (c *Controller) streamByHash(h uint32) string {
+	if name, ok := c.params.NameByHash(h); ok {
+		return name
+	}
+	for _, name := range wellKnownStreams {
+		if hashStream(name) == h {
+			return name
 		}
 	}
 	return ""
 }
 
 func (c *Controller) installSealedRule() {
-	pt, err := c.openConfig(c.ruleBuf)
-	c.ruleBuf = nil
+	pt, err := c.openConfig(c.takeConfig(&c.ruleBuf))
 	if err != nil {
 		c.configReject(err)
 		return
@@ -463,8 +541,7 @@ func (c *Controller) installSealedRule() {
 }
 
 func (c *Controller) installSealedDescriptor() {
-	pt, err := c.openConfig(c.descBuf)
-	c.descBuf = nil
+	pt, err := c.openConfig(c.takeConfig(&c.descBuf))
 	if err != nil {
 		c.configReject(err)
 		return
@@ -529,8 +606,7 @@ func UnmarshalRekeyCommand(b []byte) (RekeyCommand, error) {
 }
 
 func (c *Controller) applySealedRekey() {
-	pt, err := c.openConfig(c.rekeyBuf)
-	c.rekeyBuf = nil
+	pt, err := c.openConfig(c.takeConfig(&c.rekeyBuf))
 	if err != nil {
 		c.configReject(err)
 		return
@@ -575,9 +651,11 @@ func (c *Controller) openConfig(frame []byte) ([]byte, error) {
 
 func (c *Controller) configReject(err error) {
 	_ = err
+	c.mu.Lock()
 	c.stats.ConfigRejects++
-	c.obs.cfgRejects.Inc()
 	c.status |= SCStatusConfigErr
+	c.mu.Unlock()
+	c.obs.cfgRejects.Inc()
 }
 
 // --- device-side traffic ------------------------------------------------------
@@ -603,7 +681,12 @@ func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 	case ActionDrop:
 		return c.reject(p)
 	case ActionPassThrough:
-		return c.hostBus.Route(p)
+		cpl := c.hostBus.Route(p)
+		if staleCpl(p, cpl) {
+			c.authFailed()
+			return c.reject(p)
+		}
+		return cpl
 	}
 
 	desc, ok := c.regions.find(p.Address)
@@ -638,8 +721,9 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
-	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
-	if cpl == nil || cpl.Status != pcie.CplSuccess {
+	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	cpl := c.hostBus.Route(req)
+	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
 	}
 	stream, err := c.params.Stream(StreamH2D)
@@ -655,7 +739,9 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		// consumed. Re-verify against the retained record without
 		// touching the replay watermark; anything never accepted before
 		// stays fail-closed.
+		c.mu.Lock()
 		vrec, seen := c.verified[vkey]
+		c.mu.Unlock()
 		if !seen {
 			c.authFailed()
 			return c.reject(p)
@@ -670,8 +756,7 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 			c.authFailed()
 			return c.reject(p)
 		}
-		c.stats.DuplicateReads++
-		c.obs.dupReads.Inc()
+		c.duplicateRead()
 		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 	}
 	sealed := &secmem.Sealed{
@@ -685,10 +770,12 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		// The Adaptor reposted the whole tag table after a loss, so this
 		// chunk's counter is already behind the watermark — treat like
 		// any other benign retransmit.
-		if _, seen := c.verified[vkey]; seen {
+		c.mu.Lock()
+		_, seen := c.verified[vkey]
+		c.mu.Unlock()
+		if seen {
 			if pt, err2 := stream.OpenStateless(sealed, desc.AAD(chunk)); err2 == nil {
-				c.stats.DuplicateReads++
-				c.obs.dupReads.Inc()
+				c.duplicateRead()
 				return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
 			}
 		}
@@ -697,10 +784,20 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
+	c.mu.Lock()
 	c.verified[vkey] = rec
 	c.stats.DecryptedChunks++
+	c.mu.Unlock()
 	c.obs.decrypted.Inc()
 	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+}
+
+// duplicateRead counts one benign retransmit.
+func (c *Controller) duplicateRead() {
+	c.mu.Lock()
+	c.stats.DuplicateReads++
+	c.mu.Unlock()
+	c.obs.dupReads.Inc()
 }
 
 // verifiedRead services a device read of an A3 H2D region (e.g. the
@@ -715,8 +812,9 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 		c.authFailed()
 		return c.reject(p)
 	}
-	cpl := c.hostBus.Route(pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag))
-	if cpl == nil || cpl.Status != pcie.CplSuccess {
+	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	cpl := c.hostBus.Route(req)
+	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
 	}
 	rec, ok := c.tagMatch(StreamMMIO, desc.ID<<16|chunk)
@@ -736,7 +834,9 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 			return c.reject(p)
 		}
 	}
+	c.mu.Lock()
 	c.stats.VerifiedChunks++
+	c.mu.Unlock()
 	c.obs.verified.Inc()
 	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, cpl.Payload)
 }
@@ -768,7 +868,9 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	rec := TagRecord{Stream: StreamD2H, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag}
 	tagAddr := desc.TagBase + uint64(chunk)*TagRecordSize
 	c.hostBus.Route(pcie.NewMemWrite(c.id, tagAddr, rec.Marshal()))
+	c.mu.Lock()
 	c.stats.EncryptedChunks++
+	c.mu.Unlock()
 	c.obs.encrypted.Inc()
 	c.publishMetadata(desc.ID)
 	return nil
@@ -776,6 +878,8 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 
 // dropVerified forgets retained chunk records for a released region.
 func (c *Controller) dropVerified(region uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	for k := range c.verified {
 		if uint32(k>>32) == region {
 			delete(c.verified, k)
@@ -788,25 +892,32 @@ func (c *Controller) dropVerified(region uint32) {
 // counters into a TVM-resident buffer (one 8-byte completed-chunk count
 // per region) that the Adaptor reads as plain memory.
 func (c *Controller) publishMetadata(region uint32) {
+	c.mu.Lock()
 	c.d2hChunks[region]++
+	count := c.d2hChunks[region]
 	metaBase := c.regs[RegMetaBase]
+	size := c.regs[RegMetaSize]
+	c.mu.Unlock()
 	if metaBase == 0 {
 		return
 	}
-	size := c.regs[RegMetaSize]
 	slot := metaBase + uint64(region)*8
 	if size > 0 && slot+8 > metaBase+size {
 		return // region id outside the configured batch window
 	}
 	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, c.d2hChunks[region])
+	binary.LittleEndian.PutUint64(buf, count)
 	c.hostBus.Route(pcie.NewMemWrite(c.id, slot, buf))
 }
 
 // D2HProgress reports completed chunks for a region — the MMIO-polled
 // fallback the non-optimized ablation uses in place of the metadata
 // batch buffer.
-func (c *Controller) D2HProgress(region uint32) uint64 { return c.d2hChunks[region] }
+func (c *Controller) D2HProgress(region uint32) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.d2hChunks[region]
+}
 
 // AttestDevice runs the §6 software-based attestation fallback against
 // the guarded xPU: write a fresh nonce to the device's attestation
@@ -822,8 +933,9 @@ func (c *Controller) AttestDevice(nonce uint64, expected uint64, attestReg, resp
 	buf := make([]byte, 8)
 	binary.LittleEndian.PutUint64(buf, nonce)
 	c.internal.Route(pcie.NewMemWrite(c.id, c.xpuBar.Base+attestReg, buf))
-	cpl := c.internal.Route(pcie.NewMemRead(c.id, c.xpuBar.Base+respReg, 8, 0))
-	if cpl == nil || cpl.Status != pcie.CplSuccess || len(cpl.Payload) < 8 {
+	req := pcie.NewMemRead(c.id, c.xpuBar.Base+respReg, 8, 0)
+	cpl := c.internal.Route(req)
+	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) || len(cpl.Payload) < 8 {
 		return false
 	}
 	return binary.LittleEndian.Uint64(cpl.Payload) == expected
@@ -833,15 +945,19 @@ func (c *Controller) AttestDevice(nonce uint64, expected uint64, attestReg, resp
 // triggers the environment guard's device clean. The filter's static
 // platform rules survive; per-session rules are the TVM's to reinstall.
 func (c *Controller) Teardown() {
+	c.mu.Lock()
 	c.stats.Teardowns++
+	c.mmioSeq = 0
+	c.d2hChunks = make(map[uint32]uint64)
+	c.verified = make(map[uint64]TagRecord)
+	c.mu.Unlock()
 	c.obs.teardowns.Inc()
 	c.obs.tracer.Instant(obsv.TrackSC, "teardown")
 	c.params.DestroyAll()
 	c.regions.clear()
 	c.tags.Clear()
-	c.mmioSeq = 0
-	c.d2hChunks = make(map[uint32]uint64)
-	c.verified = make(map[uint64]TagRecord)
+	// The hook routes reset MMIO to the device, so it must run with no
+	// controller lock held.
 	if c.onTeardown != nil {
 		c.onTeardown()
 	}

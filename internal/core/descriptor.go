@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 )
 
 // Dir is a transfer direction relative to the host.
@@ -115,12 +116,18 @@ func (d Descriptor) AAD(chunk uint32) []byte {
 	return buf
 }
 
-// regionTable resolves device accesses to descriptors.
+// regionTable resolves device accesses to descriptors. It carries a
+// leaf mutex so lookups and mutations are safe under concurrent
+// per-tenant pipelines; find returns the descriptor by value, so
+// callers hold no reference into the table.
 type regionTable struct {
+	mu      sync.Mutex
 	regions []Descriptor
 }
 
 func (rt *regionTable) add(d Descriptor) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	for _, e := range rt.regions {
 		if d.Base < e.Base+e.Len && e.Base < d.Base+d.Len {
 			return fmt.Errorf("core: region %d overlaps region %d", d.ID, e.ID)
@@ -131,6 +138,8 @@ func (rt *regionTable) add(d Descriptor) error {
 }
 
 func (rt *regionTable) find(addr uint64) (Descriptor, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	for _, d := range rt.regions {
 		if d.Contains(addr) {
 			return d, true
@@ -140,6 +149,8 @@ func (rt *regionTable) find(addr uint64) (Descriptor, bool) {
 }
 
 func (rt *regionTable) remove(id uint32) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
 	kept := rt.regions[:0]
 	for _, d := range rt.regions {
 		if d.ID != id {
@@ -149,6 +160,14 @@ func (rt *regionTable) remove(id uint32) {
 	rt.regions = kept
 }
 
-func (rt *regionTable) clear() { rt.regions = nil }
+func (rt *regionTable) clear() {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.regions = nil
+}
 
-func (rt *regionTable) count() int { return len(rt.regions) }
+func (rt *regionTable) count() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.regions)
+}

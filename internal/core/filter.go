@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -129,7 +130,10 @@ type FilterStats struct {
 // screens with masked matches (first match wins; no match ⇒ drop); an
 // L1 verdict of actionToL2 descends into the L2 table for fine-grained
 // classification (first match wins; no match ⇒ drop, fail-closed).
+// All methods are safe for concurrent use; the mutex is a leaf lock
+// (classification never calls out of the filter).
 type Filter struct {
+	mu     sync.Mutex
 	l1, l2 []Rule
 	stats  FilterStats
 	obs    *filterObs
@@ -160,6 +164,8 @@ func actionLabel(a Action) string {
 
 // SetObserver instruments the filter; a nil hub clears instrumentation.
 func (f *Filter) SetObserver(h *obsv.Hub) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	if h == nil {
 		f.obs = nil
 		return
@@ -179,33 +185,57 @@ func (f *Filter) SetObserver(h *obsv.Hub) {
 func NewFilter() *Filter { return &Filter{} }
 
 // InstallL1 appends a rule to the L1 table.
-func (f *Filter) InstallL1(r Rule) { f.l1 = append(f.l1, r) }
+func (f *Filter) InstallL1(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.l1 = append(f.l1, r)
+}
 
 // InstallL2 appends a rule to the L2 table.
-func (f *Filter) InstallL2(r Rule) { f.l2 = append(f.l2, r) }
+func (f *Filter) InstallL2(r Rule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.l2 = append(f.l2, r)
+}
 
 // Clear removes all rules (used on rekey/teardown).
 func (f *Filter) Clear() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
 	f.l1 = nil
 	f.l2 = nil
 }
 
 // RuleCount reports installed rules per table.
-func (f *Filter) RuleCount() (l1, l2 int) { return len(f.l1), len(f.l2) }
+func (f *Filter) RuleCount() (l1, l2 int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.l1), len(f.l2)
+}
 
 // Stats reports cumulative classification counts.
-func (f *Filter) Stats() FilterStats { return f.stats }
+func (f *Filter) Stats() FilterStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
 
 // ResetStats zeroes counters between experiments.
-func (f *Filter) ResetStats() { f.stats = FilterStats{} }
+func (f *Filter) ResetStats() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats = FilterStats{}
+}
 
 // Classify runs the packet through L1 then (if directed) L2 and returns
 // the verdict. Unmatched packets are dropped at either stage: the
 // filter is fail-closed, which is what blocks requests from
 // unauthorized TVMs, hosts or peer devices (§8.2).
 func (f *Filter) Classify(p *pcie.Packet) Verdict {
+	f.mu.Lock()
+	o := f.obs
 	var sp obsv.ActiveSpan
-	if o := f.obs; o != nil {
+	if o != nil {
 		sp = o.tracer.Begin(obsv.TrackFilter, "classify",
 			obsv.Str("kind", p.Kind.String()), obsv.Hex("addr", p.Address))
 	}
@@ -220,7 +250,8 @@ func (f *Filter) Classify(p *pcie.Packet) Verdict {
 	case ActionPassThrough:
 		f.stats.Passed++
 	}
-	if o := f.obs; o != nil {
+	f.mu.Unlock()
+	if o != nil {
 		switch v.Action {
 		case ActionDrop:
 			o.drop.Inc()

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -29,12 +30,20 @@ const (
 // parameters were installed.
 var ErrNoStream = errors.New("core: no de/encryption parameters for stream")
 
+// ErrStreamHashCollision reports an Activate whose stream name collides
+// with an already-active stream (or the reserved MMIO stream) under the
+// 32-bit wire hash. Tag packets carry only the hash, so admitting both
+// names would make their records ambiguous; the manager fails closed
+// and rejects the second stream.
+var ErrStreamHashCollision = errors.New("core: stream name hash collides with an active stream")
+
 // ParamsManager is the De/Encryption Parameters Manager control panel
 // (§4.2): it owns the per-stream cryptographic parameters (key, the
 // 12-byte-nonce/4-byte-counter IV state) and hands out the secmem
 // streams the AES engine uses. Each logical transfer region binds to
-// one stream context.
+// one stream context. All methods are safe for concurrent use.
 type ParamsManager struct {
+	mu      sync.RWMutex
 	keys    *secmem.KeyStore
 	streams map[string]*secmem.Stream
 
@@ -46,6 +55,8 @@ type ParamsManager struct {
 // SetObserver instruments existing streams and records the hub so
 // streams activated afterwards inherit it.
 func (pm *ParamsManager) SetObserver(h *obsv.Hub, track string) {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	pm.hub = h
 	pm.track = track
 	for name, s := range pm.streams {
@@ -60,8 +71,31 @@ func NewParamsManager(keys *secmem.KeyStore) *ParamsManager {
 }
 
 // Activate instantiates the stream context for a named stream from
-// installed key material.
+// installed key material. A name whose 32-bit wire hash collides with
+// an already-active stream (or the reserved StreamMMIO name) is
+// rejected: tag packets identify streams by hash alone, and two live
+// streams sharing one hash could cross-match each other's tags.
+// wellKnownStreams are the platform's fixed stream names. Tag records
+// for them resolve even before activation, and no other name may
+// activate with a colliding hash.
+var wellKnownStreams = []string{StreamH2D, StreamD2H, StreamConfig, StreamMMIO}
+
 func (pm *ParamsManager) Activate(name string) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
+	h := hashStream(name)
+	for _, known := range wellKnownStreams {
+		if name != known && h == hashStream(known) {
+			return fmt.Errorf("%w: %q vs reserved %q (hash %#x)",
+				ErrStreamHashCollision, name, known, h)
+		}
+	}
+	for other := range pm.streams {
+		if other != name && hashStream(other) == h {
+			return fmt.Errorf("%w: %q vs active %q (hash %#x)",
+				ErrStreamHashCollision, name, other, h)
+		}
+	}
 	s, err := pm.keys.Stream(name)
 	if err != nil {
 		return err
@@ -73,15 +107,33 @@ func (pm *ParamsManager) Activate(name string) error {
 
 // Stream returns the active context for name.
 func (pm *ParamsManager) Stream(name string) (*secmem.Stream, error) {
+	pm.mu.RLock()
 	s, ok := pm.streams[name]
+	pm.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w %q", ErrNoStream, name)
 	}
 	return s, nil
 }
 
+// NameByHash resolves a wire stream hash to the unique active stream
+// carrying it. Activation rejects colliding names, so at most one
+// active stream can match.
+func (pm *ParamsManager) NameByHash(h uint32) (string, bool) {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	for name := range pm.streams {
+		if hashStream(name) == h {
+			return name, true
+		}
+	}
+	return "", false
+}
+
 // Rekey replaces a stream's parameters (IV-exhaustion mitigation, §6).
 func (pm *ParamsManager) Rekey(name string, key, nonce []byte) error {
+	pm.mu.Lock()
+	defer pm.mu.Unlock()
 	s, ok := pm.streams[name]
 	if !ok {
 		return fmt.Errorf("%w %q", ErrNoStream, name)
@@ -94,12 +146,18 @@ func (pm *ParamsManager) Rekey(name string, key, nonce []byte) error {
 
 // DestroyAll drops every context and zeroizes key material (teardown).
 func (pm *ParamsManager) DestroyAll() {
+	pm.mu.Lock()
 	pm.streams = make(map[string]*secmem.Stream)
+	pm.mu.Unlock()
 	pm.keys.DestroyAll()
 }
 
 // Active reports how many stream contexts are live.
-func (pm *ParamsManager) Active() int { return len(pm.streams) }
+func (pm *ParamsManager) Active() int {
+	pm.mu.RLock()
+	defer pm.mu.RUnlock()
+	return len(pm.streams)
+}
 
 // --- Authentication Tag Manager -------------------------------------------
 
@@ -136,12 +194,37 @@ func hashStream(s string) uint32 {
 	return h
 }
 
+// tagID is the full identity of a pending tag record. Records are
+// keyed by the complete (stream, chunk) pair — not by the 32-bit
+// stream-hash prefix used on the wire — so two streams whose names
+// collide under hashStream can never cross-match or steal each other's
+// tags.
+type tagID struct {
+	stream string
+	chunk  uint32
+}
+
+// DefaultTagCap bounds the pending-tag queue. Under tag-packet loss
+// the data chunk never claims its record, so without a cap a lossy or
+// malicious peer could grow the queue forever; overflowing the cap
+// evicts the oldest unmatched records fail-closed (their data chunks
+// will miss the tag match and be rejected).
+const DefaultTagCap = 4096
+
 // TagManager is the Authentication Tag Manager control panel: it queues
 // tag records and matches them with data chunks during verification.
+// All methods are safe for concurrent use.
 type TagManager struct {
-	pending map[uint64]TagRecord // key: stream hash << 32 | chunk
+	mu      sync.Mutex
+	pending map[tagID]TagRecord
+	// order tracks arrival order for cap eviction. Entries matched by
+	// Take leave stale order slots behind; evictLocked skips those and
+	// the slice is compacted when stale entries dominate.
+	order   []tagID
+	cap     int
 	matched uint64
 	missing uint64
+	evicted uint64
 
 	// fault, when set, may drop an arriving tag record — the
 	// tag-packet-loss fault class. A dropped tag makes the matching
@@ -155,11 +238,13 @@ type TagManager struct {
 // tagObs mirrors the manager's counters into the metrics registry. The
 // zero value (all-nil handles) is the uninstrumented state.
 type tagObs struct {
-	enqueued, matched, missing, dropped *obsv.Counter
+	enqueued, matched, missing, dropped, evicted *obsv.Counter
 }
 
 // SetObserver instruments the tag manager; a nil hub clears it.
 func (tm *TagManager) SetObserver(h *obsv.Hub) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	if h == nil {
 		tm.obs = tagObs{}
 		return
@@ -170,61 +255,144 @@ func (tm *TagManager) SetObserver(h *obsv.Hub) {
 		matched:  reg.Counter("sc.tags.matched"),
 		missing:  reg.Counter("sc.tags.missing"),
 		dropped:  reg.Counter("sc.tags.dropped_by_fault"),
+		evicted:  reg.Counter("sc.tags.evicted"),
 	}
 }
 
-// NewTagManager returns an empty tag queue.
+// NewTagManager returns an empty tag queue with the default cap.
 func NewTagManager() *TagManager {
-	return &TagManager{pending: make(map[uint64]TagRecord)}
+	return &TagManager{pending: make(map[tagID]TagRecord), cap: DefaultTagCap}
 }
 
-func tagKey(stream string, chunk uint32) uint64 {
-	return uint64(hashStream(stream))<<32 | uint64(chunk)
+// SetPendingCap changes the pending-queue bound (≤0 restores the
+// default) and immediately evicts down to the new cap.
+func (tm *TagManager) SetPendingCap(n int) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	if n <= 0 {
+		n = DefaultTagCap
+	}
+	tm.cap = n
+	tm.evictLocked()
 }
 
-// Enqueue stores an arriving tag record.
+// PendingCap reports the configured bound.
+func (tm *TagManager) PendingCap() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.cap
+}
+
+// evictLocked drops oldest-first until the queue fits the cap.
+func (tm *TagManager) evictLocked() {
+	for len(tm.pending) > tm.cap && len(tm.order) > 0 {
+		id := tm.order[0]
+		tm.order = tm.order[1:]
+		if _, ok := tm.pending[id]; !ok {
+			continue // already matched; stale order slot
+		}
+		delete(tm.pending, id)
+		tm.evicted++
+		tm.obs.evicted.Inc()
+	}
+	// Compact once stale (already-matched) slots dominate so the order
+	// queue cannot grow without bound either.
+	if len(tm.order) > 2*len(tm.pending)+16 {
+		live := tm.order[:0]
+		for _, id := range tm.order {
+			if _, ok := tm.pending[id]; ok {
+				live = append(live, id)
+			}
+		}
+		tm.order = live
+	}
+}
+
+// Enqueue stores an arriving tag record, evicting the oldest pending
+// records (fail-closed) if the queue would exceed its cap.
 func (tm *TagManager) Enqueue(rec TagRecord) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
 	if tm.fault != nil && tm.fault(rec) {
 		tm.droppedFault++
 		tm.obs.dropped.Inc()
 		return
 	}
-	tm.pending[tagKey(rec.Stream, rec.Chunk)] = rec
+	id := tagID{stream: rec.Stream, chunk: rec.Chunk}
+	if _, exists := tm.pending[id]; !exists {
+		tm.order = append(tm.order, id)
+	}
+	tm.pending[id] = rec
 	tm.obs.enqueued.Inc()
+	tm.evictLocked()
 }
 
 // SetFaultHook installs (or clears, with nil) the tag-packet-loss
 // injection point.
-func (tm *TagManager) SetFaultHook(fn func(rec TagRecord) bool) { tm.fault = fn }
+func (tm *TagManager) SetFaultHook(fn func(rec TagRecord) bool) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.fault = fn
+}
 
 // DroppedByFault reports tag records lost to injected faults.
-func (tm *TagManager) DroppedByFault() uint64 { return tm.droppedFault }
+func (tm *TagManager) DroppedByFault() uint64 {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.droppedFault
+}
 
 // Take matches and removes the tag for (stream, chunk); ok is false
-// when no tag packet arrived, which fails the integrity check.
+// when no tag packet arrived, which fails the integrity check. A
+// record whose stored stream differs from the requested one (possible
+// only if state was corrupted, since keys carry the full identity) is
+// treated as missing — fail closed, never cross-matched.
 func (tm *TagManager) Take(stream string, chunk uint32) (TagRecord, bool) {
-	k := tagKey(stream, chunk)
-	rec, ok := tm.pending[k]
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	id := tagID{stream: stream, chunk: chunk}
+	rec, ok := tm.pending[id]
+	if ok && rec.Stream != stream {
+		ok = false
+	}
 	if ok {
-		delete(tm.pending, k)
+		delete(tm.pending, id)
 		tm.matched++
 		tm.obs.matched.Inc()
-	} else {
-		tm.missing++
-		tm.obs.missing.Inc()
+		return rec, true
 	}
-	return rec, ok
+	tm.missing++
+	tm.obs.missing.Inc()
+	return TagRecord{}, false
 }
 
 // Depth reports queued, unmatched tags.
-func (tm *TagManager) Depth() int { return len(tm.pending) }
+func (tm *TagManager) Depth() int {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return len(tm.pending)
+}
 
 // Stats reports matched and missing lookups.
-func (tm *TagManager) Stats() (matched, missing uint64) { return tm.matched, tm.missing }
+func (tm *TagManager) Stats() (matched, missing uint64) {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.matched, tm.missing
+}
+
+// Evicted reports records dropped by the pending-queue cap.
+func (tm *TagManager) Evicted() uint64 {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	return tm.evicted
+}
 
 // Clear drops all pending tags.
 func (tm *TagManager) Clear() {
-	tm.pending = make(map[uint64]TagRecord)
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	tm.pending = make(map[tagID]TagRecord)
+	tm.order = nil
 }
 
 // --- xPU environment guard --------------------------------------------------
@@ -242,7 +410,9 @@ type MMIOCheck struct {
 
 // EnvGuard is the xPU environment guard (§4.2): it validates guarded
 // MMIO writes during computing and cleans the device on teardown.
+// All methods are safe for concurrent use.
 type EnvGuard struct {
+	mu       sync.Mutex
 	checks   []MMIOCheck
 	violated []string
 	cleans   int
@@ -252,11 +422,17 @@ type EnvGuard struct {
 func NewEnvGuard() *EnvGuard { return &EnvGuard{} }
 
 // AddCheck installs a register predicate.
-func (g *EnvGuard) AddCheck(c MMIOCheck) { g.checks = append(g.checks, c) }
+func (g *EnvGuard) AddCheck(c MMIOCheck) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.checks = append(g.checks, c)
+}
 
 // VerifyMMIO validates a BAR0-relative register write; a false return
 // means the write must be blocked. Unguarded registers pass.
 func (g *EnvGuard) VerifyMMIO(reg uint64, value uint64) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, c := range g.checks {
 		if c.Reg == reg && !c.Valid(value) {
 			g.violated = append(g.violated, c.Name)
@@ -267,10 +443,18 @@ func (g *EnvGuard) VerifyMMIO(reg uint64, value uint64) bool {
 }
 
 // Violations lists failed checks so far.
-func (g *EnvGuard) Violations() []string { return g.violated }
+func (g *EnvGuard) Violations() []string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return append([]string(nil), g.violated...)
+}
 
 // Cleans reports how many environment cleans the guard triggered.
-func (g *EnvGuard) Cleans() int { return g.cleans }
+func (g *EnvGuard) Cleans() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cleans
+}
 
 // CleanCmd describes how the guard resets the device: a soft
 // environment-reset MMIO when supported, otherwise a cold boot.
@@ -283,7 +467,9 @@ type CleanCmd struct {
 // CleanPlan decides the teardown reset strategy for a device that does
 // or does not support software reset.
 func (g *EnvGuard) CleanPlan(softResetSupported bool, resetReg, softVal, coldVal uint64) CleanCmd {
+	g.mu.Lock()
 	g.cleans++
+	g.mu.Unlock()
 	if softResetSupported {
 		return CleanCmd{Soft: true, Reg: resetReg, Val: softVal}
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"ccai/internal/pcie"
 )
@@ -15,8 +16,13 @@ import (
 // shadow window), device-side packets by requester ID. Unit
 // controllers present distinct function numbers upstream, so host
 // software sees them as virtual functions of one device.
+// Dispatch on both sides takes only a read lock, so tenants routed to
+// different units proceed in parallel; AddUnit (assembly-time) is the
+// sole writer.
 type Mux struct {
-	id    pcie.ID
+	id pcie.ID
+
+	mu    sync.RWMutex
 	units []*MuxUnit
 }
 
@@ -44,6 +50,8 @@ func (m *Mux) AddUnit(u *MuxUnit) error {
 	if u.Ctrl == nil {
 		return fmt.Errorf("core: mux unit without controller")
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	for _, e := range m.units {
 		if e.XPU == u.XPU {
 			return fmt.Errorf("core: xPU %v already sliced", u.XPU)
@@ -58,10 +66,16 @@ func (m *Mux) AddUnit(u *MuxUnit) error {
 }
 
 // Units reports the registered slice count.
-func (m *Mux) Units() int { return len(m.units) }
+func (m *Mux) Units() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.units)
+}
 
 // Unit returns the slice guarding the given xPU.
 func (m *Mux) Unit(xpu pcie.ID) (*MuxUnit, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	for _, u := range m.units {
 		if u.XPU == xpu {
 			return u, true
@@ -74,10 +88,17 @@ func (m *Mux) Unit(xpu pcie.ID) (*MuxUnit, bool) {
 // target address selects the unit; anything outside every unit's
 // windows is rejected.
 func (m *Mux) Handle(p *pcie.Packet) *pcie.Packet {
+	m.mu.RLock()
+	var target *MuxUnit
 	for _, u := range m.units {
 		if u.Bar.Contains(p.Address) || u.Window.Contains(p.Address) {
-			return u.Ctrl.Handle(p)
+			target = u
+			break
 		}
+	}
+	m.mu.RUnlock()
+	if target != nil {
+		return target.Ctrl.Handle(p)
 	}
 	if p.Kind == pcie.MRd || p.Kind == pcie.CfgRd || p.Kind == pcie.CfgWr {
 		return pcie.NewCompletion(p, m.id, pcie.CplUR, nil)
@@ -98,9 +119,14 @@ func (m *Mux) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 	return nil
 }
 
-// TeardownAll tears down every slice (chassis decommission).
+// TeardownAll tears down every slice (chassis decommission). The
+// snapshot is taken under the read lock, but each teardown runs
+// outside it: teardown hooks route reset MMIO over the bus.
 func (m *Mux) TeardownAll() {
-	for _, u := range m.units {
+	m.mu.RLock()
+	units := append([]*MuxUnit(nil), m.units...)
+	m.mu.RUnlock()
+	for _, u := range units {
 		u.Ctrl.Teardown()
 	}
 }

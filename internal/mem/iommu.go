@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"sync"
 
 	"ccai/internal/pcie"
 )
@@ -34,7 +35,11 @@ func (p Perm) String() string {
 // existing setting unchanged (§8.1 "ccAI follows existing IOMMU
 // settings"). The TVM's private pages are simply never mapped for any
 // device, while bounce buffers are mapped for the PCIe-SC only.
+// Methods are safe for concurrent use; the exported Faults slice is
+// guarded by the same mutex and should be read only after the traffic
+// under test has quiesced (as the security tests do).
 type IOMMU struct {
+	mu   sync.RWMutex
 	maps map[pcie.ID][]mapping
 	// Faults records rejected accesses for the security tests.
 	Faults []Fault
@@ -68,6 +73,8 @@ func NewIOMMU() *IOMMU {
 // Map grants device access to [base, base+size) with the given
 // permissions.
 func (u *IOMMU) Map(dev pcie.ID, base, size uint64, perm Perm) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	u.maps[dev] = append(u.maps[dev], mapping{base: base, size: size, perm: perm})
 }
 
@@ -78,6 +85,8 @@ func (u *IOMMU) MapBuffer(dev pcie.ID, b *Buffer, perm Perm) {
 
 // Unmap revokes every mapping of dev that intersects [base, base+size).
 func (u *IOMMU) Unmap(dev pcie.ID, base, size uint64) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
 	kept := u.maps[dev][:0]
 	for _, m := range u.maps[dev] {
 		if base < m.base+m.size && m.base < base+size {
@@ -89,23 +98,45 @@ func (u *IOMMU) Unmap(dev pcie.ID, base, size uint64) {
 }
 
 // UnmapAll revokes all of a device's mappings (task teardown).
-func (u *IOMMU) UnmapAll(dev pcie.ID) { delete(u.maps, dev) }
+func (u *IOMMU) UnmapAll(dev pcie.ID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.maps, dev)
+}
 
 // Check validates one device access and records a fault when denied.
+// The grant path (every legitimate DMA) takes only the read lock; the
+// write lock is taken solely to record a fault.
 func (u *IOMMU) Check(dev pcie.ID, addr uint64, size int64, write bool) bool {
 	need := PermRead
 	if write {
 		need = PermWrite
 	}
 	end := addr + uint64(size)
+	u.mu.RLock()
 	for _, m := range u.maps[dev] {
 		if addr >= m.base && end <= m.base+m.size && m.perm&need != 0 {
+			u.mu.RUnlock()
 			return true
 		}
 	}
+	u.mu.RUnlock()
+	u.mu.Lock()
 	u.Faults = append(u.Faults, Fault{Device: dev, Addr: addr, Write: write})
+	u.mu.Unlock()
 	return false
 }
 
+// FaultCount reports recorded faults under the lock.
+func (u *IOMMU) FaultCount() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.Faults)
+}
+
 // Mappings reports how many live mappings a device holds.
-func (u *IOMMU) Mappings(dev pcie.ID) int { return len(u.maps[dev]) }
+func (u *IOMMU) Mappings(dev pcie.ID) int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.maps[dev])
+}

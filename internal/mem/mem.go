@@ -13,6 +13,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+	"sync"
 
 	"ccai/internal/sim"
 )
@@ -83,7 +84,14 @@ func (b *Buffer) Contains(addr uint64) bool {
 
 // Space is a host physical address space with a bump+free-list page
 // allocator per named region ("TVM private", "shared/bounce", ...).
+//
+// The allocator and buffer index are safe for concurrent use: lookups
+// take a read lock, allocation/free take the write lock. Buffer byte
+// contents are NOT arbitrated here — each tenant owns disjoint buffers,
+// so concurrent DMA into the same buffer is a caller bug, exactly as
+// with real host RAM.
 type Space struct {
+	mu      sync.RWMutex
 	regions map[string]*regionAlloc
 	// buffers indexes all live allocations by base address for DMA
 	// resolution.
@@ -109,6 +117,8 @@ func (s *Space) AddRegion(name string, base, size uint64) error {
 	if size == 0 {
 		return fmt.Errorf("mem: empty region %q", name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for n, r := range s.regions {
 		if base < r.base+r.size && r.base < base+size {
 			return fmt.Errorf("mem: region %q overlaps %q", name, n)
@@ -160,29 +170,28 @@ func (r *regionAlloc) release(base uint64, size int64) {
 
 // Alloc materializes a zeroed buffer of the given size in region.
 func (s *Space) Alloc(region, name string, size int64) (*Buffer, error) {
-	b, err := s.allocCommon(region, name, size)
-	if err != nil {
-		return nil, err
-	}
-	b.data = make([]byte, size)
-	return b, nil
+	return s.allocCommon(region, name, size, func(b *Buffer) {
+		b.data = make([]byte, size)
+	})
 }
 
 // AllocSynthetic reserves address space for a size-only buffer whose
 // contents are generated deterministically from seed.
 func (s *Space) AllocSynthetic(region, name string, size int64, seed uint64) (*Buffer, error) {
-	b, err := s.allocCommon(region, name, size)
-	if err != nil {
-		return nil, err
-	}
-	b.seed = seed
-	return b, nil
+	return s.allocCommon(region, name, size, func(b *Buffer) {
+		b.seed = seed
+	})
 }
 
-func (s *Space) allocCommon(region, name string, size int64) (*Buffer, error) {
+// allocCommon reserves pages and publishes the buffer in the DMA index.
+// init runs before publication so a buffer is never resolvable while
+// half-initialized.
+func (s *Space) allocCommon(region, name string, size int64, init func(*Buffer)) (*Buffer, error) {
 	if size <= 0 {
 		return nil, fmt.Errorf("mem: non-positive allocation %q", name)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	r, ok := s.regions[region]
 	if !ok {
 		return nil, fmt.Errorf("mem: unknown region %q", region)
@@ -192,12 +201,15 @@ func (s *Space) allocCommon(region, name string, size int64) (*Buffer, error) {
 		return nil, fmt.Errorf("mem: %q in %q: %w", name, region, err)
 	}
 	b := &Buffer{base: base, size: size, name: name}
+	init(b)
 	s.buffers = append(s.buffers, b)
 	return b, nil
 }
 
 // Free releases a buffer's pages back to its region.
 func (s *Space) Free(b *Buffer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	for name, r := range s.regions {
 		if b.base >= r.base && b.base < r.base+r.size {
 			r.release(b.base, b.size)
@@ -216,6 +228,8 @@ func (s *Space) Free(b *Buffer) {
 
 // Resolve finds the live buffer containing addr.
 func (s *Space) Resolve(addr uint64) (*Buffer, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
 	for _, b := range s.buffers {
 		if b.Contains(addr) {
 			return b, true

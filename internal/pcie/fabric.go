@@ -3,6 +3,8 @@ package pcie
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Endpoint is anything that terminates TLPs: an xPU device model, the
@@ -37,14 +39,25 @@ func (r Region) End() uint64 { return r.Base + r.Size }
 // root complex + switch hierarchy; ccAI's PCIe-SC presents itself to the
 // host Bus as a single endpoint and owns a private downstream Bus to the
 // xPU ("internal PCIe" in Figure 3).
+//
+// Routing is safe for concurrent use and reentrant: endpoints routinely
+// Route on the same bus from inside Handle (a doorbell write triggers
+// device DMA upstream), so Route must never block on topology locks.
+// The routing tables live in an immutable snapshot swapped atomically
+// by the mutators (copy-on-write); Route reads the current snapshot
+// lock-free. Topology changes are assembly-time operations and do not
+// need to be atomic with in-flight packets.
 type Bus struct {
-	name      string
+	name  string
+	mu    sync.Mutex // serializes topology mutations (snapshot rebuilds)
+	state atomic.Pointer[busState]
+}
+
+// busState is one immutable routing snapshot.
+type busState struct {
 	endpoints map[ID]Endpoint
 	claims    []claim
-	// taps observe every packet routed through this bus segment, in
-	// order. The attack harness installs snoopers/tamperers here; the
-	// trace recorder uses the same hook.
-	taps []Tap
+	taps      []Tap
 }
 
 type claim struct {
@@ -67,30 +80,61 @@ func (f TapFunc) Tap(p *Packet) *Packet { return f(p) }
 
 // NewBus returns an empty bus segment with a diagnostic name.
 func NewBus(name string) *Bus {
-	return &Bus{name: name, endpoints: make(map[ID]Endpoint)}
+	b := &Bus{name: name}
+	b.state.Store(&busState{endpoints: make(map[ID]Endpoint)})
+	return b
 }
 
 // Name reports the bus segment's diagnostic name.
 func (b *Bus) Name() string { return b.name }
 
+// mutate rebuilds the routing snapshot under the topology lock.
+func (b *Bus) mutate(fn func(s *busState) error) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	old := b.state.Load()
+	next := &busState{
+		endpoints: make(map[ID]Endpoint, len(old.endpoints)+1),
+		claims:    append([]claim(nil), old.claims...),
+		taps:      append([]Tap(nil), old.taps...),
+	}
+	for id, e := range old.endpoints {
+		next.endpoints[id] = e
+	}
+	if err := fn(next); err != nil {
+		return err
+	}
+	b.state.Store(next)
+	return nil
+}
+
 // Attach registers an endpoint for ID-routed traffic.
 func (b *Bus) Attach(e Endpoint) {
-	if _, dup := b.endpoints[e.DeviceID()]; dup {
-		panic(fmt.Sprintf("pcie: duplicate endpoint %v on bus %s", e.DeviceID(), b.name))
+	err := b.mutate(func(s *busState) error {
+		if _, dup := s.endpoints[e.DeviceID()]; dup {
+			return fmt.Errorf("pcie: duplicate endpoint %v on bus %s", e.DeviceID(), b.name)
+		}
+		s.endpoints[e.DeviceID()] = e
+		return nil
+	})
+	if err != nil {
+		panic(err.Error())
 	}
-	b.endpoints[e.DeviceID()] = e
 }
 
 // Detach removes an endpoint and all its memory claims.
 func (b *Bus) Detach(id ID) {
-	delete(b.endpoints, id)
-	kept := b.claims[:0]
-	for _, c := range b.claims {
-		if c.owner != id {
-			kept = append(kept, c)
+	_ = b.mutate(func(s *busState) error {
+		delete(s.endpoints, id)
+		kept := s.claims[:0]
+		for _, c := range s.claims {
+			if c.owner != id {
+				kept = append(kept, c)
+			}
 		}
-	}
-	b.claims = kept
+		s.claims = kept
+		return nil
+	})
 }
 
 // Claim routes memory requests targeting the region to the owner ID.
@@ -99,26 +143,42 @@ func (b *Bus) Claim(owner ID, r Region) error {
 	if r.Size == 0 {
 		return fmt.Errorf("pcie: empty claim %q", r.Name)
 	}
-	for _, c := range b.claims {
-		if r.Base < c.region.End() && c.region.Base < r.End() {
-			return fmt.Errorf("pcie: claim %q overlaps %q", r.Name, c.region.Name)
+	return b.mutate(func(s *busState) error {
+		for _, c := range s.claims {
+			if r.Base < c.region.End() && c.region.Base < r.End() {
+				return fmt.Errorf("pcie: claim %q overlaps %q", r.Name, c.region.Name)
+			}
 		}
-	}
-	b.claims = append(b.claims, claim{region: r, owner: owner})
-	sort.Slice(b.claims, func(i, j int) bool { return b.claims[i].region.Base < b.claims[j].region.Base })
-	return nil
+		s.claims = append(s.claims, claim{region: r, owner: owner})
+		sort.Slice(s.claims, func(i, j int) bool { return s.claims[i].region.Base < s.claims[j].region.Base })
+		return nil
+	})
 }
 
 // AddTap installs a bus observer/mutator (snooping or tampering point).
-func (b *Bus) AddTap(t Tap) { b.taps = append(b.taps, t) }
+func (b *Bus) AddTap(t Tap) {
+	_ = b.mutate(func(s *busState) error {
+		s.taps = append(s.taps, t)
+		return nil
+	})
+}
 
 // ClearTaps removes all observers.
-func (b *Bus) ClearTaps() { b.taps = nil }
+func (b *Bus) ClearTaps() {
+	_ = b.mutate(func(s *busState) error {
+		s.taps = nil
+		return nil
+	})
+}
 
 // Owner resolves the endpoint claiming addr, if any.
 func (b *Bus) Owner(addr uint64) (ID, bool) {
+	return b.state.Load().owner(addr)
+}
+
+func (s *busState) owner(addr uint64) (ID, bool) {
 	// Claims are few (BAR windows); linear scan over sorted slice.
-	for _, c := range b.claims {
+	for _, c := range s.claims {
 		if c.region.Contains(addr) {
 			return c.owner, true
 		}
@@ -132,11 +192,12 @@ func (b *Bus) Owner(addr uint64) (ID, bool) {
 // (nil for posted writes or dropped packets). Routing failures yield UR
 // completions for non-posted requests, exactly as real fabric would.
 func (b *Bus) Route(p *Packet) *Packet {
-	cpl := b.route(p)
+	s := b.state.Load()
+	cpl := s.route(p)
 	if cpl == nil {
 		return nil
 	}
-	for _, t := range b.taps {
+	for _, t := range s.taps {
 		cpl = t.Tap(cpl)
 		if cpl == nil {
 			return nil // completion deleted in flight
@@ -145,8 +206,8 @@ func (b *Bus) Route(p *Packet) *Packet {
 	return cpl
 }
 
-func (b *Bus) route(p *Packet) *Packet {
-	for _, t := range b.taps {
+func (s *busState) route(p *Packet) *Packet {
+	for _, t := range s.taps {
 		p = t.Tap(p)
 		if p == nil {
 			return nil // deleted in flight
@@ -155,18 +216,18 @@ func (b *Bus) route(p *Packet) *Packet {
 	var dst Endpoint
 	switch p.Kind {
 	case MRd, MWr:
-		owner, ok := b.Owner(p.Address)
+		owner, ok := s.owner(p.Address)
 		if !ok {
-			return b.unsupported(p)
+			return s.unsupported(p)
 		}
-		dst = b.endpoints[owner]
+		dst = s.endpoints[owner]
 	case Cpl, CplD:
-		dst = b.endpoints[p.Requester] // completions route back by requester ID
+		dst = s.endpoints[p.Requester] // completions route back by requester ID
 	case CfgRd, CfgWr, Msg, MsgD:
-		dst = b.endpoints[p.Completer]
+		dst = s.endpoints[p.Completer]
 		if dst == nil && (p.Kind == Msg || p.Kind == MsgD) {
 			// Broadcast-style message with no target: deliver to all.
-			for _, e := range b.endpoints {
+			for _, e := range s.endpoints {
 				if e.DeviceID() != p.Requester {
 					e.Handle(p.Clone())
 				}
@@ -175,12 +236,12 @@ func (b *Bus) route(p *Packet) *Packet {
 		}
 	}
 	if dst == nil {
-		return b.unsupported(p)
+		return s.unsupported(p)
 	}
 	return dst.Handle(p)
 }
 
-func (b *Bus) unsupported(p *Packet) *Packet {
+func (s *busState) unsupported(p *Packet) *Packet {
 	if p.Kind == MWr || p.Kind == Msg || p.Kind == MsgD || p.Kind == Cpl || p.Kind == CplD {
 		return nil // posted / completion: silently dropped
 	}
@@ -189,8 +250,9 @@ func (b *Bus) unsupported(p *Packet) *Packet {
 
 // Endpoints returns the attached endpoint IDs in ascending order.
 func (b *Bus) Endpoints() []ID {
-	ids := make([]ID, 0, len(b.endpoints))
-	for id := range b.endpoints {
+	s := b.state.Load()
+	ids := make([]ID, 0, len(s.endpoints))
+	for id := range s.endpoints {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

@@ -1,0 +1,269 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func newPair(t *testing.T) (*Stream, *Stream) {
+	t.Helper()
+	key, nonce := FreshKey(), FreshNonce()
+	a, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func chunkset(n, size int) ([][]byte, [][]byte) {
+	pts := make([][]byte, n)
+	aads := make([][]byte, n)
+	for i := range pts {
+		pts[i] = bytes.Repeat([]byte{byte(i + 1)}, size)
+		aads[i] = []byte(fmt.Sprintf("aad-%d", i))
+	}
+	return pts, aads
+}
+
+// TestSealBatchMatchesSerialSeal: a batch seal must be byte-identical
+// to the equivalent sequence of single-chunk seals (same counters,
+// same ciphertexts, same tags) so either end can mix the two paths.
+func TestSealBatchMatchesSerialSeal(t *testing.T) {
+	serial, _ := newPair(t)
+	batch, _ := newPair(t)
+	// Same key material for both streams.
+	key, nonce := FreshKey(), FreshNonce()
+	for _, s := range []*Stream{serial, batch} {
+		if err := s.Rekey(key, nonce); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts, aads := chunkset(9, 100)
+
+	var want []*Sealed
+	for i := range pts {
+		s, err := serial.Seal(pts[i], aads[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, s)
+	}
+	got, err := batch.SealBatch(pts, aads, NewPool(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Counter != want[i].Counter || got[i].Epoch != want[i].Epoch ||
+			!bytes.Equal(got[i].Ciphertext, want[i].Ciphertext) || got[i].Tag != want[i].Tag {
+			t.Fatalf("chunk %d: batch and serial seal diverge", i)
+		}
+	}
+	if serial.SendCounter() != batch.SendCounter() {
+		t.Fatalf("counters diverge: %d vs %d", serial.SendCounter(), batch.SendCounter())
+	}
+}
+
+// TestBatchRoundTrip seals with one pool width and opens with another;
+// the plaintexts and the receive watermark must come out right for
+// every combination.
+func TestBatchRoundTrip(t *testing.T) {
+	for _, sealW := range []int{1, 3, 8} {
+		for _, openW := range []int{1, 4} {
+			t.Run(fmt.Sprintf("seal%d_open%d", sealW, openW), func(t *testing.T) {
+				tx, rx := newPair(t)
+				pts, aads := chunkset(7, 64)
+				sealed, err := tx.SealBatch(pts, aads, NewPool(sealW))
+				if err != nil {
+					t.Fatal(err)
+				}
+				out, err := rx.OpenBatch(sealed, aads, NewPool(openW))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := range pts {
+					if !bytes.Equal(out[i], pts[i]) {
+						t.Fatalf("chunk %d corrupted", i)
+					}
+				}
+				// Watermark advanced: replaying the batch must fail.
+				if _, err := rx.OpenBatch(sealed, aads, nil); !errors.Is(err, ErrReplay) {
+					t.Fatalf("replayed batch: got %v, want ErrReplay", err)
+				}
+			})
+		}
+	}
+}
+
+// TestSealBatchTransientConsumesNoCounters: a transient engine fault
+// fires before any counter is reserved, so the failed batch consumes
+// nothing and the retry reuses the identical counter range.
+func TestSealBatchTransientConsumesNoCounters(t *testing.T) {
+	tx, rx := newPair(t)
+	fail := true
+	tx.SetFaultHook(func(op string) error {
+		if fail {
+			fail = false
+			return ErrTransient
+		}
+		return nil
+	})
+	var ivs []uint64
+	tx.SetIVAudit(func(epoch, counter uint32) {
+		ivs = append(ivs, uint64(epoch)<<32|uint64(counter))
+	})
+	pts, aads := chunkset(5, 32)
+	if _, err := tx.SealBatch(pts, aads, nil); !errors.Is(err, ErrTransient) {
+		t.Fatalf("first attempt: got %v, want ErrTransient", err)
+	}
+	if tx.SendCounter() != 0 {
+		t.Fatalf("failed batch consumed %d counters", tx.SendCounter())
+	}
+	sealed, err := tx.SealBatch(pts, aads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed[0].Counter != 1 || tx.SendCounter() != 5 {
+		t.Fatalf("retry counters wrong: first=%d send=%d", sealed[0].Counter, tx.SendCounter())
+	}
+	// No IV appeared twice.
+	seen := map[uint64]bool{}
+	for _, iv := range ivs {
+		if seen[iv] {
+			t.Fatalf("IV reused: %#x", iv)
+		}
+		seen[iv] = true
+	}
+	if out, err := rx.OpenBatch(sealed, aads, nil); err != nil || !bytes.Equal(out[2], pts[2]) {
+		t.Fatalf("round trip after retry: %v", err)
+	}
+}
+
+// TestSealBatchExhaustionBoundary: a batch that would cross the 32-bit
+// counter space fails with ErrIVExhausted and consumes nothing.
+func TestSealBatchExhaustionBoundary(t *testing.T) {
+	tx, _ := newPair(t)
+	tx.ForceCounter(^uint32(0) - 2) // 3 counters left... 2 actually remain usable
+	pts, aads := chunkset(4, 16)
+	if _, err := tx.SealBatch(pts, aads, nil); !errors.Is(err, ErrIVExhausted) {
+		t.Fatalf("got %v, want ErrIVExhausted", err)
+	}
+	if tx.SendCounter() != ^uint32(0)-2 {
+		t.Fatal("failed batch moved the counter")
+	}
+	// A batch that exactly fits still works.
+	small, smallAAD := chunkset(2, 16)
+	if _, err := tx.SealBatch(small, smallAAD, nil); err != nil {
+		t.Fatalf("fitting batch: %v", err)
+	}
+}
+
+// TestOpenBatchTamperRejected: corrupting any chunk fails the batch
+// and the watermark does not advance past the corrupted chunk, so the
+// legitimate chunks before it are not replayable and the stream stays
+// strictly ordered.
+func TestOpenBatchTamperRejected(t *testing.T) {
+	tx, rx := newPair(t)
+	pts, aads := chunkset(4, 48)
+	sealed, err := tx.SealBatch(pts, aads, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sealed[2].Ciphertext[0] ^= 0xff
+	if _, err := rx.OpenBatch(sealed, aads, NewPool(4)); !errors.Is(err, ErrAuth) {
+		t.Fatalf("tampered batch: got %v, want ErrAuth", err)
+	}
+	// Chunks 0 and 1 authenticated: watermark sits at their boundary,
+	// so re-presenting them is replay, but chunk 2 (fixed) onward can
+	// still be delivered.
+	sealed[2].Ciphertext[0] ^= 0xff
+	out, err := rx.OpenBatch(sealed[2:], aads[2:], nil)
+	if err != nil {
+		t.Fatalf("resumed delivery: %v", err)
+	}
+	if !bytes.Equal(out[1], pts[3]) {
+		t.Fatal("resumed delivery corrupted")
+	}
+}
+
+// TestBatchConcurrentWithSingleOps: batch and single-chunk seals from
+// many goroutines share one stream under -race; every IV is unique.
+func TestBatchConcurrentWithSingleOps(t *testing.T) {
+	tx, _ := newPair(t)
+	var mu sync.Mutex
+	seen := map[uint64]bool{}
+	reused := false
+	tx.SetIVAudit(func(epoch, counter uint32) {
+		mu.Lock()
+		defer mu.Unlock()
+		k := uint64(epoch)<<32 | uint64(counter)
+		if seen[k] {
+			reused = true
+		}
+		seen[k] = true
+	})
+	pool := NewPool(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pts, aads := chunkset(3, 24)
+			for i := 0; i < 50; i++ {
+				if w%2 == 0 {
+					if _, err := tx.SealBatch(pts, aads, pool); err != nil {
+						t.Error(err)
+						return
+					}
+				} else {
+					if _, err := tx.Seal(pts[0], aads[0]); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reused {
+		t.Fatal("IV reused under concurrent batch+single sealing")
+	}
+	want := 3*50*3 + 3*50 // three batch workers ×50×3 chunks + three single workers ×50
+	if got := int(tx.SendCounter()); got != want {
+		t.Fatalf("send counter = %d, want %d", got, want)
+	}
+}
+
+// TestPoolRunCoversAllIndices: the pool visits every index exactly
+// once for assorted worker/size combinations.
+func TestPoolRunCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			NewPool(workers).Run(n, func(i int) {
+				mu.Lock()
+				hits[i]++
+				mu.Unlock()
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+	// A nil pool is the serial path.
+	var nilPool *Pool
+	count := 0
+	nilPool.Run(4, func(i int) { count++ })
+	if count != 4 {
+		t.Fatalf("nil pool ran %d of 4", count)
+	}
+}

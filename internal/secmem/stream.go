@@ -57,6 +57,11 @@ var ErrTransient = errors.New("secmem: transient crypto-engine fault")
 // the receiver enforces strictly increasing counters, which defeats
 // replay and reordering on the untrusted bus segment (§8.2).
 type Stream struct {
+	// batchMu serializes whole OpenBatch operations (validate →
+	// parallel decrypt → watermark advance); it is always acquired
+	// before mu and never held by single-chunk operations.
+	batchMu sync.Mutex
+
 	mu        sync.Mutex
 	aead      cipher.AEAD
 	nonceBase [nonceBase]byte

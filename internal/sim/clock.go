@@ -12,6 +12,7 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+	"sync"
 	"time"
 )
 
@@ -69,10 +70,16 @@ func (h eventHeap) nextAt() (Time, bool) {
 	return h[0].at, true
 }
 
-// Engine is a discrete-event simulation core. It is single-threaded and
-// fully deterministic: events scheduled for the same instant fire in the
-// order they were scheduled.
+// Engine is a discrete-event simulation core. Events scheduled for the
+// same instant fire in the order they were scheduled, so a
+// single-goroutine run is fully deterministic. The engine is also safe
+// to share between concurrent tenant pipelines (retry backoffs all
+// advance one platform clock): queue and clock mutations are guarded by
+// a mutex, while event callbacks run outside it so they may schedule
+// further events. Under concurrency, time still only moves forward —
+// determinism of interleaving is then up to the caller.
 type Engine struct {
+	mu     sync.Mutex
 	now    Time
 	seq    uint64
 	events eventHeap
@@ -88,21 +95,36 @@ func NewEngine() *Engine {
 }
 
 // Now reports the current virtual instant.
-func (e *Engine) Now() Time { return e.now }
+func (e *Engine) Now() Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.now
+}
 
 // Schedule runs fn after the given virtual delay. A negative delay is an
 // error in the caller's model and panics, because silently clamping it
-// would hide causality bugs.
+// would hide causality bugs. The now-read and the insert happen under
+// one lock acquisition so a concurrent clock advance cannot slip the
+// event into the past.
 func (e *Engine) Schedule(delay Time, fn func()) {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	e.At(e.now+delay, fn)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.at(e.now+delay, fn)
 }
 
 // At runs fn at the given absolute virtual instant, which must not be in
 // the past.
 func (e *Engine) At(t Time, fn func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.at(t, fn)
+}
+
+// at inserts an event; callers hold e.mu.
+func (e *Engine) at(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: schedule at %v before now %v", t, e.now))
 	}
@@ -111,14 +133,18 @@ func (e *Engine) At(t Time, fn func()) {
 }
 
 // Step fires the next event, if any, advancing the clock to its instant.
-// It reports whether an event fired.
+// It reports whether an event fired. The callback runs outside the
+// engine lock so it may schedule further events.
 func (e *Engine) Step() bool {
+	e.mu.Lock()
 	if e.events.empty() {
+		e.mu.Unlock()
 		return false
 	}
 	ev := heap.Pop(&e.events).(*event)
 	e.now = ev.at
 	e.fired++
+	e.mu.Unlock()
 	ev.fn()
 	return true
 }
@@ -127,26 +153,40 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run() Time {
 	for e.Step() {
 	}
-	return e.now
+	return e.Now()
 }
 
-// RunUntil fires events up to and including instant t, then sets the
-// clock to t. Events scheduled after t remain queued.
+// RunUntil fires events up to and including instant t, then advances
+// the clock to at least t. Events scheduled after t remain queued.
 func (e *Engine) RunUntil(t Time) {
 	for {
+		e.mu.Lock()
 		at, ok := e.events.nextAt()
 		if !ok || at > t {
-			break
+			if t > e.now {
+				e.now = t
+			}
+			e.mu.Unlock()
+			return
 		}
-		e.Step()
-	}
-	if t > e.now {
-		e.now = t
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.fired++
+		e.mu.Unlock()
+		ev.fn()
 	}
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.events)
+}
 
 // Fired reports the total number of events executed so far.
-func (e *Engine) Fired() uint64 { return e.fired }
+func (e *Engine) Fired() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}

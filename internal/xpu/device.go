@@ -3,6 +3,7 @@ package xpu
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -149,8 +150,14 @@ const (
 // fault fire. A nil hook means a perfectly reliable device.
 type FaultHook func(point string) bool
 
-// Device is the functional accelerator model.
+// Device is the functional accelerator model. One mutex serializes all
+// packet handling: each tenant owns its own Device, so the lock is
+// uncontended in steady state and simply makes cross-goroutine
+// interleavings (teardown vs. in-flight MMIO) safe. The lock IS held
+// across upstream DMA — no upstream path routes back into the same
+// device, so this cannot self-deadlock.
 type Device struct {
+	mu      sync.Mutex
 	profile Profile
 	id      pcie.ID
 	cfg     *pcie.ConfigSpace
@@ -282,31 +289,62 @@ func (d *Device) BAR0() pcie.Region {
 }
 
 // SetUpstream wires the device's host-facing path.
-func (d *Device) SetUpstream(u Upstream) { d.upstream = u }
+func (d *Device) SetUpstream(u Upstream) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.upstream = u
+}
 
 // SetFaultHook wires the benign-failure injection layer (nil clears).
-func (d *Device) SetFaultHook(h FaultHook) { d.faultHook = h }
+func (d *Device) SetFaultHook(h FaultHook) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.faultHook = h
+}
 
 // Hangs reports doorbell rings the device swallowed under fault.
-func (d *Device) Hangs() int { return d.hangs }
+func (d *Device) Hangs() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.hangs
+}
 
 // MSIDropped reports interrupts whose MSI write was lost under fault.
-func (d *Device) MSIDropped() int { return d.msiDropped }
+func (d *Device) MSIDropped() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.msiDropped
+}
 
-// DevMem exposes functional device memory for test assertions.
+// DevMem exposes functional device memory for test assertions; read it
+// only while the device is quiescent.
 func (d *Device) DevMem() []byte { return d.devMem }
 
 // Executed reports commands completed since the last reset.
-func (d *Device) Executed() []Command { return d.executed }
+func (d *Device) Executed() []Command {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]Command(nil), d.executed...)
+}
 
 // ColdBoots reports how many cold resets the device performed.
-func (d *Device) ColdBoots() int { return d.coldBoots }
+func (d *Device) ColdBoots() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.coldBoots
+}
 
 // EnvResets reports soft environment cleans performed.
-func (d *Device) EnvResets() int { return d.envResets }
+func (d *Device) EnvResets() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.envResets
+}
 
 // Handle implements pcie.Endpoint for MMIO and config traffic.
 func (d *Device) Handle(p *pcie.Packet) *pcie.Packet {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	switch p.Kind {
 	case pcie.CfgRd:
 		v := d.cfg.Read32(uint16(p.Address))
@@ -470,7 +508,11 @@ func (d *Device) fault() {
 }
 
 // Faults reports command/DMA failures observed.
-func (d *Device) Faults() int { return d.faults }
+func (d *Device) Faults() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.faults
+}
 
 func (d *Device) raiseInterrupt(cause uint64) {
 	d.regs[RegIntStatus] |= cause

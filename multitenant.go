@@ -3,6 +3,7 @@ package ccai
 import (
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"ccai/internal/adaptor"
 	"ccai/internal/core"
@@ -29,8 +30,13 @@ type MultiPlatform struct {
 	space   *mem.Space
 }
 
-// Tenant is one (TVM, xPU) slice of a MultiPlatform.
+// Tenant is one (TVM, xPU) slice of a MultiPlatform. A tenant's own
+// pipeline (Adaptor → SC unit → device) is single-threaded: mu
+// serializes EstablishTrust, RunTask, and Close. Distinct tenants run
+// fully concurrently — the layers they share (host bus, bridge, mux,
+// IOMMU, address space) are individually thread-safe.
 type Tenant struct {
+	mu      sync.Mutex
 	Index   int
 	TVMID   pcie.ID
 	XPUID   pcie.ID
@@ -174,6 +180,8 @@ func (mp *MultiPlatform) addTenant(i int, profile xpu.Profile) error {
 // EstablishTrust provisions one tenant's session keys on its SC unit
 // and Adaptor, then brings up the protected driver.
 func (t *Tenant) EstablishTrust() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	for _, stream := range []string{core.StreamH2D, core.StreamD2H, core.StreamConfig, core.StreamMMIO} {
 		key, nonce := secmem.FreshKey(), secmem.FreshNonce()
 		if err := t.SC.Keys().Install(stream, key, nonce); err != nil {
@@ -213,8 +221,11 @@ func (t *Tenant) EstablishTrust() error {
 }
 
 // RunTask executes a confidential task on the tenant's xPU; semantics
-// match Platform.RunTask.
+// match Platform.RunTask. Safe to call concurrently with other
+// tenants' RunTask; calls on the same tenant serialize.
 func (t *Tenant) RunTask(task Task) ([]byte, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if !t.trusted {
 		return nil, fmt.Errorf("ccai: tenant %d: trust not established", t.Index)
 	}
@@ -258,6 +269,8 @@ func (t *Tenant) RunTask(task Task) ([]byte, error) {
 
 // Close tears down one tenant's session.
 func (t *Tenant) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	if t.trusted {
 		t.Adaptor.Teardown()
 		t.trusted = false

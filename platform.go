@@ -18,6 +18,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"sync"
 
 	"ccai/internal/adaptor"
 	"ccai/internal/core"
@@ -98,11 +99,15 @@ type Config struct {
 }
 
 // HostBridge terminates device-initiated traffic on the host bus: DMA
-// into guest memory (IOMMU-checked) and MSI interrupt writes.
+// into guest memory (IOMMU-checked) and MSI interrupt writes. MSI
+// delivery is shared across every tenant of a MultiPlatform, so the
+// interrupt log is mutex-guarded.
 type HostBridge struct {
 	id    pcie.ID
 	space *mem.Space
 	iommu *mem.IOMMU
+
+	msiMu sync.Mutex
 	msi   []uint32
 }
 
@@ -113,7 +118,9 @@ func (h *HostBridge) DeviceID() pcie.ID { return h.id }
 func (h *HostBridge) Handle(p *pcie.Packet) *pcie.Packet {
 	if p.Address >= msiBase && p.Address < msiBase+msiSize {
 		if p.Kind == pcie.MWr && len(p.Payload) >= 4 {
+			h.msiMu.Lock()
 			h.msi = append(h.msi, binary.LittleEndian.Uint32(p.Payload))
+			h.msiMu.Unlock()
 		}
 		return nil
 	}
@@ -138,7 +145,11 @@ func (h *HostBridge) Handle(p *pcie.Packet) *pcie.Packet {
 }
 
 // Interrupts reports MSI payloads received so far.
-func (h *HostBridge) Interrupts() []uint32 { return h.msi }
+func (h *HostBridge) Interrupts() []uint32 {
+	h.msiMu.Lock()
+	defer h.msiMu.Unlock()
+	return append([]uint32(nil), h.msi...)
+}
 
 // Platform is one assembled machine: guest, buses, optional PCIe-SC,
 // device, and driver.

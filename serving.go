@@ -1,0 +1,93 @@
+package ccai
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the multi-tenant serving engine: the concurrency layer
+// that turns a MultiPlatform from "several isolated slices you drive
+// one at a time" into one chassis serving all tenants at once. Each
+// tenant gets its own goroutine-pipeline (Adaptor → SC unit → device);
+// the layers tenants share — host bus, host bridge, mux, IOMMU,
+// address space, MSI log — are individually thread-safe, so pipelines
+// never coordinate beyond those internal locks.
+
+// TenantTask addresses one Task to one tenant of a MultiPlatform.
+type TenantTask struct {
+	// Tenant indexes MultiPlatform.Tenants.
+	Tenant int
+	// Task is executed with Tenant.RunTask semantics.
+	Task Task
+}
+
+// TenantResult is the outcome of one TenantTask.
+type TenantResult struct {
+	// Tenant and Index identify the request: Index is the position of
+	// the originating TenantTask in the RunTasks input slice.
+	Tenant int
+	Index  int
+	// Output is the task's result bytes when Err is nil.
+	Output []byte
+	// Err is the per-task failure, if any; one tenant's failure never
+	// affects another tenant's tasks.
+	Err error
+}
+
+// RunTasks executes a mixed batch of tenant tasks concurrently: one
+// goroutine per addressed tenant, each running that tenant's tasks
+// sequentially in submission order (a tenant's pipeline is inherently
+// serial — one command ring, one stream counter sequence). Results
+// come back indexed by input position, so results[i] always answers
+// tasks[i].
+//
+// Tasks addressed to an out-of-range tenant fail with an error in
+// their result slot; everything else still runs.
+func (mp *MultiPlatform) RunTasks(tasks []TenantTask) []TenantResult {
+	results := make([]TenantResult, len(tasks))
+	// Partition by tenant, preserving per-tenant submission order.
+	byTenant := make(map[int][]int)
+	for i, tt := range tasks {
+		results[i] = TenantResult{Tenant: tt.Tenant, Index: i}
+		if tt.Tenant < 0 || tt.Tenant >= len(mp.Tenants) {
+			results[i].Err = fmt.Errorf("ccai: no tenant %d (have %d)", tt.Tenant, len(mp.Tenants))
+			continue
+		}
+		byTenant[tt.Tenant] = append(byTenant[tt.Tenant], i)
+	}
+	var wg sync.WaitGroup
+	for tenant, idxs := range byTenant {
+		wg.Add(1)
+		go func(t *Tenant, idxs []int) {
+			defer wg.Done()
+			for _, i := range idxs {
+				out, err := t.RunTask(tasks[i].Task)
+				results[i].Output, results[i].Err = out, err
+			}
+		}(mp.Tenants[tenant], idxs)
+	}
+	wg.Wait()
+	return results
+}
+
+// EstablishTrustAll runs every tenant's trust establishment
+// concurrently and returns the first error encountered (all tenants
+// are attempted regardless).
+func (mp *MultiPlatform) EstablishTrustAll() error {
+	errs := make([]error, len(mp.Tenants))
+	var wg sync.WaitGroup
+	for i, t := range mp.Tenants {
+		wg.Add(1)
+		go func(i int, t *Tenant) {
+			defer wg.Done()
+			errs[i] = t.EstablishTrust()
+		}(i, t)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("ccai: tenant %d: %w", i, err)
+		}
+	}
+	return nil
+}
