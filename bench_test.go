@@ -199,6 +199,28 @@ func BenchmarkProtectedTask(b *testing.B) {
 	}
 }
 
+// BenchmarkProtectedTask64KiB is the same path at the transfer size the
+// perf acceptance gate watches; `make profile` runs CPU and allocation
+// profiles over it.
+func BenchmarkProtectedTask64KiB(b *testing.B) {
+	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := plat.EstablishTrust(); err != nil {
+		b.Fatal(err)
+	}
+	defer plat.Close()
+	input := make([]byte, 64<<10)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plat.RunTask(ccai.Task{Input: input, Kernel: ccai.KernelAdd, Param: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkProtectedTaskObserved is BenchmarkProtectedTask with the
 // observability layer on — the overhead acceptance gate: compare the
 // two ns/op figures; instrumentation must stay within a few percent

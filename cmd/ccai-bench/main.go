@@ -31,6 +31,7 @@ func main() {
 	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition,micro")
 	src := flag.String("src", ".", "repository root for Table 3 LoC measurement")
 	out := flag.String("out", "BENCH_results.json", "machine-readable micro-benchmark results path (empty disables)")
+	compare := flag.String("compare", "", "baseline BENCH_results.json to diff against; exits non-zero on >10% ns/op regression")
 	flag.Parse()
 
 	cm := bench.Defaults()
@@ -149,25 +150,49 @@ func main() {
 		if err != nil {
 			fail("micro", err)
 		}
+		// Diff against the baseline before writing: -compare and -out
+		// may name the same file, and the comparison must see the old
+		// numbers, not the ones we are about to write.
+		code, report := 0, ""
+		if *compare != "" {
+			code, report = compareResults(*compare, results)
+		}
 		if err := writeResults(*out, results); err != nil {
 			fail("micro", err)
 		}
 		fmt.Println(renderMicro(*out, results))
+		if report != "" {
+			fmt.Print(report)
+		}
+		if code != 0 {
+			os.Exit(code)
+		}
 	}
 }
 
 // benchResult is one BENCH_results.json entry, mirroring testing.B's
 // headline numbers so external tooling can diff runs.
 type benchResult struct {
-	Name       string  `json:"name"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp uint64  `json:"bytes_per_op"`
-	Iterations int     `json:"iterations"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  uint64  `json:"bytes_per_op"`
+	AllocsPerOp uint64  `json:"allocs_per_op"`
+	Iterations  int     `json:"iterations"`
 }
 
-// microIters bounds each micro-benchmark's sample count. Small on
-// purpose: this is a trajectory tracker, not a statistics engine.
-const microIters = 8
+// allocs samples the cumulative heap-allocation count; the delta of two
+// samples over a timed loop gives allocs_per_op.
+func allocs() uint64 {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.Mallocs
+}
+
+// microIters bounds each micro-benchmark's sample count. Large enough
+// that one scheduler preemption on a shared host does not swing the
+// mean by double-digit percent (at 8 iters a single 5 ms stall read as
+// +600 µs/op); still a trajectory tracker, not a statistics engine.
+const microIters = 64
 
 // microBench times the real end-to-end pipeline (wall clock, not the
 // timing model): vanilla vs. protected task execution at two transfer
@@ -206,6 +231,7 @@ func microBench() ([]benchResult, error) {
 			plat.Close()
 			return nil, err
 		}
+		m0 := allocs()
 		start := time.Now()
 		for i := 0; i < microIters; i++ {
 			if _, err := plat.RunTask(task); err != nil {
@@ -214,12 +240,14 @@ func microBench() ([]benchResult, error) {
 			}
 		}
 		elapsed := time.Since(start)
+		m1 := allocs()
 		plat.Close()
 		results = append(results, benchResult{
-			Name:       c.name,
-			NsPerOp:    float64(elapsed.Nanoseconds()) / microIters,
-			BytesPerOp: uint64(c.size),
-			Iterations: microIters,
+			Name:        c.name,
+			NsPerOp:     float64(elapsed.Nanoseconds()) / microIters,
+			BytesPerOp:  uint64(c.size),
+			AllocsPerOp: (m1 - m0) / microIters,
+			Iterations:  microIters,
 		})
 	}
 	serving, err := servingBench()
@@ -266,6 +294,7 @@ func servingBench() ([]benchResult, error) {
 		}
 	}
 
+	m0 := allocs()
 	start := time.Now()
 	for _, tt := range tasks {
 		if _, err := mp.Tenants[tt.Tenant].RunTask(tt.Task); err != nil {
@@ -273,6 +302,7 @@ func servingBench() ([]benchResult, error) {
 		}
 	}
 	serialized := time.Since(start)
+	m1 := allocs()
 
 	start = time.Now()
 	for _, res := range mp.RunTasks(tasks) {
@@ -281,11 +311,13 @@ func servingBench() ([]benchResult, error) {
 		}
 	}
 	concurrent := time.Since(start)
+	m2 := allocs()
 
 	n := float64(len(tasks))
+	nu := uint64(len(tasks))
 	return []benchResult{
-		{Name: "serve/4-tenant/serialized/64KiB", NsPerOp: float64(serialized.Nanoseconds()) / n, BytesPerOp: size, Iterations: len(tasks)},
-		{Name: "serve/4-tenant/concurrent/64KiB", NsPerOp: float64(concurrent.Nanoseconds()) / n, BytesPerOp: size, Iterations: len(tasks)},
+		{Name: "serve/4-tenant/serialized/64KiB", NsPerOp: float64(serialized.Nanoseconds()) / n, BytesPerOp: size, AllocsPerOp: (m1 - m0) / nu, Iterations: len(tasks)},
+		{Name: "serve/4-tenant/concurrent/64KiB", NsPerOp: float64(concurrent.Nanoseconds()) / n, BytesPerOp: size, AllocsPerOp: (m2 - m1) / nu, Iterations: len(tasks)},
 	}, nil
 }
 
@@ -307,7 +339,7 @@ func renderMicro(path string, results []benchResult) string {
 		microIters, runtime.GOMAXPROCS(0), path)
 	var serial, conc float64
 	for _, r := range results {
-		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op\n", r.Name, r.NsPerOp, r.BytesPerOp)
+		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		switch r.Name {
 		case "serve/4-tenant/serialized/64KiB":
 			serial = r.NsPerOp
@@ -319,4 +351,57 @@ func renderMicro(path string, results []benchResult) string {
 		fmt.Fprintf(&b, "  serving speedup (serialized/concurrent): %.2fx\n", serial/conc)
 	}
 	return b.String()
+}
+
+// regressionTolerance is the relative ns/op slowdown -compare treats as
+// a regression.
+const regressionTolerance = 0.10
+
+// compareResults diffs the current run against a previously written
+// BENCH_results.json. Every matched benchmark's delta is reported;
+// exceeding regressionTolerance on ns/op makes the run fail (exit 1).
+// allocs/op deltas are informational only: they are noisy at small
+// iteration counts and gated by tests instead.
+func compareResults(path string, cur []benchResult) (int, string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 1, fmt.Sprintf("ccai-bench: compare: %v\n", err)
+	}
+	var doc struct {
+		Results []benchResult `json:"results"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return 1, fmt.Sprintf("ccai-bench: compare: %s: %v\n", path, err)
+	}
+	base := make(map[string]benchResult, len(doc.Results))
+	for _, r := range doc.Results {
+		base[r.Name] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Comparison vs %s (regression = ns/op worse by >%.0f%%):\n", path, regressionTolerance*100)
+	regressions := 0
+	for _, r := range cur {
+		old, ok := base[r.Name]
+		if !ok || old.NsPerOp <= 0 {
+			fmt.Fprintf(&b, "  %-32s %14.0f ns/op   (no baseline)\n", r.Name, r.NsPerOp)
+			continue
+		}
+		delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
+		mark := ""
+		if delta > regressionTolerance*100 {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		allocNote := ""
+		if old.AllocsPerOp > 0 || r.AllocsPerOp > 0 {
+			allocNote = fmt.Sprintf("   allocs %d -> %d", old.AllocsPerOp, r.AllocsPerOp)
+		}
+		fmt.Fprintf(&b, "  %-32s %14.0f -> %12.0f ns/op  %+7.1f%%%s%s\n",
+			r.Name, old.NsPerOp, r.NsPerOp, delta, allocNote, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(&b, "ccai-bench: %d benchmark(s) regressed beyond %.0f%% ns/op\n", regressions, regressionTolerance*100)
+		return 1, b.String()
+	}
+	return 0, b.String()
 }

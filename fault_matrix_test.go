@@ -12,10 +12,12 @@ package ccai
 // Quickstart: go test -run TestFaultMatrix -v
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"testing"
 
+	"ccai/internal/arena"
 	"ccai/internal/attack"
 	"ccai/internal/core"
 	"ccai/internal/fault"
@@ -296,5 +298,108 @@ func TestFaultMatrix(t *testing.T) {
 	}
 	if landed < 6 {
 		t.Fatalf("only %d fault classes ever fired; matrix needs ≥6 live classes", landed)
+	}
+}
+
+// --- mid-pipeline fault class (DESIGN.md §10) --------------------------------
+
+// arenaHoldsSecret drains a sample of pooled buffers across the
+// arena's size classes and scans them for the canary. Arena buffers
+// are reused without zeroing on the public-bytes path (Put), so any
+// hit means plaintext went through Put instead of PutZero — the
+// memory-discipline violation the streaming pipeline must never
+// commit, fault or no fault.
+func arenaHoldsSecret(canary []byte) bool {
+	leaked := false
+	for _, class := range []int{64, 128, 256, 512, 1024, 4096, 65536} {
+		var bufs [][]byte
+		for i := 0; i < 32; i++ {
+			b := arena.Get(class)
+			if bytes.Contains(b, canary) {
+				leaked = true
+			}
+			bufs = append(bufs, b)
+		}
+		for _, b := range bufs {
+			arena.Put(b)
+		}
+	}
+	return leaked
+}
+
+// TestMidPipelineFaults targets the streaming staging pipeline
+// specifically: the fault skips are tuned so the injection lands in
+// the middle of a 256-chunk H2D staging run, not at its edges. The
+// contract is the recovery ladder's — a mid-pipeline fault costs
+// retries or (at worst) the session, never an invariant: no silently
+// wrong output, no plaintext on the host segment, no IV reuse, and no
+// plaintext left behind in pooled datapath buffers.
+func TestMidPipelineFaults(t *testing.T) {
+	cases := []struct {
+		class fault.Class
+		skip  int
+	}{
+		// CryptoTransient at skip 100: the engine faults while the
+		// pipeline still has ~150 chunks to seal; the abort consumes no
+		// counters and the retry reuses the same IV range.
+		{fault.CryptoTransient, 100},
+		// TagLoss at skip 130: the Tag Manager drops a record mid-table;
+		// the device's span read over that chunk fails closed until the
+		// recovery ladder reposts the table.
+		{fault.TagLoss, 130},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.class.String(), func(t *testing.T) {
+			p := protectedPlatform(t, xpu.A100)
+
+			audit := newIVAuditor()
+			for _, s := range []string{core.StreamH2D, core.StreamConfig} {
+				if err := p.Adaptor.AuditIVs(s, audit.hook(s)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			snoop := attack.NewSnooper()
+			p.Host.AddTap(snoop)
+
+			inj := fault.NewInjector(fault.Single(0x717e11e, tc.class, tc.skip, 2))
+			wireFault(p, inj, tc.class)
+
+			// 64 KiB input (256 chunks through the pipeline) with the
+			// canary embedded mid-stream, near the injection point.
+			in := make([]byte, 64<<10)
+			for i := range in {
+				in[i] = byte(i * 11)
+			}
+			copy(in[130*256:], secret)
+			out, err := p.RunTask(Task{Input: in, Kernel: KernelXOR, Param: 0x5a})
+
+			if inj.TotalFired() == 0 {
+				t.Fatalf("fault never fired; skip %d missed the pipeline", tc.skip)
+			}
+			if err == nil {
+				for i := range in {
+					if out[i] != in[i]^0x5a {
+						t.Fatalf("silently corrupted output byte %d under mid-pipeline %v", i, tc.class)
+					}
+				}
+				rec := p.Adaptor.Recovery()
+				if rec.Retries+rec.CryptoRetries+rec.Reposts == 0 {
+					t.Fatalf("task survived mid-pipeline %v without any recovery activity: %+v", tc.class, rec)
+				}
+			} else if p.trusted {
+				t.Fatalf("mid-pipeline %v failed the task (%v) without failing closed", tc.class, err)
+			}
+
+			if snoop.SawPlaintext(secret) {
+				t.Fatalf("plaintext canary on host bus under mid-pipeline %v", tc.class)
+			}
+			if r := audit.reuses(); len(r) != 0 {
+				t.Fatalf("IV reuse under mid-pipeline %v: %v", tc.class, r)
+			}
+			if arenaHoldsSecret(secret) {
+				t.Fatalf("plaintext canary left in pooled buffer under mid-pipeline %v", tc.class)
+			}
+		})
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"runtime"
 	"sync"
 
+	"ccai/internal/arena"
 	"ccai/internal/core"
 	"ccai/internal/mem"
 	"ccai/internal/obsv"
@@ -195,9 +196,9 @@ func (a *Adaptor) mmioWrite(off uint64, payload []byte) {
 }
 
 func (a *Adaptor) mmioWrite64(off uint64, v uint64) {
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, v)
-	a.mmioWrite(off, buf)
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	a.mmioWrite(off, buf[:])
 }
 
 // SCStatus reads the controller's status register (an I/O read with
@@ -264,24 +265,36 @@ func (a *Adaptor) postTags(recs []core.TagRecord) {
 		obsv.I64("records", int64(len(recs))))
 	defer sp.End()
 	if !a.opts.BatchTags {
+		var one [core.TagRecordSize]byte
 		for _, r := range recs {
-			a.mmioWrite(core.RegTagWindow, r.Marshal())
+			a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
 		}
 		return
 	}
+	// One reused arena buffer per upload burst: mmioWrite's MemWrite
+	// copies the payload, so the buffer is free to refill immediately.
 	perPacket := pcie.MaxPayload / core.TagRecordSize
+	payload := arena.Get(perPacket * core.TagRecordSize)[:0]
 	for len(recs) > 0 {
 		n := perPacket
 		if len(recs) < n {
 			n = len(recs)
 		}
-		payload := make([]byte, 0, n*core.TagRecordSize)
+		payload = payload[:0]
 		for _, r := range recs[:n] {
-			payload = append(payload, r.Marshal()...)
+			payload = r.AppendMarshal(payload)
 		}
 		a.mmioWrite(core.RegTagWindow, payload)
 		recs = recs[n:]
 	}
+	arena.Put(payload) // wire-format tags: public bytes
+}
+
+// postTag uploads a single record without the slice round-trip —
+// the guarded-MMIO hot path.
+func (a *Adaptor) postTag(r core.TagRecord) {
+	var one [core.TagRecordSize]byte
+	a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
 }
 
 // --- encrypt_data / staging ------------------------------------------------------
@@ -315,36 +328,72 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 	}
 	a.nextID++
 
-	// Chunk the payload, then seal the whole batch: counters are
-	// reserved contiguously under the stream lock and the AES-GCM work
-	// fans out over the crypto pool (§5 parallel-crypto optimization).
-	var pts, aads [][]byte
-	for off := 0; off < len(data); off += core.ChunkSize {
-		end := off + core.ChunkSize
-		if end > len(data) {
-			end = len(data)
-		}
-		pts = append(pts, data[off:end])
-		aads = append(aads, desc.AAD(uint32(off/core.ChunkSize)))
-	}
-	sealedChunks, err := a.sealBatchWithRetry(a.h2d, pts, aads)
-	if err != nil {
-		a.space.Free(buf)
-		return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
-	}
-	recs := make([]core.TagRecord, 0, len(sealedChunks))
-	out := buf.Bytes()
-	for i, sealed := range sealedChunks {
-		copy(out[i*core.ChunkSize:], sealed.Ciphertext)
-		recs = append(recs, core.TagRecord{
-			Stream: core.StreamH2D, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag,
-		})
-	}
+	// Register the descriptor up front so the tag packets the pipeline
+	// flushes below land against a known region; a failed pipeline
+	// releases it again.
 	if err := a.registerDescriptor(desc); err != nil {
 		a.space.Free(buf)
 		return nil, err
 	}
-	a.postTags(recs)
+
+	// Chunk the payload. Counters are reserved contiguously under the
+	// stream lock (matching desc.FirstCounter), the AES-GCM work fans
+	// out over the crypto pool (§5 parallel-crypto optimization), and
+	// AADs share one backing array instead of one alloc per chunk.
+	nChunks := (len(data) + core.ChunkSize - 1) / core.ChunkSize
+	pts := make([][]byte, nChunks)
+	aads := make([][]byte, nChunks)
+	aadAll := make([]byte, 8*nChunks)
+	for i := 0; i < nChunks; i++ {
+		off := i * core.ChunkSize
+		end := off + core.ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		pts[i] = data[off:end]
+		ab := aadAll[i*8 : i*8+8 : i*8+8]
+		desc.PutAAD((*[8]byte)(ab), uint32(i))
+		aads[i] = ab
+	}
+
+	// Streaming pipeline (DESIGN.md §10): the crypto pool delivers
+	// sealed chunks in submission order while this emit stage copies
+	// each into the bounce buffer and flushes full tag packets — DMA
+	// staging for chunk i overlaps the sealing of chunks > i. The
+	// chunk's arena-backed ciphertext is only valid inside emit, so it
+	// is copied out before returning.
+	recs := make([]core.TagRecord, 0, nChunks)
+	out := buf.Bytes()
+	perPacket := pcie.MaxPayload / core.TagRecordSize
+	tagPayload := arena.Get(perPacket * core.TagRecordSize)[:0]
+	emit := func(i int, chunk *secmem.Sealed) error {
+		copy(out[i*core.ChunkSize:], chunk.Ciphertext)
+		recs = append(recs, core.TagRecord{
+			Stream: core.StreamH2D, Chunk: chunk.Counter, Epoch: chunk.Epoch, Tag: chunk.Tag,
+		})
+		r := &recs[len(recs)-1]
+		if a.opts.BatchTags {
+			tagPayload = r.AppendMarshal(tagPayload)
+			if len(tagPayload) >= perPacket*core.TagRecordSize {
+				a.mmioWrite(core.RegTagWindow, tagPayload)
+				tagPayload = tagPayload[:0]
+			}
+		} else {
+			var one [core.TagRecordSize]byte
+			a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
+		}
+		return nil
+	}
+	if err := a.sealBatchStreamWithRetry(a.h2d, pts, aads, emit); err != nil {
+		arena.Put(tagPayload)
+		a.mmioWrite64(core.RegDescRelease, uint64(desc.ID))
+		a.space.Free(buf)
+		return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
+	}
+	if len(tagPayload) > 0 {
+		a.mmioWrite(core.RegTagWindow, tagPayload)
+	}
+	arena.Put(tagPayload) // wire-format tags: public bytes
 	// One region-ready notify: the batched I/O write of §5.
 	a.mmioWrite64(core.RegNotify, uint64(desc.ID))
 	return &Region{Desc: desc, Buf: buf, PlainLen: int64(len(data)), Recs: recs}, nil
@@ -388,15 +437,16 @@ func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "sync_verified",
 		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("chunks", int64(len(chunks))))
 	defer sp.End()
-	key, _, err := a.keys.Material(core.StreamMMIO)
-	if err != nil {
-		return fmt.Errorf("adaptor: %w", err)
-	}
-	var recs []core.TagRecord
+	recs := make([]core.TagRecord, 0, len(chunks))
+	var aad [8]byte
 	for _, c := range chunks {
 		off := int64(c) * int64(r.Desc.ChunkSize)
 		data := r.Buf.Slice(off, int64(r.Desc.ChunkSize))
-		mac := secmem.MAC(key, r.Desc.AAD(c), data)
+		r.Desc.PutAAD(&aad, c)
+		mac, err := a.keys.MACSum(core.StreamMMIO, aad[:], data)
+		if err != nil {
+			return fmt.Errorf("adaptor: %w", err)
+		}
 		rec := core.TagRecord{Stream: core.StreamMMIO, Chunk: r.Desc.ID<<16 | c}
 		copy(rec.Tag[:], mac[:secmem.TagSize])
 		recs = append(recs, rec)
@@ -474,35 +524,36 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "collect_d2h",
 		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("bytes", n))
 	defer sp.End()
-	// Assemble the batch from the bounce buffer + tag table, then
-	// authenticate/decrypt on the crypto pool; the stream replica
-	// enforces the strictly-increasing counter discipline across the
-	// whole batch.
-	var sealedChunks []*secmem.Sealed
-	var aads [][]byte
-	for off := int64(0); off < n; off += core.ChunkSize {
+	// Assemble the batch from the bounce buffer + tag table (records by
+	// value, AADs sharing one backing array), then authenticate and
+	// decrypt straight into the result buffer on the crypto pool; the
+	// stream replica enforces the strictly-increasing counter
+	// discipline across the whole batch, and a failed batch comes back
+	// zeroed rather than partially decrypted.
+	nChunks := int((n + core.ChunkSize - 1) / core.ChunkSize)
+	sealedChunks := make([]secmem.Sealed, nChunks)
+	aads := make([][]byte, nChunks)
+	aadAll := make([]byte, 8*nChunks)
+	for i := 0; i < nChunks; i++ {
+		off := int64(i) * core.ChunkSize
 		end := off + core.ChunkSize
 		if end > n {
 			end = n
 		}
-		chunk := uint32(off / core.ChunkSize)
-		recBytes := r.TagBuf.Slice(int64(chunk)*core.TagRecordSize, core.TagRecordSize)
-		sealed := &secmem.Sealed{
+		recBytes := r.TagBuf.Slice(int64(i)*core.TagRecordSize, core.TagRecordSize)
+		sealedChunks[i] = secmem.Sealed{
 			Counter:    binary.LittleEndian.Uint32(recBytes[4:]),
 			Epoch:      binary.LittleEndian.Uint32(recBytes[8:]),
 			Ciphertext: r.Buf.Slice(off, end-off),
 		}
-		copy(sealed.Tag[:], recBytes[12:])
-		sealedChunks = append(sealedChunks, sealed)
-		aads = append(aads, r.Desc.AAD(chunk))
+		copy(sealedChunks[i].Tag[:], recBytes[12:])
+		ab := aadAll[i*8 : i*8+8 : i*8+8]
+		r.Desc.PutAAD((*[8]byte)(ab), uint32(i))
+		aads[i] = ab
 	}
-	pts, err := a.openBatchWithRetry(a.d2h, sealedChunks, aads)
-	if err != nil {
+	out := make([]byte, n)
+	if err := a.openBatchIntoWithRetry(a.d2h, out, sealedChunks, aads); err != nil {
 		return nil, fmt.Errorf("adaptor: decrypt_data: %w", err)
-	}
-	out := make([]byte, 0, n)
-	for _, pt := range pts {
-		out = append(out, pt...)
 	}
 	return out, nil
 }
@@ -517,21 +568,21 @@ func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 	defer a.mu.Unlock()
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "guarded_write", obsv.Hex("reg", reg))
 	defer sp.End()
-	key, _, err := a.keys.Material(core.StreamMMIO)
+	var payload [8]byte
+	binary.LittleEndian.PutUint64(payload[:], value)
+	var hdr [16]byte
+	core.PutMACHeader(&hdr, a.mmioSeq, a.xpuBar+reg, uint32(len(payload)))
+	mac, err := a.keys.MACSum(core.StreamMMIO, hdr[:], payload[:])
 	if err != nil {
 		return fmt.Errorf("adaptor: %w", err)
 	}
-	payload := make([]byte, 8)
-	binary.LittleEndian.PutUint64(payload, value)
-	hdr := core.MACHeader(a.mmioSeq, a.xpuBar+reg, uint32(len(payload)))
-	mac := secmem.MAC(key, hdr, payload)
 	rec := core.TagRecord{Stream: core.StreamMMIO, Chunk: a.mmioSeq}
 	copy(rec.Tag[:], mac[:secmem.TagSize])
-	a.postTags([]core.TagRecord{rec})
+	a.postTag(rec)
 	a.mmioSeq++
 
 	a.io.MMIOWrites++
-	a.bus.Route(pcie.NewMemWrite(a.id, a.xpuBar+reg, payload))
+	a.bus.Route(pcie.NewMemWrite(a.id, a.xpuBar+reg, payload[:]))
 	return nil
 }
 

@@ -113,7 +113,7 @@ func (s *stubXPU) dmaWrite(addr uint64, data []byte) {
 	}
 }
 
-func newRig(t *testing.T, opts Options) (*rig, *stubXPU) {
+func newRig(t testing.TB, opts Options) (*rig, *stubXPU) {
 	t.Helper()
 	space := mem.NewSpace()
 	if err := space.AddRegion(SharedRegion, shBase, shSize); err != nil {

@@ -175,25 +175,27 @@ func (a *Adaptor) sealWithRetry(s *secmem.Stream, pt, aad []byte) (*secmem.Seale
 	}
 }
 
-// sealBatchWithRetry is sealWithRetry over a whole chunk batch. A
-// transient fault aborts the batch before any counter is reserved, so
-// the retry re-seals the identical batch with the identical counter
-// range — never an IV reuse. Callers hold a.mu.
-func (a *Adaptor) sealBatchWithRetry(s *secmem.Stream, pts, aads [][]byte) ([]*secmem.Sealed, error) {
+// sealBatchStreamWithRetry drives the streaming seal pipeline with the
+// crypto-retry discipline. ErrTransient fires before any counter is
+// reserved AND before any chunk reaches emit, so a retried attempt
+// replays the identical batch with the identical counter range, and
+// emit still observes every chunk exactly once, in submission order.
+// Callers hold a.mu.
+func (a *Adaptor) sealBatchStreamWithRetry(s *secmem.Stream, pts, aads [][]byte, emit func(i int, chunk *secmem.Sealed) error) error {
 	delay := a.policy.Backoff
 	for attempt := 0; ; attempt++ {
-		sealed, err := s.SealBatch(pts, aads, a.pool)
+		err := s.SealBatchStream(pts, aads, a.pool, emit)
 		if !errors.Is(err, secmem.ErrTransient) {
 			if err == nil && attempt > 0 {
 				a.rec.Recovered++
 				a.obs.recovered.Inc()
 			}
-			return sealed, err
+			return err
 		}
 		if attempt >= a.policy.MaxRetries {
 			a.rec.Exhausted++
 			a.obs.exhausted.Inc()
-			return nil, err
+			return err
 		}
 		a.rec.CryptoRetries++
 		a.obs.cryptoRetries.Inc()
@@ -202,24 +204,25 @@ func (a *Adaptor) sealBatchWithRetry(s *secmem.Stream, pts, aads [][]byte) ([]*s
 	}
 }
 
-// openBatchWithRetry is the batch decrypt twin: only ErrTransient
-// retries (it fires before any watermark movement); auth and replay
-// failures are verdicts. Callers hold a.mu.
-func (a *Adaptor) openBatchWithRetry(s *secmem.Stream, sealed []*secmem.Sealed, aads [][]byte) ([][]byte, error) {
+// openBatchIntoWithRetry is the in-place batch decrypt twin: only
+// ErrTransient retries (it fires before any watermark movement); auth
+// and replay failures are verdicts, and a failed batch leaves dst
+// zeroed. Callers hold a.mu.
+func (a *Adaptor) openBatchIntoWithRetry(s *secmem.Stream, dst []byte, sealed []secmem.Sealed, aads [][]byte) error {
 	delay := a.policy.Backoff
 	for attempt := 0; ; attempt++ {
-		pts, err := s.OpenBatch(sealed, aads, a.pool)
+		err := s.OpenBatchInto(dst, sealed, aads, a.pool)
 		if !errors.Is(err, secmem.ErrTransient) {
 			if err == nil && attempt > 0 {
 				a.rec.Recovered++
 				a.obs.recovered.Inc()
 			}
-			return pts, err
+			return err
 		}
 		if attempt >= a.policy.MaxRetries {
 			a.rec.Exhausted++
 			a.obs.exhausted.Inc()
-			return nil, err
+			return err
 		}
 		a.rec.CryptoRetries++
 		a.obs.cryptoRetries.Inc()

@@ -1,0 +1,94 @@
+// Package arena provides a size-classed, sync.Pool-backed buffer
+// arena for the datapath's per-chunk scratch memory: TLP payload
+// assembly, seal/open ciphertext staging, tag-packet construction.
+// The steady-state cost of a Get/Put pair is zero allocations.
+//
+// Memory discipline (DESIGN.md §10): buffers that only ever held
+// public bytes — ciphertext, wire-format tag records, marshalled
+// headers — are released with Put. Any buffer that held plaintext or
+// key-derived material MUST be released with PutZero, which zeroes it
+// eagerly before it becomes visible to the next Get. The zeroing is
+// synchronous, not deferred to reuse, so a pooled buffer can never
+// carry one session's secrets into another caller's hands.
+package arena
+
+import "sync"
+
+// classes are the power-of-two size classes the arena maintains. The
+// smallest covers MAC headers and AAD scratch; 512 covers one
+// TLP-payload chunk (256 B) plus a GCM tag with headroom.
+var classSizes = [...]int{64, 128, 256, 512, 1024, 4096, 65536}
+
+var pools [len(classSizes)]sync.Pool
+
+// headers recycles the *[]byte boxes the class pools store. Taking the
+// address of a local slice header inside Put would heap-allocate a
+// 24-byte box per call — exactly the steady-state garbage this package
+// exists to remove — so Get hands its emptied box back here and Put
+// reuses it. Pointer values cross the sync.Pool interface boundary
+// without allocating.
+var headers = sync.Pool{New: func() any { return new([]byte) }}
+
+func init() {
+	for i := range pools {
+		size := classSizes[i]
+		pools[i].New = func() any {
+			b := make([]byte, size)
+			return &b
+		}
+	}
+}
+
+// classOf returns the index of the smallest class holding n bytes, or
+// -1 when n exceeds every class (the caller gets a plain allocation).
+func classOf(n int) int {
+	for i, s := range classSizes {
+		if n <= s {
+			return i
+		}
+	}
+	return -1
+}
+
+// Get returns a buffer of length n. The contents are unspecified (the
+// previous user's public bytes may still be there — see PutZero for
+// the secret-carrying discipline). Buffers larger than the biggest
+// class fall through to the allocator and are not pooled.
+func Get(n int) []byte {
+	c := classOf(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	bp := pools[c].Get().(*[]byte)
+	b := *bp
+	*bp = nil
+	headers.Put(bp)
+	return b[:n]
+}
+
+// Put returns a buffer obtained from Get to its pool without zeroing.
+// Only for buffers that never held plaintext or key-derived material
+// (ciphertext, marshalled records, header scratch). Buffers not from
+// Get (or beyond the largest class) are dropped for the GC.
+func Put(b []byte) {
+	c := classOf(cap(b))
+	if c < 0 || cap(b) != classSizes[c] {
+		return // not one of ours; let the GC have it
+	}
+	bp := headers.Get().(*[]byte)
+	*bp = b[:cap(b)]
+	pools[c].Put(bp)
+}
+
+// PutZero zeroes the buffer's full capacity and then pools it. This is
+// the mandatory release path for any buffer that ever held plaintext
+// or key-derived material: the zeroing happens now, on this goroutine,
+// so no subsequent Get — in this tenant or any other — can observe the
+// secret bytes.
+func PutZero(b []byte) {
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0
+	}
+	Put(b)
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 
+	"ccai/internal/arena"
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
@@ -96,15 +98,22 @@ type Controller struct {
 	descBuf   []byte
 	rekeyBuf  []byte
 	d2hChunks map[uint32]uint64
+	tagPend   map[uint32]*tagSpan
 
 	// verified retains the tag record of every H2D chunk already
-	// accepted once, keyed by descriptor ID << 32 | chunk, so a benign
-	// retransmit (device re-read after a fault) can be re-verified and
-	// re-served without loosening the stream's replay watermark.
-	verified map[uint64]TagRecord
+	// accepted once, keyed by descriptor ID then chunk index, so a
+	// benign retransmit (device re-read after a fault) can be
+	// re-verified and re-served without loosening the stream's replay
+	// watermark. The per-region nesting makes a descriptor release a
+	// single map delete instead of a scan over every retained chunk.
+	verified map[uint32]map[uint32]TagRecord
 
 	authorizedTVM pcie.ID
 	tvmPinned     bool
+
+	// pool bounds the SC's own batch-crypto parallelism (span decrypts
+	// on the H2D read path). Stateless and safe without mu.
+	pool *secmem.Pool
 
 	stats Stats
 
@@ -181,9 +190,21 @@ func NewController(id pcie.ID, bar pcie.Region, keys *secmem.KeyStore) *Controll
 		guard:     NewEnvGuard(),
 		regs:      make(map[uint64]uint64),
 		d2hChunks: make(map[uint32]uint64),
-		verified:  make(map[uint64]TagRecord),
+		tagPend:   make(map[uint32]*tagSpan),
+		verified:  make(map[uint32]map[uint32]TagRecord),
+		pool:      secmem.NewPool(cryptoWidth()),
 		status:    SCStatusReady,
 	}
+}
+
+// cryptoWidth mirrors the Adaptor's auto policy for crypto-pool sizing:
+// one worker per scheduler thread, capped where AES-GCM stops scaling.
+func cryptoWidth() int {
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	return w
 }
 
 // AttachHostBus registers the controller's host-side presence: its own
@@ -349,16 +370,18 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
-	key, _, err := c.params.keys.Material(StreamMMIO)
+	var hdr [16]byte
+	PutMACHeader(&hdr, seq, p.Address, uint32(len(p.Payload)))
+	// The 16-byte wire tag is the MAC truncated to TagSize; recompute
+	// and compare the truncation (constant-time over the full width).
+	// MACSum keeps the key inside the store and reuses its HMAC state;
+	// the keystore mutex is a leaf lock, safe under c.mu.
+	want, err := c.params.keys.MACSum(StreamMMIO, hdr[:], p.Payload)
 	if err != nil {
 		c.mu.Unlock()
 		c.authFailed()
 		return c.reject(p)
 	}
-	hdr := MACHeader(seq, p.Address, uint32(len(p.Payload)))
-	// The 16-byte wire tag is the MAC truncated to TagSize; recompute
-	// and compare the truncation (constant-time over the full width).
-	want := secmem.MAC(key, hdr, p.Payload)
 	match := true
 	for i := 0; i < secmem.TagSize; i++ {
 		if want[i] != rec.Tag[i] {
@@ -395,10 +418,16 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 // mirrors this when computing the companion tag record.
 func MACHeader(seq uint32, addr uint64, n uint32) []byte {
 	buf := make([]byte, 16)
+	PutMACHeader((*[16]byte)(buf), seq, addr, n)
+	return buf
+}
+
+// PutMACHeader writes the A3 MAC header into a caller-provided
+// (typically stack) array — the allocation-free variant.
+func PutMACHeader(buf *[16]byte, seq uint32, addr uint64, n uint32) {
 	binary.LittleEndian.PutUint32(buf[0:], seq)
 	binary.LittleEndian.PutUint64(buf[4:], addr)
 	binary.LittleEndian.PutUint32(buf[12:], n)
-	return buf
 }
 
 // MMIOSeq reports the next expected A3 sequence number (the Adaptor
@@ -431,7 +460,7 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 		c.mu.Unlock()
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		copy(buf, tmp[:])
-		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, buf)
+		return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, buf)
 	}
 	// Writes.
 	switch {
@@ -480,6 +509,7 @@ func (c *Controller) controlWrite(reg uint64, payload []byte) {
 	case RegDescRelease:
 		c.regions.remove(uint32(v))
 		c.dropVerified(uint32(v))
+		c.dropTagSpan(uint32(v))
 	case RegTeardown:
 		c.Teardown()
 	default:
@@ -709,9 +739,14 @@ func (c *Controller) HandleFromDevice(p *pcie.Packet) *pcie.Packet {
 }
 
 // decryptRead services a device read of an A2 H2D region: fetch the
-// ciphertext chunk from host memory, match its tag, decrypt, and return
-// plaintext to the device.
+// ciphertext from host memory, match tags, decrypt, and return
+// plaintext to the device. Reads wider than one chunk (the device
+// requests up to MaxReadReq at a time) take the span path, which
+// amortizes the host round trip and batch-decrypts.
 func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	if uint64(p.Length) > uint64(desc.ChunkSize) {
+		return c.decryptReadSpan(p, desc)
+	}
 	sp := c.obs.tracer.Begin(obsv.TrackSC, "decrypt_read",
 		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(p.Length)),
 		obsv.U64("region", uint64(desc.ID)))
@@ -731,65 +766,191 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
-	vkey := uint64(desc.ID)<<32 | uint64(chunk)
 	rec, ok := c.tagMatch(StreamH2D, desc.FirstCounter+chunk)
-	if !ok {
-		// Duplicate-read suppression: a device retrying DMA after a
-		// fault legitimately re-reads chunks whose tags were already
-		// consumed. Re-verify against the retained record without
-		// touching the replay watermark; anything never accepted before
-		// stays fail-closed.
+	pt, good := c.openChunk(stream, desc, chunk, cpl.Payload, rec, ok)
+	if !good {
+		c.authFailed()
+		return c.reject(p)
+	}
+	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
+}
+
+// openChunk authenticates and decrypts one H2D chunk whose tag-match
+// result is (rec, have). It owns the full per-chunk acceptance policy:
+//
+//   - have: normal open, advancing the replay watermark; on ErrReplay
+//     (the Adaptor reposted the whole table after a loss) fall back to
+//     the retained verified record, stateless.
+//   - !have: duplicate-read suppression — a device retrying DMA after
+//     a fault re-reads chunks whose tags were already consumed. Only
+//     chunks accepted once before are re-served, and only via the
+//     stateless open that leaves the watermark alone.
+//
+// Anything never accepted before stays fail-closed; the caller counts
+// the auth failure and rejects.
+func (c *Controller) openChunk(stream *secmem.Stream, desc Descriptor, chunk uint32, ct []byte, rec TagRecord, have bool) ([]byte, bool) {
+	var aadBuf [8]byte
+	desc.PutAAD(&aadBuf, chunk)
+	aad := aadBuf[:]
+	if !have {
 		c.mu.Lock()
-		vrec, seen := c.verified[vkey]
+		vrec, seen := c.verified[desc.ID][chunk]
 		c.mu.Unlock()
 		if !seen {
-			c.authFailed()
-			return c.reject(p)
+			return nil, false
 		}
 		pt, err := stream.OpenStateless(&secmem.Sealed{
 			Counter:    desc.FirstCounter + chunk,
 			Epoch:      vrec.Epoch,
-			Ciphertext: cpl.Payload,
+			Ciphertext: ct,
 			Tag:        vrec.Tag,
-		}, desc.AAD(chunk))
+		}, aad)
 		if err != nil {
-			c.authFailed()
-			return c.reject(p)
+			return nil, false
 		}
 		c.duplicateRead()
-		return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+		return pt, true
 	}
 	sealed := &secmem.Sealed{
 		Counter:    desc.FirstCounter + chunk,
 		Epoch:      rec.Epoch,
-		Ciphertext: cpl.Payload,
+		Ciphertext: ct,
 		Tag:        rec.Tag,
 	}
-	pt, err := stream.Open(sealed, desc.AAD(chunk))
+	pt, err := stream.Open(sealed, aad)
 	if errors.Is(err, secmem.ErrReplay) {
-		// The Adaptor reposted the whole tag table after a loss, so this
-		// chunk's counter is already behind the watermark — treat like
-		// any other benign retransmit.
 		c.mu.Lock()
-		_, seen := c.verified[vkey]
+		_, seen := c.verified[desc.ID][chunk]
 		c.mu.Unlock()
 		if seen {
-			if pt, err2 := stream.OpenStateless(sealed, desc.AAD(chunk)); err2 == nil {
+			if pt, err2 := stream.OpenStateless(sealed, aad); err2 == nil {
 				c.duplicateRead()
-				return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+				return pt, true
 			}
 		}
 	}
 	if err != nil {
-		c.authFailed()
-		return c.reject(p)
+		return nil, false
 	}
 	c.mu.Lock()
-	c.verified[vkey] = rec
+	region := c.verified[desc.ID]
+	if region == nil {
+		region = make(map[uint32]TagRecord)
+		c.verified[desc.ID] = region
+	}
+	region[chunk] = rec
 	c.stats.DecryptedChunks++
 	c.mu.Unlock()
 	c.obs.decrypted.Inc()
-	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, pt)
+	return pt, true
+}
+
+// decryptReadSpan services a multi-chunk H2D read: one host fetch for
+// the whole span, then a batch decrypt straight into the completion
+// payload. The span must start on a chunk boundary and stay inside the
+// region; only its last chunk may be partial (region tail). When every
+// tag is on hand and fresh, OpenBatchInto validates, decrypts in
+// parallel and fail-closes as a unit; any wrinkle — a consumed tag, a
+// reposted table behind the watermark — drops to the per-chunk policy
+// in openChunk, which knows about duplicates and retransmits.
+func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Packet {
+	sp := c.obs.tracer.Begin(obsv.TrackSC, "decrypt_read_span",
+		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(p.Length)),
+		obsv.U64("region", uint64(desc.ID)))
+	defer sp.End()
+	cs := uint64(desc.ChunkSize)
+	off := p.Address - desc.Base
+	if off%cs != 0 || p.Address+uint64(p.Length) > desc.Base+desc.Len {
+		c.authFailed()
+		return c.reject(p)
+	}
+	first := uint32(off / cs)
+	k := int((uint64(p.Length) + cs - 1) / cs)
+
+	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	cpl := c.hostBus.Route(req)
+	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
+		return c.reject(p)
+	}
+	stream, err := c.params.Stream(StreamH2D)
+	if err != nil {
+		c.authFailed()
+		return c.reject(p)
+	}
+	// ctAt slices chunk i's ciphertext out of the span completion.
+	ctAt := func(i int) []byte {
+		lo := uint64(i) * cs
+		hi := lo + cs
+		if hi > uint64(p.Length) {
+			hi = uint64(p.Length)
+		}
+		return cpl.Payload[lo:hi]
+	}
+	recs := make([]TagRecord, k)
+	have := make([]bool, k)
+	all := true
+	for i := range recs {
+		recs[i], have[i] = c.tagMatch(StreamH2D, desc.FirstCounter+first+uint32(i))
+		all = all && have[i]
+	}
+	pt := make([]byte, p.Length)
+	if all {
+		sealed := make([]secmem.Sealed, k)
+		aads := make([][]byte, k)
+		aadBuf := arena.Get(8 * k)
+		for i := range sealed {
+			chunk := first + uint32(i)
+			sealed[i] = secmem.Sealed{
+				Counter:    desc.FirstCounter + chunk,
+				Epoch:      recs[i].Epoch,
+				Ciphertext: ctAt(i),
+				Tag:        recs[i].Tag,
+			}
+			ab := aadBuf[8*i : 8*i+8 : 8*i+8]
+			desc.PutAAD((*[8]byte)(ab), chunk)
+			aads[i] = ab
+		}
+		err := stream.OpenBatchInto(pt, sealed, aads, c.pool)
+		arena.Put(aadBuf)
+		if err == nil {
+			c.mu.Lock()
+			region := c.verified[desc.ID]
+			if region == nil {
+				region = make(map[uint32]TagRecord)
+				c.verified[desc.ID] = region
+			}
+			for i := range recs {
+				region[first+uint32(i)] = recs[i]
+			}
+			c.stats.DecryptedChunks += uint64(k)
+			c.mu.Unlock()
+			c.obs.decrypted.Add(uint64(k))
+			return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
+		}
+		if !errors.Is(err, secmem.ErrReplay) {
+			// ErrAuth (dst already zeroed) or a fault-hook error: the
+			// whole span fails closed, exactly like a single bad chunk.
+			c.authFailed()
+			return c.reject(p)
+		}
+		// A counter behind the watermark: some chunks are benign
+		// retransmits. Nothing was consumed — the batch validates before
+		// it decrypts — so sort it out chunk by chunk below.
+	}
+	for i := 0; i < k; i++ {
+		cpt, good := c.openChunk(stream, desc, first+uint32(i), ctAt(i), recs[i], have[i])
+		if !good {
+			// Zero the partial plaintext before dropping it: fail-closed
+			// spans never leak the chunks that did verify.
+			for j := range pt {
+				pt[j] = 0
+			}
+			c.authFailed()
+			return c.reject(p)
+		}
+		copy(pt[uint64(i)*cs:], cpt)
+	}
+	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
 }
 
 // duplicateRead counts one benign retransmit.
@@ -822,12 +983,13 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 		c.authFailed()
 		return c.reject(p)
 	}
-	key, _, err := c.params.keys.Material(StreamMMIO)
+	var aad [8]byte
+	desc.PutAAD(&aad, chunk)
+	want, err := c.params.keys.MACSum(StreamMMIO, aad[:], cpl.Payload)
 	if err != nil {
 		c.authFailed()
 		return c.reject(p)
 	}
-	want := secmem.MAC(key, desc.AAD(chunk), cpl.Payload)
 	for i := 0; i < secmem.TagSize; i++ {
 		if want[i] != rec.Tag[i] {
 			c.authFailed()
@@ -838,7 +1000,9 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	c.stats.VerifiedChunks++
 	c.mu.Unlock()
 	c.obs.verified.Inc()
-	return pcie.NewCompletion(p, c.id, pcie.CplSuccess, cpl.Payload)
+	// The fetched completion's payload is immutable once routed, so the
+	// device-facing completion may alias it instead of copying.
+	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, cpl.Payload)
 }
 
 // encryptWrite services a device write into an A2 D2H region: seal the
@@ -859,55 +1023,138 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 		c.authFailed()
 		return c.reject(p)
 	}
-	sealed, err := stream.Seal(p.Payload, desc.AAD(chunk))
-	if err != nil {
+	var aad [8]byte
+	desc.PutAAD(&aad, chunk)
+	var sealed secmem.Sealed
+	if err := stream.SealInto(&sealed, p.Payload, aad[:]); err != nil {
 		c.authFailed()
 		return c.reject(p)
 	}
-	c.hostBus.Route(pcie.NewMemWrite(c.id, p.Address, sealed.Ciphertext))
+	// Seal returned freshly allocated ciphertext, so the data write
+	// transfers ownership instead of copying.
+	c.hostBus.Route(pcie.NewMemWriteOwned(c.id, p.Address, sealed.Ciphertext))
 	rec := TagRecord{Stream: StreamD2H, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag}
-	tagAddr := desc.TagBase + uint64(chunk)*TagRecordSize
-	c.hostBus.Route(pcie.NewMemWrite(c.id, tagAddr, rec.Marshal()))
-	c.mu.Lock()
-	c.stats.EncryptedChunks++
-	c.mu.Unlock()
+	c.depositTag(desc, chunk, rec)
 	c.obs.encrypted.Inc()
-	c.publishMetadata(desc.ID)
 	return nil
+}
+
+// tagSpanRecords is how many marshalled tag records fit one TLP payload.
+const tagSpanRecords = pcie.MaxPayload / TagRecordSize
+
+// metaPublishEvery is the metadata batch granularity (§5): progress
+// counters reach the TVM-resident buffer every this many chunks and at
+// region completion, not once per chunk.
+const metaPublishEvery = 8
+
+// tagSpan accumulates marshalled tag records for consecutive D2H chunks
+// of one region. The tag table is contiguous and the device writes
+// chunks in ascending order, so records coalesce into MaxPayload-sized
+// table writes instead of one TLP per chunk.
+type tagSpan struct {
+	start uint32 // chunk index of the first buffered record
+	next  uint32 // chunk index that extends the span
+	buf   []byte // marshalled records (arena-backed, public bytes)
+}
+
+// depositTag buffers chunk's tag record for desc's tag table and
+// advances the region's completion count. The span flushes to host
+// memory when it fills a TLP, when the chunk sequence breaks (a lost
+// chunk under fault injection), and — together with the batched
+// metadata counter — every metaPublishEvery chunks and at region
+// completion, so whenever the metadata buffer claims N chunks the tag
+// table already holds their records. Packets are built under c.mu but
+// routed after it is released (routing can reenter the controller).
+func (c *Controller) depositTag(desc Descriptor, chunk uint32, rec TagRecord) {
+	cs := uint64(desc.ChunkSize)
+	if cs == 0 {
+		cs = ChunkSize
+	}
+	c.mu.Lock()
+	span := c.tagPend[desc.ID]
+	var stale *pcie.Packet
+	if span == nil {
+		span = &tagSpan{start: chunk, buf: arena.Get(tagSpanRecords * TagRecordSize)[:0]}
+		c.tagPend[desc.ID] = span
+	} else if chunk != span.next {
+		stale = tagFlushPacket(c.id, desc, span)
+		span.start, span.buf = chunk, span.buf[:0]
+	}
+	span.buf = rec.AppendMarshal(span.buf)
+	span.next = chunk + 1
+
+	c.stats.EncryptedChunks++
+	c.d2hChunks[desc.ID]++
+	count := c.d2hChunks[desc.ID]
+	publish := count >= (desc.Len+cs-1)/cs || count%metaPublishEvery == 0
+	var flush, meta *pcie.Packet
+	if publish || len(span.buf) >= tagSpanRecords*TagRecordSize {
+		flush = tagFlushPacket(c.id, desc, span)
+		span.start, span.buf = span.next, span.buf[:0]
+	}
+	if publish {
+		meta = c.metadataPacketLocked(desc.ID, count)
+	}
+	c.mu.Unlock()
+	if stale != nil {
+		c.hostBus.Route(stale)
+	}
+	if flush != nil {
+		c.hostBus.Route(flush)
+	}
+	if meta != nil {
+		c.hostBus.Route(meta)
+	}
+}
+
+// tagFlushPacket builds the tag-table write for a span's buffered
+// records, or nil when the span is empty. NewMemWrite copies the
+// payload, so the arena-backed span buffer is immediately reusable.
+func tagFlushPacket(id pcie.ID, desc Descriptor, span *tagSpan) *pcie.Packet {
+	if len(span.buf) == 0 {
+		return nil
+	}
+	addr := desc.TagBase + uint64(span.start)*TagRecordSize
+	return pcie.NewMemWrite(id, addr, span.buf)
+}
+
+// dropTagSpan discards a released region's pending tag records.
+func (c *Controller) dropTagSpan(region uint32) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if span, ok := c.tagPend[region]; ok {
+		arena.Put(span.buf)
+		delete(c.tagPend, region)
+	}
 }
 
 // dropVerified forgets retained chunk records for a released region.
 func (c *Controller) dropVerified(region uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	for k := range c.verified {
-		if uint32(k>>32) == region {
-			delete(c.verified, k)
-		}
-	}
+	delete(c.verified, region)
 }
 
-// publishMetadata implements the §5 I/O-read optimization: instead of
-// the Adaptor polling the SC for DMA metadata, the SC batches progress
-// counters into a TVM-resident buffer (one 8-byte completed-chunk count
-// per region) that the Adaptor reads as plain memory.
-func (c *Controller) publishMetadata(region uint32) {
-	c.mu.Lock()
-	c.d2hChunks[region]++
-	count := c.d2hChunks[region]
+// metadataPacketLocked implements the §5 I/O-read optimization: instead
+// of the Adaptor polling the SC for DMA metadata, the SC batches
+// progress counters into a TVM-resident buffer (one 8-byte
+// completed-chunk count per region) that the Adaptor reads as plain
+// memory. Returns the counter write, or nil when no buffer is
+// configured or the region falls outside the batch window. Callers
+// hold c.mu and route the packet after releasing it.
+func (c *Controller) metadataPacketLocked(region uint32, count uint64) *pcie.Packet {
 	metaBase := c.regs[RegMetaBase]
 	size := c.regs[RegMetaSize]
-	c.mu.Unlock()
 	if metaBase == 0 {
-		return
+		return nil
 	}
 	slot := metaBase + uint64(region)*8
 	if size > 0 && slot+8 > metaBase+size {
-		return // region id outside the configured batch window
+		return nil // region id outside the configured batch window
 	}
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, count)
-	c.hostBus.Route(pcie.NewMemWrite(c.id, slot, buf))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], count)
+	return pcie.NewMemWrite(c.id, slot, buf[:])
 }
 
 // D2HProgress reports completed chunks for a region — the MMIO-polled
@@ -930,9 +1177,9 @@ func (c *Controller) AttestDevice(nonce uint64, expected uint64, attestReg, resp
 	if c.internal == nil {
 		return false
 	}
-	buf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(buf, nonce)
-	c.internal.Route(pcie.NewMemWrite(c.id, c.xpuBar.Base+attestReg, buf))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], nonce)
+	c.internal.Route(pcie.NewMemWrite(c.id, c.xpuBar.Base+attestReg, buf[:]))
 	req := pcie.NewMemRead(c.id, c.xpuBar.Base+respReg, 8, 0)
 	cpl := c.internal.Route(req)
 	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) || len(cpl.Payload) < 8 {
@@ -949,7 +1196,11 @@ func (c *Controller) Teardown() {
 	c.stats.Teardowns++
 	c.mmioSeq = 0
 	c.d2hChunks = make(map[uint32]uint64)
-	c.verified = make(map[uint64]TagRecord)
+	for _, span := range c.tagPend {
+		arena.Put(span.buf)
+	}
+	c.tagPend = make(map[uint32]*tagSpan)
+	c.verified = make(map[uint32]map[uint32]TagRecord)
 	c.mu.Unlock()
 	c.obs.teardowns.Inc()
 	c.obs.tracer.Instant(obsv.TrackSC, "teardown")

@@ -151,9 +151,12 @@ func TestDecryptReadCorruptedHostDataFails(t *testing.T) {
 
 func TestEncryptWriteDepositsCiphertextAndTags(t *testing.T) {
 	d := newDPRig(t)
+	// A single-chunk region: completing it flushes the buffered tag
+	// span and publishes metadata (tags and progress counters are
+	// batched, not per-chunk — DESIGN.md §10).
 	desc := Descriptor{
 		ID: 9, Dir: DirD2H, Class: ActionWriteReadProtect,
-		Base: ctlMem + 0x4000, Len: 0x1000, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
+		Base: ctlMem + 0x4000, Len: ChunkSize, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
 	}
 	if err := d.sc.regions.add(desc); err != nil {
 		t.Fatal(err)
@@ -187,9 +190,12 @@ func TestEncryptWriteDepositsCiphertextAndTags(t *testing.T) {
 
 func TestEncryptWritePublishesMetadata(t *testing.T) {
 	d := newDPRig(t)
+	// Progress counters are batched: they reach the metadata buffer at
+	// region completion (and every metaPublishEvery chunks), so the
+	// region here is exactly the two chunks the test writes.
 	desc := Descriptor{
 		ID: 3, Dir: DirD2H, Class: ActionWriteReadProtect,
-		Base: ctlMem + 0x4000, Len: 0x1000, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
+		Base: ctlMem + 0x4000, Len: 2 * ChunkSize, TagBase: ctlMem + 0x8000, ChunkSize: ChunkSize,
 	}
 	if err := d.sc.regions.add(desc); err != nil {
 		t.Fatal(err)
@@ -210,7 +216,7 @@ func TestEncryptWritePublishesMetadata(t *testing.T) {
 	}
 	// Out-of-window region IDs are not published.
 	big := Descriptor{ID: 4000, Dir: DirD2H, Class: ActionWriteReadProtect,
-		Base: ctlMem + 0x6000, Len: 0x1000, TagBase: ctlMem + 0x9000, ChunkSize: ChunkSize}
+		Base: ctlMem + 0x6000, Len: ChunkSize, TagBase: ctlMem + 0x9000, ChunkSize: ChunkSize}
 	if err := d.sc.regions.add(big); err != nil {
 		t.Fatal(err)
 	}
@@ -393,5 +399,146 @@ func TestActionAndPermissionStrings(t *testing.T) {
 	r := Rule{ID: 1, Action: ActionDrop}
 	if r.String() == "" {
 		t.Fatal("empty rule string")
+	}
+}
+
+// --- multi-chunk span reads (DESIGN.md §10) ---------------------------------
+
+// stageH2DSpan is stageH2D with the ciphertext stored as one
+// contiguous host-memory entry, so a single MaxReadReq-sized MRd can
+// fetch the whole region the way the device's DMA engine now does.
+func (d *dpRig) stageH2DSpan(t *testing.T, base uint64, data []byte) Descriptor {
+	t.Helper()
+	desc := Descriptor{
+		ID: 7, Dir: DirH2D, Class: ActionWriteReadProtect,
+		Base: base, Len: uint64(len(data)), ChunkSize: ChunkSize,
+		FirstCounter: d.h2dTx.SendCounter() + 1,
+	}
+	var ct []byte
+	for off := 0; off < len(data); off += ChunkSize {
+		end := off + ChunkSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := uint32(off / ChunkSize)
+		sealed, err := d.h2dTx.Seal(data[off:end], desc.AAD(chunk))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct = append(ct, sealed.Ciphertext...)
+		d.sc.Tags().Enqueue(TagRecord{Stream: StreamH2D, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag})
+	}
+	d.hostMem[base] = ct
+	if err := d.sc.regions.add(desc); err != nil {
+		t.Fatal(err)
+	}
+	return desc
+}
+
+func TestDecryptReadSpanHappyPath(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 4*ChunkSize)
+	for i := range data {
+		data[i] = byte(i * 13)
+	}
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, uint32(len(data)), 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		t.Fatal("span read rejected")
+	}
+	if !bytes.Equal(cpl.Payload, data) {
+		t.Fatal("span decrypted wrong")
+	}
+	if n := d.sc.Stats().DecryptedChunks; n != 4 {
+		t.Fatalf("DecryptedChunks = %d, want 4", n)
+	}
+}
+
+func TestDecryptReadSpanPartialTailChunk(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 2*ChunkSize+128) // last chunk is half-size
+	for i := range data {
+		data[i] = byte(i ^ 0x3c)
+	}
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, uint32(len(data)), 0))
+	if cpl == nil || cpl.Status != pcie.CplSuccess {
+		t.Fatal("partial-tail span rejected")
+	}
+	if !bytes.Equal(cpl.Payload, data) {
+		t.Fatal("partial-tail span decrypted wrong")
+	}
+}
+
+func TestDecryptReadSpanUnalignedRejected(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 4*ChunkSize)
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	// Multi-chunk read starting mid-chunk: the span path requires
+	// chunk-aligned starts so tag identity stays positional.
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base+128, 2*ChunkSize, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("unaligned span accepted")
+	}
+	if d.sc.Stats().AuthFailures == 0 {
+		t.Fatal("auth failure not recorded")
+	}
+}
+
+func TestDecryptReadSpanBeyondRegionRejected(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 2*ChunkSize)
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, 4*ChunkSize, 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("span past region end accepted")
+	}
+}
+
+func TestDecryptReadSpanMissingTagFailsClosed(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 4*ChunkSize)
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	d.sc.Tags().Clear() // tags never arrived
+	cpl := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, uint32(len(data)), 0))
+	if cpl != nil && cpl.Status == pcie.CplSuccess {
+		t.Fatal("span read succeeded without tag records")
+	}
+	if d.sc.Stats().AuthFailures == 0 {
+		t.Fatal("auth failure not recorded")
+	}
+	if d.sc.Stats().DecryptedChunks != 0 {
+		t.Fatal("fail-closed span still counted decryptions")
+	}
+}
+
+// TestDecryptReadSpanDuplicateReRead: a device retrying DMA after a
+// fault re-reads a span whose tags were all consumed by the first
+// pass. The span path must fall back to the retained verified records
+// and re-serve the plaintext statelessly — without touching the replay
+// watermark and while counting the retransmits.
+func TestDecryptReadSpanDuplicateReRead(t *testing.T) {
+	d := newDPRig(t)
+	data := make([]byte, 4*ChunkSize)
+	for i := range data {
+		data[i] = byte(i * 7)
+	}
+	desc := d.stageH2DSpan(t, ctlMem+0x1000, data)
+	first := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, uint32(len(data)), 0))
+	if first == nil || first.Status != pcie.CplSuccess {
+		t.Fatal("first span read rejected")
+	}
+	again := d.sc.HandleFromDevice(pcie.NewMemRead(d.dev.id, desc.Base, uint32(len(data)), 0))
+	if again == nil || again.Status != pcie.CplSuccess {
+		t.Fatal("benign span re-read rejected")
+	}
+	if !bytes.Equal(again.Payload, data) {
+		t.Fatal("re-read span decrypted wrong")
+	}
+	if n := d.sc.Stats().DuplicateReads; n != 4 {
+		t.Fatalf("DuplicateReads = %d, want 4", n)
+	}
+	if n := d.sc.Stats().DecryptedChunks; n != 4 {
+		t.Fatalf("DecryptedChunks = %d, want 4 (re-read must not re-count)", n)
 	}
 }

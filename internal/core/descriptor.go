@@ -111,9 +111,15 @@ func (d Descriptor) ChunkOf(addr uint64, n uint32) (uint32, error) {
 // region and position, preventing relocation of valid ciphertext.
 func (d Descriptor) AAD(chunk uint32) []byte {
 	buf := make([]byte, 8)
+	d.PutAAD((*[8]byte)(buf), chunk)
+	return buf
+}
+
+// PutAAD writes the chunk's AAD into a caller-provided (typically
+// stack) array — the allocation-free variant for the datapath.
+func (d Descriptor) PutAAD(buf *[8]byte, chunk uint32) {
 	binary.LittleEndian.PutUint32(buf[0:], d.ID)
 	binary.LittleEndian.PutUint32(buf[4:], chunk)
-	return buf
 }
 
 // regionTable resolves device accesses to descriptors. It carries a

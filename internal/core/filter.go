@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -130,13 +131,72 @@ type FilterStats struct {
 // screens with masked matches (first match wins; no match ⇒ drop); an
 // L1 verdict of actionToL2 descends into the L2 table for fine-grained
 // classification (first match wins; no match ⇒ drop, fail-closed).
-// All methods are safe for concurrent use; the mutex is a leaf lock
-// (classification never calls out of the filter).
+//
+// Rules are read-mostly, so Classify runs lock-free against an
+// immutable copy-on-write snapshot — the same pattern pcie.Bus uses
+// for routing state. InstallL1/InstallL2/Clear rebuild and publish a
+// fresh snapshot under the mutation mutex; in-flight classifications
+// keep the snapshot they loaded. Each snapshot carries its own
+// (kind, requester) verdict memo, so a rule change can never serve a
+// stale cached verdict. Stats are plain atomics.
 type Filter struct {
-	mu     sync.Mutex
+	mu    sync.Mutex // serializes mutations only; Classify never takes it
+	state atomic.Pointer[filterState]
+	stats filterCounters
+	obs   atomic.Pointer[filterObs]
+}
+
+// filterState is one immutable rule snapshot plus its verdict memo.
+type filterState struct {
 	l1, l2 []Rule
-	stats  FilterStats
-	obs    *filterObs
+	memo   l1Memo
+}
+
+// filterCounters is FilterStats with atomic fields.
+type filterCounters struct {
+	dropped, protected, verified, passed atomic.Uint64
+}
+
+// l1Memo caches terminal L1 verdicts for (kind, requester) classes
+// whose outcome provably depends on nothing else: a verdict is stored
+// only when every rule examined on the way to the decision matched
+// (or failed to match) purely on MatchKind|MatchRequester and the
+// decision did not descend into L2. Each entry packs key and verdict
+// into one word, so lookups are a single atomic load. Collisions
+// overwrite — the memo is an accelerator, never an authority.
+type l1Memo struct {
+	entries [memoSlots]atomic.Uint64
+}
+
+const memoSlots = 64
+
+// memo word layout: [63] valid | [32..55] key (kind<<16 | requester) |
+// [16..31] rule ID | [8..11] stage | [0..7] action.
+func memoKey(kind pcie.Kind, req pcie.ID) uint32 {
+	return uint32(kind)<<16 | uint32(req)
+}
+
+func memoSlot(key uint32) int {
+	h := key * 2654435761 // Knuth multiplicative hash
+	return int(h>>26) % memoSlots
+}
+
+func (m *l1Memo) lookup(key uint32) (Verdict, bool) {
+	w := m.entries[memoSlot(key)].Load()
+	if w>>63 == 0 || uint32(w>>32)&0xffffff != key {
+		return Verdict{}, false
+	}
+	return Verdict{
+		Action: Action(w & 0xff),
+		Rule:   uint16(w >> 16),
+		Stage:  int(w>>8) & 0xf,
+	}, true
+}
+
+func (m *l1Memo) store(key uint32, v Verdict) {
+	w := uint64(1)<<63 | uint64(key&0xffffff)<<32 |
+		uint64(v.Rule)<<16 | uint64(v.Stage&0xf)<<8 | uint64(uint8(v.Action))
+	m.entries[memoSlot(key)].Store(w)
 }
 
 // filterObs caches the per-action classification counters and the
@@ -164,93 +224,126 @@ func actionLabel(a Action) string {
 
 // SetObserver instruments the filter; a nil hub clears instrumentation.
 func (f *Filter) SetObserver(h *obsv.Hub) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
 	if h == nil {
-		f.obs = nil
+		f.obs.Store(nil)
 		return
 	}
 	reg := h.Reg()
-	f.obs = &filterObs{
+	f.obs.Store(&filterObs{
 		tracer:  h.T(),
 		drop:    reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionDrop))),
 		protect: reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteReadProtect))),
 		verify:  reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteProtect))),
 		pass:    reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionPassThrough))),
-	}
+	})
 }
 
 // NewFilter returns an empty, fail-closed filter: with no rules
 // installed every packet is Prohibited.
-func NewFilter() *Filter { return &Filter{} }
+func NewFilter() *Filter {
+	f := &Filter{}
+	f.state.Store(&filterState{})
+	return f
+}
+
+// mutate rebuilds the rule snapshot under the mutation lock and
+// publishes it with a fresh (empty) memo.
+func (f *Filter) mutate(fn func(s *filterState)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	old := f.state.Load()
+	next := &filterState{
+		l1: append([]Rule(nil), old.l1...),
+		l2: append([]Rule(nil), old.l2...),
+	}
+	fn(next)
+	f.state.Store(next)
+}
 
 // InstallL1 appends a rule to the L1 table.
 func (f *Filter) InstallL1(r Rule) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.l1 = append(f.l1, r)
+	f.mutate(func(s *filterState) { s.l1 = append(s.l1, r) })
 }
 
 // InstallL2 appends a rule to the L2 table.
 func (f *Filter) InstallL2(r Rule) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.l2 = append(f.l2, r)
+	f.mutate(func(s *filterState) { s.l2 = append(s.l2, r) })
 }
 
 // Clear removes all rules (used on rekey/teardown).
 func (f *Filter) Clear() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.l1 = nil
-	f.l2 = nil
+	f.mutate(func(s *filterState) { s.l1, s.l2 = nil, nil })
 }
 
 // RuleCount reports installed rules per table.
 func (f *Filter) RuleCount() (l1, l2 int) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return len(f.l1), len(f.l2)
+	s := f.state.Load()
+	return len(s.l1), len(s.l2)
 }
 
 // Stats reports cumulative classification counts.
 func (f *Filter) Stats() FilterStats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return FilterStats{
+		Dropped:   f.stats.dropped.Load(),
+		Protected: f.stats.protected.Load(),
+		Verified:  f.stats.verified.Load(),
+		Passed:    f.stats.passed.Load(),
+	}
 }
 
 // ResetStats zeroes counters between experiments.
 func (f *Filter) ResetStats() {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.stats = FilterStats{}
+	f.stats.dropped.Store(0)
+	f.stats.protected.Store(0)
+	f.stats.verified.Store(0)
+	f.stats.passed.Store(0)
+}
+
+// kindRequesterOnly reports whether the rule's match outcome depends
+// only on (kind, requester) — the memo key. Rules with any other masked
+// field (address, completer, TC) make a packet-class verdict
+// uncacheable, because two packets in the same (kind, requester) class
+// could diverge on those fields.
+func kindRequesterOnly(r Rule) bool {
+	return r.Mask&^(MatchKind|MatchRequester) == 0
 }
 
 // Classify runs the packet through L1 then (if directed) L2 and returns
 // the verdict. Unmatched packets are dropped at either stage: the
 // filter is fail-closed, which is what blocks requests from
 // unauthorized TVMs, hosts or peer devices (§8.2).
+//
+// Classify is lock-free: it loads the current rule snapshot once and
+// classifies against it. A concurrent Install/Clear publishes a new
+// snapshot; this call keeps the one it loaded, exactly like a packet
+// that hit the hardware filter one cycle before the table update.
 func (f *Filter) Classify(p *pcie.Packet) Verdict {
-	f.mu.Lock()
-	o := f.obs
+	s := f.state.Load()
+	o := f.obs.Load()
 	var sp obsv.ActiveSpan
 	if o != nil {
 		sp = o.tracer.Begin(obsv.TrackFilter, "classify",
 			obsv.Str("kind", p.Kind.String()), obsv.Hex("addr", p.Address))
 	}
-	v := f.classify(p)
+	key := memoKey(p.Kind, p.Requester)
+	v, hit := s.memo.lookup(key)
+	if !hit {
+		var cacheable bool
+		v, cacheable = s.classify(p)
+		if cacheable {
+			s.memo.store(key, v)
+		}
+	}
 	switch v.Action {
 	case ActionDrop:
-		f.stats.Dropped++
+		f.stats.dropped.Add(1)
 	case ActionWriteReadProtect:
-		f.stats.Protected++
+		f.stats.protected.Add(1)
 	case ActionWriteProtect:
-		f.stats.Verified++
+		f.stats.verified.Add(1)
 	case ActionPassThrough:
-		f.stats.Passed++
+		f.stats.passed.Add(1)
 	}
-	f.mu.Unlock()
 	if o != nil {
 		switch v.Action {
 		case ActionDrop:
@@ -269,22 +362,33 @@ func (f *Filter) Classify(p *pcie.Packet) Verdict {
 	return v
 }
 
-func (f *Filter) classify(p *pcie.Packet) Verdict {
-	for _, r := range f.l1 {
+// classify walks the snapshot's tables. The second return reports
+// whether the verdict is memoizable for the packet's (kind, requester)
+// class: true only when every rule examined on the way to the decision
+// matched (or missed) purely on kind/requester, and the decision ended
+// in L1 (terminal action or drop-on-no-match) without descending into
+// L2 — L2 rules classify on addresses, so their verdicts never cache.
+func (s *filterState) classify(p *pcie.Packet) (Verdict, bool) {
+	cacheable := true
+	for _, r := range s.l1 {
 		if !r.Matches(p) {
+			if !kindRequesterOnly(r) {
+				cacheable = false
+			}
 			continue
 		}
 		if r.Action != actionToL2 {
-			return Verdict{Action: r.Action, Rule: r.ID, Stage: 1}
+			return Verdict{Action: r.Action, Rule: r.ID, Stage: 1},
+				cacheable && kindRequesterOnly(r)
 		}
-		for _, r2 := range f.l2 {
+		for _, r2 := range s.l2 {
 			if r2.Matches(p) {
-				return Verdict{Action: r2.Action, Rule: r2.ID, Stage: 2}
+				return Verdict{Action: r2.Action, Rule: r2.ID, Stage: 2}, false
 			}
 		}
-		return Verdict{Action: ActionDrop, Stage: 2} // fail closed in L2
+		return Verdict{Action: ActionDrop, Stage: 2}, false // fail closed in L2
 	}
-	return Verdict{Action: ActionDrop, Stage: 1} // fail closed in L1
+	return Verdict{Action: ActionDrop, Stage: 1}, cacheable // fail closed in L1
 }
 
 // L1Screen builds the standard L1 rule pair admitting memory

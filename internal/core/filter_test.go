@@ -191,3 +191,118 @@ func TestFilterNeverLeaksInternalVerdict(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// --- lock-free snapshot + verdict memo (DESIGN.md §10) ----------------------
+
+// TestFilterMemoHitMatchesCold: for a (kind, requester)-pure verdict
+// the second classification comes from the memo; it must be identical
+// to the cold one, and stats must count both.
+func TestFilterMemoHitMatchesCold(t *testing.T) {
+	f := NewFilter()
+	f.InstallL1(Rule{ID: 5, Mask: MatchKind | MatchRequester,
+		Kind: pcie.MWr, Requester: tvmID, Action: ActionPassThrough})
+	p := pcie.NewMemWrite(tvmID, 0x1234, []byte{1})
+	cold := f.Classify(p)
+	warm := f.Classify(p)
+	if cold != warm {
+		t.Fatalf("memoized verdict %+v diverges from cold %+v", warm, cold)
+	}
+	if got := f.Stats().Passed; got != 2 {
+		t.Fatalf("Passed = %d, want 2 (memo hits must still count)", got)
+	}
+}
+
+// TestFilterMemoInvalidatedByInstall: rule mutations publish a fresh
+// snapshot with an empty memo, so a cached verdict can never outlive
+// the rules that produced it.
+func TestFilterMemoInvalidatedByInstall(t *testing.T) {
+	f := NewFilter()
+	f.InstallL1(Rule{ID: 1, Mask: MatchKind | MatchRequester,
+		Kind: pcie.MWr, Requester: tvmID, Action: ActionPassThrough})
+	p := pcie.NewMemWrite(tvmID, 0x1000, []byte{1})
+	if v := f.Classify(p); v.Action != ActionPassThrough {
+		t.Fatalf("pre-mutation verdict = %+v", v)
+	}
+	f.Classify(p) // ensure the verdict is memoized before mutating
+
+	// Clear is the strongest mutation: the empty table fail-closes.
+	f.Clear()
+	if v := f.Classify(p); v.Action != ActionDrop {
+		t.Fatalf("stale memo served after Clear: %+v", v)
+	}
+	f.InstallL1(Rule{ID: 2, Mask: MatchKind | MatchRequester,
+		Kind: pcie.MWr, Requester: tvmID, Action: ActionWriteReadProtect})
+	if v := f.Classify(p); v.Action != ActionWriteReadProtect {
+		t.Fatalf("stale memo served after reinstall: %+v", v)
+	}
+}
+
+// TestFilterMemoNeverCachesAddressDependentVerdicts: two packets in
+// the same (kind, requester) class but different addresses must be
+// classified independently whenever any examined rule matches on more
+// than kind/requester — the memo may only serve verdicts that provably
+// depend on the memo key alone.
+func TestFilterMemoNeverCachesAddressDependentVerdicts(t *testing.T) {
+	f := paperFilter() // L2 rules classify by address
+	in := f.Classify(pcie.NewMemWrite(tvmID, 0x6100, []byte{1}))
+	if in.Action != ActionWriteReadProtect {
+		t.Fatalf("in-window write = %+v", in)
+	}
+	out := f.Classify(pcie.NewMemWrite(tvmID, 0xf000, []byte{1}))
+	if out.Action != ActionDrop {
+		t.Fatalf("out-of-window write = %+v (address-dependent verdict cached?)", out)
+	}
+
+	// Same with an address-masked L1 rule: the miss path examines it,
+	// so even a terminal kind/requester verdict for that class must not
+	// cache across addresses.
+	g := NewFilter()
+	g.InstallL1(Rule{ID: 1, Mask: MatchKind | MatchRequester | MatchAddr,
+		Kind: pcie.MRd, Requester: tvmID, AddrLo: 0x1000, AddrHi: 0x2000, Action: ActionPassThrough})
+	if v := g.Classify(pcie.NewMemRead(tvmID, 0x1800, 8, 0)); v.Action != ActionPassThrough {
+		t.Fatalf("in-range read = %+v", v)
+	}
+	if v := g.Classify(pcie.NewMemRead(tvmID, 0x9000, 8, 0)); v.Action != ActionDrop {
+		t.Fatalf("out-of-range read = %+v", v)
+	}
+}
+
+// TestFilterConcurrentClassifyAndMutate hammers lock-free Classify
+// against concurrent Install/Clear cycles. Run under -race; the
+// assertions pin the COW contract — a classification sees some
+// complete snapshot, never a torn table, and the final state serves
+// the final rules.
+func TestFilterConcurrentClassifyAndMutate(t *testing.T) {
+	f := NewFilter()
+	f.InstallL1(Rule{ID: 1, Mask: MatchKind | MatchRequester,
+		Kind: pcie.MWr, Requester: tvmID, Action: ActionPassThrough})
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			f.Clear()
+			f.InstallL1(Rule{ID: uint16(i), Mask: MatchKind | MatchRequester,
+				Kind: pcie.MWr, Requester: tvmID, Action: ActionPassThrough})
+		}
+	}()
+	p := pcie.NewMemWrite(tvmID, 0x1000, []byte{1})
+	for i := 0; i < 20000; i++ {
+		v := f.Classify(p)
+		// Mid-mutation a packet may land on the cleared snapshot (drop,
+		// fail-closed) or the rule (pass) — never anything else.
+		if v.Action != ActionPassThrough && v.Action != ActionDrop {
+			t.Fatalf("torn verdict under concurrent mutation: %+v", v)
+		}
+	}
+	close(stop)
+	<-done
+	if v := f.Classify(p); v.Action != ActionPassThrough {
+		t.Fatalf("final verdict = %+v", v)
+	}
+}

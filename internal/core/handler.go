@@ -46,6 +46,11 @@ type ParamsManager struct {
 	mu      sync.RWMutex
 	keys    *secmem.KeyStore
 	streams map[string]*secmem.Stream
+	// byHash indexes active stream names by their 32-bit wire hash —
+	// the tag-ingest hot path resolves one hash per record, so this
+	// must not rehash every name. Activation rejects collisions, so
+	// each hash maps to at most one name.
+	byHash map[uint32]string
 
 	// hub/track propagate observability to streams activated later.
 	hub   *obsv.Hub
@@ -67,7 +72,11 @@ func (pm *ParamsManager) SetObserver(h *obsv.Hub, track string) {
 // NewParamsManager builds a manager over a key store (the PCIe-SC's
 // trust-module storage).
 func NewParamsManager(keys *secmem.KeyStore) *ParamsManager {
-	return &ParamsManager{keys: keys, streams: make(map[string]*secmem.Stream)}
+	return &ParamsManager{
+		keys:    keys,
+		streams: make(map[string]*secmem.Stream),
+		byHash:  make(map[uint32]string),
+	}
 }
 
 // Activate instantiates the stream context for a named stream from
@@ -102,6 +111,7 @@ func (pm *ParamsManager) Activate(name string) error {
 	}
 	s.SetObserver(pm.hub, pm.track, name)
 	pm.streams[name] = s
+	pm.byHash[h] = name
 	return nil
 }
 
@@ -121,13 +131,9 @@ func (pm *ParamsManager) Stream(name string) (*secmem.Stream, error) {
 // active stream can match.
 func (pm *ParamsManager) NameByHash(h uint32) (string, bool) {
 	pm.mu.RLock()
-	defer pm.mu.RUnlock()
-	for name := range pm.streams {
-		if hashStream(name) == h {
-			return name, true
-		}
-	}
-	return "", false
+	name, ok := pm.byHash[h]
+	pm.mu.RUnlock()
+	return name, ok
 }
 
 // Rekey replaces a stream's parameters (IV-exhaustion mitigation, §6).
@@ -148,6 +154,7 @@ func (pm *ParamsManager) Rekey(name string, key, nonce []byte) error {
 func (pm *ParamsManager) DestroyAll() {
 	pm.mu.Lock()
 	pm.streams = make(map[string]*secmem.Stream)
+	pm.byHash = make(map[uint32]string)
 	pm.mu.Unlock()
 	pm.keys.DestroyAll()
 }
@@ -177,11 +184,20 @@ const TagRecordSize = 4 + 4 + 4 + secmem.TagSize // stream hash, chunk, epoch, t
 
 // Marshal encodes the record as a tag-packet payload.
 func (t TagRecord) Marshal() []byte {
-	buf := make([]byte, TagRecordSize)
-	binary.LittleEndian.PutUint32(buf[0:], hashStream(t.Stream))
-	binary.LittleEndian.PutUint32(buf[4:], t.Chunk)
-	binary.LittleEndian.PutUint32(buf[8:], t.Epoch)
-	copy(buf[12:], t.Tag[:])
+	return t.AppendMarshal(make([]byte, 0, TagRecordSize))
+}
+
+// AppendMarshal appends the record's tag-packet encoding to buf and
+// returns the extended slice — the allocation-free variant for callers
+// assembling multi-record tag packets into reused buffers.
+func (t TagRecord) AppendMarshal(buf []byte) []byte {
+	var zero [TagRecordSize]byte
+	off := len(buf)
+	buf = append(buf, zero[:]...)
+	binary.LittleEndian.PutUint32(buf[off+0:], hashStream(t.Stream))
+	binary.LittleEndian.PutUint32(buf[off+4:], t.Chunk)
+	binary.LittleEndian.PutUint32(buf[off+8:], t.Epoch)
+	copy(buf[off+12:], t.Tag[:])
 	return buf
 }
 

@@ -116,6 +116,14 @@ func (s CplStatus) String() string {
 // is the chunking granularity the PCIe-SC's handlers see.
 const MaxPayload = 256
 
+// MaxReadReq is the maximum memory-read request size in bytes (the
+// fabric's Max_Read_Request_Size). Read requests carry no payload, so
+// they may ask for more than MaxPayload in one TLP; 4 KiB is the usual
+// server-platform ceiling. The PCIe-SC exploits this on the H2D path:
+// one read request covers a span of cipher chunks, amortizing the
+// request/completion round trip and letting the SC batch-decrypt.
+const MaxReadReq = 4096
+
 // HeaderOverhead is the per-TLP wire overhead in bytes: 2 B framing +
 // 6 B DLL (sequence + LCRC) + 16 B worst-case 4DW header. The link model
 // charges this for every packet, which is how ccAI's extra tag/metadata
@@ -205,6 +213,17 @@ func NewMemWrite(req ID, addr uint64, data []byte) *Packet {
 	}
 }
 
+// NewMemWriteOwned is NewMemWrite without the defensive payload copy:
+// ownership of data transfers to the packet, so the caller must not
+// touch the slice again. Use when the payload was freshly built for
+// this packet — the hot-path variant that halves payload allocations.
+func NewMemWriteOwned(req ID, addr uint64, data []byte) *Packet {
+	return &Packet{
+		Header:  Header{Kind: MWr, Requester: req, Address: addr, Length: uint32(len(data)), FirstBE: 0xf, LastBE: 0xf},
+		Payload: data,
+	}
+}
+
 // NewCompletion builds a completion (with data when payload is non-nil)
 // for the given request.
 func NewCompletion(req *Packet, completer ID, status CplStatus, payload []byte) *Packet {
@@ -222,6 +241,26 @@ func NewCompletion(req *Packet, completer ID, status CplStatus, payload []byte) 
 		data = append([]byte(nil), payload...)
 	}
 	return &Packet{Header: h, Payload: data}
+}
+
+// NewCompletionOwned is NewCompletion without the defensive payload
+// copy: ownership of payload transfers to the packet. Use when the
+// buffer was freshly built for this completion and will not be reused
+// — it must never hand out a pooled buffer, since taps on a bus may
+// legitimately retain routed packets.
+func NewCompletionOwned(req *Packet, completer ID, status CplStatus, payload []byte) *Packet {
+	h := Header{
+		Kind:      Cpl,
+		Requester: req.Requester,
+		Completer: completer,
+		Tag:       req.Tag,
+		Status:    status,
+	}
+	if payload != nil {
+		h.Kind = CplD
+		h.Length = uint32(len(payload))
+	}
+	return &Packet{Header: h, Payload: payload}
 }
 
 // NewMessage builds a message packet (e.g. an interrupt-style vendor
@@ -285,7 +324,14 @@ func (p *Packet) Marshal() []byte {
 	if use4DW {
 		hdrDWs = 4
 	}
-	buf := make([]byte, hdrDWs*4)
+	// One exact-size allocation: header, DW-padded payload, trailer.
+	total := hdrDWs * 4
+	if p.Kind.HasPayload() {
+		total += int(dwLen) * 4
+	}
+	total += 4
+	out := make([]byte, total)
+	buf := out[:hdrDWs*4]
 	// DW0: fmt/type, TC, attr, length in DWs.
 	buf[0] = fmtBits<<5 | typeBits
 	buf[1] = p.TC << 4
@@ -316,17 +362,13 @@ func (p *Packet) Marshal() []byte {
 		}
 	}
 
-	out := buf
 	if p.Kind.HasPayload() {
-		padded := make([]byte, dwLen*4)
-		copy(padded, p.Payload)
-		out = append(out, padded...)
+		copy(out[hdrDWs*4:total-4], p.Payload)
 	}
 	// Trailer records the exact byte length so sub-DW payloads
 	// round-trip (stand-in for byte-enable reconstruction).
-	tail := make([]byte, 4)
-	binary.BigEndian.PutUint32(tail, p.Length)
-	return append(out, tail...)
+	binary.BigEndian.PutUint32(out[total-4:], p.Length)
+	return out
 }
 
 // Unmarshal parses wire bytes produced by Marshal. It validates

@@ -1,8 +1,11 @@
 package secmem
 
 import (
+	"crypto/hmac"
 	"crypto/rand"
+	"crypto/sha256"
 	"fmt"
+	"hash"
 	"sync"
 )
 
@@ -18,6 +21,12 @@ type KeyStore struct {
 type keyEntry struct {
 	key   []byte
 	nonce []byte
+	// mac is the lazily built, reusable HMAC-SHA256 state for MACSum;
+	// sum is its reusable output scratch. Both are guarded by ks.mu and
+	// die with the entry (Install replaces the entry, so a fresh key
+	// can never reuse a stale HMAC state).
+	mac hash.Hash
+	sum []byte
 }
 
 // NewKeyStore returns an empty store.
@@ -63,6 +72,31 @@ func (ks *KeyStore) Material(name string) (key, nonce []byte, err error) {
 		return nil, nil, fmt.Errorf("secmem: no key material for stream %q", name)
 	}
 	return append([]byte(nil), e.key...), append([]byte(nil), e.nonce...), nil
+}
+
+// MACSum computes the A3 integrity MAC over (header, payload) under
+// the named stream's key without copying the key out of the store and
+// without constructing a fresh HMAC per call: the per-entry HMAC state
+// is cached and Reset between uses. ks.mu is a leaf lock, so callers
+// may hold their own locks across this call; the steady-state cost is
+// zero allocations.
+func (ks *KeyStore) MACSum(name string, header, payload []byte) ([32]byte, error) {
+	var out [32]byte
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	e, ok := ks.entries[name]
+	if !ok {
+		return out, fmt.Errorf("secmem: no key material for stream %q", name)
+	}
+	if e.mac == nil {
+		e.mac = hmac.New(sha256.New, e.key)
+	}
+	e.mac.Reset()
+	e.mac.Write(header)
+	e.mac.Write(payload)
+	e.sum = e.mac.Sum(e.sum[:0])
+	copy(out[:], e.sum)
+	return out, nil
 }
 
 // Has reports whether material exists for the stream.

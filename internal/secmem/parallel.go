@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ccai/internal/arena"
 	"ccai/internal/obsv"
 )
 
@@ -218,13 +219,20 @@ func (s *Stream) OpenBatch(sealed []*Sealed, aads [][]byte, pool *Pool) ([][]byt
 	pts := make([][]byte, n)
 	errs := make([]error, n)
 	pool.Run(n, func(i int) {
-		buf := append(append([]byte(nil), sealed[i].Ciphertext...), sealed[i].Tag[:]...)
+		ctLen := len(sealed[i].Ciphertext)
+		buf := arena.Get(ctLen + TagSize + NonceSize)
+		copy(buf, sealed[i].Ciphertext)
+		copy(buf[ctLen:], sealed[i].Tag[:])
+		iv := buf[ctLen+TagSize:]
+		copy(iv, nb[:])
+		binary.BigEndian.PutUint32(iv[nonceBase:], sealed[i].Counter)
 		var aad []byte
 		if aads != nil {
 			aad = aads[i]
 		}
-		pt, err := aead.Open(nil, nonceAt(nb, sealed[i].Counter), buf, aad)
+		pt, err := aead.Open(nil, iv, buf[:ctLen+TagSize], aad)
 		pts[i], errs[i] = pt, err
+		arena.Put(buf) // ciphertext, tag, IV: all public bytes
 	})
 
 	// Advance the watermark through the contiguous success prefix.

@@ -1,0 +1,317 @@
+package secmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"ccai/internal/arena"
+	"ccai/internal/obsv"
+)
+
+// SealBatchStream encrypts len(pts) chunks and delivers them to emit
+// strictly in submission order, overlapping crypto with whatever the
+// caller does in emit (bounce-buffer writes, tag posting): while emit
+// runs for chunk i, pool workers are already sealing chunks > i. This
+// is the streaming pipeline of DESIGN.md §10 — the replacement for the
+// barrier-style "seal all, then write all" staging.
+//
+// Counter reservation and fault semantics are identical to SealBatch:
+// the fault hook is consulted once per chunk before any counter is
+// reserved, so an ErrTransient return consumes no stream state and the
+// whole batch may be retried with the same IVs. Once emit has run for
+// any chunk the batch is no longer retryable — an emit error aborts
+// the remaining pipeline and is returned as-is, with the consumed
+// counters abandoned (the recovery ladder's repost/teardown logic owns
+// that case).
+//
+// The Sealed passed to emit has its Ciphertext backed by pooled arena
+// memory that is reclaimed the moment emit returns: emit must copy any
+// bytes it keeps and must not retain the slice or the *Sealed.
+func (s *Stream) SealBatchStream(pts, aads [][]byte, pool *Pool, emit func(i int, chunk *Sealed) error) error {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if aads != nil && len(aads) != n {
+		return fmt.Errorf("secmem: %d plaintexts but %d aads", n, len(aads))
+	}
+
+	s.mu.Lock()
+	if s.fault != nil {
+		for range pts {
+			if err := s.fault("seal"); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+	}
+	if uint64(s.sendCtr)+uint64(n) > uint64(^uint32(0)) {
+		s.mu.Unlock()
+		return ErrIVExhausted
+	}
+	base := s.sendCtr
+	s.sendCtr += uint32(n)
+	aead, nb, epoch := s.aead, s.nonceBase, s.epoch
+	if s.ivAudit != nil {
+		for i := 0; i < n; i++ {
+			s.ivAudit(epoch, base+1+uint32(i))
+		}
+	}
+	o := s.obs
+	var total int64
+	for _, pt := range pts {
+		total += int64(len(pt))
+	}
+	s.mu.Unlock()
+
+	var sp obsv.ActiveSpan
+	if o != nil {
+		sp = o.tracer.Begin(o.track, "seal_stream",
+			obsv.Str("stream", o.name), obsv.I64("bytes", total), obsv.I64("chunks", int64(n)))
+	}
+
+	w := pool.Workers()
+	if w > n {
+		w = n
+	}
+
+	// sealInto encrypts chunk i into an arena buffer using the worker's
+	// reusable IV array. The returned slice is ciphertext||tag.
+	sealInto := func(iv *[NonceSize]byte, i int) []byte {
+		c := base + 1 + uint32(i)
+		binary.BigEndian.PutUint32(iv[nonceBase:], c)
+		var aad []byte
+		if aads != nil {
+			aad = aads[i]
+		}
+		buf := arena.Get(len(pts[i]) + TagSize)
+		return aead.Seal(buf[:0], iv[:], pts[i], aad)
+	}
+
+	var err error
+	if w == 1 {
+		// Serial fast path: seal and emit inline, already in order.
+		var iv [NonceSize]byte
+		copy(iv[:], nb[:])
+		var chunk Sealed
+		for i := 0; i < n && err == nil; i++ {
+			ct := sealInto(&iv, i)
+			k := len(ct) - TagSize
+			chunk = Sealed{Counter: base + 1 + uint32(i), Epoch: epoch, Ciphertext: ct[:k]}
+			copy(chunk.Tag[:], ct[k:])
+			err = emit(i, &chunk)
+			arena.Put(ct) // ciphertext only: public bytes
+		}
+	} else {
+		err = sealStreamParallel(n, w, base, epoch, nb, sealInto, emit)
+	}
+
+	if o != nil {
+		sp.Attr(obsv.U64("ctr_first", uint64(base+1)), obsv.U64("epoch", uint64(epoch)))
+		sp.End()
+		if err == nil {
+			o.sealOps.Add(uint64(n))
+			o.sealBytes.Add(uint64(total))
+		}
+	}
+	return err
+}
+
+// sealStreamParallel runs crypto workers over a bounded in-flight
+// window and emits completed chunks in submission order. Workers claim
+// indices from an atomic counter in increasing order, so the
+// next-to-emit chunk is always already claimed and never blocked on
+// the window (its distance to the emit frontier is zero) — the
+// pipeline cannot deadlock, and an emit error wakes any window-blocked
+// worker via the same condition variable.
+func sealStreamParallel(n, w int, base, epoch uint32, nb [nonceBase]byte,
+	sealInto func(iv *[NonceSize]byte, i int) []byte,
+	emit func(i int, chunk *Sealed) error) error {
+
+	window := 4 * w
+	var (
+		mu      sync.Mutex
+		cond    = sync.NewCond(&mu)
+		bufs    = make([][]byte, n)
+		done    = make([]bool, n)
+		emitted int
+		abort   bool
+	)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	worker := func() {
+		defer wg.Done()
+		var iv [NonceSize]byte
+		copy(iv[:], nb[:])
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			mu.Lock()
+			for i-emitted >= window && !abort {
+				cond.Wait()
+			}
+			if abort {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			ct := sealInto(&iv, i)
+			mu.Lock()
+			bufs[i], done[i] = ct, true
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go worker()
+	}
+
+	var err error
+	var chunk Sealed
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		for !done[i] {
+			cond.Wait()
+		}
+		ct := bufs[i]
+		bufs[i] = nil
+		mu.Unlock()
+		k := len(ct) - TagSize
+		chunk = Sealed{Counter: base + 1 + uint32(i), Epoch: epoch, Ciphertext: ct[:k]}
+		copy(chunk.Tag[:], ct[k:])
+		err = emit(i, &chunk)
+		arena.Put(ct)
+		mu.Lock()
+		emitted++
+		if err != nil {
+			abort = true
+		}
+		cond.Broadcast()
+		mu.Unlock()
+		if err != nil {
+			break
+		}
+	}
+	wg.Wait()
+	// Reclaim chunks that finished sealing after an abort.
+	for _, b := range bufs {
+		if b != nil {
+			arena.Put(b)
+		}
+	}
+	return err
+}
+
+// OpenBatchInto authenticates and decrypts a batch of chunks directly
+// into dst, which must hold at least the sum of the ciphertext
+// lengths. Chunk i's plaintext lands at the prefix-sum offset of the
+// preceding ciphertext lengths, so a region reassembles contiguously
+// with zero copies. Validation, watermark and fault semantics match
+// OpenBatch (the sealed records are taken by value so the caller can
+// reuse a scratch slice).
+//
+// On any authentication failure the written span of dst is zeroed
+// before returning ErrAuth — partial plaintext, including chunks that
+// verified before the failing one, never survives in caller-visible
+// memory (fail-closed discipline, DESIGN.md §10).
+func (s *Stream) OpenBatchInto(dst []byte, sealed []Sealed, aads [][]byte, pool *Pool) error {
+	n := len(sealed)
+	if n == 0 {
+		return nil
+	}
+	if aads != nil && len(aads) != n {
+		return fmt.Errorf("secmem: %d chunks but %d aads", n, len(aads))
+	}
+	offs := make([]int, n+1)
+	for i := range sealed {
+		offs[i+1] = offs[i] + len(sealed[i].Ciphertext)
+	}
+	if offs[n] > len(dst) {
+		return fmt.Errorf("secmem: dst holds %d bytes, batch needs %d", len(dst), offs[n])
+	}
+
+	// batchMu keeps two concurrent batch opens from interleaving their
+	// validate/advance windows. Lock order: batchMu, then mu.
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+
+	s.mu.Lock()
+	if s.fault != nil {
+		for range sealed {
+			if err := s.fault("open"); err != nil {
+				s.mu.Unlock()
+				return err
+			}
+		}
+	}
+	prev := s.recvCtr
+	for i := range sealed {
+		c := &sealed[i]
+		if c.Epoch != s.epoch {
+			s.obsReplay()
+			s.mu.Unlock()
+			return fmt.Errorf("%w: epoch %d vs %d", ErrReplay, c.Epoch, s.epoch)
+		}
+		if c.Counter <= prev {
+			s.obsReplay()
+			s.mu.Unlock()
+			return fmt.Errorf("%w: chunk %d counter %d after %d", ErrReplay, i, c.Counter, prev)
+		}
+		prev = c.Counter
+	}
+	aead, nb, epoch := s.aead, s.nonceBase, s.epoch
+	o := s.obs
+	s.mu.Unlock()
+
+	errs := make([]error, n)
+	pool.Run(n, func(i int) {
+		ctLen := len(sealed[i].Ciphertext)
+		// One arena buffer carries ciphertext||tag plus the IV scratch
+		// at its tail; Open only reads from it while writing into dst.
+		buf := arena.Get(ctLen + TagSize + NonceSize)
+		copy(buf, sealed[i].Ciphertext)
+		copy(buf[ctLen:], sealed[i].Tag[:])
+		iv := buf[ctLen+TagSize:]
+		copy(iv, nb[:])
+		binary.BigEndian.PutUint32(iv[nonceBase:], sealed[i].Counter)
+		var aad []byte
+		if aads != nil {
+			aad = aads[i]
+		}
+		out := dst[offs[i]:offs[i]:offs[i+1]]
+		_, err := aead.Open(out, iv, buf[:ctLen+TagSize], aad)
+		errs[i] = err
+		arena.Put(buf) // ciphertext, tag, IV: all public bytes
+	})
+
+	// Advance the watermark through the contiguous success prefix.
+	good := 0
+	for good < n && errs[good] == nil {
+		good++
+	}
+	s.mu.Lock()
+	if s.epoch == epoch && good > 0 {
+		s.recvCtr = sealed[good-1].Counter
+	}
+	s.mu.Unlock()
+
+	if good < n {
+		for i := range dst[:offs[n]] {
+			dst[i] = 0
+		}
+		if o != nil {
+			o.authFail.Inc()
+		}
+		return ErrAuth
+	}
+	if o != nil {
+		o.openOps.Add(uint64(n))
+		o.openBytes.Add(uint64(offs[n]))
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package secmem
+
+// Tests for the streaming seal pipeline and the batch-open-into path —
+// the DESIGN.md §10 datapath. The properties pinned here are the ones
+// the pipeline must not trade away for speed: in-order emit under a
+// parallel pool, IV safety across transient retries, and fail-closed
+// zeroing of partially decrypted output.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSealBatchStreamInOrder runs the streaming pipeline over several
+// pool widths and asserts emit sees chunks strictly in submission
+// order with contiguous counters, and that the bytes delivered are
+// exactly what a serial Seal sequence would produce — reordering
+// inside the pool must never be visible at the emit boundary.
+func TestSealBatchStreamInOrder(t *testing.T) {
+	for _, w := range []int{1, 2, 4, 8} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			serial, _ := newPair(t)
+			stream, _ := newPair(t)
+			key, nonce := FreshKey(), FreshNonce()
+			for _, s := range []*Stream{serial, stream} {
+				if err := s.Rekey(key, nonce); err != nil {
+					t.Fatal(err)
+				}
+			}
+			pts, aads := chunkset(33, 96)
+
+			var want []*Sealed
+			for i := range pts {
+				s, err := serial.Seal(pts[i], aads[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				want = append(want, s)
+			}
+
+			next := 0
+			err := stream.SealBatchStream(pts, aads, NewPool(w), func(i int, chunk *Sealed) error {
+				if i != next {
+					t.Fatalf("emit order broken: got chunk %d, want %d", i, next)
+				}
+				next++
+				if chunk.Counter != want[i].Counter || chunk.Epoch != want[i].Epoch {
+					t.Fatalf("chunk %d: counter/epoch diverge from serial seal", i)
+				}
+				if !bytes.Equal(chunk.Ciphertext, want[i].Ciphertext) || chunk.Tag != want[i].Tag {
+					t.Fatalf("chunk %d: bytes diverge from serial seal", i)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next != len(pts) {
+				t.Fatalf("emit ran %d times, want %d", next, len(pts))
+			}
+			if stream.SendCounter() != serial.SendCounter() {
+				t.Fatalf("counters diverge: %d vs %d", stream.SendCounter(), serial.SendCounter())
+			}
+		})
+	}
+}
+
+// TestSealBatchStreamEmitCopiesSurvive verifies the documented arena
+// contract: the Ciphertext handed to emit is only valid inside emit,
+// so a consumer that copies (like the Adaptor's bounce-buffer write)
+// must end up with chunks that all still authenticate after the
+// pipeline — pooled-buffer reuse during the run must never corrupt an
+// earlier chunk's copy.
+func TestSealBatchStreamEmitCopiesSurvive(t *testing.T) {
+	tx, rx := newPair(t)
+	pts, aads := chunkset(25, 256)
+
+	sealed := make([]Sealed, 0, len(pts))
+	err := tx.SealBatchStream(pts, aads, NewPool(4), func(i int, chunk *Sealed) error {
+		c := *chunk
+		c.Ciphertext = append([]byte(nil), chunk.Ciphertext...)
+		sealed = append(sealed, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, 25*256)
+	if err := rx.OpenBatchInto(dst, sealed, aads, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pts {
+		if !bytes.Equal(dst[i*256:(i+1)*256], pts[i]) {
+			t.Fatalf("chunk %d corrupted by in-flight buffer reuse", i)
+		}
+	}
+}
+
+// TestSealBatchStreamTransientConsumesNoCounters: the fault hook fires
+// before any counter is reserved, so a transient abort leaves the
+// stream exactly where it was and the retry reuses the identical IV
+// range — the invariant that makes mid-pipeline retry safe.
+func TestSealBatchStreamTransientConsumesNoCounters(t *testing.T) {
+	tx, rx := newPair(t)
+	fail := true
+	tx.SetFaultHook(func(op string) error {
+		if op == "seal" && fail {
+			fail = false
+			return ErrTransient
+		}
+		return nil
+	})
+	pts, aads := chunkset(6, 64)
+
+	before := tx.SendCounter()
+	emits := 0
+	err := tx.SealBatchStream(pts, aads, NewPool(2), func(i int, chunk *Sealed) error {
+		emits++
+		return nil
+	})
+	if !errors.Is(err, ErrTransient) {
+		t.Fatalf("got %v, want ErrTransient", err)
+	}
+	if emits != 0 {
+		t.Fatalf("aborted pipeline still emitted %d chunks", emits)
+	}
+	if tx.SendCounter() != before {
+		t.Fatalf("transient abort consumed counters: %d -> %d", before, tx.SendCounter())
+	}
+
+	sealed := make([]Sealed, 0, len(pts))
+	err = tx.SealBatchStream(pts, aads, NewPool(2), func(i int, chunk *Sealed) error {
+		c := *chunk
+		c.Ciphertext = append([]byte(nil), chunk.Ciphertext...)
+		sealed = append(sealed, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sealed[0].Counter != before+1 {
+		t.Fatalf("retry started at counter %d, want %d", sealed[0].Counter, before+1)
+	}
+	dst := make([]byte, 6*64)
+	if err := rx.OpenBatchInto(dst, sealed, aads, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSealBatchStreamEmitErrorAborts: once emit has run, the batch is
+// not retryable; an emit error must surface as-is and stop the
+// pipeline without emitting further chunks.
+func TestSealBatchStreamEmitErrorAborts(t *testing.T) {
+	tx, _ := newPair(t)
+	pts, aads := chunkset(16, 64)
+	boom := errors.New("bounce buffer revoked")
+	last := -1
+	err := tx.SealBatchStream(pts, aads, NewPool(4), func(i int, chunk *Sealed) error {
+		last = i
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want the emit error", err)
+	}
+	if last != 3 {
+		t.Fatalf("pipeline emitted chunk %d after the failing one", last)
+	}
+}
+
+// TestOpenBatchIntoZeroesOnAuthFailure: when any chunk fails
+// authentication, every plaintext byte the batch already produced —
+// including chunks that verified fine — must be zeroed before the
+// error returns. Partial plaintext never survives in caller-visible
+// memory.
+func TestOpenBatchIntoZeroesOnAuthFailure(t *testing.T) {
+	for _, w := range []int{1, 4} {
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			tx, rx := newPair(t)
+			pts, aads := chunkset(9, 128)
+			sealedPtrs, err := tx.SealBatch(pts, aads, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sealed := make([]Sealed, len(sealedPtrs))
+			for i, s := range sealedPtrs {
+				sealed[i] = *s
+			}
+			// Corrupt a late chunk so earlier ones decrypt first.
+			sealed[7].Ciphertext = append([]byte(nil), sealed[7].Ciphertext...)
+			sealed[7].Ciphertext[0] ^= 1
+
+			dst := make([]byte, 9*128)
+			for i := range dst {
+				dst[i] = 0xEE // sentinel: must not survive as plaintext
+			}
+			if err := rx.OpenBatchInto(dst, sealed, aads, NewPool(w)); !errors.Is(err, ErrAuth) {
+				t.Fatalf("got %v, want ErrAuth", err)
+			}
+			for i, v := range dst {
+				if v != 0 {
+					t.Fatalf("byte %d = %#x after auth failure; span not zeroed", i, v)
+				}
+			}
+		})
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ccai/internal/arena"
 	"ccai/internal/obsv"
 )
 
@@ -68,6 +69,11 @@ type Stream struct {
 	sendCtr   uint32
 	recvCtr   uint32 // highest counter accepted so far (0 = none)
 	epoch     uint32 // increments on rekey
+
+	// ivScratch is the IV assembly buffer for single-chunk Seal calls.
+	// Guarded by mu; batched paths build IVs in per-worker scratch
+	// instead, so this never races with the pipeline.
+	ivScratch [NonceSize]byte
 
 	// fault, when set, is consulted before each engine operation and
 	// may return ErrTransient to model a recoverable engine error. It
@@ -146,14 +152,6 @@ func NewStream(key []byte, nonce []byte) (*Stream, error) {
 	return s, nil
 }
 
-// nonceFor assembles the 12-byte GCM IV for counter c.
-func (s *Stream) nonceFor(c uint32) []byte {
-	iv := make([]byte, NonceSize)
-	copy(iv, s.nonceBase[:])
-	binary.BigEndian.PutUint32(iv[nonceBase:], c)
-	return iv
-}
-
 // Sealed is one protected chunk: ciphertext, its GCM tag (carried by a
 // companion tag packet on the wire) and the counter that fixes its IV
 // and its position in the stream.
@@ -170,15 +168,27 @@ type Sealed struct {
 // pipelined in-flight packets can never double-allocate (and therefore
 // never reuse) an IV, even at the exhaustion boundary.
 func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
+	sealed := new(Sealed)
+	if err := s.SealInto(sealed, plaintext, aad); err != nil {
+		return nil, err
+	}
+	return sealed, nil
+}
+
+// SealInto is Seal with the result written into a caller-provided
+// struct, so per-chunk hot paths (the SC's D2H encrypt loop) keep the
+// Sealed on their own stack. Only Ciphertext is freshly allocated — it
+// outlives the call as a packet payload.
+func (s *Stream) SealInto(sealed *Sealed, plaintext, aad []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fault != nil {
 		if err := s.fault("seal"); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	if s.sendCtr == ^uint32(0) {
-		return nil, ErrIVExhausted
+		return ErrIVExhausted
 	}
 	var sp obsv.ActiveSpan
 	if o := s.obs; o != nil {
@@ -190,8 +200,11 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 	if s.ivAudit != nil {
 		s.ivAudit(s.epoch, c)
 	}
-	out := s.aead.Seal(nil, s.nonceFor(c), plaintext, aad)
-	sealed := &Sealed{Counter: c, Epoch: s.epoch}
+	copy(s.ivScratch[:], s.nonceBase[:])
+	binary.BigEndian.PutUint32(s.ivScratch[nonceBase:], c)
+	out := s.aead.Seal(nil, s.ivScratch[:], plaintext, aad)
+	sealed.Counter = c
+	sealed.Epoch = s.epoch
 	n := len(out) - TagSize
 	sealed.Ciphertext = out[:n]
 	copy(sealed.Tag[:], out[n:])
@@ -201,7 +214,7 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 		o.sealOps.Inc()
 		o.sealBytes.Add(uint64(len(plaintext)))
 	}
-	return sealed, nil
+	return nil
 }
 
 // Open authenticates and decrypts one chunk, enforcing the
@@ -228,8 +241,17 @@ func (s *Stream) Open(sealed *Sealed, aad []byte) ([]byte, error) {
 			obsv.Str("stream", o.name), obsv.I64("bytes", int64(len(sealed.Ciphertext))),
 			obsv.U64("ctr", uint64(sealed.Counter)))
 	}
-	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
-	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
+	// One arena buffer carries ciphertext||tag plus the IV at its tail;
+	// everything in it is public bytes, so Put (not PutZero) on release.
+	ctLen := len(sealed.Ciphertext)
+	buf := arena.Get(ctLen + TagSize + NonceSize)
+	copy(buf, sealed.Ciphertext)
+	copy(buf[ctLen:], sealed.Tag[:])
+	iv := buf[ctLen+TagSize:]
+	copy(iv, s.nonceBase[:])
+	binary.BigEndian.PutUint32(iv[nonceBase:], sealed.Counter)
+	pt, err := s.aead.Open(nil, iv, buf[:ctLen+TagSize], aad)
+	arena.Put(buf)
 	if err != nil {
 		if o := s.obs; o != nil {
 			o.authFail.Inc()
@@ -283,8 +305,17 @@ func (s *Stream) OpenStateless(sealed *Sealed, aad []byte) ([]byte, error) {
 			obsv.I64("bytes", int64(len(sealed.Ciphertext))),
 			obsv.U64("ctr", uint64(sealed.Counter)))
 	}
-	buf := append(append([]byte(nil), sealed.Ciphertext...), sealed.Tag[:]...)
-	pt, err := s.aead.Open(nil, s.nonceFor(sealed.Counter), buf, aad)
+	// One arena buffer carries ciphertext||tag plus the IV at its tail;
+	// everything in it is public bytes, so Put (not PutZero) on release.
+	ctLen := len(sealed.Ciphertext)
+	buf := arena.Get(ctLen + TagSize + NonceSize)
+	copy(buf, sealed.Ciphertext)
+	copy(buf[ctLen:], sealed.Tag[:])
+	iv := buf[ctLen+TagSize:]
+	copy(iv, s.nonceBase[:])
+	binary.BigEndian.PutUint32(iv[nonceBase:], sealed.Counter)
+	pt, err := s.aead.Open(nil, iv, buf[:ctLen+TagSize], aad)
+	arena.Put(buf)
 	if err != nil {
 		if o := s.obs; o != nil {
 			o.authFail.Inc()

@@ -380,7 +380,8 @@ func (d *Device) mmioRead(p *pcie.Packet) *pcie.Packet {
 		binary.LittleEndian.PutUint64(tmp[:], d.regs[off&^7])
 		copy(buf, tmp[:])
 	}
-	return pcie.NewCompletion(p, d.id, pcie.CplSuccess, buf)
+	// buf is fresh, so the completion takes ownership instead of copying.
+	return pcie.NewCompletionOwned(p, d.id, pcie.CplSuccess, buf)
 }
 
 func (d *Device) mmioWrite(p *pcie.Packet) {
@@ -392,10 +393,9 @@ func (d *Device) mmioWrite(p *pcie.Packet) {
 		copy(d.scratch[off-RegScratch:], p.Payload)
 		return
 	}
-	var v uint64
-	tmp := make([]byte, 8)
-	copy(tmp, p.Payload)
-	v = binary.LittleEndian.Uint64(tmp)
+	var tmp [8]byte
+	copy(tmp[:], p.Payload)
+	v := binary.LittleEndian.Uint64(tmp[:])
 	reg := off &^ 7
 	switch reg {
 	case RegDoorbell:
@@ -532,14 +532,16 @@ func (d *Device) raiseInterrupt(cause uint64) {
 }
 
 // dmaRead issues chunked MRd requests upstream and concatenates
-// completions.
+// completions. Read requests carry no payload, so they chunk at
+// MaxReadReq rather than MaxPayload — one request covers a whole span
+// of cipher chunks, which the SC batch-decrypts (DESIGN.md §10).
 func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
 	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_read",
 		obsv.Hex("addr", addr), obsv.I64("bytes", n))
 	defer sp.End()
 	out := make([]byte, 0, n)
 	for n > 0 {
-		chunk := int64(pcie.MaxPayload)
+		chunk := int64(pcie.MaxReadReq)
 		if n < chunk {
 			chunk = n
 		}
@@ -555,7 +557,32 @@ func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
 	return out, true
 }
 
-// dmaWrite issues chunked MWr requests upstream.
+// dmaReadInto issues chunked MRd requests upstream, copying each
+// completion straight into dst — the zero-intermediate-buffer path for
+// bulk H2D copies into device memory.
+func (d *Device) dmaReadInto(dst []byte, addr uint64) bool {
+	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_read",
+		obsv.Hex("addr", addr), obsv.I64("bytes", int64(len(dst))))
+	defer sp.End()
+	for len(dst) > 0 {
+		chunk := pcie.MaxReadReq
+		if len(dst) < chunk {
+			chunk = len(dst)
+		}
+		req := pcie.NewMemRead(d.id, addr, uint32(chunk), 0)
+		cpl := d.upstream(req)
+		if cpl == nil || cpl.Status != pcie.CplSuccess || len(cpl.Payload) < chunk {
+			return false
+		}
+		copy(dst, cpl.Payload[:chunk])
+		addr += uint64(chunk)
+		dst = dst[chunk:]
+	}
+	return true
+}
+
+// dmaWrite issues chunked MWr requests upstream. Writes carry their
+// payload in the TLP, so they stay capped at MaxPayload.
 func (d *Device) dmaWrite(addr uint64, data []byte) bool {
 	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_write",
 		obsv.Hex("addr", addr), obsv.I64("bytes", int64(len(data))))
@@ -584,11 +611,9 @@ func (d *Device) execute(cmd Command) bool {
 		if cmd.Dst+cmd.Len > uint64(len(d.devMem)) {
 			return false
 		}
-		data, ok := d.dmaRead(cmd.Src, int64(cmd.Len))
-		if !ok {
+		if !d.dmaReadInto(d.devMem[cmd.Dst:cmd.Dst+cmd.Len], cmd.Src) {
 			return false
 		}
-		copy(d.devMem[cmd.Dst:], data)
 	case OpCopyD2H:
 		if cmd.Src+cmd.Len > uint64(len(d.devMem)) {
 			return false

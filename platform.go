@@ -133,7 +133,9 @@ func (h *HostBridge) Handle(p *pcie.Packet) *pcie.Packet {
 		if err != nil {
 			return pcie.NewCompletion(p, h.id, pcie.CplUR, nil)
 		}
-		return pcie.NewCompletion(p, h.id, pcie.CplSuccess, data)
+		// space.Read returned a fresh copy; transfer it instead of
+		// copying a second time.
+		return pcie.NewCompletionOwned(p, h.id, pcie.CplSuccess, data)
 	case pcie.MWr:
 		if !h.iommu.Check(p.Requester, p.Address, int64(len(p.Payload)), true) {
 			return nil // posted write silently dropped, fault recorded
