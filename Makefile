@@ -2,16 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-smoke cover fuzz vet fmt experiments profile clean ci
+.PHONY: all build test race stress bench bench-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
 
 all: build test
 
-# Everything a merge gate needs: static checks, the full suite, the
-# race detector over the concurrent retry paths, the multi-tenant
-# stress matrix, a one-iteration pass over every benchmark (so they
-# can't rot), and a short fuzz pass over the attacker-facing parsers
-# (fault plans included).
-ci: vet test race stress bench-smoke
+# Everything a merge gate needs: formatting and static checks, the full
+# suite, the race detector over the concurrent retry paths, the
+# multi-tenant stress matrix, a one-iteration pass over every benchmark
+# (so they can't rot), and a short fuzz pass over the attacker-facing
+# parsers (fault plans included).
+ci: fmt-check vet test race stress bench-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json \
@@ -37,6 +37,13 @@ vet:
 
 fmt:
 	gofmt -w .
+
+# Fails (listing the files) when anything is not gofmt-clean.
+fmt-check:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # One testing.B benchmark per paper table/figure, plus micro-benchmarks.
 bench:

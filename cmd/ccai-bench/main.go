@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
@@ -254,7 +256,12 @@ func microBench() ([]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(results, serving...), nil
+	results = append(results, serving...)
+	scheduled, err := scheduledBench()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, scheduled...), nil
 }
 
 // servingBench measures aggregate multi-tenant throughput: the same
@@ -318,6 +325,75 @@ func servingBench() ([]benchResult, error) {
 	return []benchResult{
 		{Name: "serve/4-tenant/serialized/64KiB", NsPerOp: float64(serialized.Nanoseconds()) / n, BytesPerOp: size, AllocsPerOp: (m1 - m0) / nu, Iterations: len(tasks)},
 		{Name: "serve/4-tenant/concurrent/64KiB", NsPerOp: float64(concurrent.Nanoseconds()) / n, BytesPerOp: size, AllocsPerOp: (m2 - m1) / nu, Iterations: len(tasks)},
+	}, nil
+}
+
+// scheduledBench measures sustained offered load through the v2
+// Scheduler: four tenants, 64 KiB protected tasks, every request
+// admitted up front (queues sized to the run) and dispatched under
+// weighted-fair scheduling. It reports end-to-end ns/op for the run
+// and the p99 queue wait — the admission-to-dispatch latency tail the
+// serving scheduler is supposed to keep bounded.
+func scheduledBench() ([]benchResult, error) {
+	const tenants = 4
+	const size = 64 << 10
+	profiles := make([]xpu.Profile, tenants)
+	for i := range profiles {
+		profiles[i] = xpu.A100
+	}
+	mp, err := ccai.NewMultiPlatform(profiles)
+	if err != nil {
+		return nil, err
+	}
+	defer mp.Close()
+	if err := mp.EstablishTrustAll(); err != nil {
+		return nil, err
+	}
+	input := make([]byte, size)
+	for i := range input {
+		input[i] = byte(i)
+	}
+	task := ccai.Task{Input: input, Kernel: ccai.KernelXOR, Param: 0x5a}
+	for tn := 0; tn < tenants; tn++ { // warm-up
+		if _, err := mp.Tenants[tn].RunTask(task); err != nil {
+			return nil, err
+		}
+	}
+	s, err := mp.NewScheduler(ccai.SchedulerConfig{QueueDepth: microIters})
+	if err != nil {
+		return nil, err
+	}
+	defer s.Shutdown(context.Background())
+
+	total := microIters * tenants
+	handles := make([]*ccai.Handle, 0, total)
+	m0 := allocs()
+	start := time.Now()
+	for i := 0; i < microIters; i++ {
+		for tn := 0; tn < tenants; tn++ {
+			h, err := s.Submit(context.Background(), ccai.TenantTask{Tenant: tn, Task: task})
+			if err != nil {
+				return nil, err
+			}
+			handles = append(handles, h)
+		}
+	}
+	waits := make([]time.Duration, 0, total)
+	for _, h := range handles {
+		if _, err := h.Result(); err != nil {
+			return nil, err
+		}
+		waits = append(waits, h.QueueWait())
+	}
+	elapsed := time.Since(start)
+	m1 := allocs()
+
+	sort.Slice(waits, func(i, j int) bool { return waits[i] < waits[j] })
+	p99 := waits[(len(waits)*99)/100]
+	n := float64(total)
+	return []benchResult{
+		{Name: "serve/4-tenant/scheduled/64KiB", NsPerOp: float64(elapsed.Nanoseconds()) / n, BytesPerOp: size, AllocsPerOp: (m1 - m0) / uint64(total), Iterations: total},
+		{Name: "serve/scheduled/p99-queue-wait", NsPerOp: float64(p99.Nanoseconds()), BytesPerOp: size, Iterations: total},
 	}, nil
 }
 

@@ -265,6 +265,12 @@ func wireTenantFault(tn *Tenant, inj *fault.Injector, class fault.Class) {
 func TestConcurrencyStressMatrix(t *testing.T) {
 	const tenants, perTenant = 4, 3
 	for _, class := range fault.Classes() {
+		if class == fault.SchedStall || class == fault.CancelRace {
+			// Scheduler-level classes fire at dispatch, not on a bus or
+			// device hook; TestSchedulerFaultMatrix crosses them with the
+			// same seeds.
+			continue
+		}
 		for _, seed := range matrixSeeds {
 			class, seed := class, seed
 			t.Run(fmt.Sprintf("%v/seed=%#x", class, seed), func(t *testing.T) {

@@ -16,7 +16,7 @@ import (
 
 func main() {
 	// 1. Assemble a protected platform: TVM + Adaptor + PCIe-SC + A100.
-	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+	plat, err := ccai.New(ccai.WithXPU(xpu.A100), ccai.WithMode(ccai.Protected))
 	if err != nil {
 		log.Fatal(err)
 	}

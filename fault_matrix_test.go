@@ -276,6 +276,11 @@ func runMatrixCell(t *testing.T, class fault.Class, seed uint64) (string, uint64
 func TestFaultMatrix(t *testing.T) {
 	firedByClass := make(map[fault.Class]uint64)
 	for _, class := range fault.Classes() {
+		if class == fault.SchedStall || class == fault.CancelRace {
+			// Scheduler-level classes have no injection point on a bare
+			// Platform; TestSchedulerFaultMatrix covers them.
+			continue
+		}
 		for _, seed := range matrixSeeds {
 			class, seed := class, seed
 			t.Run(fmt.Sprintf("%v/seed=%#x", class, seed), func(t *testing.T) {

@@ -55,6 +55,19 @@ const (
 	// Authentication Tag Manager, orphaning its data chunk until the
 	// Adaptor reposts the tag table.
 	TagLoss
+	// SchedStall makes the serving scheduler balk at a dequeue: the
+	// claimed request is requeued at the head of its tenant's queue
+	// (deficit refunded) and dispatch retries — a scheduling hiccup
+	// mid-queue. The request must still execute exactly once, in
+	// order, with only added wait time.
+	SchedStall
+	// CancelRace cancels a request at the exact claim boundary — the
+	// adversarial interleaving of a caller's ctx firing the same
+	// instant the dispatcher dequeues. The scheduler must settle the
+	// race cleanly: the request either completes with a cancellation
+	// error without occupying a pipeline slot, or not at all — and
+	// neither outcome may perturb any other request's stream state.
+	CancelRace
 
 	numClasses
 )
@@ -62,6 +75,7 @@ const (
 var classNames = [...]string{
 	"invalid", "corrupt-tlp", "drop-tlp", "truncate-tlp", "drop-completion",
 	"stale-completion", "doorbell-hang", "drop-msi", "crypto-transient", "tag-loss",
+	"sched-stall", "cancel-race",
 }
 
 func (c Class) String() string {

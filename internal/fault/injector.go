@@ -225,6 +225,31 @@ func (inj *Injector) CryptoFault(string) error {
 	return nil
 }
 
+// Scheduler fault-hook points (see SchedFault).
+const (
+	// SchedPointDequeue is probed once per dispatcher claim; firing
+	// SchedStall there requeues the request.
+	SchedPointDequeue = "dequeue"
+	// SchedPointCancel is probed at the claim boundary; firing
+	// CancelRace there cancels the request as if its context fired at
+	// that instant.
+	SchedPointCancel = "cancel"
+)
+
+// SchedFault is the serving-scheduler fault-hook adapter: mid-queue
+// stalls and claim-boundary cancellation races.
+func (inj *Injector) SchedFault(point string) bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	switch point {
+	case SchedPointDequeue:
+		return inj.fires(SchedStall)
+	case SchedPointCancel:
+		return inj.fires(CancelRace)
+	}
+	return false
+}
+
 // TagFault is the core.TagManager fault-hook adapter: authentication
 // tag packets lost in flight.
 func (inj *Injector) TagFault(core.TagRecord) bool {

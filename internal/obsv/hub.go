@@ -42,4 +42,5 @@ const (
 	TrackCrypto  = "crypto"
 	TrackXPU     = "xpu"
 	TrackFault   = "fault"
+	TrackSched   = "sched"
 )

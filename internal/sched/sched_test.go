@@ -1,0 +1,284 @@
+package sched
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func mustPush(t *testing.T, f *Fair, flow int, cost int64, v any) *Entry {
+	t.Helper()
+	e, err := f.Push(flow, cost, v)
+	if err != nil {
+		t.Fatalf("push flow %d: %v", flow, err)
+	}
+	return e
+}
+
+// drainOrder pops every queued entry (releasing flows immediately, so
+// busy-gating never blocks the drain) and returns the flow sequence.
+func drainOrder(f *Fair) []int {
+	stop := make(chan struct{})
+	var order []int
+	for f.Pending() > 0 {
+		e, ok := f.Next(stop)
+		if !ok {
+			break
+		}
+		order = append(order, e.Flow)
+		f.Release(e.Flow)
+	}
+	return order
+}
+
+func TestFIFOWithinFlow(t *testing.T) {
+	f, err := New(Config{Flows: 1, Depth: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		mustPush(t, f, 0, 10, i)
+	}
+	stop := make(chan struct{})
+	for i := 0; i < 5; i++ {
+		e, ok := f.Next(stop)
+		if !ok || e.Value.(int) != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, e.Value, ok)
+		}
+		f.Release(0)
+	}
+}
+
+func TestQueueFullFailFast(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 2})
+	mustPush(t, f, 0, 1, "a")
+	mustPush(t, f, 0, 1, "b")
+	if _, err := f.Push(0, 1, "c"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+	// The other flow is unaffected.
+	mustPush(t, f, 1, 1, "d")
+	// Out-of-range flow.
+	if _, err := f.Push(7, 1, "x"); !errors.Is(err, ErrNoFlow) {
+		t.Fatalf("got %v, want ErrNoFlow", err)
+	}
+}
+
+func TestCancelFreesCapacityAndSkipsDispatch(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 2})
+	a := mustPush(t, f, 0, 1, "a")
+	mustPush(t, f, 0, 1, "b")
+	if !f.Cancel(a) {
+		t.Fatal("cancel of queued entry refused")
+	}
+	if f.Cancel(a) {
+		t.Fatal("double cancel succeeded")
+	}
+	// Capacity freed immediately.
+	mustPush(t, f, 0, 1, "c")
+	stop := make(chan struct{})
+	e, ok := f.Next(stop)
+	if !ok || e.Value.(string) != "b" {
+		t.Fatalf("dispatched %v, want b (a cancelled)", e.Value)
+	}
+	f.Release(0)
+	e, ok = f.Next(stop)
+	if !ok || e.Value.(string) != "c" {
+		t.Fatalf("dispatched %v, want c", e.Value)
+	}
+	// A claimed entry can no longer be cancelled through the queue.
+	if f.Cancel(e) {
+		t.Fatal("cancel of claimed entry succeeded")
+	}
+}
+
+func TestBusyFlowGating(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 4})
+	mustPush(t, f, 0, 1, "a0")
+	mustPush(t, f, 0, 1, "a1")
+	mustPush(t, f, 1, 1, "b0")
+	stop := make(chan struct{})
+	e1, _ := f.Next(stop) // flow 0 now busy
+	if e1.Flow != 0 {
+		t.Fatalf("first dispatch from flow %d, want 0", e1.Flow)
+	}
+	e2, _ := f.Next(stop) // must come from flow 1, not a1
+	if e2.Flow != 1 {
+		t.Fatalf("second dispatch from flow %d, want 1 (flow 0 busy)", e2.Flow)
+	}
+	f.Release(0)
+	e3, _ := f.Next(stop)
+	if e3.Value.(string) != "a1" {
+		t.Fatalf("third dispatch %v, want a1 after release", e3.Value)
+	}
+}
+
+// TestWeightedFairnessRatio floods two flows with equal-cost work and
+// checks the dispatch mix tracks the 1:3 weight ratio.
+func TestWeightedFairnessRatio(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 256, Weights: []int{1, 3}, Quantum: 64})
+	const each = 200
+	for i := 0; i < each; i++ {
+		mustPush(t, f, 0, 1000, i)
+		mustPush(t, f, 1, 1000, i)
+	}
+	order := drainOrder(f)
+	// Count the mix over a prefix where both flows are still contending
+	// (flow 1 empties after `each` dispatches of its own).
+	counts := [2]int{}
+	for _, fl := range order[:each*4/5] {
+		counts[fl]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.4 || ratio > 3.6 {
+		t.Fatalf("dispatch ratio %.2f (counts %v), want ~3.0", ratio, counts)
+	}
+}
+
+// TestCostAwareFairness: with equal weights, a flow pushing 4× larger
+// items should win ~1/4 of the dispatches (byte fairness, not item
+// fairness).
+func TestCostAwareFairness(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 256, Quantum: 64})
+	const each = 120
+	for i := 0; i < each; i++ {
+		mustPush(t, f, 0, 1000, i)
+		mustPush(t, f, 1, 4000, i)
+	}
+	order := drainOrder(f)
+	counts := [2]int{}
+	for _, fl := range order[:each] {
+		counts[fl]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.8 || ratio > 5.5 {
+		t.Fatalf("item ratio %.2f (counts %v), want ~4.0", ratio, counts)
+	}
+}
+
+func TestRequeuePreservesHeadOrder(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 4})
+	mustPush(t, f, 0, 1, "a")
+	mustPush(t, f, 0, 1, "b")
+	stop := make(chan struct{})
+	e, _ := f.Next(stop)
+	f.Requeue(e)
+	f.Release(0)
+	e2, _ := f.Next(stop)
+	if e2.Value.(string) != "a" {
+		t.Fatalf("after requeue got %v, want a back at head", e2.Value)
+	}
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 4})
+	mustPush(t, f, 0, 1, "a")
+	f.Close()
+	if _, err := f.Push(0, 1, "late"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("push after close: %v, want ErrClosed", err)
+	}
+	stop := make(chan struct{})
+	e, ok := f.Next(stop)
+	if !ok || e.Value.(string) != "a" {
+		t.Fatal("queued entry lost on close")
+	}
+	f.Release(0)
+	if _, ok := f.Next(stop); ok {
+		t.Fatal("Next returned entry after drain of closed queue")
+	}
+}
+
+func TestDrainQueuedCancelsAll(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 4})
+	mustPush(t, f, 0, 1, "a")
+	mustPush(t, f, 1, 1, "b")
+	drained := f.DrainQueued()
+	if len(drained) != 2 {
+		t.Fatalf("drained %d entries, want 2", len(drained))
+	}
+	for _, e := range drained {
+		if !e.Canceled() {
+			t.Fatalf("drained entry %v not marked cancelled", e.Value)
+		}
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("pending %d after drain", f.Pending())
+	}
+}
+
+// TestNextBlocksUntilPushOrStop covers the waiter paths.
+func TestNextBlocksUntilPushOrStop(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 4})
+	got := make(chan *Entry, 1)
+	stop := make(chan struct{})
+	go func() {
+		e, _ := f.Next(stop)
+		got <- e
+	}()
+	mustPush(t, f, 0, 1, "x")
+	if e := <-got; e == nil || e.Value.(string) != "x" {
+		t.Fatalf("blocked Next returned %v", e)
+	}
+	done := make(chan struct{})
+	go func() {
+		_, ok := f.Next(stop)
+		if ok {
+			t.Error("Next returned an entry after stop")
+		}
+		close(done)
+	}()
+	close(stop)
+	<-done
+}
+
+// TestConcurrentPushCancelNext hammers the claim/cancel race under the
+// race detector: every entry must be observed exactly once — either
+// dispatched or successfully cancelled, never both, never neither.
+func TestConcurrentPushCancelNext(t *testing.T) {
+	f, _ := New(Config{Flows: 4, Depth: 1024})
+	const perFlow = 200
+	var dispatched, cancelled [4 * perFlow]int32
+	stop := make(chan struct{})
+	var consumers sync.WaitGroup
+	consumers.Add(1)
+	go func() {
+		defer consumers.Done()
+		for {
+			e, ok := f.Next(stop)
+			if !ok {
+				return
+			}
+			dispatched[e.Value.(int)]++
+			f.Release(e.Flow)
+		}
+	}()
+	var producers sync.WaitGroup
+	for fl := 0; fl < 4; fl++ {
+		producers.Add(1)
+		go func(fl int) {
+			defer producers.Done()
+			for i := 0; i < perFlow; i++ {
+				id := fl*perFlow + i
+				e, err := f.Push(fl, 64, id)
+				if err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+				if i%3 == 0 {
+					if f.Cancel(e) {
+						cancelled[id]++
+					}
+				}
+			}
+		}(fl)
+	}
+	producers.Wait()
+	f.Close()
+	consumers.Wait()
+	for id := range dispatched {
+		if dispatched[id]+cancelled[id] != 1 {
+			t.Fatalf("entry %d: dispatched %d times, cancelled %d times",
+				id, dispatched[id], cancelled[id])
+		}
+	}
+}

@@ -1,13 +1,16 @@
 package ccai
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
+	"io"
 	"sync"
 
 	"ccai/internal/adaptor"
 	"ccai/internal/core"
 	"ccai/internal/mem"
+	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/tvm"
@@ -28,6 +31,48 @@ type MultiPlatform struct {
 	Mux     *core.Mux
 	Tenants []*Tenant
 	space   *mem.Space
+
+	// Obs is the chassis-wide observability hub (nil unless Observe was
+	// called): one registry and tracer shared by every tenant's pipeline
+	// and by any Scheduler serving the chassis.
+	Obs *obsv.Hub
+}
+
+// Observe enables the observability layer for the whole chassis and
+// wires it through every tenant's pipeline components. Call before
+// EstablishTrust so the per-tenant drivers are instrumented too;
+// calling it again is a no-op. It returns the hub for convenience.
+func (mp *MultiPlatform) Observe() *obsv.Hub {
+	if mp.Obs == nil {
+		mp.Obs = obsv.NewHub()
+		for _, t := range mp.Tenants {
+			t.Device.SetObserver(mp.Obs)
+			t.SC.SetObserver(mp.Obs)
+			t.Adaptor.SetObserver(mp.Obs)
+			if t.Driver != nil {
+				t.Driver.SetObserver(mp.Obs)
+			}
+		}
+	}
+	return mp.Obs
+}
+
+// Observability returns the chassis hub, nil when observability is
+// off. All obsv types no-op on nil, so callers may chain freely:
+// mp.Observability().T().Spans() is safe either way.
+func (mp *MultiPlatform) Observability() *obsv.Hub { return mp.Obs }
+
+// MetricsSnapshot returns a point-in-time copy of every metric. The
+// zero Snapshot is returned when observability is off.
+func (mp *MultiPlatform) MetricsSnapshot() obsv.Snapshot { return mp.Obs.Reg().Snapshot() }
+
+// WriteTimeline exports every recorded span as Chrome trace-event
+// JSON. ErrObserveOff is returned when observability is off.
+func (mp *MultiPlatform) WriteTimeline(w io.Writer) error {
+	if mp.Obs == nil {
+		return ErrObserveOff
+	}
+	return mp.Obs.Tracer.WriteChromeTrace(w)
 }
 
 // Tenant is one (TVM, xPU) slice of a MultiPlatform. A tenant's own
@@ -213,6 +258,9 @@ func (t *Tenant) EstablishTrust() error {
 	t.Driver.SetPreDoorbell(func(chunks []uint32) error {
 		return t.Adaptor.SyncVerified(t.ring, chunks)
 	})
+	if t.parent != nil && t.parent.Obs != nil {
+		t.Driver.SetObserver(t.parent.Obs)
+	}
 	if err := t.Driver.ConfigureMSI(msiBase, 0x41); err != nil {
 		return err
 	}
@@ -224,13 +272,31 @@ func (t *Tenant) EstablishTrust() error {
 // match Platform.RunTask. Safe to call concurrently with other
 // tenants' RunTask; calls on the same tenant serialize.
 func (t *Tenant) RunTask(task Task) ([]byte, error) {
+	return t.RunTaskCtx(context.Background(), task)
+}
+
+// RunTaskCtx is RunTask with end-to-end cancellation. The context is
+// honored at the pipeline's safe points — before staging and before
+// the doorbell — so an early cancellation costs nothing on the device.
+// Once the submission is rung the run is drained to completion and
+// only then is the cancellation reported (result discarded): aborting
+// a command mid-ring would leave IV counters and tag state
+// mid-protocol, which no cancellation is worth. Cancellation errors
+// satisfy errors.Is on context.Canceled / ErrDeadlineExceeded.
+func (t *Tenant) RunTaskCtx(ctx context.Context, task Task) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
 	if !t.trusted {
-		return nil, fmt.Errorf("ccai: tenant %d: trust not established", t.Index)
+		return nil, fmt.Errorf("ccai: tenant %d: %w", t.Index, ErrNotTrusted)
 	}
 	if len(task.Input) == 0 {
-		return nil, fmt.Errorf("ccai: empty task input")
+		return nil, fmt.Errorf("ccai: tenant %d: %w", t.Index, ErrEmptyInput)
 	}
 	outLen := int64(len(task.Input))
 	if task.Kernel == KernelChecksum && outLen < 8 {
@@ -246,6 +312,12 @@ func (t *Tenant) RunTask(task Task) ([]byte, error) {
 		return nil, err
 	}
 	defer t.Adaptor.ReleaseRegion(out)
+	// Last safe point: staging consumed IV counters (monotonically — a
+	// released region is never re-sealed under the same IVs), but the
+	// device has seen nothing, so abandoning here is free.
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
 
 	const devIn, devOut = 0x0, 0x40000
 	cmds := []xpu.Command{
@@ -264,7 +336,17 @@ func (t *Tenant) RunTask(task Task) ([]byte, error) {
 	if head != before+uint64(len(cmds)) {
 		return nil, fmt.Errorf("ccai: tenant %d: device consumed %d/%d commands", t.Index, head-before, len(cmds))
 	}
-	return t.Adaptor.CollectD2H(out, outLen)
+	res, err := t.Adaptor.CollectD2H(out, outLen)
+	if err != nil {
+		return nil, err
+	}
+	// Cancellation that landed mid-run: the pipeline drained cleanly
+	// (collect included, so stream state is fully advanced); only the
+	// result is withheld.
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, ctxErr(cerr)
+	}
+	return res, nil
 }
 
 // Close tears down one tenant's session.

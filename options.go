@@ -1,0 +1,50 @@
+package ccai
+
+import (
+	"ccai/internal/adaptor"
+	"ccai/internal/xpu"
+)
+
+// Option is one functional construction option for New. Options apply
+// onto a Config, so New and the (deprecated) NewPlatform build
+// identical platforms; zero options means the defaults (A100, Vanilla,
+// 64-entry ring, observability off).
+type Option func(*Config)
+
+// WithXPU selects the device model (xpu.A100, xpu.H100, xpu.MI300,
+// ...).
+func WithXPU(p xpu.Profile) Option { return func(c *Config) { c.XPU = p } }
+
+// WithMode selects Vanilla or Protected operation.
+func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }
+
+// WithObserve enables the observability layer: the metrics registry
+// and span tracer wired through every pipeline stage.
+func WithObserve() Option { return func(c *Config) { c.Observe = true } }
+
+// WithRingEntries sizes the command ring (default 64).
+func WithRingEntries(n uint64) Option { return func(c *Config) { c.RingEntries = n } }
+
+// WithAdaptor selects the §5 optimization set (Protected mode only);
+// the default is adaptor.Optimized().
+func WithAdaptor(o adaptor.Options) Option {
+	return func(c *Config) { opts := o; c.Adaptor = &opts }
+}
+
+// WithGoldenFirmware sets the firmware measurement the PCIe-SC attests
+// the xPU against; empty means the profile's shipped firmware.
+func WithGoldenFirmware(fw string) Option { return func(c *Config) { c.GoldenFirmware = fw } }
+
+// New assembles and boots a platform — the v2 constructor:
+//
+//	plat, err := ccai.New(ccai.WithXPU(xpu.H100), ccai.WithMode(ccai.Protected), ccai.WithObserve())
+//
+// It is NewPlatform with functional options instead of a config
+// struct; both remain supported, new code should use New.
+func New(opts ...Option) (*Platform, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return NewPlatform(cfg)
+}

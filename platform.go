@@ -8,15 +8,18 @@
 //
 // Quickstart:
 //
-//	plat, _ := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+//	plat, _ := ccai.New(ccai.WithXPU(xpu.A100), ccai.WithMode(ccai.Protected))
 //	defer plat.Close()
 //	out, _ := plat.RunTask(ccai.Task{Input: data, Kernel: ccai.KernelXOR, Param: 0x5a})
+//
+// For multi-tenant serving with admission control, backpressure and
+// cancellation, see MultiPlatform.NewScheduler.
 package ccai
 
 import (
 	"crypto/rand"
 	"encoding/binary"
-	"errors"
+	"fmt"
 	"io"
 	"sync"
 
@@ -195,7 +198,7 @@ func (p *Platform) Observability() *obsv.Hub { return p.Obs }
 // observability is off.
 func (p *Platform) WriteTimeline(w io.Writer) error {
 	if p.Obs == nil {
-		return errors.New("ccai: observability not enabled (Config.Observe)")
+		return ErrObserveOff
 	}
 	return p.Obs.Tracer.WriteChromeTrace(w)
 }
@@ -205,6 +208,10 @@ func (p *Platform) WriteTimeline(w io.Writer) error {
 func (p *Platform) MetricsSnapshot() obsv.Snapshot { return p.Obs.Reg().Snapshot() }
 
 // NewPlatform assembles and boots a platform.
+//
+// Deprecated: prefer New with functional options (WithXPU, WithMode,
+// WithObserve, ...), which reads better and leaves Config extensible.
+// NewPlatform remains fully supported for struct-literal callers.
 func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.XPU.Name == "" {
 		cfg.XPU = xpu.A100
@@ -399,7 +406,7 @@ func (p *Platform) EstablishTrust() error {
 	}
 	expected := xpu.AttestDigest(golden, nonce)
 	if !p.SC.AttestDevice(nonce, expected, xpu.RegAttestNonce, xpu.RegAttestResp) {
-		return errors.New("ccai: xPU firmware attestation failed; refusing to provision keys")
+		return fmt.Errorf("%w; refusing to provision keys", ErrAttestFailed)
 	}
 	for _, stream := range []string{core.StreamH2D, core.StreamD2H, core.StreamConfig, core.StreamMMIO} {
 		key, nonce := secmem.FreshKey(), secmem.FreshNonce()

@@ -1,0 +1,407 @@
+package ccai
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ccai/internal/fault"
+	"ccai/internal/obsv"
+	"ccai/internal/sched"
+)
+
+// This file is the v2 serving frontend: a long-lived, admission-
+// controlled scheduler over a MultiPlatform. Where RunTasks is a batch
+// barrier (submit everything, wait for everything), the Scheduler is
+// what the paper's §9 deployment actually needs — an always-on engine
+// that admits requests one at a time under sustained load:
+//
+//   - Bounded per-tenant ingress queues with fail-fast backpressure:
+//     Submit returns ErrQueueFull instead of buffering unboundedly.
+//   - Weighted fair scheduling (deficit round-robin over bytes): a
+//     flood from one tenant cannot starve another.
+//   - Deadline/cancellation honored end-to-end: a request cancelled
+//     while queued never occupies a pipeline slot; one cancelled in
+//     flight drains safely through the Adaptor (the device run
+//     completes, the result is discarded) so IV counters and tag
+//     state are never left mid-protocol.
+//   - Graceful Drain (stop admission, finish everything) and Shutdown
+//     (stop admission, cancel the queue, finish what is in flight).
+//
+// RunTasks is now a thin synchronous wrapper over this engine.
+
+// SchedulerConfig parameterizes a Scheduler. The zero value serves:
+// 32-deep queues, equal weights, one execution slot per tenant.
+type SchedulerConfig struct {
+	// QueueDepth bounds each tenant's ingress queue (default 32).
+	// Submissions beyond it fail fast with ErrQueueFull.
+	QueueDepth int
+	// Weights are per-tenant fair-share weights (default all 1): under
+	// contention a tenant receives service proportional to its weight.
+	Weights []int
+	// Slots bounds concurrently executing requests across the chassis
+	// (default: one per tenant). A tenant never uses more than one
+	// slot at a time — its pipeline is serial.
+	Slots int
+	// Quantum is the fair-scheduler deficit quantum in bytes (default
+	// 4096). Smaller values interleave tenants more finely.
+	Quantum int64
+}
+
+// Scheduler lifecycle states.
+const (
+	schedRunning int32 = iota
+	schedDraining
+	schedClosed
+)
+
+// Handle is one submitted request's completion handle.
+type Handle struct {
+	// Tenant is the request's tenant index.
+	Tenant int
+
+	done chan struct{}
+	once sync.Once
+	out  []byte
+	err  error
+	wait atomic.Int64 // queue wait in wall ns, set at dispatch
+}
+
+// Done returns a channel closed when the request completes (with a
+// result, an error, or a cancellation).
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Result blocks until the request completes and returns its outcome.
+func (h *Handle) Result() ([]byte, error) {
+	<-h.done
+	return h.out, h.err
+}
+
+// Wait blocks until the request completes or ctx expires. An expired
+// ctx abandons the wait only — the request itself continues under the
+// context it was submitted with.
+func (h *Handle) Wait(ctx context.Context) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-h.done:
+		return h.out, h.err
+	case <-ctx.Done():
+		return nil, ctxErr(ctx.Err())
+	}
+}
+
+// QueueWait reports how long the request waited between admission and
+// dispatch (zero until dispatched).
+func (h *Handle) QueueWait() time.Duration { return time.Duration(h.wait.Load()) }
+
+// request is the queue payload behind a Handle.
+type request struct {
+	ctx   context.Context
+	task  Task
+	h     *Handle
+	enq   time.Time
+	qspan obsv.ActiveSpan
+}
+
+// Scheduler is the long-lived serving engine over a MultiPlatform.
+// Construct with MultiPlatform.NewScheduler; all methods are safe for
+// concurrent use.
+type Scheduler struct {
+	mp    *MultiPlatform
+	q     *sched.Fair
+	obs   *obsv.Hub
+	slots chan struct{}
+
+	mu       sync.Mutex
+	state    int32
+	inflight sync.WaitGroup
+	stop     chan struct{} // closed by Shutdown to abort the dispatcher
+	finished chan struct{} // closed when the dispatcher and all in-flight work end
+
+	faultHook atomic.Pointer[func(point string) bool]
+	// execGate, when set (tests only, before first Submit), runs at the
+	// top of every execution slot — the hook the semantics table uses
+	// to hold a slot open deterministically.
+	execGate func(tenant int)
+}
+
+// NewScheduler starts a serving scheduler over the chassis. The
+// dispatcher goroutine runs until Drain or Shutdown completes.
+func (mp *MultiPlatform) NewScheduler(cfg SchedulerConfig) (*Scheduler, error) {
+	n := len(mp.Tenants)
+	if n == 0 {
+		return nil, fmt.Errorf("ccai: scheduler needs tenants: %w", ErrNoTenant)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 32
+	}
+	slots := cfg.Slots
+	if slots <= 0 {
+		slots = n
+	}
+	q, err := sched.New(sched.Config{
+		Flows: n, Depth: cfg.QueueDepth, Weights: cfg.Weights, Quantum: cfg.Quantum,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{
+		mp:       mp,
+		q:        q,
+		obs:      mp.Obs,
+		slots:    make(chan struct{}, slots),
+		stop:     make(chan struct{}),
+		finished: make(chan struct{}),
+	}
+	go s.dispatch()
+	return s, nil
+}
+
+// SetFaultHook installs the deterministic fault probe (see
+// fault.Injector.SchedFault); nil clears it. Probed at every dispatch:
+// SchedPointDequeue firing requeues the request (mid-queue stall),
+// SchedPointCancel firing cancels it at the claim boundary.
+func (s *Scheduler) SetFaultHook(fn func(point string) bool) {
+	if fn == nil {
+		s.faultHook.Store(nil)
+		return
+	}
+	s.faultHook.Store(&fn)
+}
+
+func (s *Scheduler) probeFault(point string) bool {
+	fn := s.faultHook.Load()
+	return fn != nil && (*fn)(point)
+}
+
+func tenantLabel(i int) string { return strconv.Itoa(i) }
+
+// Submit admits one request. It never blocks: the request is either
+// queued (returning a Handle) or rejected immediately — ErrQueueFull
+// when the tenant's queue is at capacity, ErrNoTenant for a bad index,
+// ErrEmptyInput for an empty task, ErrSchedulerClosed after
+// Drain/Shutdown, or the ctx's own error when it is already done.
+// The returned Handle completes when the request finishes, fails, or
+// is cancelled; errors.Is(err, context.Canceled) and
+// errors.Is(err, ErrDeadlineExceeded) identify cancellations.
+func (s *Scheduler) Submit(ctx context.Context, tt TenantTask) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reg := s.obs.Reg()
+	reject := func(reason string, err error) (*Handle, error) {
+		reg.Counter(obsv.Name("sched.rejected", "reason", reason)).Inc()
+		return nil, err
+	}
+	if atomic.LoadInt32(&s.state) != schedRunning {
+		return reject("closed", fmt.Errorf("ccai: submit: %w", ErrSchedulerClosed))
+	}
+	if tt.Tenant < 0 || tt.Tenant >= len(s.mp.Tenants) {
+		return reject("no_tenant", fmt.Errorf("ccai: tenant %d of %d: %w",
+			tt.Tenant, len(s.mp.Tenants), ErrNoTenant))
+	}
+	if len(tt.Task.Input) == 0 {
+		return reject("empty", fmt.Errorf("ccai: tenant %d: %w", tt.Tenant, ErrEmptyInput))
+	}
+	if err := ctx.Err(); err != nil {
+		return reject("ctx_done", ctxErr(err))
+	}
+
+	tr := s.obs.T()
+	label := tenantLabel(tt.Tenant)
+	sp := tr.Begin(obsv.TrackSched, "admit",
+		obsv.Str("tenant", label), obsv.I64("bytes", int64(len(tt.Task.Input))))
+	h := &Handle{Tenant: tt.Tenant, done: make(chan struct{})}
+	r := &request{ctx: ctx, task: tt.Task, h: h, enq: time.Now()}
+	// The queue_wait span opens before Push: once the entry is visible
+	// to the dispatcher, no field of r may be written again.
+	r.qspan = tr.Begin(obsv.TrackSched, "queue_wait", obsv.Str("tenant", label))
+	e, err := s.q.Push(tt.Tenant, int64(len(tt.Task.Input)), r)
+	sp.End()
+	if err != nil {
+		r.qspan.End()
+		switch {
+		case errors.Is(err, sched.ErrQueueFull):
+			return reject("queue_full", fmt.Errorf("ccai: tenant %d: %w", tt.Tenant, ErrQueueFull))
+		case errors.Is(err, sched.ErrClosed):
+			return reject("closed", fmt.Errorf("ccai: submit: %w", ErrSchedulerClosed))
+		}
+		return reject("invalid", err)
+	}
+	reg.Counter(obsv.Name("sched.admitted", "tenant", label)).Inc()
+	reg.Gauge(obsv.Name("sched.queue_depth", "tenant", label)).Set(int64(s.q.Len(tt.Tenant)))
+
+	// Cancellation while queued: win the claim race and the request
+	// completes here, never having occupied a pipeline slot.
+	context.AfterFunc(ctx, func() {
+		if s.q.Cancel(e) {
+			r.qspan.End()
+			reg.Counter(obsv.Name("sched.canceled", "stage", "queued")).Inc()
+			reg.Gauge(obsv.Name("sched.queue_depth", "tenant", label)).Set(int64(s.q.Len(tt.Tenant)))
+			s.finish(r, nil, ctxErr(ctx.Err()))
+		}
+	})
+	return h, nil
+}
+
+// finish resolves the request's handle exactly once.
+func (s *Scheduler) finish(r *request, out []byte, err error) {
+	r.h.once.Do(func() {
+		r.h.out, r.h.err = out, err
+		close(r.h.done)
+		status := "ok"
+		if err != nil {
+			status = "error"
+		}
+		s.obs.Reg().Counter(obsv.Name("sched.completed",
+			"tenant", tenantLabel(r.h.Tenant), "status", status)).Inc()
+	})
+}
+
+// dispatch is the scheduler loop: acquire a slot, let the fair queue
+// pick the next request at that instant, execute. It exits when the
+// queue is closed and drained (Drain) or stop is signalled (Shutdown),
+// then waits out in-flight work.
+func (s *Scheduler) dispatch() {
+	defer func() {
+		s.inflight.Wait()
+		close(s.finished)
+	}()
+	for {
+		select {
+		case s.slots <- struct{}{}:
+		case <-s.stop:
+			return
+		}
+		e, ok := s.q.Next(s.stop)
+		if !ok {
+			<-s.slots
+			return
+		}
+		if s.probeFault(fault.SchedPointDequeue) {
+			// Mid-queue stall: the claim is abandoned, the request goes
+			// back to the head of its tenant's queue with its fair-share
+			// deficit refunded, and dispatch retries.
+			s.obs.Reg().Counter(obsv.Name("sched.faults", "class", "sched-stall")).Inc()
+			s.q.Requeue(e)
+			s.q.Release(e.Flow)
+			<-s.slots
+			continue
+		}
+		r := e.Value.(*request)
+		if s.probeFault(fault.SchedPointCancel) {
+			// Cancellation landing at the exact claim boundary: settle it
+			// as a queue-side cancellation — the slot is returned unused.
+			s.obs.Reg().Counter(obsv.Name("sched.faults", "class", "cancel-race")).Inc()
+			r.qspan.End()
+			s.obs.Reg().Counter(obsv.Name("sched.canceled", "stage", "claim")).Inc()
+			s.finish(r, nil, ctxErr(context.Canceled))
+			s.q.Release(e.Flow)
+			<-s.slots
+			continue
+		}
+		s.inflight.Add(1)
+		go s.execute(r, e.Flow)
+	}
+}
+
+// execute runs one dispatched request in its slot.
+func (s *Scheduler) execute(r *request, flow int) {
+	defer func() {
+		s.q.Release(flow)
+		<-s.slots
+		s.inflight.Done()
+	}()
+	reg := s.obs.Reg()
+	label := tenantLabel(r.h.Tenant)
+	wait := time.Since(r.enq)
+	r.h.wait.Store(int64(wait))
+	r.qspan.End()
+	reg.Histogram(obsv.Name("sched.queue_wait_ns", "tenant", label),
+		obsv.DurationBuckets()).Observe(wait.Nanoseconds())
+	reg.Gauge(obsv.Name("sched.queue_depth", "tenant", label)).Set(int64(s.q.Len(r.h.Tenant)))
+
+	if s.execGate != nil {
+		s.execGate(r.h.Tenant)
+	}
+	// A request whose context died between claim and here still never
+	// touches the pipeline.
+	if err := r.ctx.Err(); err != nil {
+		reg.Counter(obsv.Name("sched.canceled", "stage", "claimed")).Inc()
+		s.finish(r, nil, ctxErr(err))
+		return
+	}
+	sp := s.obs.T().Begin(obsv.TrackSched, "execute",
+		obsv.Str("tenant", label), obsv.I64("bytes", int64(len(r.task.Input))))
+	out, err := s.mp.Tenants[r.h.Tenant].RunTaskCtx(r.ctx, r.task)
+	status := "ok"
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled) || errors.Is(err, ErrDeadlineExceeded):
+		status = "canceled"
+		reg.Counter(obsv.Name("sched.canceled", "stage", "inflight")).Inc()
+	default:
+		status = "error"
+	}
+	sp.Attr(obsv.Str("status", status))
+	sp.End()
+	s.finish(r, out, err)
+}
+
+// Drain stops admission and waits for every queued and in-flight
+// request to complete, bounded by ctx. The scheduler is finished
+// afterwards — Submit keeps returning ErrSchedulerClosed.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if atomic.LoadInt32(&s.state) == schedRunning {
+		atomic.StoreInt32(&s.state, schedDraining)
+		s.q.Close()
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.finished:
+		return nil
+	case <-ctx.Done():
+		return ctxErr(ctx.Err())
+	}
+}
+
+// Shutdown stops admission, cancels everything still queued (their
+// handles complete with ErrSchedulerClosed), waits for in-flight
+// requests to drain, and stops the dispatcher — bounded by ctx.
+func (s *Scheduler) Shutdown(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if atomic.LoadInt32(&s.state) != schedClosed {
+		atomic.StoreInt32(&s.state, schedClosed)
+		s.q.Close()
+		for _, e := range s.q.DrainQueued() {
+			r := e.Value.(*request)
+			r.qspan.End()
+			s.finish(r, nil, fmt.Errorf("ccai: request dropped: %w", ErrSchedulerClosed))
+		}
+		close(s.stop)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.finished:
+		return nil
+	case <-ctx.Done():
+		return ctxErr(ctx.Err())
+	}
+}
+
+// Pending reports requests admitted but not yet dispatched, across
+// all tenants.
+func (s *Scheduler) Pending() int { return s.q.Pending() }

@@ -1,6 +1,7 @@
 package ccai
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -34,39 +35,49 @@ type TenantResult struct {
 	Err error
 }
 
-// RunTasks executes a mixed batch of tenant tasks concurrently: one
-// goroutine per addressed tenant, each running that tenant's tasks
-// sequentially in submission order (a tenant's pipeline is inherently
-// serial — one command ring, one stream counter sequence). Results
-// come back indexed by input position, so results[i] always answers
-// tasks[i].
+// RunTasks executes a mixed batch of tenant tasks concurrently. Since
+// the v2 API it is a thin synchronous wrapper over the Scheduler: the
+// whole batch is admitted up front (queues sized to fit, so admission
+// never rejects), dispatched under weighted-fair scheduling with one
+// execution slot per tenant, and collected. Per-tenant submission
+// order is preserved (a tenant's pipeline is inherently serial — one
+// command ring, one stream counter sequence). Results come back
+// indexed by input position, so results[i] always answers tasks[i].
 //
-// Tasks addressed to an out-of-range tenant fail with an error in
-// their result slot; everything else still runs.
+// Tasks addressed to an out-of-range tenant fail with ErrNoTenant in
+// their result slot; everything else still runs. Callers that need
+// backpressure, cancellation, or deadlines should use the Scheduler
+// directly.
 func (mp *MultiPlatform) RunTasks(tasks []TenantTask) []TenantResult {
 	results := make([]TenantResult, len(tasks))
-	// Partition by tenant, preserving per-tenant submission order.
-	byTenant := make(map[int][]int)
 	for i, tt := range tasks {
 		results[i] = TenantResult{Tenant: tt.Tenant, Index: i}
-		if tt.Tenant < 0 || tt.Tenant >= len(mp.Tenants) {
-			results[i].Err = fmt.Errorf("ccai: no tenant %d (have %d)", tt.Tenant, len(mp.Tenants))
+	}
+	if len(tasks) == 0 {
+		return results
+	}
+	s, err := mp.NewScheduler(SchedulerConfig{QueueDepth: len(tasks)})
+	if err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+	handles := make([]*Handle, len(tasks))
+	for i, tt := range tasks {
+		h, err := s.Submit(context.Background(), tt)
+		if err != nil {
+			results[i].Err = err
 			continue
 		}
-		byTenant[tt.Tenant] = append(byTenant[tt.Tenant], i)
+		handles[i] = h
 	}
-	var wg sync.WaitGroup
-	for tenant, idxs := range byTenant {
-		wg.Add(1)
-		go func(t *Tenant, idxs []int) {
-			defer wg.Done()
-			for _, i := range idxs {
-				out, err := t.RunTask(tasks[i].Task)
-				results[i].Output, results[i].Err = out, err
-			}
-		}(mp.Tenants[tenant], idxs)
+	for i, h := range handles {
+		if h != nil {
+			results[i].Output, results[i].Err = h.Result()
+		}
 	}
-	wg.Wait()
+	_ = s.Shutdown(context.Background())
 	return results
 }
 

@@ -1,6 +1,7 @@
 package ccai
 
 import (
+	"context"
 	"fmt"
 
 	"ccai/internal/adaptor"
@@ -56,6 +57,19 @@ type Task struct {
 // with the kernel, input size and outcome — metadata only, never the
 // data.
 func (p *Platform) RunTask(t Task) ([]byte, error) {
+	return p.RunTaskCtx(context.Background(), t)
+}
+
+// RunTaskCtx is RunTask with end-to-end cancellation: the context is
+// honored at the pipeline's safe points (before staging, before the
+// doorbell); once the submission is rung the run drains to completion
+// and only then is the cancellation reported, so stream state is never
+// left mid-protocol. Cancellation errors satisfy errors.Is on
+// context.Canceled / ErrDeadlineExceeded.
+func (p *Platform) RunTaskCtx(ctx context.Context, t Task) ([]byte, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tr := p.Obs.T()
 	id := tr.StartTask()
 	defer tr.EndTask()
@@ -64,7 +78,7 @@ func (p *Platform) RunTask(t Task) ([]byte, error) {
 		obsv.Str("kernel", t.Kernel.String()),
 		obsv.I64("in_bytes", int64(len(t.Input))),
 		obsv.Str("mode", p.Mode.String()))
-	out, err := p.runTask(t)
+	out, err := p.runTask(ctx, t)
 	status := "ok"
 	if err != nil {
 		status = "error"
@@ -75,12 +89,15 @@ func (p *Platform) RunTask(t Task) ([]byte, error) {
 	return out, err
 }
 
-func (p *Platform) runTask(t Task) ([]byte, error) {
+func (p *Platform) runTask(ctx context.Context, t Task) ([]byte, error) {
 	if len(t.Input) == 0 {
-		return nil, fmt.Errorf("ccai: empty task input")
+		return nil, ErrEmptyInput
 	}
 	if p.Mode == Protected && !p.trusted {
-		return nil, fmt.Errorf("ccai: trust not established; call EstablishTrust first")
+		return nil, fmt.Errorf("%w; call EstablishTrust first", ErrNotTrusted)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
 	}
 	outLen := int64(len(t.Input))
 	if t.Kernel == KernelChecksum && outLen < 8 {
