@@ -2,16 +2,17 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
+.PHONY: all build test race stress bench bench-smoke soak-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
 
 all: build test
 
 # Everything a merge gate needs: formatting and static checks, the full
 # suite, the race detector over the concurrent retry paths, the
 # multi-tenant stress matrix, a one-iteration pass over every benchmark
-# (so they can't rot), and a short fuzz pass over the attacker-facing
-# parsers (fault plans included).
-ci: fmt-check vet test race stress bench-smoke
+# (so they can't rot), the smoke soak byte-diffed against its committed
+# scorecard, and a short fuzz pass over the attacker-facing parsers
+# (fault plans included).
+ci: fmt-check vet test race stress bench-smoke soak-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json \
@@ -44,6 +45,12 @@ fmt-check:
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
 	fi
+
+# The CI soak: the smoke storm preset (seconds of wall clock), its
+# scorecard byte-diffed against the committed baseline — deterministic
+# virtual-time numbers get an exact gate, unlike the wall-clock micros.
+soak-smoke:
+	$(GO) run ./cmd/ccai-bench -only soak -soak smoke -out "" -soak-compare BENCH_results.json
 
 # One testing.B benchmark per paper table/figure, plus micro-benchmarks.
 bench:

@@ -10,9 +10,20 @@
 // micro-benchmarks of the real simulated pipeline (not the analytical
 // timing model) — so the perf trajectory is machine-trackable across
 // revisions. Disable with -out "".
+//
+// The soak harness rides the same results file:
+//
+//	ccai-bench -only soak -soak smoke   # CI storm, scorecard under "soak"
+//	ccai-bench -soak all                # smoke + full presets
+//	ccai-bench -only soak -soak smoke -soak-compare BENCH_results.json
+//
+// Soak scorecards are deterministic (virtual time only), so -soak-compare
+// demands byte equality against the committed baseline, unlike the
+// tolerance-based -compare used for wall-clock numbers.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -26,14 +37,17 @@ import (
 	"ccai"
 	"ccai/internal/bench"
 	"ccai/internal/llm"
+	"ccai/internal/soak"
 	"ccai/internal/xpu"
 )
 
 func main() {
-	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition,micro")
+	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition,micro,soak")
 	src := flag.String("src", ".", "repository root for Table 3 LoC measurement")
 	out := flag.String("out", "BENCH_results.json", "machine-readable micro-benchmark results path (empty disables)")
 	compare := flag.String("compare", "", "baseline BENCH_results.json to diff against; exits non-zero on >10% ns/op regression")
+	soakArg := flag.String("soak", "", "run the soak harness: smoke, full, or all; scorecards merge into -out under \"soak\"")
+	soakCompare := flag.String("soak-compare", "", "baseline BENCH_results.json whose soak scorecards must match byte-for-byte")
 	flag.Parse()
 
 	cm := bench.Defaults()
@@ -165,6 +179,47 @@ func main() {
 		fmt.Println(renderMicro(*out, results))
 		if report != "" {
 			fmt.Print(report)
+		}
+		if code != 0 {
+			os.Exit(code)
+		}
+	}
+	if *soakArg != "" {
+		var presets []soak.Config
+		switch strings.ToLower(*soakArg) {
+		case "smoke":
+			presets = []soak.Config{soak.Smoke()}
+		case "full":
+			presets = []soak.Config{soak.Full()}
+		case "all":
+			presets = []soak.Config{soak.Smoke(), soak.Full()}
+		default:
+			fail("soak", fmt.Errorf("unknown preset %q (want smoke, full or all)", *soakArg))
+		}
+		code := 0
+		for _, cfg := range presets {
+			sc, err := soak.Run(cfg)
+			if err != nil {
+				fail("soak", err)
+			}
+			fmt.Printf("soak/%s scorecard:\n%s", cfg.Preset, sc.Marshal())
+			if !sc.WithinBudgets {
+				fmt.Fprintf(os.Stderr, "ccai-bench: soak/%s breached its SLO budgets or oracles\n", cfg.Preset)
+				code = 1
+			}
+			if *soakCompare != "" {
+				if err := diffSoak(*soakCompare, cfg.Preset, sc); err != nil {
+					fmt.Fprintf(os.Stderr, "ccai-bench: soak-compare: %v\n", err)
+					code = 1
+				} else {
+					fmt.Printf("soak/%s scorecard matches baseline %s byte-for-byte\n", cfg.Preset, *soakCompare)
+				}
+			}
+			if *out != "" {
+				if err := mergeSoak(*out, cfg.Preset, sc); err != nil {
+					fail("soak", err)
+				}
+			}
 		}
 		if code != 0 {
 			os.Exit(code)
@@ -397,16 +452,77 @@ func scheduledBench() ([]benchResult, error) {
 	}, nil
 }
 
-func writeResults(path string, results []benchResult) error {
-	doc := struct {
-		Tool    string        `json:"tool"`
-		Results []benchResult `json:"results"`
-	}{Tool: "ccai-bench", Results: results}
+// benchDoc is the whole BENCH_results.json document: the wall-clock
+// micro-benchmarks plus the deterministic soak scorecards, keyed by
+// preset. Writers update only their own section, so regenerating the
+// micro numbers keeps the committed scorecards and vice versa.
+type benchDoc struct {
+	Tool    string                     `json:"tool"`
+	Results []benchResult              `json:"results,omitempty"`
+	Soak    map[string]json.RawMessage `json:"soak,omitempty"`
+}
+
+// readDoc loads the existing results document; a missing or unreadable
+// file yields an empty one.
+func readDoc(path string) benchDoc {
+	doc := benchDoc{Tool: "ccai-bench"}
+	if data, err := os.ReadFile(path); err == nil {
+		_ = json.Unmarshal(data, &doc)
+	}
+	doc.Tool = "ccai-bench"
+	return doc
+}
+
+func writeDoc(path string, doc benchDoc) error {
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func writeResults(path string, results []benchResult) error {
+	doc := readDoc(path)
+	doc.Results = results
+	return writeDoc(path, doc)
+}
+
+// mergeSoak installs one preset's scorecard into the document's soak
+// section, preserving every other section.
+func mergeSoak(path, preset string, sc soak.Scorecard) error {
+	doc := readDoc(path)
+	if doc.Soak == nil {
+		doc.Soak = make(map[string]json.RawMessage)
+	}
+	doc.Soak[preset] = json.RawMessage(bytes.TrimRight(sc.Marshal(), "\n"))
+	return writeDoc(path, doc)
+}
+
+// diffSoak holds a fresh scorecard to the committed baseline: identical
+// seeds must reproduce identical bytes, so any drift — a count, a
+// latency digit, a violation — is a failure, not a tolerance question.
+func diffSoak(path, preset string, cur soak.Scorecard) error {
+	doc := readDoc(path)
+	raw, ok := doc.Soak[preset]
+	if !ok {
+		return fmt.Errorf("%s has no soak/%s baseline", path, preset)
+	}
+	base, err := soak.UnmarshalScorecard(raw)
+	if err != nil {
+		return fmt.Errorf("%s soak/%s: %v", path, preset, err)
+	}
+	want, got := base.Marshal(), cur.Marshal()
+	if bytes.Equal(want, got) {
+		return nil
+	}
+	wl, gl := strings.Split(string(want), "\n"), strings.Split(string(got), "\n")
+	for i := 0; i < len(wl) && i < len(gl); i++ {
+		if wl[i] != gl[i] {
+			return fmt.Errorf("soak/%s diverged from baseline at line %d:\n  baseline: %s\n  current:  %s",
+				preset, i+1, strings.TrimSpace(wl[i]), strings.TrimSpace(gl[i]))
+		}
+	}
+	return fmt.Errorf("soak/%s diverged from baseline (length %d vs %d lines)", preset, len(wl), len(gl))
 }
 
 func renderMicro(path string, results []benchResult) string {
@@ -457,15 +573,23 @@ func compareResults(path string, cur []benchResult) (int, string) {
 	fmt.Fprintf(&b, "Comparison vs %s (regression = ns/op worse by >%.0f%%):\n", path, regressionTolerance*100)
 	regressions := 0
 	for _, r := range cur {
+		// Soft SLO gate on the scheduled-serve latency tail: over budget
+		// is reported loudly but does not fail the run, since absolute
+		// wall time on a shared host is advisory (the soak's virtual
+		// budgets are the hard ones).
+		budgetNote := ""
+		if r.Name == "serve/scheduled/p99-queue-wait" && r.NsPerOp > float64(soak.ScheduledP99WaitBudget) {
+			budgetNote = fmt.Sprintf("  OVER BUDGET (SLO %d ms)", soak.ScheduledP99WaitBudget/int64(time.Millisecond))
+		}
 		old, ok := base[r.Name]
 		if !ok || old.NsPerOp <= 0 {
-			fmt.Fprintf(&b, "  %-32s %14.0f ns/op   (no baseline)\n", r.Name, r.NsPerOp)
+			fmt.Fprintf(&b, "  %-32s %14.0f ns/op   (no baseline)%s\n", r.Name, r.NsPerOp, budgetNote)
 			continue
 		}
 		delta := (r.NsPerOp - old.NsPerOp) / old.NsPerOp * 100
-		mark := ""
+		mark := budgetNote
 		if delta > regressionTolerance*100 {
-			mark = "  REGRESSION"
+			mark += "  REGRESSION"
 			regressions++
 		}
 		allocNote := ""

@@ -1,0 +1,195 @@
+package soak
+
+import (
+	"fmt"
+
+	"ccai/internal/sched"
+	"ccai/internal/sim"
+)
+
+// req is one virtual request's life record.
+type req struct {
+	tenant    int
+	bytes     int
+	enq, disp sim.Time
+}
+
+// engine is the virtual plane: a discrete-event loop pushing MMPP
+// arrivals through the DRR fair queue into cfg.Slots virtual execution
+// slots. Every callback runs on the single event-loop goroutine, so a
+// run is fully deterministic; the only wall-clock work is the carrier
+// probes, whose outcomes are themselves deterministic.
+type engine struct {
+	cfg  Config
+	clk  *sim.Engine
+	q    *sched.Fair
+	stop chan struct{} // pre-closed: turns Fair.Next into a deterministic try-dequeue
+
+	arrivals []*mmpp
+	rands    []*sim.Rand
+
+	freeSlots  int
+	dispatches int64
+
+	offered, completed, rejected, failed, canceled int64
+	queueWaits, e2es                               []int64 // virtual ns, completion order
+	perTenantWait                                  []int64
+	perTenantN                                     []int64
+
+	orc  *oracle
+	car  *carrier
+	plan StormPlan
+}
+
+// Run executes one soak and returns its scorecard. The returned error
+// covers harness construction only; invariant violations and SLO
+// breaches are data, reported in the scorecard (Violations,
+// WithinBudgets) so CI can diff them like any other regression.
+func Run(cfg Config) (Scorecard, error) {
+	if cfg.Tenants < 1 || cfg.Horizon <= 0 || cfg.Slots < 1 {
+		return Scorecard{}, fmt.Errorf("soak: config needs tenants/horizon/slots, got %+v", cfg)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	if cfg.ProbeEvery <= 0 {
+		cfg.ProbeEvery = 64
+	}
+
+	clk := sim.NewEngine()
+	orc := newOracle(clk)
+	q, err := sched.New(sched.Config{Flows: cfg.Tenants, Depth: cfg.QueueDepth, Quantum: cfg.Quantum})
+	if err != nil {
+		return Scorecard{}, err
+	}
+	e := &engine{
+		cfg: cfg, clk: clk, q: q,
+		stop:          make(chan struct{}),
+		arrivals:      make([]*mmpp, cfg.Tenants),
+		rands:         make([]*sim.Rand, cfg.Tenants),
+		freeSlots:     cfg.Slots,
+		perTenantWait: make([]int64, cfg.Tenants),
+		perTenantN:    make([]int64, cfg.Tenants),
+		orc:           orc,
+		plan:          GeneratePlan(cfg),
+	}
+	close(e.stop)
+
+	if cfg.Carriers > 0 {
+		car, err := newCarrier(&cfg, orc, clk)
+		if err != nil {
+			return Scorecard{}, err
+		}
+		e.car = car
+		defer car.close()
+	}
+
+	// Waves are scheduled before arrivals so a wave starting at the same
+	// instant as a dispatch rewires the adversaries first (the engine
+	// fires same-instant events in schedule order).
+	if e.car != nil {
+		for _, w := range e.plan.Waves {
+			w := w
+			clk.At(sim.Time(w.AtMs)*sim.Millisecond, func() { e.car.startWave(w) })
+		}
+	}
+	for tn := 0; tn < cfg.Tenants; tn++ {
+		tn := tn
+		r := sim.NewRand(cfg.Seed ^ (0x9e3779b97f4a7c15 * uint64(tn+1)))
+		e.rands[tn] = r
+		e.arrivals[tn] = newMMPP(r, &cfg)
+		if gap := e.arrivals[tn].next(); gap < cfg.Horizon {
+			clk.Schedule(gap, func() { e.arrive(tn) })
+		}
+	}
+	clk.Run()
+	if e.car != nil {
+		e.car.endWave() // final wave's closing checks
+		e.finalChecks()
+	}
+	return e.scorecard(), nil
+}
+
+// arrive admits one request for the tenant (or sheds it at the bounded
+// queue) and books the tenant's next arrival while still inside the
+// horizon.
+func (e *engine) arrive(tn int) {
+	now := e.clk.Now()
+	e.offered++
+	size := 1024 << e.rands[tn].Intn(4) // 1–8 KiB
+	r := &req{tenant: tn, bytes: size, enq: now}
+	if _, err := e.q.Push(tn, int64(size), r); err != nil {
+		e.rejected++
+	}
+	e.pump()
+	gap := e.arrivals[tn].next()
+	if now+gap < e.cfg.Horizon {
+		e.clk.Schedule(gap, func() { e.arrive(tn) })
+	}
+}
+
+// pump fills free slots from the fair queue. Every ProbeEvery-th
+// dispatch also rides the carrier plane; the real pipeline's recovery
+// cost comes back as a virtual penalty on that request's service time,
+// so injected faults show up in the latency tails.
+func (e *engine) pump() {
+	for e.freeSlots > 0 {
+		en, ok := e.q.Next(e.stop)
+		if !ok {
+			return
+		}
+		e.freeSlots--
+		r := en.Value.(*req)
+		r.disp = e.clk.Now()
+		e.dispatches++
+		svc := svcBase + svcPerKiB*sim.Time(r.bytes/1024)
+		outcome := probeOK
+		if e.car != nil && e.dispatches%int64(e.cfg.ProbeEvery) == 0 {
+			var pen sim.Time
+			pen, outcome = e.car.probe()
+			svc += pen
+		}
+		flow, oc := en.Flow, outcome
+		e.clk.Schedule(svc, func() { e.complete(r, flow, oc) })
+	}
+}
+
+// complete retires one request, frees its slot and flow, and pumps
+// again.
+func (e *engine) complete(r *req, flow int, outcome int) {
+	e.q.Release(flow)
+	e.freeSlots++
+	switch outcome {
+	case probeOK:
+		e.completed++
+		wait := int64(r.disp - r.enq)
+		e.queueWaits = append(e.queueWaits, wait)
+		e.e2es = append(e.e2es, int64(e.clk.Now()-r.enq))
+		e.perTenantWait[r.tenant] += wait
+		e.perTenantN[r.tenant]++
+	case probeFailed:
+		e.failed++
+	case probeCanceled:
+		e.canceled++
+	}
+	e.pump()
+}
+
+// finalChecks guards the oracles against vacuity and cross-checks the
+// engine's own probe accounting against the obsv metrics layer — the
+// meters must agree with the instruments they summarize.
+func (e *engine) finalChecks() {
+	if e.car.scanner.PayloadBytes() == 0 {
+		e.orc.violatef("VACUOUS: confidentiality oracle saw no bus traffic")
+	}
+	if e.orc.ivsAudited() == 0 {
+		e.orc.violatef("VACUOUS: IV oracle audited no seals")
+	}
+	if e.car.probeIdx == 0 {
+		e.orc.violatef("VACUOUS: no carrier probes ran")
+	}
+	if ok := obsvCompletedOK(e.car.mp.Obs); ok != uint64(e.car.probeOKs) {
+		e.orc.violatef("METER MISMATCH: obsv sched.completed ok=%d, engine counted %d",
+			ok, e.car.probeOKs)
+	}
+}

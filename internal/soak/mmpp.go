@@ -1,0 +1,63 @@
+package soak
+
+import (
+	"math"
+
+	"ccai/internal/sim"
+)
+
+// mmpp is a two-state Markov-modulated Poisson process: a tenant dwells
+// in a calm state (low Poisson arrival rate) and occasionally flips
+// into a burst state (high rate) for a short dwell, modelling the
+// bursty request trains real serving tenants produce. State dwells and
+// inter-arrival gaps are both exponential, driven by one per-tenant
+// deterministic generator.
+type mmpp struct {
+	r          *sim.Rand
+	burst      bool
+	calmRate   float64 // arrivals per second
+	burstRate  float64
+	calmDwell  float64 // mean dwell seconds
+	burstDwell float64
+}
+
+func newMMPP(r *sim.Rand, cfg *Config) *mmpp {
+	return &mmpp{
+		r:          r,
+		calmRate:   cfg.CalmRPS,
+		burstRate:  cfg.BurstRPS,
+		calmDwell:  cfg.CalmDwell.Seconds(),
+		burstDwell: cfg.BurstDwell.Seconds(),
+	}
+}
+
+// exp draws an exponential variate with the given mean (seconds).
+func (m *mmpp) exp(mean float64) float64 {
+	u := m.r.Float64()
+	if u >= 1 {
+		u = 0.999999
+	}
+	return -mean * math.Log(1-u)
+}
+
+// next returns the gap to the tenant's next arrival, advancing the
+// modulating state as needed: if the state flips before the pending
+// arrival would occur, the elapsed dwell is kept and the arrival is
+// redrawn at the new rate (the memoryless property makes the redraw
+// exact, not an approximation).
+func (m *mmpp) next() sim.Time {
+	elapsed := 0.0
+	for {
+		rate, dwell := m.calmRate, m.calmDwell
+		if m.burst {
+			rate, dwell = m.burstRate, m.burstDwell
+		}
+		gap := m.exp(1 / rate)
+		rem := m.exp(dwell)
+		if gap <= rem {
+			return sim.FromSeconds(elapsed + gap)
+		}
+		elapsed += rem
+		m.burst = !m.burst
+	}
+}

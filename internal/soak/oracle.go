@@ -1,0 +1,150 @@
+package soak
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+
+	"ccai/internal/pcie"
+	"ccai/internal/sim"
+)
+
+// oracle collects invariant violations and the evidence that the
+// oracles were actually watching (a soak whose snooper saw no traffic
+// proved nothing). All methods are safe for concurrent use: carrier
+// pipelines and the scheduler dispatcher feed it from several
+// goroutines, but every violation is appended under one lock in bus/
+// hook order, so the list is deterministic for a deterministic run.
+type oracle struct {
+	clk *sim.Engine
+
+	mu         sync.Mutex
+	violations []string
+
+	// IV audit: every (stream-identity, epoch, counter) consumed by any
+	// seal engine on either end. Stream identity includes the tenant's
+	// trust generation, so a re-established session (which legitimately
+	// restarts at epoch 0 under fresh keys) is a fresh space.
+	seen     map[string]map[uint64]bool
+	maxEpoch map[string]uint32
+	audited  uint64
+}
+
+func newOracle(clk *sim.Engine) *oracle {
+	return &oracle{
+		clk:      clk,
+		seen:     make(map[string]map[uint64]bool),
+		maxEpoch: make(map[string]uint32),
+	}
+}
+
+// violatef records one invariant violation, stamped with virtual time.
+func (o *oracle) violatef(format string, args ...any) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.violations = append(o.violations,
+		fmt.Sprintf("t=%dms %s", o.clk.Now()/sim.Millisecond, fmt.Sprintf(format, args...)))
+}
+
+func (o *oracle) violationList() []string {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return append([]string(nil), o.violations...)
+}
+
+// ivHook returns a secmem IV-audit callback for one stream identity.
+// A repeated (epoch, counter) under the same identity is the one GCM
+// failure no fault, attack, rekey, or re-trust may ever cause.
+func (o *oracle) ivHook(id string) func(epoch, counter uint32) {
+	return func(epoch, counter uint32) {
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		o.audited++
+		m := o.seen[id]
+		if m == nil {
+			m = make(map[uint64]bool)
+			o.seen[id] = m
+		}
+		k := uint64(epoch)<<32 | uint64(counter)
+		if m[k] {
+			o.violations = append(o.violations,
+				fmt.Sprintf("t=%dms IV REUSE on %s epoch=%d counter=%d",
+					o.clk.Now()/sim.Millisecond, id, epoch, counter))
+		}
+		m[k] = true
+		if epoch > o.maxEpoch[id] {
+			o.maxEpoch[id] = epoch
+		}
+	}
+}
+
+// rekeys sums epoch advances across every stream identity: each rekey
+// bumps one stream's epoch by one, so the sum is the total number of
+// key rolls the soak forced.
+func (o *oracle) rekeys() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	var n uint64
+	ids := make([]string, 0, len(o.maxEpoch))
+	for id := range o.maxEpoch {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		n += uint64(o.maxEpoch[id])
+	}
+	return n
+}
+
+func (o *oracle) ivsAudited() uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.audited
+}
+
+// scanTap is the streaming confidentiality oracle: a pcie.Tap that
+// scans every payload crossing the untrusted host segment for the
+// probe canaries, keeping only counters (a full soak pushes far too
+// much traffic to buffer the way attack.Snooper does). It never
+// modifies traffic.
+type scanTap struct {
+	o       *oracle
+	secrets [][]byte
+
+	mu      sync.Mutex
+	packets int64
+	payload int64
+}
+
+func newScanTap(o *oracle, secrets ...[]byte) *scanTap {
+	return &scanTap{o: o, secrets: secrets}
+}
+
+// Tap implements pcie.Tap.
+func (s *scanTap) Tap(p *pcie.Packet) *pcie.Packet {
+	if p == nil {
+		return nil
+	}
+	s.mu.Lock()
+	s.packets++
+	s.payload += int64(len(p.Payload))
+	s.mu.Unlock()
+	if len(p.Payload) > 0 {
+		for _, sec := range s.secrets {
+			if bytes.Contains(p.Payload, sec) {
+				s.o.violatef("PLAINTEXT canary on host bus (%v, %d bytes)", p.Kind, len(p.Payload))
+			}
+		}
+	}
+	return p
+}
+
+// PayloadBytes reports total payload observed — the vacuity check: a
+// zero here means the confidentiality oracle never saw the traffic it
+// claims to have cleared.
+func (s *scanTap) PayloadBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.payload
+}

@@ -1,0 +1,226 @@
+package soak
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"sort"
+	"strings"
+
+	"ccai/internal/fault"
+	"ccai/internal/obsv"
+	"ccai/internal/sim"
+)
+
+// RecoveryEntry is one fault class's soak record: how often it fired
+// and the mean virtual recovery time the probes observed absorbing it.
+type RecoveryEntry struct {
+	Class          string  `json:"class"`
+	Fired          uint64  `json:"fired"`
+	MeanRecoveryMs float64 `json:"mean_recovery_ms"`
+}
+
+// Scorecard is the soak's machine-readable verdict, committed to
+// BENCH_results.json and diffed by CI. Every field derives from
+// virtual time, counts, or the seed — never the wall clock — so the
+// same seed reproduces the same bytes.
+type Scorecard struct {
+	Preset         string  `json:"preset"`
+	Seed           string  `json:"seed"`
+	Tenants        int     `json:"tenants"`
+	HorizonMinutes float64 `json:"horizon_minutes"`
+	Waves          int     `json:"waves"`
+	PlanSHA256     string  `json:"plan_sha256"`
+
+	Offered            int64   `json:"offered"`
+	Completed          int64   `json:"completed"`
+	Rejected           int64   `json:"rejected"`
+	Failed             int64   `json:"failed"`
+	Canceled           int64   `json:"canceled"`
+	Availability       float64 `json:"availability"`
+	AvailabilityBudget float64 `json:"availability_budget"`
+
+	QueueWaitP50Ms       float64 `json:"queue_wait_p50_ms"`
+	QueueWaitP99Ms       float64 `json:"queue_wait_p99_ms"`
+	QueueWaitP99BudgetMs float64 `json:"queue_wait_p99_budget_ms"`
+	E2EP50Ms             float64 `json:"e2e_p50_ms"`
+	E2EP99Ms             float64 `json:"e2e_p99_ms"`
+	FairnessSpread       float64 `json:"fairness_spread"`
+	FairnessBudget       float64 `json:"fairness_budget"`
+
+	Probes          int64  `json:"probes"`
+	ProbeFailures   int64  `json:"probe_failures"`
+	Retrusts        int64  `json:"retrusts"`
+	Rekeys          uint64 `json:"rekeys"`
+	IVsAudited      uint64 `json:"ivs_audited"`
+	BusPayloadBytes int64  `json:"bus_payload_bytes"`
+	ReplayedPackets int64  `json:"replayed_packets"`
+	RogueAttempts   int64  `json:"rogue_attempts"`
+
+	FaultsInjected uint64          `json:"faults_injected"`
+	Recovery       []RecoveryEntry `json:"recovery"`
+
+	Violations    []string `json:"violations"`
+	WithinBudgets bool     `json:"within_budgets"`
+}
+
+// Marshal renders the scorecard's canonical byte form: fixed field
+// order, two-space indent, trailing newline. Byte equality of two
+// marshalled scorecards is the soak determinism contract.
+func (s Scorecard) Marshal() []byte {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		// Scorecard holds only plain values; this cannot fail.
+		panic(err)
+	}
+	return append(data, '\n')
+}
+
+// UnmarshalScorecard parses a scorecard (e.g. the committed baseline
+// section of BENCH_results.json) back into the struct form, so a fresh
+// run can be compared via Marshal bytes.
+func UnmarshalScorecard(data []byte) (Scorecard, error) {
+	var s Scorecard
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+// percentile picks the p-th percentile of sorted ns samples, as ms.
+func percentileMs(sorted []int64, p int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) * p) / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i]) / 1e6
+}
+
+// fairnessSpread is the DRR fairness meter: each tenant with enough
+// completions contributes its mean virtual queue wait; the spread is
+// the worst tenant's mean over the median tenant's, with a 1 ms floor
+// on both so near-zero waits cannot explode the ratio.
+func fairnessSpread(waitSums, counts []int64) float64 {
+	var means []float64
+	for i := range counts {
+		if counts[i] >= 3 {
+			means = append(means, float64(waitSums[i])/float64(counts[i]))
+		}
+	}
+	if len(means) < 2 {
+		return 1
+	}
+	sort.Float64s(means)
+	const floor = 1e6 // 1 ms in ns
+	max := means[len(means)-1] + floor
+	med := means[len(means)/2] + floor
+	return max / med
+}
+
+// obsvCompletedOK sums the scheduler's ok-status completion counters
+// from the metrics registry — the obsv-side view of probe successes.
+func obsvCompletedOK(h *obsv.Hub) uint64 {
+	snap := h.Reg().Snapshot()
+	var n uint64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "sched.completed{") && strings.Contains(name, "status=ok") {
+			n += v
+		}
+	}
+	return n
+}
+
+// obsvFaultsFired reads per-class fault counts from the metrics
+// registry (the injectors publish fault.fired{class=...} as they go) —
+// the scorecard's fault tallies come from the observability layer, not
+// from private injector state.
+func obsvFaultsFired(h *obsv.Hub) map[string]uint64 {
+	out := make(map[string]uint64)
+	if h == nil {
+		return out
+	}
+	snap := h.Reg().Snapshot()
+	for name, v := range snap.Counters {
+		if rest, ok := strings.CutPrefix(name, "fault.fired{class="); ok {
+			out[strings.TrimSuffix(rest, "}")] = v
+		}
+	}
+	return out
+}
+
+// scorecard folds the run's meters and oracles into the final verdict.
+func (e *engine) scorecard() Scorecard {
+	planBytes := e.plan.Marshal()
+	sum := sha256.Sum256(planBytes)
+
+	qw := append([]int64(nil), e.queueWaits...)
+	ee := append([]int64(nil), e.e2es...)
+	sort.Slice(qw, func(i, j int) bool { return qw[i] < qw[j] })
+	sort.Slice(ee, func(i, j int) bool { return ee[i] < ee[j] })
+
+	sc := Scorecard{
+		Preset:         e.cfg.Preset,
+		Seed:           "0x" + hex.EncodeToString(appendSeed(nil, e.cfg.Seed)),
+		Tenants:        e.cfg.Tenants,
+		HorizonMinutes: e.cfg.Horizon.Seconds() / 60,
+		Waves:          len(e.plan.Waves),
+		PlanSHA256:     hex.EncodeToString(sum[:]),
+
+		Offered:            e.offered,
+		Completed:          e.completed,
+		Rejected:           e.rejected,
+		Failed:             e.failed,
+		Canceled:           e.canceled,
+		AvailabilityBudget: e.cfg.AvailabilityBudget,
+
+		QueueWaitP50Ms:       percentileMs(qw, 50),
+		QueueWaitP99Ms:       percentileMs(qw, 99),
+		QueueWaitP99BudgetMs: e.cfg.QueueWaitP99BudgetMs,
+		E2EP50Ms:             percentileMs(ee, 50),
+		E2EP99Ms:             percentileMs(ee, 99),
+		FairnessSpread:       fairnessSpread(e.perTenantWait, e.perTenantN),
+		FairnessBudget:       e.cfg.FairnessBudget,
+
+		Violations: e.orc.violationList(),
+	}
+	if e.offered > 0 {
+		sc.Availability = float64(e.completed) / float64(e.offered)
+	} else {
+		sc.Availability = 1
+	}
+
+	if e.car != nil {
+		sc.Probes = e.car.probeIdx
+		sc.ProbeFailures = e.car.probeIdx - e.car.probeOKs
+		sc.Retrusts = e.car.retrusts
+		sc.Rekeys = e.orc.rekeys()
+		sc.IVsAudited = e.orc.ivsAudited()
+		sc.BusPayloadBytes = e.car.scanner.PayloadBytes()
+		sc.ReplayedPackets = e.car.replayed
+		sc.RogueAttempts = e.car.rogue
+		fired := obsvFaultsFired(e.car.mp.Obs)
+		for _, class := range fault.Classes() {
+			entry := RecoveryEntry{Class: class.String(), Fired: fired[class.String()]}
+			if agg := e.car.recovery[class]; agg != nil && agg.n > 0 {
+				entry.MeanRecoveryMs = float64(agg.sum/sim.Time(agg.n)) / 1e6
+			}
+			sc.FaultsInjected += entry.Fired
+			sc.Recovery = append(sc.Recovery, entry)
+		}
+	}
+
+	sc.WithinBudgets = len(sc.Violations) == 0 &&
+		sc.Availability >= sc.AvailabilityBudget &&
+		sc.QueueWaitP99Ms <= sc.QueueWaitP99BudgetMs &&
+		sc.FairnessSpread <= sc.FairnessBudget
+	return sc
+}
+
+// appendSeed renders the seed big-endian for the scorecard's hex form.
+func appendSeed(b []byte, seed uint64) []byte {
+	for i := 7; i >= 0; i-- {
+		b = append(b, byte(seed>>(8*i)))
+	}
+	return b
+}

@@ -329,12 +329,12 @@ func (t *Tenant) RunTaskCtx(ctx context.Context, task Task) ([]byte, error) {
 	if err := t.Driver.Submit(cmds...); err != nil {
 		return nil, err
 	}
+	want := before + uint64(len(cmds))
 	head, err := t.Driver.Head()
-	if err != nil {
-		return nil, err
-	}
-	if head != before+uint64(len(cmds)) {
-		return nil, fmt.Errorf("ccai: tenant %d: device consumed %d/%d commands", t.Index, head-before, len(cmds))
+	if err != nil || head != want {
+		if rerr := t.recoverSubmission(in, before, want); rerr != nil {
+			return nil, rerr
+		}
 	}
 	res, err := t.Adaptor.CollectD2H(out, outLen)
 	if err != nil {
@@ -347,6 +347,37 @@ func (t *Tenant) RunTaskCtx(ctx context.Context, task Task) ([]byte, error) {
 		return nil, ctxErr(cerr)
 	}
 	return res, nil
+}
+
+// recoverSubmission is the tenant-side port of the Protected-mode
+// recovery ladder (see Platform.recoverSubmission): re-align the A3
+// MMIO sequence, repost the input region's tag table, kick the driver.
+// Without it a single dropped doorbell or lost guarded write would
+// desynchronise the tenant's ring head from its tail permanently,
+// failing every subsequent task on the tenant — the fail-closed
+// teardown exists for exhausted recovery, not for one absorbed fault.
+func (t *Tenant) recoverSubmission(in *adaptor.Region, before, want uint64) error {
+	for attempt := 0; attempt < submitRecoveryAttempts; attempt++ {
+		if err := t.Adaptor.ResyncMMIO(); err != nil {
+			break
+		}
+		if in != nil {
+			t.Adaptor.RepostTags(in)
+		}
+		if err := t.Driver.Kick(); err != nil {
+			continue
+		}
+		head, err := t.Driver.Head()
+		if err == nil && head == want {
+			return nil
+		}
+	}
+	st, _ := t.Driver.Status()
+	head, _ := t.Driver.Head()
+	reason := fmt.Sprintf("submission stalled: device consumed %d/%d commands (status %#x)", head-before, want-before, st)
+	t.Adaptor.FailClosed(reason)
+	t.trusted = false
+	return fmt.Errorf("ccai: tenant %d: %s; session torn down", t.Index, reason)
 }
 
 // Close tears down one tenant's session.
