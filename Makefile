@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-smoke soak-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
+.PHONY: all build test race stress bench bench-smoke soak-smoke telemetry-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
 
 all: build test
 
@@ -11,8 +11,9 @@ all: build test
 # multi-tenant stress matrix, a one-iteration pass over every benchmark
 # (so they can't rot), the smoke soak byte-diffed against its committed
 # scorecard, and a short fuzz pass over the attacker-facing parsers
-# (fault plans included).
-ci: fmt-check vet test race stress bench-smoke soak-smoke
+# (fault plans included), and the telemetry-plane smoke: live scrape,
+# token isolation, audit-chain tamper evidence.
+ci: fmt-check vet test race stress bench-smoke soak-smoke telemetry-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json \
@@ -51,6 +52,15 @@ fmt-check:
 # virtual-time numbers get an exact gate, unlike the wall-clock micros.
 soak-smoke:
 	$(GO) run ./cmd/ccai-bench -only soak -soak smoke -out "" -soak-compare BENCH_results.json
+
+# The telemetry-plane smoke: boot a two-tenant chassis with the live
+# telemetry plane on an ephemeral port, fire the fault matrix (rekey,
+# fail-closed teardown, re-trust, rogue filtering, seal tamper), scrape
+# the endpoints through the token-auth matrix, and verify the audit
+# hash chain — including that a flipped byte and a truncation are
+# detected.
+telemetry-smoke:
+	$(GO) run ./cmd/ccai-trace -audit
 
 # One testing.B benchmark per paper table/figure, plus micro-benchmarks.
 bench:

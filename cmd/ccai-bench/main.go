@@ -38,6 +38,7 @@ import (
 	"ccai/internal/bench"
 	"ccai/internal/llm"
 	"ccai/internal/soak"
+	"ccai/internal/telemetry"
 	"ccai/internal/xpu"
 )
 
@@ -48,6 +49,7 @@ func main() {
 	compare := flag.String("compare", "", "baseline BENCH_results.json to diff against; exits non-zero on >10% ns/op regression")
 	soakArg := flag.String("soak", "", "run the soak harness: smoke, full, or all; scorecards merge into -out under \"soak\"")
 	soakCompare := flag.String("soak-compare", "", "baseline BENCH_results.json whose soak scorecards must match byte-for-byte")
+	serveTel := flag.Bool("serve-telemetry", false, "attach the live telemetry plane to benchmark chassis and print scrape URLs to stderr")
 	flag.Parse()
 
 	cm := bench.Defaults()
@@ -162,7 +164,7 @@ func main() {
 		fmt.Println(bench.RenderFig12b(rows))
 	}
 	if want("micro") && *out != "" {
-		results, err := microBench()
+		results, err := microBench(*serveTel)
 		if err != nil {
 			fail("micro", err)
 		}
@@ -253,27 +255,39 @@ const microIters = 64
 
 // microBench times the real end-to-end pipeline (wall clock, not the
 // timing model): vanilla vs. protected task execution at two transfer
-// sizes, plus the protected path with observability on — the number the
-// overhead acceptance criterion watches.
-func microBench() ([]benchResult, error) {
+// sizes, the protected path with observability on — the number the
+// overhead acceptance criterion watches — and with the full telemetry
+// plane attached (live HTTP scrape endpoint, audit log, SLO monitors),
+// the number proving the plane stays within the observability budget.
+func microBench(serveTel bool) ([]benchResult, error) {
 	type cfg struct {
-		name    string
-		mode    ccai.Mode
-		observe bool
-		size    int
+		name      string
+		mode      ccai.Mode
+		observe   bool
+		telemetry bool
+		size      int
 	}
 	cases := []cfg{
-		{"task/vanilla/4KiB", ccai.Vanilla, false, 4 << 10},
-		{"task/vanilla/64KiB", ccai.Vanilla, false, 64 << 10},
-		{"task/ccAI/4KiB", ccai.Protected, false, 4 << 10},
-		{"task/ccAI/64KiB", ccai.Protected, false, 64 << 10},
-		{"task/ccAI-observed/64KiB", ccai.Protected, true, 64 << 10},
+		{"task/vanilla/4KiB", ccai.Vanilla, false, false, 4 << 10},
+		{"task/vanilla/64KiB", ccai.Vanilla, false, false, 64 << 10},
+		{"task/ccAI/4KiB", ccai.Protected, false, false, 4 << 10},
+		{"task/ccAI/64KiB", ccai.Protected, false, false, 64 << 10},
+		{"task/ccAI-observed/64KiB", ccai.Protected, true, false, 64 << 10},
+		{"task/ccAI-telemetry/64KiB", ccai.Protected, true, true, 64 << 10},
 	}
 	var results []benchResult
 	for _, c := range cases {
-		plat, err := ccai.NewPlatform(ccai.Config{Mode: c.mode, Observe: c.observe})
+		pc := ccai.Config{Mode: c.mode, Observe: c.observe}
+		if c.telemetry {
+			pc.Telemetry = &telemetry.Options{}
+		}
+		plat, err := ccai.NewPlatform(pc)
 		if err != nil {
 			return nil, err
+		}
+		if serveTel && c.telemetry {
+			fmt.Fprintf(os.Stderr, "ccai-bench: %s serving live at %s (admin token %s)\n",
+				c.name, plat.Telemetry().URL(), plat.Telemetry().AdminToken())
 		}
 		if err := plat.EstablishTrust(); err != nil {
 			plat.Close()
@@ -312,7 +326,7 @@ func microBench() ([]benchResult, error) {
 		return nil, err
 	}
 	results = append(results, serving...)
-	scheduled, err := scheduledBench()
+	scheduled, err := scheduledBench(serveTel)
 	if err != nil {
 		return nil, err
 	}
@@ -389,18 +403,26 @@ func servingBench() ([]benchResult, error) {
 // weighted-fair scheduling. It reports end-to-end ns/op for the run
 // and the p99 queue wait — the admission-to-dispatch latency tail the
 // serving scheduler is supposed to keep bounded.
-func scheduledBench() ([]benchResult, error) {
+func scheduledBench(serveTel bool) ([]benchResult, error) {
 	const tenants = 4
 	const size = 64 << 10
 	profiles := make([]xpu.Profile, tenants)
 	for i := range profiles {
 		profiles[i] = xpu.A100
 	}
-	mp, err := ccai.NewMultiPlatform(profiles)
+	var options []ccai.Option
+	if serveTel {
+		options = append(options, ccai.WithTelemetry(telemetry.Options{}))
+	}
+	mp, err := ccai.NewMultiPlatform(profiles, options...)
 	if err != nil {
 		return nil, err
 	}
 	defer mp.Close()
+	if serveTel {
+		fmt.Fprintf(os.Stderr, "ccai-bench: serve/4-tenant/scheduled serving live at %s (admin token %s)\n",
+			mp.Telemetry().URL(), mp.Telemetry().AdminToken())
+	}
 	if err := mp.EstablishTrustAll(); err != nil {
 		return nil, err
 	}
@@ -529,7 +551,7 @@ func renderMicro(path string, results []benchResult) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "End-to-end micro-benchmarks (wall clock, %d iters, GOMAXPROCS=%d) -> %s\n",
 		microIters, runtime.GOMAXPROCS(0), path)
-	var serial, conc float64
+	var serial, conc, plain, observed, telem float64
 	for _, r := range results {
 		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		switch r.Name {
@@ -537,10 +559,20 @@ func renderMicro(path string, results []benchResult) string {
 			serial = r.NsPerOp
 		case "serve/4-tenant/concurrent/64KiB":
 			conc = r.NsPerOp
+		case "task/ccAI/64KiB":
+			plain = r.NsPerOp
+		case "task/ccAI-observed/64KiB":
+			observed = r.NsPerOp
+		case "task/ccAI-telemetry/64KiB":
+			telem = r.NsPerOp
 		}
 	}
 	if serial > 0 && conc > 0 {
 		fmt.Fprintf(&b, "  serving speedup (serialized/concurrent): %.2fx\n", serial/conc)
+	}
+	if plain > 0 && observed > 0 && telem > 0 {
+		fmt.Fprintf(&b, "  observability overhead at 64KiB: observe %+.1f%%, full telemetry plane %+.1f%%\n",
+			(observed/plain-1)*100, (telem/plain-1)*100)
 	}
 	return b.String()
 }

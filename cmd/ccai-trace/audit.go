@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"ccai"
+	"ccai/internal/adaptor"
+	"ccai/internal/attack"
+	"ccai/internal/core"
+	"ccai/internal/hrot"
+	"ccai/internal/pcie"
+	"ccai/internal/telemetry"
+	"ccai/internal/xpu"
+)
+
+// tamperSensor is a chassis sensor that is out of its sealed envelope.
+type tamperSensor struct{}
+
+func (tamperSensor) Name() string            { return "lid-intrusion" }
+func (tamperSensor) Sample() (float64, bool) { return 1, false }
+
+// auditSmoke is the telemetry plane's end-to-end exercise, run by
+// `ccai-trace -audit` (and `make telemetry-smoke`). It stands up a
+// two-tenant chassis with the telemetry plane attached, drives the
+// full security lifecycle — attest, forced rekey, fail-closed
+// teardown, re-trust, rogue-device filtering, seal-sensor tamper —
+// under scheduled load, then proves from the outside (over HTTP) that:
+//
+//   - the live scrape serves Prometheus-text metrics with p50/p99
+//     quantiles and task exemplars;
+//   - per-tenant views are bearer-token isolated (200 / 401 / 403);
+//   - the audit log verifies as an unbroken hash chain covering every
+//     lifecycle event kind — and a single flipped byte, a truncated
+//     tail, or a missing trailer each fail verification.
+func auditSmoke(stdout io.Writer) error {
+	mp, err := ccai.NewMultiPlatform(
+		[]xpu.Profile{xpu.A100, xpu.T4},
+		ccai.WithTelemetry(telemetry.Options{}),
+	)
+	if err != nil {
+		return err
+	}
+	defer mp.Close()
+	tel := mp.Telemetry()
+	if err := mp.EstablishTrustAll(); err != nil {
+		return err
+	}
+
+	// --- drive the lifecycle ---------------------------------------
+
+	// Rekey pressure: park tenant 0's H2D IV counter just under the
+	// rotation threshold so the next staged transfer rotates keys.
+	if err := mp.Tenants[0].Adaptor.ForceStreamCounter(
+		core.StreamH2D, ^uint32(0)-adaptor.RekeyThreshold-8); err != nil {
+		return err
+	}
+
+	s, err := mp.NewScheduler(ccai.SchedulerConfig{})
+	if err != nil {
+		return err
+	}
+	input := bytes.Repeat([]byte("telemetry-smoke!"), 256) // 4 KiB
+	var handles []*ccai.Handle
+	for i := 0; i < 32; i++ {
+		h, err := s.Submit(context.Background(), ccai.TenantTask{
+			Tenant: i % 2, Task: ccai.Task{Input: input, Kernel: ccai.KernelXOR, Param: 0x5a},
+		})
+		if err != nil {
+			return fmt.Errorf("submit %d: %w", i, err)
+		}
+		handles = append(handles, h)
+	}
+	for i, h := range handles {
+		if _, err := h.Wait(context.Background()); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+
+	// Fail-closed teardown, then re-trust under a fresh generation.
+	mp.Tenants[1].Adaptor.FailClosed("smoke: induced teardown")
+	if err := mp.Tenants[1].EstablishTrust(); err != nil {
+		return fmt.Errorf("re-trust: %w", err)
+	}
+
+	// Rogue device: forged requester aimed at tenant 0's BAR; the L1
+	// filter must drop both the write and the read.
+	rr := &attack.RogueRequester{ID: pcie.MakeID(0, 9, 0), Bus: mp.Host}
+	base := mp.Tenants[0].Device.BAR0().Base
+	rr.Write(base+xpu.RegDoorbell, []byte{1, 0, 0, 0, 0, 0, 0, 0})
+	if cpl := rr.Read(base+xpu.RegStatus, 8); cpl != nil && cpl.Status == pcie.CplSuccess {
+		return fmt.Errorf("rogue requester read device state")
+	}
+
+	// Chassis seal: a blade with an out-of-envelope intrusion sensor.
+	ca, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return err
+	}
+	blade, err := hrot.NewBlade(ca)
+	if err != nil {
+		return err
+	}
+	blade.SetObserver(mp.Obs)
+	blade.AddSensor(tamperSensor{})
+	if intact := blade.PollSensors(); intact {
+		return fmt.Errorf("tamper sensor read as intact")
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		return err
+	}
+
+	// --- prove it over HTTP -----------------------------------------
+
+	admin, tok0, tok1 := tel.AdminToken(), tel.TenantToken("0"), tel.TenantToken("1")
+	get := func(path, token string) (int, string, error) {
+		req, err := http.NewRequest("GET", tel.URL()+path, nil)
+		if err != nil {
+			return 0, "", err
+		}
+		if token != "" {
+			req.Header.Set("Authorization", "Bearer "+token)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			return 0, "", err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body), err
+	}
+
+	code, metrics, err := get("/metrics", admin)
+	if err != nil || code != 200 {
+		return fmt.Errorf("GET /metrics: %d %v", code, err)
+	}
+	for _, want := range []string{
+		`ccai_sched_queue_wait_ns{tenant="0",quantile="0.5"}`,
+		`ccai_sched_queue_wait_ns{tenant="0",quantile="0.99"}`,
+		`# {task="`, // at least one exemplar on a bucket line
+		`ccai_sched_completed{tenant="0",status="ok"}`,
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("scrape missing %q", want)
+		}
+	}
+	fmt.Fprintf(stdout, "scrape ok: %d bytes of metrics with p50/p99 and exemplars\n", len(metrics))
+
+	type authCase struct {
+		path, token string
+		want        int
+	}
+	for _, tc := range []authCase{
+		{"/metrics", "", 401},
+		{"/metrics", tok0, 401},
+		{"/audit", tok1, 401},
+		{"/tenant/0/metrics", tok0, 200},
+		{"/tenant/0/metrics", tok1, 403},
+		{"/tenant/1/metrics", tok0, 403},
+		{"/tenant/0/metrics", "", 401},
+		{"/healthz", "", 200},
+	} {
+		code, _, err := get(tc.path, tc.token)
+		if err != nil {
+			return err
+		}
+		if code != tc.want {
+			return fmt.Errorf("GET %s: status %d, want %d", tc.path, code, tc.want)
+		}
+	}
+	_, t0view, err := get("/tenant/0/metrics", tok0)
+	if err != nil {
+		return err
+	}
+	if strings.Contains(t0view, `tenant="1"`) {
+		return fmt.Errorf("tenant-0 view leaks tenant-1 series")
+	}
+	fmt.Fprintln(stdout, "tenant isolation ok: per-tenant views are token-scoped (200/401/403)")
+
+	// --- audit chain ------------------------------------------------
+
+	code, audit, err := get("/audit", admin)
+	if err != nil || code != 200 {
+		return fmt.Errorf("GET /audit: %d %v", code, err)
+	}
+	n, head, err := telemetry.VerifyJSONL(strings.NewReader(audit))
+	if err != nil {
+		return fmt.Errorf("audit chain: %w", err)
+	}
+	kinds := tel.Audit.CountKinds()
+	for _, kind := range []string{
+		"attest", "re-trust", "rekey", "fail-closed", "rogue-filtered", "seal-sensor",
+	} {
+		if kinds[kind] == 0 {
+			return fmt.Errorf("audit log has no %q event (have %v)", kind, kinds)
+		}
+	}
+	fmt.Fprintf(stdout, "audit chain ok: %d entries, head %s...\n", n, head[:16])
+	fmt.Fprintf(stdout, "  kinds: attest=%d re-trust=%d rekey=%d fail-closed=%d rogue-filtered=%d seal-sensor=%d slo-alert=%d\n",
+		kinds["attest"], kinds["re-trust"], kinds["rekey"], kinds["fail-closed"],
+		kinds["rogue-filtered"], kinds["seal-sensor"], kinds["slo-alert"])
+
+	// Tamper detection: flip one byte of one entry's detail.
+	i := strings.Index(audit, "induced")
+	if i < 0 {
+		return fmt.Errorf("expected fail-closed detail in audit log")
+	}
+	tampered := []byte(audit)
+	tampered[i] ^= 1
+	if _, _, err := telemetry.VerifyJSONL(bytes.NewReader(tampered)); err == nil {
+		return fmt.Errorf("flipped byte not detected")
+	}
+	// Truncation detection: drop the last entry but keep the trailer.
+	lines := strings.Split(strings.TrimSpace(audit), "\n")
+	short := strings.Join(append(append([]string{}, lines[:len(lines)-2]...), lines[len(lines)-1]), "\n")
+	if _, _, err := telemetry.VerifyJSONL(strings.NewReader(short)); err == nil {
+		return fmt.Errorf("truncation not detected")
+	}
+	fmt.Fprintln(stdout, "tamper evidence ok: flipped byte and truncated tail both detected")
+	fmt.Fprintln(stdout, "telemetry smoke PASS")
+	return nil
+}

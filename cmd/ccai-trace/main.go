@@ -38,8 +38,12 @@ func run(args []string, stdout io.Writer) error {
 	read := fs.String("read", "", "inspect an existing capture file and exit")
 	metrics := fs.Bool("metrics", false, "print the observability metrics registry after the run")
 	timeline := fs.String("timeline", "", "export the span timeline as Chrome trace-event JSON to this path")
+	audit := fs.Bool("audit", false, "run the telemetry-plane smoke: live scrape, tenant isolation, audit-chain verify")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *audit {
+		return auditSmoke(stdout)
 	}
 	if *read != "" {
 		return inspectCapture(stdout, *read)

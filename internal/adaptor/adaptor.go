@@ -631,6 +631,7 @@ func (a *Adaptor) rekeyStreamLocked(stream string) error {
 	a.mmioWrite64(core.RegRekeyDoorbell, 1)
 	a.obs.rekeys.Inc()
 	a.obs.tracer.Instant(obsv.TrackAdaptor, "rekey", obsv.Str("stream", stream))
+	a.hub.Eventf(obsv.EvRekey, "", "stream=%s", stream)
 
 	// Mirror on the TVM side.
 	if err := a.keys.Install(stream, key, nonce); err != nil {

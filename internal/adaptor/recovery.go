@@ -318,6 +318,7 @@ func (a *Adaptor) FailClosed(reason string) {
 	a.rec.LastFailure = reason
 	a.obs.failClosed.Inc()
 	a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.fail_closed", obsv.Str("reason", reason))
+	a.hub.Eventf(obsv.EvFailClosed, "", "reason=%s", reason)
 	a.teardownLocked()
 }
 

@@ -204,6 +204,7 @@ func (m *l1Memo) store(key uint32, v Verdict) {
 // recorded.
 type filterObs struct {
 	tracer                      *obsv.Tracer
+	hub                         *obsv.Hub
 	drop, protect, verify, pass *obsv.Counter
 }
 
@@ -231,6 +232,7 @@ func (f *Filter) SetObserver(h *obsv.Hub) {
 	reg := h.Reg()
 	f.obs.Store(&filterObs{
 		tracer:  h.T(),
+		hub:     h,
 		drop:    reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionDrop))),
 		protect: reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteReadProtect))),
 		verify:  reg.Counter(obsv.Name("sc.filter.classified", "action", actionLabel(ActionWriteProtect))),
@@ -348,6 +350,10 @@ func (f *Filter) Classify(p *pcie.Packet) Verdict {
 		switch v.Action {
 		case ActionDrop:
 			o.drop.Inc()
+			if o.hub.EventsOn() {
+				o.hub.Eventf(obsv.EvRogue, "", "requester=%04x kind=%s rule=%d stage=%d",
+					uint16(p.Requester), p.Kind.String(), v.Rule, v.Stage)
+			}
 		case ActionWriteReadProtect:
 			o.protect.Inc()
 		case ActionWriteProtect:

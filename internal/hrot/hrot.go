@@ -15,6 +15,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"ccai/internal/obsv"
 )
 
 // PCRCount is the size of the PCR bank.
@@ -101,7 +103,12 @@ type Blade struct {
 	booted bool
 
 	sensors []Sensor
+	hub     *obsv.Hub
 }
+
+// SetObserver wires the blade into the observability hub so
+// out-of-envelope sensor polls surface as seal-sensor audit events.
+func (b *Blade) SetObserver(h *obsv.Hub) { b.hub = h }
 
 // Sensor is a chassis physical-integrity sensor polled over the I²C
 // bus (pressure, temperature, intrusion switch).
@@ -288,6 +295,7 @@ func (b *Blade) PollSensors() (intact bool) {
 		if !ok {
 			intact = false
 			fmt.Fprintf(h, "TAMPER:%s;", s.Name())
+			b.hub.Eventf(obsv.EvSealSensor, "", "sensor=%s", s.Name())
 		}
 	}
 	var rec Digest

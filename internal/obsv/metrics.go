@@ -84,11 +84,21 @@ func (g *Gauge) Value() int64 {
 // Histogram is a fixed-bucket distribution. Bounds are inclusive upper
 // edges in ascending order; one implicit overflow bucket catches the
 // rest. A nil *Histogram is a no-op.
+//
+// Each bucket carries one exemplar slot: the span/task reference and
+// value of the latest sample recorded into it via ObserveExemplar, so
+// a tail bucket on a scrape page links directly to the timeline span
+// that produced it. The ref and value are separate atomics — a reader
+// racing a writer may pair a ref with the previous value, which is
+// acceptable skew for monitoring output and keeps the hot path
+// allocation-free.
 type Histogram struct {
 	bounds  []int64
 	buckets []atomic.Uint64 // len(bounds)+1
 	count   atomic.Uint64
 	sum     atomic.Int64
+	exRefs  []atomic.Uint64 // len(bounds)+1; 0 = no exemplar yet
+	exVals  []atomic.Int64
 }
 
 // SizeBuckets is the default byte-size bucket layout (64 B .. 1 MiB).
@@ -102,6 +112,17 @@ func DurationBuckets() []int64 {
 	return []int64{100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000}
 }
 
+// WaitBuckets is the queue-wait bucket layout (1 ms .. 10 s, virtual
+// nanoseconds). Scheduler waits under load sit in the ms–100 ms range,
+// far above DurationBuckets' 10 ms ceiling; without these bounds every
+// wait lands in the overflow bucket and quantile estimates degenerate.
+func WaitBuckets() []int64 {
+	return []int64{
+		1_000_000, 5_000_000, 10_000_000, 50_000_000, 100_000_000,
+		250_000_000, 500_000_000, 1_000_000_000, 5_000_000_000, 10_000_000_000,
+	}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v int64) {
 	if h == nil {
@@ -111,6 +132,23 @@ func (h *Histogram) Observe(v int64) {
 	h.buckets[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar records one sample and stamps the sample's bucket
+// with ref (a span/task ID) as the bucket's current exemplar. ref 0
+// means "no reference" and behaves exactly like Observe.
+func (h *Histogram) ObserveExemplar(v int64, ref uint64) {
+	if h == nil {
+		return
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	if ref != 0 {
+		h.exVals[i].Store(v)
+		h.exRefs[i].Store(ref)
+	}
 }
 
 // Count reports total samples.
@@ -213,19 +251,69 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 	if !ok {
 		b := append([]int64(nil), bounds...)
 		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
-		h = &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+		h = &Histogram{
+			bounds:  b,
+			buckets: make([]atomic.Uint64, len(b)+1),
+			exRefs:  make([]atomic.Uint64, len(b)+1),
+			exVals:  make([]atomic.Int64, len(b)+1),
+		}
 		r.hists[name] = h
 	}
 	return h
 }
 
+// Exemplar links one histogram bucket to the span/task that most
+// recently landed in it.
+type Exemplar struct {
+	Bucket int    `json:"bucket"` // index into Buckets
+	Ref    uint64 `json:"ref"`    // span/task ID
+	Value  int64  `json:"value"`  // the sample that set it
+}
+
 // HistValue is one histogram in a snapshot.
 type HistValue struct {
-	Name    string   `json:"name"`
-	Count   uint64   `json:"count"`
-	Sum     int64    `json:"sum"`
-	Bounds  []int64  `json:"bounds"`
-	Buckets []uint64 `json:"buckets"`
+	Name      string     `json:"name"`
+	Count     uint64     `json:"count"`
+	Sum       int64      `json:"sum"`
+	Bounds    []int64    `json:"bounds"`
+	Buckets   []uint64   `json:"buckets"`
+	Exemplars []Exemplar `json:"exemplars,omitempty"`
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the bucket
+// counts using Prometheus-style linear interpolation within the
+// bucket that holds the target rank. Samples in the overflow bucket
+// are reported as the last finite bound (the estimate saturates
+// there, it cannot extrapolate). An empty histogram reports 0.
+func (h HistValue) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	var cum float64
+	for i, n := range h.Buckets {
+		prev := cum
+		cum += float64(n)
+		if cum < rank || n == 0 {
+			continue
+		}
+		if i >= len(h.Bounds) { // overflow bucket: saturate
+			return float64(h.Bounds[len(h.Bounds)-1])
+		}
+		lo := float64(0)
+		if i > 0 {
+			lo = float64(h.Bounds[i-1])
+		}
+		hi := float64(h.Bounds[i])
+		return lo + (hi-lo)*(rank-prev)/float64(n)
+	}
+	return float64(h.Bounds[len(h.Bounds)-1])
 }
 
 // Snapshot is a consistent-enough copy of the registry for rendering:
@@ -263,6 +351,12 @@ func (r *Registry) Snapshot() Snapshot {
 		for i := range h.buckets {
 			hv.Buckets = append(hv.Buckets, h.buckets[i].Load())
 		}
+		for i := range h.exRefs {
+			if ref := h.exRefs[i].Load(); ref != 0 {
+				hv.Exemplars = append(hv.Exemplars,
+					Exemplar{Bucket: i, Ref: ref, Value: h.exVals[i].Load()})
+			}
+		}
 		snap.Hists = append(snap.Hists, hv)
 	}
 	return snap
@@ -288,16 +382,28 @@ func (s Snapshot) RenderText() string {
 		fmt.Fprintf(&b, "%-56s %12d (gauge)\n", k, s.Gauges[k])
 	}
 	for _, h := range s.Hists {
-		fmt.Fprintf(&b, "%-56s count=%d sum=%d\n", h.Name, h.Count, h.Sum)
+		fmt.Fprintf(&b, "%-56s count=%d sum=%d", h.Name, h.Count, h.Sum)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, " p50=%.0f p99=%.0f", h.Quantile(0.50), h.Quantile(0.99))
+		}
+		b.WriteByte('\n')
+		ex := make(map[int]Exemplar, len(h.Exemplars))
+		for _, e := range h.Exemplars {
+			ex[e.Bucket] = e
+		}
 		for i, n := range h.Buckets {
 			if n == 0 {
 				continue
 			}
 			if i < len(h.Bounds) {
-				fmt.Fprintf(&b, "  le %-10d %12d\n", h.Bounds[i], n)
+				fmt.Fprintf(&b, "  le %-10d %12d", h.Bounds[i], n)
 			} else {
-				fmt.Fprintf(&b, "  le +inf       %12d\n", n)
+				fmt.Fprintf(&b, "  le +inf       %12d", n)
 			}
+			if e, ok := ex[i]; ok {
+				fmt.Fprintf(&b, "  # {task=%d} %d", e.Ref, e.Value)
+			}
+			b.WriteByte('\n')
 		}
 	}
 	return b.String()

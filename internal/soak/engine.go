@@ -5,6 +5,7 @@ import (
 
 	"ccai/internal/sched"
 	"ccai/internal/sim"
+	"ccai/internal/telemetry"
 )
 
 // req is one virtual request's life record.
@@ -31,10 +32,9 @@ type engine struct {
 	freeSlots  int
 	dispatches int64
 
-	offered, completed, rejected, failed, canceled int64
-	queueWaits, e2es                               []int64 // virtual ns, completion order
-	perTenantWait                                  []int64
-	perTenantN                                     []int64
+	// met is the shared SLO meter (internal/telemetry); the soak feeds
+	// it virtual-time samples, production feeds it wall-clock ones.
+	met *telemetry.Meter
 
 	orc  *oracle
 	car  *carrier
@@ -64,14 +64,13 @@ func Run(cfg Config) (Scorecard, error) {
 	}
 	e := &engine{
 		cfg: cfg, clk: clk, q: q,
-		stop:          make(chan struct{}),
-		arrivals:      make([]*mmpp, cfg.Tenants),
-		rands:         make([]*sim.Rand, cfg.Tenants),
-		freeSlots:     cfg.Slots,
-		perTenantWait: make([]int64, cfg.Tenants),
-		perTenantN:    make([]int64, cfg.Tenants),
-		orc:           orc,
-		plan:          GeneratePlan(cfg),
+		stop:      make(chan struct{}),
+		arrivals:  make([]*mmpp, cfg.Tenants),
+		rands:     make([]*sim.Rand, cfg.Tenants),
+		freeSlots: cfg.Slots,
+		met:       telemetry.NewMeter(cfg.Tenants),
+		orc:       orc,
+		plan:      GeneratePlan(cfg),
 	}
 	close(e.stop)
 
@@ -115,11 +114,11 @@ func Run(cfg Config) (Scorecard, error) {
 // horizon.
 func (e *engine) arrive(tn int) {
 	now := e.clk.Now()
-	e.offered++
+	e.met.Offered()
 	size := 1024 << e.rands[tn].Intn(4) // 1–8 KiB
 	r := &req{tenant: tn, bytes: size, enq: now}
 	if _, err := e.q.Push(tn, int64(size), r); err != nil {
-		e.rejected++
+		e.met.Rejected()
 	}
 	e.pump()
 	gap := e.arrivals[tn].next()
@@ -161,16 +160,11 @@ func (e *engine) complete(r *req, flow int, outcome int) {
 	e.freeSlots++
 	switch outcome {
 	case probeOK:
-		e.completed++
-		wait := int64(r.disp - r.enq)
-		e.queueWaits = append(e.queueWaits, wait)
-		e.e2es = append(e.e2es, int64(e.clk.Now()-r.enq))
-		e.perTenantWait[r.tenant] += wait
-		e.perTenantN[r.tenant]++
+		e.met.Completed(r.tenant, int64(r.disp-r.enq), int64(e.clk.Now()-r.enq))
 	case probeFailed:
-		e.failed++
+		e.met.Failed()
 	case probeCanceled:
-		e.canceled++
+		e.met.Canceled()
 	}
 	e.pump()
 }

@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
-	"sort"
 	"strings"
 
 	"ccai/internal/fault"
@@ -85,39 +84,6 @@ func UnmarshalScorecard(data []byte) (Scorecard, error) {
 	return s, err
 }
 
-// percentile picks the p-th percentile of sorted ns samples, as ms.
-func percentileMs(sorted []int64, p int) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := (len(sorted) * p) / 100
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return float64(sorted[i]) / 1e6
-}
-
-// fairnessSpread is the DRR fairness meter: each tenant with enough
-// completions contributes its mean virtual queue wait; the spread is
-// the worst tenant's mean over the median tenant's, with a 1 ms floor
-// on both so near-zero waits cannot explode the ratio.
-func fairnessSpread(waitSums, counts []int64) float64 {
-	var means []float64
-	for i := range counts {
-		if counts[i] >= 3 {
-			means = append(means, float64(waitSums[i])/float64(counts[i]))
-		}
-	}
-	if len(means) < 2 {
-		return 1
-	}
-	sort.Float64s(means)
-	const floor = 1e6 // 1 ms in ns
-	max := means[len(means)-1] + floor
-	med := means[len(means)/2] + floor
-	return max / med
-}
-
 // obsvCompletedOK sums the scheduler's ok-status completion counters
 // from the metrics registry — the obsv-side view of probe successes.
 func obsvCompletedOK(h *obsv.Hub) uint64 {
@@ -154,11 +120,7 @@ func (e *engine) scorecard() Scorecard {
 	planBytes := e.plan.Marshal()
 	sum := sha256.Sum256(planBytes)
 
-	qw := append([]int64(nil), e.queueWaits...)
-	ee := append([]int64(nil), e.e2es...)
-	sort.Slice(qw, func(i, j int) bool { return qw[i] < qw[j] })
-	sort.Slice(ee, func(i, j int) bool { return ee[i] < ee[j] })
-
+	m := e.met.Summary()
 	sc := Scorecard{
 		Preset:         e.cfg.Preset,
 		Seed:           "0x" + hex.EncodeToString(appendSeed(nil, e.cfg.Seed)),
@@ -167,27 +129,23 @@ func (e *engine) scorecard() Scorecard {
 		Waves:          len(e.plan.Waves),
 		PlanSHA256:     hex.EncodeToString(sum[:]),
 
-		Offered:            e.offered,
-		Completed:          e.completed,
-		Rejected:           e.rejected,
-		Failed:             e.failed,
-		Canceled:           e.canceled,
+		Offered:            m.Offered,
+		Completed:          m.Completed,
+		Rejected:           m.Rejected,
+		Failed:             m.Failed,
+		Canceled:           m.Canceled,
+		Availability:       m.Availability,
 		AvailabilityBudget: e.cfg.AvailabilityBudget,
 
-		QueueWaitP50Ms:       percentileMs(qw, 50),
-		QueueWaitP99Ms:       percentileMs(qw, 99),
+		QueueWaitP50Ms:       m.QueueWaitP50Ms,
+		QueueWaitP99Ms:       m.QueueWaitP99Ms,
 		QueueWaitP99BudgetMs: e.cfg.QueueWaitP99BudgetMs,
-		E2EP50Ms:             percentileMs(ee, 50),
-		E2EP99Ms:             percentileMs(ee, 99),
-		FairnessSpread:       fairnessSpread(e.perTenantWait, e.perTenantN),
+		E2EP50Ms:             m.E2EP50Ms,
+		E2EP99Ms:             m.E2EP99Ms,
+		FairnessSpread:       m.FairnessSpread,
 		FairnessBudget:       e.cfg.FairnessBudget,
 
 		Violations: e.orc.violationList(),
-	}
-	if e.offered > 0 {
-		sc.Availability = float64(e.completed) / float64(e.offered)
-	} else {
-		sc.Availability = 1
 	}
 
 	if e.car != nil {

@@ -1,0 +1,144 @@
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ccai/internal/obsv"
+)
+
+// splitName parses an obsv metric name ("base{k=v,k2=v2}") into the
+// base and its label pairs.
+func splitName(name string) (base string, labels [][2]string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, nil
+	}
+	base = name[:i]
+	body := strings.TrimSuffix(name[i+1:], "}")
+	for _, pair := range strings.Split(body, ",") {
+		if k, v, ok := strings.Cut(pair, "="); ok {
+			labels = append(labels, [2]string{k, v})
+		}
+	}
+	return base, labels
+}
+
+// promName renders an obsv base name as a Prometheus metric name.
+func promName(base string) string {
+	return "ccai_" + strings.NewReplacer(".", "_", "-", "_").Replace(base)
+}
+
+// promLabels renders label pairs (plus optional extras) in Prometheus
+// form: {k="v",le="100"}. Empty input renders to the empty string.
+func promLabels(labels [][2]string, extra ...[2]string) string {
+	all := append(append([][2]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// seriesTenant extracts the tenant label of an obsv metric name, or ""
+// when the series is not tenant-scoped.
+func seriesTenant(name string) string {
+	_, labels := splitName(name)
+	for _, kv := range labels {
+		if kv[0] == "tenant" {
+			return kv[1]
+		}
+	}
+	return ""
+}
+
+// FilterSnapshot returns the subset of snap belonging to one tenant:
+// exactly the series carrying tenant=<label>. Everything else —
+// other tenants' series AND global series — is excluded, so a
+// tenant-scoped view can never leak another tenant's existence.
+func FilterSnapshot(snap obsv.Snapshot, tenant string) obsv.Snapshot {
+	out := obsv.Snapshot{Counters: make(map[string]uint64), Gauges: make(map[string]int64)}
+	for name, v := range snap.Counters {
+		if seriesTenant(name) == tenant {
+			out.Counters[name] = v
+		}
+	}
+	for name, v := range snap.Gauges {
+		if seriesTenant(name) == tenant {
+			out.Gauges[name] = v
+		}
+	}
+	for _, h := range snap.Hists {
+		if seriesTenant(h.Name) == tenant {
+			out.Hists = append(out.Hists, h)
+		}
+	}
+	return out
+}
+
+// RenderProm renders a snapshot in Prometheus text exposition format.
+// Histograms render cumulative le-buckets with OpenMetrics-style
+// exemplars (`# {task="41"} 9`) linking tail buckets to the span/task
+// that produced them, plus summary-style p50/p99 quantile series from
+// bucket interpolation.
+func RenderProm(snap obsv.Snapshot) string {
+	var b strings.Builder
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitName(name)
+		fmt.Fprintf(&b, "%s%s %d\n", promName(base), promLabels(labels), snap.Counters[name])
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base, labels := splitName(name)
+		fmt.Fprintf(&b, "%s%s %d\n", promName(base), promLabels(labels), snap.Gauges[name])
+	}
+
+	for _, h := range snap.Hists {
+		base, labels := splitName(h.Name)
+		pn := promName(base)
+		ex := make(map[int]obsv.Exemplar, len(h.Exemplars))
+		for _, e := range h.Exemplars {
+			ex[e.Bucket] = e
+		}
+		var cum uint64
+		for i, n := range h.Buckets {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = fmt.Sprintf("%d", h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket%s %d", pn, promLabels(labels, [2]string{"le", le}), cum)
+			if e, ok := ex[i]; ok {
+				fmt.Fprintf(&b, " # {task=%q} %d", fmt.Sprintf("%d", e.Ref), e.Value)
+			}
+			b.WriteByte('\n')
+		}
+		fmt.Fprintf(&b, "%s_sum%s %d\n", pn, promLabels(labels), h.Sum)
+		fmt.Fprintf(&b, "%s_count%s %d\n", pn, promLabels(labels), h.Count)
+		if h.Count > 0 {
+			fmt.Fprintf(&b, "%s%s %g\n", pn, promLabels(labels, [2]string{"quantile", "0.5"}), h.Quantile(0.50))
+			fmt.Fprintf(&b, "%s%s %g\n", pn, promLabels(labels, [2]string{"quantile", "0.99"}), h.Quantile(0.99))
+		}
+	}
+	return b.String()
+}

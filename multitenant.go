@@ -13,6 +13,7 @@ import (
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
+	"ccai/internal/telemetry"
 	"ccai/internal/tvm"
 	"ccai/internal/xpu"
 )
@@ -36,7 +37,12 @@ type MultiPlatform struct {
 	// called): one registry and tracer shared by every tenant's pipeline
 	// and by any Scheduler serving the chassis.
 	Obs *obsv.Hub
+	// Tel is the live telemetry plane (nil unless WithTelemetry).
+	Tel *telemetry.Plane
 }
+
+// Telemetry returns the live telemetry plane, nil when not attached.
+func (mp *MultiPlatform) Telemetry() *telemetry.Plane { return mp.Tel }
 
 // Observe enables the observability layer for the whole chassis and
 // wires it through every tenant's pipeline components. Call before
@@ -96,6 +102,7 @@ type Tenant struct {
 	ring     *adaptor.Region
 	tvmKeys  *secmem.KeyStore
 	trusted  bool
+	gen      int // trust generation: 1 = first attest, 2+ = re-trust
 	parent   *MultiPlatform
 }
 
@@ -104,10 +111,18 @@ type Tenant struct {
 const tenantStride = 0x0100_0000
 
 // NewMultiPlatform assembles one chassis serving len(profiles) tenants,
-// tenant i owning an instance of profiles[i].
-func NewMultiPlatform(profiles []xpu.Profile) (*MultiPlatform, error) {
+// tenant i owning an instance of profiles[i]. Options are optional and
+// backward-compatible: WithObserve enables the chassis hub (same as
+// calling Observe()), WithTelemetry additionally attaches the live
+// telemetry plane with one bearer token per tenant; device-shape
+// options (WithXPU, WithMode, ...) do not apply here and are ignored.
+func NewMultiPlatform(profiles []xpu.Profile, options ...Option) (*MultiPlatform, error) {
 	if len(profiles) == 0 || len(profiles) > 8 {
 		return nil, fmt.Errorf("ccai: 1-8 tenants supported, got %d", len(profiles))
+	}
+	var cfg Config
+	for _, opt := range options {
+		opt(&cfg)
 	}
 	mp := &MultiPlatform{
 		Host:  pcie.NewBus("host"),
@@ -126,6 +141,19 @@ func NewMultiPlatform(profiles []xpu.Profile) (*MultiPlatform, error) {
 		if err := mp.addTenant(i, profile); err != nil {
 			return nil, fmt.Errorf("ccai: tenant %d: %w", i, err)
 		}
+	}
+	if cfg.Observe || cfg.Telemetry != nil {
+		mp.Observe()
+	}
+	if cfg.Telemetry != nil {
+		tel, err := telemetry.Attach(mp.Obs, *cfg.Telemetry)
+		if err != nil {
+			return nil, err
+		}
+		for i := range mp.Tenants {
+			tel.RegisterTenant(tenantLabel(i))
+		}
+		mp.Tel = tel
 	}
 	return mp, nil
 }
@@ -265,6 +293,16 @@ func (t *Tenant) EstablishTrust() error {
 		return err
 	}
 	t.trusted = true
+	t.gen++
+	if t.parent != nil {
+		kind := obsv.EvAttest
+		if t.gen > 1 {
+			// Keys are never reused across a teardown: a re-trust is a
+			// fresh generation, and the audit log records it as such.
+			kind = obsv.EvRetrust
+		}
+		t.parent.Obs.Eventf(kind, tenantLabel(t.Index), "gen=%d", t.gen)
+	}
 	return nil
 }
 
@@ -390,9 +428,13 @@ func (t *Tenant) Close() {
 	}
 }
 
-// Close tears down every tenant.
+// Close tears down every tenant and stops the telemetry server.
 func (mp *MultiPlatform) Close() {
 	for _, t := range mp.Tenants {
 		t.Close()
+	}
+	if mp.Tel != nil {
+		mp.Tel.Close()
+		mp.Tel = nil
 	}
 }

@@ -2,6 +2,7 @@ package ccai
 
 import (
 	"ccai/internal/adaptor"
+	"ccai/internal/telemetry"
 	"ccai/internal/xpu"
 )
 
@@ -21,6 +22,17 @@ func WithMode(m Mode) Option { return func(c *Config) { c.Mode = m } }
 // WithObserve enables the observability layer: the metrics registry
 // and span tracer wired through every pipeline stage.
 func WithObserve() Option { return func(c *Config) { c.Observe = true } }
+
+// WithTelemetry attaches the live telemetry plane: an HTTP server
+// (Prometheus-text metrics with p50/p99 and exemplars, JSON snapshots,
+// health, token-isolated per-tenant views), a hash-chained security
+// audit log, and rolling-window SLO monitors with burn-rate alerts.
+// Implies WithObserve. The zero Options binds loopback on an ephemeral
+// port with a generated admin token — read it back via
+// Telemetry().AdminToken().
+func WithTelemetry(o telemetry.Options) Option {
+	return func(c *Config) { opts := o; c.Telemetry = &opts; c.Observe = true }
+}
 
 // WithRingEntries sizes the command ring (default 64).
 func WithRingEntries(n uint64) Option { return func(c *Config) { c.RingEntries = n } }

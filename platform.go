@@ -30,6 +30,7 @@ import (
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
+	"ccai/internal/telemetry"
 	"ccai/internal/tvm"
 	"ccai/internal/xpu"
 )
@@ -99,6 +100,10 @@ type Config struct {
 	// adaptor, driver, device). Off (the default) every instrumentation
 	// site sees nil handles and costs nothing.
 	Observe bool
+	// Telemetry attaches the live telemetry plane (HTTP scrape
+	// endpoints, tamper-evident audit log, rolling SLO monitors) on
+	// top of the observability layer; non-nil implies Observe.
+	Telemetry *telemetry.Options
 }
 
 // HostBridge terminates device-initiated traffic on the host bus: DMA
@@ -186,7 +191,12 @@ type Platform struct {
 
 	// Obs is the observability hub (nil unless Config.Observe).
 	Obs *obsv.Hub
+	// Tel is the live telemetry plane (nil unless Config.Telemetry).
+	Tel *telemetry.Plane
 }
+
+// Telemetry returns the live telemetry plane, nil when not attached.
+func (p *Platform) Telemetry() *telemetry.Plane { return p.Tel }
 
 // Observability returns the platform's hub, nil when observability is
 // off. All obsv types no-op on nil, so callers may chain freely:
@@ -235,7 +245,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 		IOMMU:  mem.NewIOMMU(),
 		golden: cfg.GoldenFirmware,
 	}
-	if cfg.Observe {
+	if cfg.Observe || cfg.Telemetry != nil {
 		p.Obs = obsv.NewHub()
 	}
 	p.Bridge = &HostBridge{id: HostBridgeID, space: guest.Space, iommu: p.IOMMU}
@@ -256,9 +266,19 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	}
 
 	if cfg.Mode == Vanilla {
-		return p, p.assembleVanilla(cfg)
+		err = p.assembleVanilla(cfg)
+	} else {
+		err = p.assembleProtected(cfg, opts)
 	}
-	return p, p.assembleProtected(cfg, opts)
+	if err != nil {
+		return p, err
+	}
+	if cfg.Telemetry != nil {
+		if p.Tel, err = telemetry.Attach(p.Obs, *cfg.Telemetry); err != nil {
+			return p, err
+		}
+	}
+	return p, nil
 }
 
 func (p *Platform) assembleVanilla(cfg Config) error {
@@ -408,6 +428,7 @@ func (p *Platform) EstablishTrust() error {
 	if !p.SC.AttestDevice(nonce, expected, xpu.RegAttestNonce, xpu.RegAttestResp) {
 		return fmt.Errorf("%w; refusing to provision keys", ErrAttestFailed)
 	}
+	p.Obs.Eventf(obsv.EvAttest, "", "xpu=%s", p.Device.Profile().Name)
 	for _, stream := range []string{core.StreamH2D, core.StreamD2H, core.StreamConfig, core.StreamMMIO} {
 		key, nonce := secmem.FreshKey(), secmem.FreshNonce()
 		if err := p.scKeys.Install(stream, key, nonce); err != nil {
@@ -456,10 +477,15 @@ type guardedPort struct{ a *adaptor.Adaptor }
 func (g *guardedPort) WriteReg(reg uint64, v uint64) error { return g.a.GuardedWrite(reg, v) }
 func (g *guardedPort) ReadReg(reg uint64) (uint64, error)  { return g.a.DeviceRead(reg) }
 
-// Close tears the session down: keys destroyed, device cleaned.
+// Close tears the session down: keys destroyed, device cleaned, the
+// telemetry server (if any) stopped.
 func (p *Platform) Close() {
 	if p.Mode == Protected && p.Adaptor != nil && p.trusted {
 		p.Adaptor.Teardown()
 		p.trusted = false
+	}
+	if p.Tel != nil {
+		p.Tel.Close()
+		p.Tel = nil
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"ccai/internal/fault"
 	"ccai/internal/obsv"
 	"ccai/internal/sched"
+	"ccai/internal/telemetry"
 )
 
 // This file is the v2 serving frontend: a long-lived, admission-
@@ -197,6 +198,7 @@ func (s *Scheduler) Submit(ctx context.Context, tt TenantTask) (*Handle, error) 
 	reg := s.obs.Reg()
 	reject := func(reason string, err error) (*Handle, error) {
 		reg.Counter(obsv.Name("sched.rejected", "reason", reason)).Inc()
+		s.monitor().RecordOutcome(false, 0)
 		return nil, err
 	}
 	if atomic.LoadInt32(&s.state) != schedRunning {
@@ -250,6 +252,15 @@ func (s *Scheduler) Submit(ctx context.Context, tt TenantTask) (*Handle, error) 
 	return h, nil
 }
 
+// monitor returns the chassis's rolling SLO monitor, nil when no
+// telemetry plane is attached (every Monitor method no-ops on nil).
+func (s *Scheduler) monitor() *telemetry.Monitor {
+	if s.mp.Tel == nil {
+		return nil
+	}
+	return s.mp.Tel.Monitor
+}
+
 // finish resolves the request's handle exactly once.
 func (s *Scheduler) finish(r *request, out []byte, err error) {
 	r.h.once.Do(func() {
@@ -261,6 +272,7 @@ func (s *Scheduler) finish(r *request, out []byte, err error) {
 		}
 		s.obs.Reg().Counter(obsv.Name("sched.completed",
 			"tenant", tenantLabel(r.h.Tenant), "status", status)).Inc()
+		s.monitor().RecordOutcome(err == nil, r.h.wait.Load())
 	})
 }
 
@@ -323,8 +335,16 @@ func (s *Scheduler) execute(r *request, flow int) {
 	wait := time.Since(r.enq)
 	r.h.wait.Store(int64(wait))
 	r.qspan.End()
+	// The request runs under a task scope so its pipeline spans share a
+	// task ID, and the wait sample carries that ID as its bucket's
+	// exemplar — a p99 outlier on the scrape page links straight to the
+	// timeline spans that produced it. WaitBuckets (1 ms–10 s) rather
+	// than DurationBuckets: real queue waits live in the ms–100 ms
+	// range, far above the 10 ms ceiling of the pipeline-stage layout.
+	tid := s.obs.T().StartTask()
+	defer s.obs.T().EndTask()
 	reg.Histogram(obsv.Name("sched.queue_wait_ns", "tenant", label),
-		obsv.DurationBuckets()).Observe(wait.Nanoseconds())
+		obsv.WaitBuckets()).ObserveExemplar(wait.Nanoseconds(), tid)
 	reg.Gauge(obsv.Name("sched.queue_depth", "tenant", label)).Set(int64(s.q.Len(r.h.Tenant)))
 
 	if s.execGate != nil {

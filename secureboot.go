@@ -48,6 +48,7 @@ func (p *Platform) SecureBoot(vendorCA *ecdsa.PrivateKey) (*hrot.Blade, error) {
 	if err := blade.SecureBoot(&vendorCA.PublicKey, chain); err != nil {
 		return nil, err
 	}
+	blade.SetObserver(p.Obs)
 	p.Blade = blade
 	return blade, nil
 }
