@@ -16,8 +16,16 @@ all: build test
 ci: fmt-check vet test race stress bench-smoke soak-smoke telemetry-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
-	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json \
-		|| echo "WARNING: micro-benchmarks regressed vs BENCH_results.json (soft gate; timing on shared CI is noisy)"
+# Wall-clock regressions stay a soft gate (shared-CI timing is noisy);
+# the allocation ceiling is deterministic, so exit code 3 from
+# -check-allocs fails the merge outright.
+	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json -check-allocs; \
+	st=$$?; \
+	if [ $$st -eq 3 ]; then \
+		echo "FAIL: task/ccAI/64KiB allocs/op breached the hard ceiling"; exit 1; \
+	elif [ $$st -ne 0 ]; then \
+		echo "WARNING: micro-benchmarks regressed vs BENCH_results.json (soft gate; timing on shared CI is noisy)"; \
+	fi
 
 build:
 	$(GO) build ./...

@@ -46,7 +46,8 @@ func main() {
 	only := flag.String("only", "", "run one experiment: table1,table2,table3,fig8,fig9,fig10,fig11,fig12a,fig12b,ablations,serving,breakdown,h100,decomposition,micro,soak")
 	src := flag.String("src", ".", "repository root for Table 3 LoC measurement")
 	out := flag.String("out", "BENCH_results.json", "machine-readable micro-benchmark results path (empty disables)")
-	compare := flag.String("compare", "", "baseline BENCH_results.json to diff against; exits non-zero on >10% ns/op regression")
+	compare := flag.String("compare", "", "baseline BENCH_results.json to diff against; exits non-zero on >10% ns/op regression (p50/p99 get 25%/50% bands)")
+	checkAllocsFlag := flag.Bool("check-allocs", false, "hard-gate task/ccAI/64KiB allocations (exit 3 when over the ceiling)")
 	soakArg := flag.String("soak", "", "run the soak harness: smoke, full, or all; scorecards merge into -out under \"soak\"")
 	soakCompare := flag.String("soak-compare", "", "baseline BENCH_results.json whose soak scorecards must match byte-for-byte")
 	serveTel := flag.Bool("serve-telemetry", false, "attach the live telemetry plane to benchmark chassis and print scrape URLs to stderr")
@@ -175,6 +176,13 @@ func main() {
 		if *compare != "" {
 			code, report = compareResults(*compare, results)
 		}
+		if *checkAllocsFlag {
+			acode, areport := checkAllocs(results)
+			report += areport
+			if acode != 0 {
+				code = acode // alloc gate outranks timing regressions
+			}
+		}
 		if err := writeResults(*out, results); err != nil {
 			fail("micro", err)
 		}
@@ -230,10 +238,14 @@ func main() {
 }
 
 // benchResult is one BENCH_results.json entry, mirroring testing.B's
-// headline numbers so external tooling can diff runs.
+// headline numbers so external tooling can diff runs. Task benchmarks
+// additionally carry the per-iteration latency distribution's p50/p99
+// so tail regressions are visible even when the mean holds steady.
 type benchResult struct {
 	Name        string  `json:"name"`
 	NsPerOp     float64 `json:"ns_per_op"`
+	P50Ns       float64 `json:"p50_ns,omitempty"`
+	P99Ns       float64 `json:"p99_ns,omitempty"`
 	BytesPerOp  uint64  `json:"bytes_per_op"`
 	AllocsPerOp uint64  `json:"allocs_per_op"`
 	Iterations  int     `json:"iterations"`
@@ -302,20 +314,26 @@ func microBench(serveTel bool) ([]benchResult, error) {
 			plat.Close()
 			return nil, err
 		}
+		samples := make([]time.Duration, microIters)
 		m0 := allocs()
 		start := time.Now()
 		for i := 0; i < microIters; i++ {
+			t0 := time.Now()
 			if _, err := plat.RunTask(task); err != nil {
 				plat.Close()
 				return nil, err
 			}
+			samples[i] = time.Since(t0)
 		}
 		elapsed := time.Since(start)
 		m1 := allocs()
 		plat.Close()
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
 		results = append(results, benchResult{
 			Name:        c.name,
 			NsPerOp:     float64(elapsed.Nanoseconds()) / microIters,
+			P50Ns:       float64(samples[microIters*50/100].Nanoseconds()),
+			P99Ns:       float64(samples[microIters*99/100].Nanoseconds()),
 			BytesPerOp:  uint64(c.size),
 			AllocsPerOp: (m1 - m0) / microIters,
 			Iterations:  microIters,
@@ -578,8 +596,36 @@ func renderMicro(path string, results []benchResult) string {
 }
 
 // regressionTolerance is the relative ns/op slowdown -compare treats as
-// a regression.
-const regressionTolerance = 0.10
+// a regression. The latency tails get wider bands — a single scheduler
+// preemption lands squarely in the p99 — so only gross tail blow-ups
+// fail the run.
+const (
+	regressionTolerance = 0.10
+	p50Tolerance        = 0.25
+	p99Tolerance        = 0.50
+)
+
+// taskAllocCeiling is the -check-allocs hard gate for task/ccAI/64KiB:
+// half the 1817-alloc seed baseline (mirrored by TestTaskAllocBudget).
+const taskAllocCeiling = 908
+
+// checkAllocs enforces the hard allocation gate; unlike the tolerance
+// comparisons this is not timing-sensitive, so it always fails loudly
+// (dedicated exit code 3 lets CI treat it as a hard failure while
+// keeping wall-clock regressions advisory).
+func checkAllocs(results []benchResult) (int, string) {
+	for _, r := range results {
+		if r.Name != "task/ccAI/64KiB" {
+			continue
+		}
+		if r.AllocsPerOp > taskAllocCeiling {
+			return 3, fmt.Sprintf("ccai-bench: check-allocs: task/ccAI/64KiB allocates %d/op; hard ceiling is %d/op\n",
+				r.AllocsPerOp, taskAllocCeiling)
+		}
+		return 0, fmt.Sprintf("check-allocs: task/ccAI/64KiB %d allocs/op within ceiling %d\n", r.AllocsPerOp, taskAllocCeiling)
+	}
+	return 3, "ccai-bench: check-allocs: no task/ccAI/64KiB result to gate\n"
+}
 
 // compareResults diffs the current run against a previously written
 // BENCH_results.json. Every matched benchmark's delta is reported;
@@ -624,12 +670,32 @@ func compareResults(path string, cur []benchResult) (int, string) {
 			mark += "  REGRESSION"
 			regressions++
 		}
+		// Tail bands: gate p50/p99 only when both runs carry them, with
+		// tolerances wide enough that one preempted iteration cannot flake
+		// the gate while a structural tail blow-up still fails it.
+		tailNote := ""
+		if old.P50Ns > 0 && r.P50Ns > 0 {
+			d50 := (r.P50Ns - old.P50Ns) / old.P50Ns
+			d99 := 0.0
+			if old.P99Ns > 0 && r.P99Ns > 0 {
+				d99 = (r.P99Ns - old.P99Ns) / old.P99Ns
+			}
+			tailNote = fmt.Sprintf("   p50 %+.0f%% p99 %+.0f%%", d50*100, d99*100)
+			if d50 > p50Tolerance {
+				mark += "  P50-REGRESSION"
+				regressions++
+			}
+			if d99 > p99Tolerance {
+				mark += "  P99-REGRESSION"
+				regressions++
+			}
+		}
 		allocNote := ""
 		if old.AllocsPerOp > 0 || r.AllocsPerOp > 0 {
 			allocNote = fmt.Sprintf("   allocs %d -> %d", old.AllocsPerOp, r.AllocsPerOp)
 		}
-		fmt.Fprintf(&b, "  %-32s %14.0f -> %12.0f ns/op  %+7.1f%%%s%s\n",
-			r.Name, old.NsPerOp, r.NsPerOp, delta, allocNote, mark)
+		fmt.Fprintf(&b, "  %-32s %14.0f -> %12.0f ns/op  %+7.1f%%%s%s%s\n",
+			r.Name, old.NsPerOp, r.NsPerOp, delta, tailNote, allocNote, mark)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(&b, "ccai-bench: %d benchmark(s) regressed beyond %.0f%% ns/op\n", regressions, regressionTolerance*100)

@@ -11,6 +11,7 @@ import (
 
 	"ccai"
 	"ccai/internal/attack"
+	"ccai/internal/core"
 	"ccai/internal/pcie"
 	"ccai/internal/xpu"
 )
@@ -66,7 +67,12 @@ func main() {
 		p := freshPlatform(ccai.Protected)
 		defer p.Close()
 		t := &attack.Tamperer{Match: func(pk *pcie.Packet) bool {
-			return pk.Kind == pcie.CplD && pk.Requester == ccai.SCID
+			// Target ciphertext completions toward the SC. Submission-ring
+			// fetches are exact RingSlotSize multiples and are skipped:
+			// corrupting ring framing is a separate fail-closed path, and a
+			// flip in a slot's dead padding would make the scenario vacuous.
+			return pk.Kind == pcie.CplD && pk.Requester == ccai.SCID &&
+				len(pk.Payload)%core.RingSlotSize != 0
 		}, Count: 1}
 		p.Host.AddTap(t)
 		out, err := p.RunTask(ccai.Task{Input: secret, Kernel: ccai.KernelAdd, Param: 0})

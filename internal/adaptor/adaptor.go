@@ -43,11 +43,16 @@ type Options struct {
 	// min(GOMAXPROCS, 8) when ParallelCrypto is set, otherwise 1
 	// (serial).
 	CryptoWorkers int
+	// SubmitRing batches control-path operations (descriptor installs,
+	// tag uploads, releases, notifies, A3 guarded writes) into a shared
+	// submission ring published with one doorbell MMIO per burst
+	// instead of one MMIO write per operation.
+	SubmitRing bool
 }
 
 // Optimized is the full ccAI optimization set.
 func Optimized() Options {
-	return Options{BatchTags: true, BatchedMetadata: true, HWCrypto: true, ParallelCrypto: true}
+	return Options{BatchTags: true, BatchedMetadata: true, HWCrypto: true, ParallelCrypto: true, SubmitRing: true}
 }
 
 // NoOpt is the Figure 11 ablation configuration.
@@ -101,11 +106,25 @@ type Adaptor struct {
 
 	metaBuf *mem.Buffer
 
+	// ringBuf is the submission-ring backing memory (allocated once,
+	// survives teardown); ring is the live producer state, nil when the
+	// ring optimization is off or the session is torn down.
+	ringBuf *mem.Buffer
+	ring    *submitRing
+
 	io     IOStats
 	policy RetryPolicy
 	clock  *sim.Engine
 	rec    RecoveryStats
 	pool   *secmem.Pool // per-chunk crypto fan-out
+
+	// Per-call scratch reused across staging/collect batches (guarded by
+	// mu): the slice-header tables for seal/open fan-out. Plaintext
+	// aliases are cleared before the call returns so the Adaptor never
+	// retains references into a caller's buffer.
+	scratchPts    [][]byte
+	scratchAADs   [][]byte
+	scratchSealed []secmem.Sealed
 
 	// hub propagates observability to streams activated in HWInit; obs
 	// holds the cached handles (zero value = uninstrumented).
@@ -184,6 +203,25 @@ func (a *Adaptor) HWInit() error {
 		a.mmioWrite64(core.RegMetaBase, buf.Base())
 		a.mmioWrite64(core.RegMetaSize, uint64(buf.Size()))
 	}
+	if a.opts.SubmitRing {
+		if a.ringBuf == nil {
+			buf, err := a.space.Alloc(a.region, "dma-submitring", int64(core.RingHdrSize+ringSlots*core.RingSlotSize))
+			if err != nil {
+				return fmt.Errorf("adaptor: submission ring: %w", err)
+			}
+			a.ringBuf = buf
+		} else {
+			// Re-established session: scrub the head/status words the SC
+			// wrote last session before re-arming.
+			hdr := a.ringBuf.Bytes()[:core.RingHdrSize]
+			for i := range hdr {
+				hdr[i] = 0
+			}
+		}
+		a.ring = &submitRing{buf: a.ringBuf, slots: ringSlots}
+		a.mmioWrite64(core.RegRingBase, a.ringBuf.Base())
+		a.mmioWrite64(core.RegRingSize, ringSlots)
+	}
 	return nil
 }
 
@@ -227,9 +265,10 @@ func (a *Adaptor) InstallRule(r core.Rule) error {
 	if err != nil {
 		return fmt.Errorf("adaptor: seal rule: %w", err)
 	}
-	a.mmioWrite(core.RegRuleWindow, core.MarshalBlob(sealed))
-	a.mmioWrite64(core.RegRuleDoorbell, 1)
-	return nil
+	if err := a.sendBlob(core.RingOpRule, core.RegRuleWindow, core.RegRuleDoorbell, core.MarshalBlob(sealed)); err != nil {
+		return err
+	}
+	return a.flushRingLocked()
 }
 
 func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
@@ -237,9 +276,9 @@ func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
 	if err != nil {
 		return fmt.Errorf("adaptor: seal descriptor: %w", err)
 	}
-	a.mmioWrite(core.RegDescWindow, core.MarshalBlob(sealed))
-	a.mmioWrite64(core.RegDescDoorbell, 1)
-	return nil
+	// No flush here: staging callers batch the descriptor with the tag
+	// and notify entries that follow it and publish once.
+	return a.sendBlob(core.RingOpDesc, core.RegDescWindow, core.RegDescDoorbell, core.MarshalBlob(sealed))
 }
 
 // ReleaseRegion drops a transfer region on the SC and frees its staging
@@ -247,7 +286,11 @@ func (a *Adaptor) registerDescriptor(d core.Descriptor) error {
 func (a *Adaptor) ReleaseRegion(r *Region) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	a.mmioWrite64(core.RegDescRelease, uint64(r.Desc.ID))
+	if a.sendRelease(r.Desc.ID) == nil {
+		// A desync inside the push already tore the session down (the SC
+		// wipes its regions); only a delivered release needs publishing.
+		_ = a.flushRingLocked()
+	}
 	if r.Buf != nil {
 		a.space.Free(r.Buf)
 	}
@@ -260,19 +303,22 @@ func (a *Adaptor) ReleaseRegion(r *Region) {
 
 // postTags uploads tag records; batched mode packs as many as fit one
 // TLP payload, non-optimized mode issues one I/O write per record.
-func (a *Adaptor) postTags(recs []core.TagRecord) {
+func (a *Adaptor) postTags(recs []core.TagRecord) error {
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "post_tags",
 		obsv.I64("records", int64(len(recs))))
 	defer sp.End()
 	if !a.opts.BatchTags {
 		var one [core.TagRecordSize]byte
 		for _, r := range recs {
-			a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
+			if err := a.sendTags(r.AppendMarshal(one[:0])); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
-	// One reused arena buffer per upload burst: mmioWrite's MemWrite
-	// copies the payload, so the buffer is free to refill immediately.
+	// One reused arena buffer per upload burst: both sendTags paths copy
+	// the payload (into the ring slot or the MemWrite), so the buffer is
+	// free to refill immediately.
 	perPacket := pcie.MaxPayload / core.TagRecordSize
 	payload := arena.Get(perPacket * core.TagRecordSize)[:0]
 	for len(recs) > 0 {
@@ -284,14 +330,19 @@ func (a *Adaptor) postTags(recs []core.TagRecord) {
 		for _, r := range recs[:n] {
 			payload = r.AppendMarshal(payload)
 		}
-		a.mmioWrite(core.RegTagWindow, payload)
+		if err := a.sendTags(payload); err != nil {
+			arena.Put(payload)
+			return err
+		}
 		recs = recs[n:]
 	}
 	arena.Put(payload) // wire-format tags: public bytes
+	return nil
 }
 
-// postTag uploads a single record without the slice round-trip —
-// the guarded-MMIO hot path.
+// postTag uploads a single record directly (never via the ring) — the
+// guarded-MMIO path, where the record must reach the SC before the A3
+// write that immediately follows it on the bus.
 func (a *Adaptor) postTag(r core.TagRecord) {
 	var one [core.TagRecordSize]byte
 	a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
@@ -341,9 +392,15 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 	// out over the crypto pool (§5 parallel-crypto optimization), and
 	// AADs share one backing array instead of one alloc per chunk.
 	nChunks := (len(data) + core.ChunkSize - 1) / core.ChunkSize
-	pts := make([][]byte, nChunks)
-	aads := make([][]byte, nChunks)
-	aadAll := make([]byte, 8*nChunks)
+	if cap(a.scratchPts) < nChunks {
+		a.scratchPts = make([][]byte, nChunks)
+	}
+	if cap(a.scratchAADs) < nChunks {
+		a.scratchAADs = make([][]byte, nChunks)
+	}
+	pts := a.scratchPts[:nChunks]
+	aads := a.scratchAADs[:nChunks]
+	aadAll := arena.Get(8 * nChunks)
 	for i := 0; i < nChunks; i++ {
 		off := i * core.ChunkSize
 		end := off + core.ChunkSize
@@ -375,27 +432,41 @@ func (a *Adaptor) StageH2D(name string, data []byte) (*Region, error) {
 		if a.opts.BatchTags {
 			tagPayload = r.AppendMarshal(tagPayload)
 			if len(tagPayload) >= perPacket*core.TagRecordSize {
-				a.mmioWrite(core.RegTagWindow, tagPayload)
+				if err := a.sendTags(tagPayload); err != nil {
+					return err
+				}
 				tagPayload = tagPayload[:0]
 			}
 		} else {
 			var one [core.TagRecordSize]byte
-			a.mmioWrite(core.RegTagWindow, r.AppendMarshal(one[:0]))
+			return a.sendTags(r.AppendMarshal(one[:0]))
 		}
 		return nil
 	}
-	if err := a.sealBatchStreamWithRetry(a.h2d, pts, aads, emit); err != nil {
-		arena.Put(tagPayload)
-		a.mmioWrite64(core.RegDescRelease, uint64(desc.ID))
+	err = a.sealBatchStreamWithRetry(a.h2d, pts, aads, emit)
+	if err == nil && len(tagPayload) > 0 {
+		err = a.sendTags(tagPayload)
+	}
+	arena.Put(tagPayload) // wire-format tags: public bytes
+	arena.PutZero(aadAll) // AAD scratch follows the secret-adjacent discipline
+	for i := range pts {  // drop plaintext aliases before returning
+		pts[i], aads[i] = nil, nil
+	}
+	if err == nil {
+		// One region-ready notify, then one doorbell publishes the whole
+		// burst: descriptor, tag packets, notify (the batched I/O of §5).
+		err = a.sendNotify(desc.ID)
+	}
+	if err == nil {
+		err = a.flushRingLocked()
+	}
+	if err != nil {
+		if a.sendRelease(desc.ID) == nil {
+			_ = a.flushRingLocked()
+		}
 		a.space.Free(buf)
 		return nil, fmt.Errorf("adaptor: encrypt_data: %w", err)
 	}
-	if len(tagPayload) > 0 {
-		a.mmioWrite(core.RegTagWindow, tagPayload)
-	}
-	arena.Put(tagPayload) // wire-format tags: public bytes
-	// One region-ready notify: the batched I/O write of §5.
-	a.mmioWrite64(core.RegNotify, uint64(desc.ID))
 	return &Region{Desc: desc, Buf: buf, PlainLen: int64(len(data)), Recs: recs}, nil
 }
 
@@ -421,6 +492,10 @@ func (a *Adaptor) StageVerified(name string, size int64, chunkSize uint32) (*Reg
 	}
 	a.nextID++
 	if err := a.registerDescriptor(desc); err != nil {
+		a.space.Free(buf)
+		return nil, err
+	}
+	if err := a.flushRingLocked(); err != nil {
 		a.space.Free(buf)
 		return nil, err
 	}
@@ -451,8 +526,10 @@ func (a *Adaptor) SyncVerified(r *Region, chunks []uint32) error {
 		copy(rec.Tag[:], mac[:secmem.TagSize])
 		recs = append(recs, rec)
 	}
-	a.postTags(recs)
-	return nil
+	if err := a.postTags(recs); err != nil {
+		return err
+	}
+	return a.flushRingLocked()
 }
 
 // PrepareD2H allocates a result bounce region plus its tag table and
@@ -487,6 +564,11 @@ func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
 		a.space.Free(tagBuf)
 		return nil, err
 	}
+	if err := a.flushRingLocked(); err != nil {
+		a.space.Free(buf)
+		a.space.Free(tagBuf)
+		return nil, err
+	}
 	return &Region{Desc: desc, Buf: buf, TagBuf: tagBuf, PlainLen: size}, nil
 }
 
@@ -497,6 +579,11 @@ func (a *Adaptor) PrepareD2H(name string, size int64) (*Region, error) {
 func (a *Adaptor) D2HProgress(r *Region, sc *core.Controller) uint64 {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	// Ordering safety: anything still pending in the ring (tag records,
+	// a notify) must reach the SC before progress is interpreted.
+	if err := a.flushRingLocked(); err != nil {
+		return 0
+	}
 	if a.opts.BatchedMetadata && a.metaBuf != nil {
 		v, err := a.space.ReadUint64(a.metaBuf.Base() + uint64(r.Desc.ID)*8)
 		if err != nil {
@@ -524,6 +611,9 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "collect_d2h",
 		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("bytes", n))
 	defer sp.End()
+	if err := a.flushRingLocked(); err != nil {
+		return nil, err
+	}
 	// Assemble the batch from the bounce buffer + tag table (records by
 	// value, AADs sharing one backing array), then authenticate and
 	// decrypt straight into the result buffer on the crypto pool; the
@@ -531,9 +621,15 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 	// discipline across the whole batch, and a failed batch comes back
 	// zeroed rather than partially decrypted.
 	nChunks := int((n + core.ChunkSize - 1) / core.ChunkSize)
-	sealedChunks := make([]secmem.Sealed, nChunks)
-	aads := make([][]byte, nChunks)
-	aadAll := make([]byte, 8*nChunks)
+	if cap(a.scratchSealed) < nChunks {
+		a.scratchSealed = make([]secmem.Sealed, nChunks)
+	}
+	if cap(a.scratchAADs) < nChunks {
+		a.scratchAADs = make([][]byte, nChunks)
+	}
+	sealedChunks := a.scratchSealed[:nChunks]
+	aads := a.scratchAADs[:nChunks]
+	aadAll := arena.Get(8 * nChunks)
 	for i := 0; i < nChunks; i++ {
 		off := int64(i) * core.ChunkSize
 		end := off + core.ChunkSize
@@ -551,8 +647,13 @@ func (a *Adaptor) CollectD2H(r *Region, n int64) ([]byte, error) {
 		r.Desc.PutAAD((*[8]byte)(ab), uint32(i))
 		aads[i] = ab
 	}
-	out := make([]byte, n)
-	if err := a.openBatchIntoWithRetry(a.d2h, out, sealedChunks, aads); err != nil {
+	out := make([]byte, n) // escapes to the caller: a real allocation
+	err := a.openBatchIntoWithRetry(a.d2h, out, sealedChunks, aads)
+	arena.PutZero(aadAll)
+	for i := range sealedChunks { // drop bounce-buffer aliases
+		sealedChunks[i].Ciphertext, aads[i] = nil, nil
+	}
+	if err != nil {
 		return nil, fmt.Errorf("adaptor: decrypt_data: %w", err)
 	}
 	return out, nil
@@ -568,6 +669,14 @@ func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 	defer a.mu.Unlock()
 	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "guarded_write", obsv.Hex("reg", reg))
 	defer sp.End()
+	// A3 stays on the direct MMIO path: each write is already
+	// individually MACed and sequence-bound, and batching it would hide
+	// the very TLPs the per-write integrity protocol protects. Pending
+	// ring entries (tag syncs, notifies) are published first so the
+	// guarded write cannot pass them.
+	if err := a.flushRingLocked(); err != nil {
+		return err
+	}
 	var payload [8]byte
 	binary.LittleEndian.PutUint64(payload[:], value)
 	var hdr [16]byte
@@ -627,8 +736,14 @@ func (a *Adaptor) rekeyStreamLocked(stream string) error {
 	if err != nil {
 		return fmt.Errorf("adaptor: seal rekey: %w", err)
 	}
-	a.mmioWrite(core.RegRekeyWindow, core.MarshalBlob(sealed))
-	a.mmioWrite64(core.RegRekeyDoorbell, 1)
+	if err := a.sendBlob(core.RingOpRekey, core.RegRekeyWindow, core.RegRekeyDoorbell, core.MarshalBlob(sealed)); err != nil {
+		return err
+	}
+	// Publish before the TVM-side mirror rotates: the SC must never lag
+	// an epoch behind its peer.
+	if err := a.flushRingLocked(); err != nil {
+		return err
+	}
 	a.obs.rekeys.Inc()
 	a.obs.tracer.Instant(obsv.TrackAdaptor, "rekey", obsv.Str("stream", stream))
 	a.hub.Eventf(obsv.EvRekey, "", "stream=%s", stream)
@@ -685,6 +800,9 @@ func (a *Adaptor) Teardown() {
 
 func (a *Adaptor) teardownLocked() {
 	a.obs.tracer.Instant(obsv.TrackAdaptor, "teardown")
+	// Pending ring entries die with the session; teardown itself stays a
+	// direct MMIO write so it cannot depend on ring health.
+	a.ring = nil
 	a.mmioWrite64(core.RegTeardown, 1)
 	a.keys.DestroyAll()
 	a.h2d, a.d2h, a.config = nil, nil, nil

@@ -16,6 +16,8 @@ type adaptorObs struct {
 	mmioWrites, mmioReads *obsv.Counter
 	rekeys                *obsv.Counter
 
+	ringEntries, ringDoorbells, ringFlushes *obsv.Counter
+
 	timeouts, retries, recovered *obsv.Counter
 	staleSuppressed              *obsv.Counter
 	cryptoRetries                *obsv.Counter
@@ -50,6 +52,9 @@ func (a *Adaptor) SetObserver(h *obsv.Hub) {
 		mmioWrites:      reg.Counter("adaptor.mmio.writes"),
 		mmioReads:       reg.Counter("adaptor.mmio.reads"),
 		rekeys:          reg.Counter("adaptor.rekeys"),
+		ringEntries:     reg.Counter("adaptor.ring.entries"),
+		ringDoorbells:   reg.Counter("adaptor.ring.doorbells"),
+		ringFlushes:     reg.Counter("adaptor.ring.flushes"),
 		timeouts:        reg.Counter("adaptor.recovery.timeouts"),
 		retries:         reg.Counter("adaptor.recovery.retries"),
 		recovered:       reg.Counter("adaptor.recovery.recovered"),

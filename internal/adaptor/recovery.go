@@ -104,6 +104,11 @@ func (a *Adaptor) backoff(d *sim.Time) {
 // completion is a definitive policy answer and is never retried.
 // Callers hold a.mu.
 func (a *Adaptor) readWithRetry(addr uint64) (*pcie.Packet, error) {
+	// Non-posted ordering: a read must not pass writes still pending in
+	// the submission ring.
+	if err := a.flushRingLocked(); err != nil {
+		return nil, err
+	}
 	delay := a.policy.Backoff
 	for attempt := 0; ; attempt++ {
 		tag := a.nextTag
@@ -271,7 +276,9 @@ func (a *Adaptor) RepostTags(r *Region) {
 	a.obs.reposts.Inc()
 	a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.repost_tags",
 		obsv.U64("region", uint64(r.Desc.ID)), obsv.I64("records", int64(len(r.Recs))))
-	a.postTags(r.Recs)
+	if a.postTags(r.Recs) == nil {
+		_ = a.flushRingLocked()
+	}
 }
 
 // ResyncMMIO re-aligns the A3 guarded-write sequence number with the

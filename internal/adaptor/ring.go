@@ -1,0 +1,155 @@
+package adaptor
+
+import (
+	"errors"
+	"fmt"
+
+	"ccai/internal/core"
+	"ccai/internal/mem"
+	"ccai/internal/obsv"
+)
+
+// Submission-ring producer (§5 batched I/O): the Adaptor appends
+// control-path operations — sealed rule/descriptor/rekey blobs, packed
+// tag records, region releases, notifies, A3 guarded writes — into a
+// ring it owns in TVM memory and publishes each burst with a single
+// MMIO doorbell carrying the new absolute tail. Every legacy
+// per-operation MMIO write becomes a plain memory write plus its share
+// of one doorbell, which is where the §5 I/O-reduction comes from. The
+// SC consumes synchronously on the doorbell, DMA-writes its head back
+// into the ring header, and raises the header status word on framing
+// desync — which the producer treats as unrecoverable and fails closed.
+
+// ErrRingDesync reports that the SC declared the submission ring
+// inconsistent; the session has been torn down (fail closed).
+var ErrRingDesync = errors.New("adaptor: submission ring desync; session torn down")
+
+// ringSlots is the submission-ring depth. A 64 KiB staged transfer
+// needs ~32 entries (2 descriptors, ~29 tag packets, 1 notify), so a
+// whole task normally publishes with one doorbell and never wraps
+// mid-burst.
+const ringSlots = 64
+
+// submitRing is the producer view: the ring buffer plus the absolute
+// tail index and the count of entries not yet confirmed consumed.
+type submitRing struct {
+	buf   *mem.Buffer
+	slots uint64
+	tail  uint64 // absolute index of the next entry to write
+	pend  uint64 // entries published-or-pending since the last confirmed flush
+}
+
+// ringPush appends one entry. If the ring is full the pending burst is
+// flushed first (the SC consumes synchronously, so one flush always
+// frees every slot). Plain memory writes only — the bus is not
+// touched. Callers hold a.mu and have checked a.ring != nil.
+func (a *Adaptor) ringPush(op uint8, arg uint64, payload []byte) error {
+	r := a.ring
+	if len(payload) > core.RingMaxData {
+		return fmt.Errorf("adaptor: ring entry payload %d exceeds %d", len(payload), core.RingMaxData)
+	}
+	if r.pend == r.slots {
+		if err := a.flushRingLocked(); err != nil {
+			return err
+		}
+	}
+	slot := r.tail % r.slots
+	dst := r.buf.Bytes()[core.RingHdrSize+slot*core.RingSlotSize:]
+	var hdr [core.RingEntryHdrSize]byte
+	core.PutRingEntry(&hdr, op, uint16(len(payload)), uint32(r.tail), arg)
+	copy(dst, hdr[:])
+	copy(dst[core.RingEntryHdrSize:core.RingSlotSize], payload)
+	r.tail++
+	r.pend++
+	a.obs.ringEntries.Inc()
+	return nil
+}
+
+// flushRingLocked publishes the pending burst: one doorbell MMIO write
+// with the absolute tail, then the ring header is inspected for the
+// outcome. A raised status word means the SC saw corrupted framing —
+// that is not retryable, the session fails closed. A head that did not
+// reach the tail means the doorbell (or the SC's span fetch) was lost;
+// the doorbell is re-issued under the standard retry ladder, which is
+// safe because the SC consumes [head, tail) idempotently from its own
+// head. Callers hold a.mu. A nil or empty ring is a no-op.
+func (a *Adaptor) flushRingLocked() error {
+	r := a.ring
+	if r == nil || r.pend == 0 {
+		return nil
+	}
+	a.obs.ringFlushes.Inc()
+	delay := a.policy.Backoff
+	for attempt := 0; ; attempt++ {
+		a.obs.ringDoorbells.Inc()
+		a.mmioWrite64(core.RegRingDoorbell, r.tail)
+		if status, err := a.space.ReadUint64(r.buf.Base() + 8); err == nil && status != 0 {
+			a.rec.FailClosed++
+			a.rec.LastFailure = "submission ring desync"
+			a.obs.failClosed.Inc()
+			a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.fail_closed", obsv.Str("reason", "ring-desync"))
+			a.hub.Eventf(obsv.EvFailClosed, "", "reason=ring-desync")
+			a.teardownLocked()
+			return ErrRingDesync
+		}
+		head, err := a.space.ReadUint64(r.buf.Base())
+		if err == nil && head == r.tail {
+			r.pend = 0
+			if attempt > 0 {
+				a.rec.Recovered++
+				a.obs.recovered.Inc()
+			}
+			return nil
+		}
+		if attempt >= a.policy.MaxRetries {
+			a.rec.Exhausted++
+			a.obs.exhausted.Inc()
+			return fmt.Errorf("adaptor: ring flush: head %d never reached tail %d", head, r.tail)
+		}
+		a.rec.Retries++
+		a.obs.retries.Inc()
+		a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.retry",
+			obsv.Str("op", "ring-doorbell"), obsv.I64("attempt", int64(attempt+1)))
+		a.backoff(&delay)
+	}
+}
+
+// sendBlob routes one sealed configuration blob: a ring entry when the
+// ring is active and the blob fits a slot, otherwise the legacy
+// window-write + doorbell pair. Callers hold a.mu.
+func (a *Adaptor) sendBlob(op uint8, window, doorbell uint64, blob []byte) error {
+	if a.ring != nil && len(blob) <= core.RingMaxData {
+		return a.ringPush(op, 0, blob)
+	}
+	a.mmioWrite(window, blob)
+	a.mmioWrite64(doorbell, 1)
+	return nil
+}
+
+// sendTags routes one packed tag payload (≤ one TLP worth of records).
+// Callers hold a.mu.
+func (a *Adaptor) sendTags(payload []byte) error {
+	if a.ring != nil {
+		return a.ringPush(core.RingOpTags, 0, payload)
+	}
+	a.mmioWrite(core.RegTagWindow, payload)
+	return nil
+}
+
+// sendRelease routes one region release. Callers hold a.mu.
+func (a *Adaptor) sendRelease(id uint32) error {
+	if a.ring != nil {
+		return a.ringPush(core.RingOpRelease, uint64(id), nil)
+	}
+	a.mmioWrite64(core.RegDescRelease, uint64(id))
+	return nil
+}
+
+// sendNotify routes one region-ready notify. Callers hold a.mu.
+func (a *Adaptor) sendNotify(id uint32) error {
+	if a.ring != nil {
+		return a.ringPush(core.RingOpNotify, uint64(id), nil)
+	}
+	a.mmioWrite64(core.RegNotify, uint64(id))
+	return nil
+}

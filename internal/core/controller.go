@@ -26,6 +26,9 @@ const (
 	RegNotify        = 0x040 // WO: region-ready notify (the batched I/O write of §5)
 	RegRekeyDoorbell = 0x048 // WO: apply the sealed rekey command in the window
 	RegMMIOSeq       = 0x050 // RO: next expected A3 MMIO sequence number (recovery resync)
+	RegRingBase      = 0x058 // RW: host address of the submission ring (ring.go)
+	RegRingSize      = 0x060 // RW: submission ring slot count
+	RegRingDoorbell  = 0x068 // WO: publish ring entries up to the written tail index
 	RegTagWindow     = 0x080 // WO: tag-record uploads (payload = packed records)
 	RegRuleWindow    = 0x100 // WO: sealed rule blob staging (256 B)
 	RegDescWindow    = 0x200 // WO: sealed descriptor blob staging (256 B)
@@ -108,8 +111,18 @@ type Controller struct {
 	// single map delete instead of a scan over every retained chunk.
 	verified map[uint32]map[uint32]TagRecord
 
+	// ringHead is the submission-ring consumption index (absolute entry
+	// count); the matching tail arrives through RegRingDoorbell.
+	ringHead uint64
+
 	authorizedTVM pcie.ID
 	tvmPinned     bool
+
+	// slab and pkts amortize the SC's per-chunk heap traffic: slab
+	// carves never-recycled payload bytes (safe to hand to bus taps),
+	// pkts bump-allocates the packet structs themselves.
+	slab arena.Slab
+	pkts pcie.PacketArena
 
 	// pool bounds the SC's own batch-crypto parallelism (span decrypts
 	// on the H2D read path). Stateless and safe without mu.
@@ -447,7 +460,7 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 	}
 	off := p.Address - c.bar.Base
 	if p.Kind == pcie.MRd {
-		buf := make([]byte, p.Length)
+		buf := c.slab.Take(int(p.Length))
 		var tmp [8]byte
 		c.mu.Lock()
 		v := c.regs[off&^7]
@@ -460,7 +473,7 @@ func (c *Controller) handleControl(p *pcie.Packet) *pcie.Packet {
 		c.mu.Unlock()
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		copy(buf, tmp[:])
-		return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, buf)
+		return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, buf)
 	}
 	// Writes.
 	switch {
@@ -507,9 +520,9 @@ func (c *Controller) controlWrite(reg uint64, payload []byte) {
 	case RegRekeyDoorbell:
 		c.applySealedRekey()
 	case RegDescRelease:
-		c.regions.remove(uint32(v))
-		c.dropVerified(uint32(v))
-		c.dropTagSpan(uint32(v))
+		c.releaseRegion(uint32(v))
+	case RegRingDoorbell:
+		c.processRing(v)
 	case RegTeardown:
 		c.Teardown()
 	default:
@@ -552,8 +565,22 @@ func (c *Controller) streamByHash(h uint32) string {
 	return ""
 }
 
+// releaseRegion drops one region and all state retained for it —
+// shared by the RegDescRelease MMIO path and the ring's release op.
+func (c *Controller) releaseRegion(id uint32) {
+	c.regions.remove(id)
+	c.dropVerified(id)
+	c.dropTagSpan(id)
+}
+
 func (c *Controller) installSealedRule() {
-	pt, err := c.openConfig(c.takeConfig(&c.ruleBuf))
+	c.installRuleFrame(c.takeConfig(&c.ruleBuf))
+}
+
+// installRuleFrame decodes and installs one sealed rule blob; frame may
+// alias caller scratch (it is consumed synchronously).
+func (c *Controller) installRuleFrame(frame []byte) {
+	pt, err := c.openConfig(frame)
 	if err != nil {
 		c.configReject(err)
 		return
@@ -571,7 +598,11 @@ func (c *Controller) installSealedRule() {
 }
 
 func (c *Controller) installSealedDescriptor() {
-	pt, err := c.openConfig(c.takeConfig(&c.descBuf))
+	c.installDescriptorFrame(c.takeConfig(&c.descBuf))
+}
+
+func (c *Controller) installDescriptorFrame(frame []byte) {
+	pt, err := c.openConfig(frame)
 	if err != nil {
 		c.configReject(err)
 		return
@@ -636,7 +667,11 @@ func UnmarshalRekeyCommand(b []byte) (RekeyCommand, error) {
 }
 
 func (c *Controller) applySealedRekey() {
-	pt, err := c.openConfig(c.takeConfig(&c.rekeyBuf))
+	c.applyRekeyFrame(c.takeConfig(&c.rekeyBuf))
+}
+
+func (c *Controller) applyRekeyFrame(frame []byte) {
+	pt, err := c.openConfig(frame)
 	if err != nil {
 		c.configReject(err)
 		return
@@ -756,7 +791,7 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
-	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	req := c.pkts.MemRead(c.id, p.Address, p.Length, p.Tag)
 	cpl := c.hostBus.Route(req)
 	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
@@ -772,7 +807,7 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 		c.authFailed()
 		return c.reject(p)
 	}
-	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
+	return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, pt)
 }
 
 // openChunk authenticates and decrypts one H2D chunk whose tag-match
@@ -867,7 +902,7 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 	first := uint32(off / cs)
 	k := int((uint64(p.Length) + cs - 1) / cs)
 
-	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	req := c.pkts.MemRead(c.id, p.Address, p.Length, p.Tag)
 	cpl := c.hostBus.Route(req)
 	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
@@ -886,14 +921,26 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 		}
 		return cpl.Payload[lo:hi]
 	}
-	recs := make([]TagRecord, k)
-	have := make([]bool, k)
+	// A span covers at most MaxReadReq/ChunkSize chunks, so the tag
+	// bookkeeping lives in stack arrays on the common path.
+	const maxSpan = pcie.MaxReadReq / ChunkSize
+	var recsArr [maxSpan]TagRecord
+	var haveArr [maxSpan]bool
+	recs, have := recsArr[:], haveArr[:]
+	if k > maxSpan {
+		recs = make([]TagRecord, k)
+		have = make([]bool, k)
+	} else {
+		recs, have = recs[:k], have[:k]
+	}
 	all := true
 	for i := range recs {
 		recs[i], have[i] = c.tagMatch(StreamH2D, desc.FirstCounter+first+uint32(i))
 		all = all && have[i]
 	}
-	pt := make([]byte, p.Length)
+	// Plaintext destined for the device-facing completion: slab-carved,
+	// never recycled, so handing it off as the payload is tap-safe.
+	pt := c.slab.Take(int(p.Length))
 	if all {
 		sealed := make([]secmem.Sealed, k)
 		aads := make([][]byte, k)
@@ -925,7 +972,7 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 			c.stats.DecryptedChunks += uint64(k)
 			c.mu.Unlock()
 			c.obs.decrypted.Add(uint64(k))
-			return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
+			return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, pt)
 		}
 		if !errors.Is(err, secmem.ErrReplay) {
 			// ErrAuth (dst already zeroed) or a fault-hook error: the
@@ -950,7 +997,7 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 		}
 		copy(pt[uint64(i)*cs:], cpt)
 	}
-	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, pt)
+	return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, pt)
 }
 
 // duplicateRead counts one benign retransmit.
@@ -973,7 +1020,7 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 		c.authFailed()
 		return c.reject(p)
 	}
-	req := pcie.NewMemRead(c.id, p.Address, p.Length, p.Tag)
+	req := c.pkts.MemRead(c.id, p.Address, p.Length, p.Tag)
 	cpl := c.hostBus.Route(req)
 	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
@@ -1002,7 +1049,7 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	c.obs.verified.Inc()
 	// The fetched completion's payload is immutable once routed, so the
 	// device-facing completion may alias it instead of copying.
-	return pcie.NewCompletionOwned(p, c.id, pcie.CplSuccess, cpl.Payload)
+	return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, cpl.Payload)
 }
 
 // encryptWrite services a device write into an A2 D2H region: seal the
@@ -1026,13 +1073,15 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	var aad [8]byte
 	desc.PutAAD(&aad, chunk)
 	var sealed secmem.Sealed
-	if err := stream.SealInto(&sealed, p.Payload, aad[:]); err != nil {
+	// Ciphertext staged in slab memory (never recycled, so ownership can
+	// transfer to the packet below without a copy), engine output split
+	// in place by SealDst.
+	ctBuf := c.slab.Take(len(p.Payload) + secmem.TagSize)
+	if err := stream.SealDst(&sealed, p.Payload, aad[:], ctBuf); err != nil {
 		c.authFailed()
 		return c.reject(p)
 	}
-	// Seal returned freshly allocated ciphertext, so the data write
-	// transfers ownership instead of copying.
-	c.hostBus.Route(pcie.NewMemWriteOwned(c.id, p.Address, sealed.Ciphertext))
+	c.hostBus.Route(c.pkts.MemWrite(c.id, p.Address, sealed.Ciphertext))
 	rec := TagRecord{Stream: StreamD2H, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag}
 	c.depositTag(desc, chunk, rec)
 	c.obs.encrypted.Inc()
@@ -1077,7 +1126,7 @@ func (c *Controller) depositTag(desc Descriptor, chunk uint32, rec TagRecord) {
 		span = &tagSpan{start: chunk, buf: arena.Get(tagSpanRecords * TagRecordSize)[:0]}
 		c.tagPend[desc.ID] = span
 	} else if chunk != span.next {
-		stale = tagFlushPacket(c.id, desc, span)
+		stale = c.tagFlushPacket(desc, span)
 		span.start, span.buf = chunk, span.buf[:0]
 	}
 	span.buf = rec.AppendMarshal(span.buf)
@@ -1089,7 +1138,7 @@ func (c *Controller) depositTag(desc Descriptor, chunk uint32, rec TagRecord) {
 	publish := count >= (desc.Len+cs-1)/cs || count%metaPublishEvery == 0
 	var flush, meta *pcie.Packet
 	if publish || len(span.buf) >= tagSpanRecords*TagRecordSize {
-		flush = tagFlushPacket(c.id, desc, span)
+		flush = c.tagFlushPacket(desc, span)
 		span.start, span.buf = span.next, span.buf[:0]
 	}
 	if publish {
@@ -1108,14 +1157,17 @@ func (c *Controller) depositTag(desc Descriptor, chunk uint32, rec TagRecord) {
 }
 
 // tagFlushPacket builds the tag-table write for a span's buffered
-// records, or nil when the span is empty. NewMemWrite copies the
-// payload, so the arena-backed span buffer is immediately reusable.
-func tagFlushPacket(id pcie.ID, desc Descriptor, span *tagSpan) *pcie.Packet {
+// records, or nil when the span is empty. The records are copied into
+// slab memory (the packet outlives the span buffer, which refills
+// immediately), so no per-flush heap allocation occurs.
+func (c *Controller) tagFlushPacket(desc Descriptor, span *tagSpan) *pcie.Packet {
 	if len(span.buf) == 0 {
 		return nil
 	}
 	addr := desc.TagBase + uint64(span.start)*TagRecordSize
-	return pcie.NewMemWrite(id, addr, span.buf)
+	body := c.slab.Take(len(span.buf))
+	copy(body, span.buf)
+	return c.pkts.MemWrite(c.id, addr, body)
 }
 
 // dropTagSpan discards a released region's pending tag records.
@@ -1152,9 +1204,9 @@ func (c *Controller) metadataPacketLocked(region uint32, count uint64) *pcie.Pac
 	if size > 0 && slot+8 > metaBase+size {
 		return nil // region id outside the configured batch window
 	}
-	var buf [8]byte
-	binary.LittleEndian.PutUint64(buf[:], count)
-	return pcie.NewMemWrite(c.id, slot, buf[:])
+	buf := c.slab.Take(8)
+	binary.LittleEndian.PutUint64(buf, count)
+	return c.pkts.MemWrite(c.id, slot, buf)
 }
 
 // D2HProgress reports completed chunks for a region — the MMIO-polled
@@ -1195,6 +1247,7 @@ func (c *Controller) Teardown() {
 	c.mu.Lock()
 	c.stats.Teardowns++
 	c.mmioSeq = 0
+	c.ringHead = 0
 	c.d2hChunks = make(map[uint32]uint64)
 	for _, span := range c.tagPend {
 		arena.Put(span.buf)

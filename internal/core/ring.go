@@ -1,0 +1,209 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ccai/internal/arena"
+	"ccai/internal/pcie"
+)
+
+// Submission ring (§5 batched I/O, io_uring-shaped): instead of one
+// MMIO doorbell per control operation — descriptor windows, tag
+// uploads, notifies, guarded register writes — the Adaptor appends
+// fixed-size entries to a ring it owns in protected TVM memory and
+// publishes a whole batch with a single write to RegRingDoorbell
+// carrying the new absolute tail index. The SC DMA-reads the published
+// span in MaxReadReq-sized gulps, validates every entry (sequence
+// number, bounded length, known opcode), dispatches through the exact
+// same sealed-blob / tag-ingest / A3-MAC machinery the per-write MMIO
+// path uses, and DMA-writes its consumed head index back into the ring
+// header.
+//
+// Trust boundary: the ring lives in TVM memory reachable over the
+// untrusted host bus, so its contents get no more trust than MMIO
+// payloads did — rule/descriptor/rekey entries carry sealed blobs only
+// the attested peer can mint, tag entries carry MACs verified on use,
+// and guarded entries replay the A3 sequence+MAC check. Tampering with
+// an entry therefore yields exactly what tampering with the equivalent
+// TLP yields: a config reject or auth failure. Tampering with the ring
+// *framing* (sequence skew, oversized length, unknown opcode) is a
+// desync: the SC sets the ring status word, rejects, and refuses to
+// advance — fail closed until the producer tears down.
+const (
+	// RingHdrSize is the ring header: [0,8) consumed head (SC-written),
+	// [8,16) status word (0 ok, RingStatusDesync), rest reserved.
+	RingHdrSize = 64
+	// RingEntryHdrSize frames one entry: opcode(1) flags(1) len(2)
+	// seq(4) arg(8), little-endian.
+	RingEntryHdrSize = 16
+	// RingMaxData bounds an entry payload to one TLP payload, so every
+	// ring op stays byte-equivalent to the MMIO write it replaces.
+	RingMaxData = pcie.MaxPayload
+	// RingSlotSize is the fixed slot stride.
+	RingSlotSize = RingEntryHdrSize + RingMaxData
+
+	// RingStatusDesync is the status word the SC posts when ring framing
+	// fails validation; the producer must fail closed.
+	RingStatusDesync = 1
+)
+
+// Ring entry opcodes. Each mirrors one legacy control-BAR interaction.
+const (
+	RingOpRule    = 1 // payload: sealed rule blob (RegRuleWindow+doorbell)
+	RingOpDesc    = 2 // payload: sealed descriptor blob (RegDescWindow+doorbell)
+	RingOpRekey   = 3 // payload: sealed rekey command (RegRekeyWindow+doorbell)
+	RingOpTags    = 4 // payload: packed tag records (RegTagWindow)
+	RingOpRelease = 5 // arg: region ID (RegDescRelease)
+	RingOpNotify  = 6 // arg: region ID (RegNotify)
+	RingOpGuarded = 7 // arg: absolute MMIO address, payload: value (A3 write)
+)
+
+// PutRingEntry encodes an entry header into a caller-provided
+// (typically stack) array.
+func PutRingEntry(hdr *[RingEntryHdrSize]byte, op uint8, n uint16, seq uint32, arg uint64) {
+	hdr[0] = op
+	hdr[1] = 0
+	binary.LittleEndian.PutUint16(hdr[2:], n)
+	binary.LittleEndian.PutUint32(hdr[4:], seq)
+	binary.LittleEndian.PutUint64(hdr[8:], arg)
+}
+
+// ringSpanSlots is how many ring slots one MaxReadReq DMA read covers.
+const ringSpanSlots = pcie.MaxReadReq / RingSlotSize
+
+// processRing consumes the span [head, tail) the doorbell just
+// published. Called from controlWrite WITHOUT c.mu held — dispatch
+// reenters the same handlers the MMIO path uses, and those route on
+// the buses.
+func (c *Controller) processRing(tail uint64) {
+	c.mu.Lock()
+	base := c.regs[RegRingBase]
+	slots := c.regs[RegRingSize]
+	head := c.ringHead
+	c.mu.Unlock()
+	if base == 0 || slots == 0 {
+		c.configReject(fmt.Errorf("core: ring doorbell with no configured ring"))
+		return
+	}
+	if tail < head || tail-head > slots {
+		// The producer claims a window we never saw or one larger than
+		// the ring: framing is gone, fail closed.
+		c.ringDesync(base)
+		return
+	}
+	if tail == head {
+		return
+	}
+
+	// Gather the published slots with as few DMA reads as possible:
+	// contiguous runs bounded by the ring wrap and MaxReadReq.
+	n := tail - head
+	buf := arena.Get(int(n) * RingSlotSize)
+	for i := uint64(0); i < n; {
+		slot := (head + i) % slots
+		run := slots - slot
+		if run > n-i {
+			run = n - i
+		}
+		if run > ringSpanSlots {
+			run = ringSpanSlots
+		}
+		addr := base + RingHdrSize + slot*RingSlotSize
+		off := int(i) * RingSlotSize
+		if !c.ringFetch(addr, buf[off:off+int(run)*RingSlotSize]) {
+			// The span read kept failing (dropped completions under fault
+			// injection). Head stays put and no status is raised: the
+			// producer's doorbell retry re-publishes the same window.
+			arena.Put(buf)
+			return
+		}
+		i += run
+	}
+
+	// Validate, then dispatch. The sequence check pins every entry to
+	// its absolute ring index, so a stale slot left over from a previous
+	// lap — or an entry the producer never wrote — cannot be consumed.
+	for i := uint64(0); i < n; i++ {
+		e := buf[i*RingSlotSize : (i+1)*RingSlotSize]
+		op := e[0]
+		ln := binary.LittleEndian.Uint16(e[2:])
+		seq := binary.LittleEndian.Uint32(e[4:])
+		arg := binary.LittleEndian.Uint64(e[8:])
+		if seq != uint32(head+i) || int(ln) > RingMaxData || op < RingOpRule || op > RingOpGuarded {
+			arena.Put(buf)
+			c.ringDesync(base)
+			return
+		}
+		c.ringDispatch(op, arg, e[RingEntryHdrSize:RingEntryHdrSize+int(ln)])
+	}
+	arena.Put(buf)
+
+	c.mu.Lock()
+	c.ringHead = tail
+	c.mu.Unlock()
+	c.ringPostHead(base, tail)
+}
+
+// ringDispatch routes one validated entry into the same handler the
+// equivalent MMIO write would have reached. data aliases the gather
+// buffer; every handler either consumes it synchronously (sealed-blob
+// open, MAC verify) or copies (tag ingest), so the buffer is reusable
+// on return.
+func (c *Controller) ringDispatch(op uint8, arg uint64, data []byte) {
+	switch op {
+	case RingOpRule:
+		c.installRuleFrame(data)
+	case RingOpDesc:
+		c.installDescriptorFrame(data)
+	case RingOpRekey:
+		c.applyRekeyFrame(data)
+	case RingOpTags:
+		c.ingestTags(data)
+	case RingOpRelease:
+		c.releaseRegion(uint32(arg))
+	case RingOpNotify:
+		c.mu.Lock()
+		c.regs[RegNotify] = arg
+		c.mu.Unlock()
+	case RingOpGuarded:
+		// Rebuild the A3 write the entry stands for, attributed to the
+		// authorized TVM, and run it through the full sequence+MAC+guard
+		// pipeline. The payload is copied to never-recycled memory: the
+		// packet outlives this dispatch on the internal bus.
+		val := c.slab.Take(len(data))
+		copy(val, data)
+		c.handleGuardedMMIO(c.pkts.MemWrite(c.authorizedTVM, arg, val))
+	}
+}
+
+// ringFetch DMA-reads one contiguous slot run into dst, with a bounded
+// retry for dropped completions.
+func (c *Controller) ringFetch(addr uint64, dst []byte) bool {
+	for attempt := 0; attempt < 3; attempt++ {
+		req := c.pkts.MemRead(c.id, addr, uint32(len(dst)), 0)
+		cpl := c.hostBus.Route(req)
+		if cpl != nil && cpl.Status == pcie.CplSuccess && !staleCpl(req, cpl) && len(cpl.Payload) >= len(dst) {
+			copy(dst, cpl.Payload)
+			return true
+		}
+	}
+	return false
+}
+
+// ringPostHead DMA-writes the consumed head index into the ring header.
+func (c *Controller) ringPostHead(base, head uint64) {
+	buf := c.slab.Take(8)
+	binary.LittleEndian.PutUint64(buf, head)
+	c.hostBus.Route(c.pkts.MemWrite(c.id, base, buf))
+}
+
+// ringDesync marks the ring unusable (status word + config reject) and
+// refuses to advance. The producer observes the status on its next
+// flush and fails closed.
+func (c *Controller) ringDesync(base uint64) {
+	c.configReject(fmt.Errorf("core: submission ring desync"))
+	buf := c.slab.Take(8)
+	binary.LittleEndian.PutUint64(buf, RingStatusDesync)
+	c.hostBus.Route(c.pkts.MemWrite(c.id, base+8, buf))
+}

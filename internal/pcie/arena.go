@@ -1,0 +1,65 @@
+package pcie
+
+import "sync"
+
+// packetBlock is how many Packet structs one arena block holds.
+const packetBlock = 64
+
+// PacketArena bump-allocates Packet structs in blocks so hot paths that
+// emit one packet per 256-byte chunk (device DMA engines, the SC's
+// encrypt/tag planes) pay one heap allocation per 64 packets instead of
+// one each. Carved structs are never recycled — a block is abandoned to
+// the GC once full — so handing the packets to buses whose taps retain
+// them is as safe as a fresh allocation. The zero value is ready to use.
+type PacketArena struct {
+	mu    sync.Mutex
+	block []Packet
+}
+
+func (a *PacketArena) take() *Packet {
+	a.mu.Lock()
+	if len(a.block) == 0 {
+		a.block = make([]Packet, packetBlock)
+	}
+	p := &a.block[0]
+	a.block = a.block[1:]
+	a.mu.Unlock()
+	return p
+}
+
+// MemWrite builds a memory-write packet whose payload ownership
+// transfers to the packet (no defensive copy — pair it with a
+// never-recycled buffer source such as arena.Slab).
+func (a *PacketArena) MemWrite(req ID, addr uint64, payload []byte) *Packet {
+	p := a.take()
+	p.Header = Header{Kind: MWr, Requester: req, Address: addr, Length: uint32(len(payload))}
+	p.Payload = payload
+	return p
+}
+
+// MemRead builds a memory-read request packet.
+func (a *PacketArena) MemRead(req ID, addr uint64, length uint32, tag uint8) *Packet {
+	p := a.take()
+	p.Header = Header{Kind: MRd, Requester: req, Address: addr, Length: length, Tag: tag}
+	p.Payload = nil
+	return p
+}
+
+// CompletionOwned builds a completion for req with ownership of payload
+// transferring to the packet, mirroring NewCompletionOwned.
+func (a *PacketArena) CompletionOwned(req *Packet, completer ID, status CplStatus, payload []byte) *Packet {
+	p := a.take()
+	p.Header = Header{
+		Kind:      Cpl,
+		Requester: req.Requester,
+		Completer: completer,
+		Tag:       req.Tag,
+		Status:    status,
+	}
+	if payload != nil {
+		p.Kind = CplD
+		p.Length = uint32(len(payload))
+	}
+	p.Payload = payload
+	return p
+}

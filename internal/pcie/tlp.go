@@ -294,10 +294,9 @@ const (
 	typeMsg  = 0x10 // routed-by-ID message subtype we use
 )
 
-// Marshal serializes the packet to wire bytes.
-func (p *Packet) Marshal() []byte {
-	var fmtBits, typeBits uint8
-	use4DW := false
+// wireLayout computes the header encoding bits and sizes shared by
+// Marshal, MarshalSize and SerializeInto.
+func (p *Packet) wireLayout() (fmtBits, typeBits uint8, use4DW bool, hdrDWs, total int) {
 	switch p.Kind {
 	case MRd, MWr:
 		typeBits = typeMem
@@ -318,19 +317,53 @@ func (p *Packet) Marshal() []byte {
 	if p.Kind.HasPayload() {
 		fmtBits |= fmtData
 	}
-
-	dwLen := (p.Length + 3) / 4
-	hdrDWs := 3
+	hdrDWs = 3
 	if use4DW {
 		hdrDWs = 4
 	}
-	// One exact-size allocation: header, DW-padded payload, trailer.
-	total := hdrDWs * 4
+	total = hdrDWs * 4
 	if p.Kind.HasPayload() {
-		total += int(dwLen) * 4
+		total += int((p.Length+3)/4) * 4
 	}
 	total += 4
-	out := make([]byte, total)
+	return
+}
+
+// MarshalSize reports the exact byte length Marshal would produce, so
+// callers can stage the wire image in a reusable buffer via
+// SerializeInto instead of allocating per packet.
+func (p *Packet) MarshalSize() int {
+	_, _, _, _, total := p.wireLayout()
+	return total
+}
+
+// Marshal serializes the packet to wire bytes.
+func (p *Packet) Marshal() []byte {
+	return p.SerializeInto(nil)
+}
+
+// SerializeInto serializes the packet into dst when dst has capacity
+// for MarshalSize() bytes, allocating a fresh buffer otherwise, and
+// returns the serialized slice. Output is byte-identical to Marshal.
+// The returned slice aliases dst — callers recycling dst through an
+// arena must finish with (or copy) the result before releasing it.
+func (p *Packet) SerializeInto(dst []byte) []byte {
+	fmtBits, typeBits, use4DW, hdrDWs, total := p.wireLayout()
+	dwLen := (p.Length + 3) / 4
+	var out []byte
+	if cap(dst) >= total {
+		out = dst[:total]
+		// Every byte below is overwritten except the DW padding between
+		// the payload and the trailer; zero it so a recycled buffer
+		// yields byte-identical output.
+		if p.Kind.HasPayload() {
+			for i := hdrDWs*4 + int(p.Length); i < total-4; i++ {
+				out[i] = 0
+			}
+		}
+	} else {
+		out = make([]byte, total)
+	}
 	buf := out[:hdrDWs*4]
 	// DW0: fmt/type, TC, attr, length in DWs.
 	buf[0] = fmtBits<<5 | typeBits

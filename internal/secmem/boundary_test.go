@@ -1,0 +1,126 @@
+package secmem
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestLastSealableCounter pins the exhaustion boundary exactly: the
+// final IV a stream may ever consume carries counter 2^32−1, and the
+// seal after it fails with ErrIVExhausted without consuming state. The
+// audit behind ISSUE 8's off-by-one satellite: SealInto rejects when
+// sendCtr already equals MaxUint32 (pre-increment check), so MaxUint32
+// itself is sealable and the counter never wraps back into used IV
+// space.
+func TestLastSealableCounter(t *testing.T) {
+	tx, rx := testStreamPair(t)
+	tx.ForceCounter(math.MaxUint32 - 1)
+
+	if got := tx.Remaining(); got != 1 {
+		t.Fatalf("Remaining() at max-1 = %d, want exactly 1 seal left", got)
+	}
+	sealed, err := tx.Seal([]byte("final chunk"), nil)
+	if err != nil {
+		t.Fatalf("seal of the last counter value failed: %v", err)
+	}
+	if sealed.Counter != math.MaxUint32 {
+		t.Fatalf("last sealable counter = %d, want %d", sealed.Counter, uint32(math.MaxUint32))
+	}
+	if got := tx.Remaining(); got != 0 {
+		t.Fatalf("Remaining() after the last seal = %d, want 0", got)
+	}
+
+	// The stream is now exhausted: no further counter may be issued.
+	if _, err := tx.Seal([]byte("one too many"), nil); !errors.Is(err, ErrIVExhausted) {
+		t.Fatalf("seal past exhaustion: err = %v, want ErrIVExhausted", err)
+	}
+	if c := tx.SendCounter(); c != math.MaxUint32 {
+		t.Fatalf("counter moved to %d on a refused seal", c)
+	}
+
+	// The boundary chunk itself is genuine traffic, not a casualty: a
+	// receiver at the matching watermark accepts it.
+	rx.recvCtr = math.MaxUint32 - 1
+	pt, err := rx.Open(sealed, nil)
+	if err != nil {
+		t.Fatalf("open of the boundary chunk failed: %v", err)
+	}
+	if string(pt) != "final chunk" {
+		t.Fatalf("boundary plaintext = %q", pt)
+	}
+}
+
+// TestRemainingMatchesSealBudget walks Remaining() against actual seal
+// outcomes near the edge: for every claimed remaining value r, exactly
+// r seals succeed and the r+1st fails.
+func TestRemainingMatchesSealBudget(t *testing.T) {
+	for _, headroom := range []uint32{0, 1, 2, 5} {
+		tx, _ := testStreamPair(t)
+		tx.ForceCounter(math.MaxUint32 - headroom)
+		if got := tx.Remaining(); got != headroom {
+			t.Fatalf("Remaining() = %d at forced headroom %d", got, headroom)
+		}
+		var ok uint32
+		for i := uint32(0); i < headroom+1; i++ {
+			if _, err := tx.Seal([]byte{byte(i)}, nil); err == nil {
+				ok++
+			} else if !errors.Is(err, ErrIVExhausted) {
+				t.Fatalf("unexpected seal error at headroom %d: %v", headroom, err)
+			}
+		}
+		if ok != headroom {
+			t.Fatalf("headroom %d: %d seals succeeded, want exactly %d", headroom, ok, headroom)
+		}
+	}
+}
+
+// TestSealDstMatchesSealInto verifies the caller-staged variant is
+// bit-compatible with SealInto: same ciphertext and tag for the same
+// (key, counter, plaintext, aad), output aliased into dst when capacity
+// suffices, and an ordinary allocation when it does not.
+func TestSealDstMatchesSealInto(t *testing.T) {
+	key, nonce := FreshKey(), FreshNonce()
+	a, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := []byte("chunk payload for the descriptor ring")
+	aad := []byte("MWr addr=0x2000 ctr-bound")
+
+	var want Sealed
+	if err := a.SealInto(&want, pt, aad); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]byte, 0, len(pt)+TagSize)
+	var got Sealed
+	if err := b.SealDst(&got, pt, aad, dst); err != nil {
+		t.Fatal(err)
+	}
+	if got.Counter != want.Counter || got.Epoch != want.Epoch {
+		t.Fatalf("counter/epoch diverged: %+v vs %+v", got, want)
+	}
+	if !bytes.Equal(got.Ciphertext, want.Ciphertext) || got.Tag != want.Tag {
+		t.Fatal("SealDst output differs from SealInto")
+	}
+	if &got.Ciphertext[0] != &dst[:1][0] {
+		t.Fatal("SealDst did not stage ciphertext in the provided buffer")
+	}
+
+	// Undersized dst: engine must fall back to a fresh allocation and
+	// still produce the right bytes.
+	short := make([]byte, 0, len(pt)) // TagSize short of the combined output
+	var fallback Sealed
+	if err := b.SealDst(&fallback, pt, aad, short); err != nil {
+		t.Fatal(err)
+	}
+	if len(fallback.Ciphertext) != len(pt) {
+		t.Fatalf("fallback ciphertext length = %d", len(fallback.Ciphertext))
+	}
+}

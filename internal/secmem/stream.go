@@ -180,6 +180,17 @@ func (s *Stream) Seal(plaintext, aad []byte) (*Sealed, error) {
 // Sealed on their own stack. Only Ciphertext is freshly allocated — it
 // outlives the call as a packet payload.
 func (s *Stream) SealInto(sealed *Sealed, plaintext, aad []byte) error {
+	return s.SealDst(sealed, plaintext, aad, nil)
+}
+
+// SealDst is SealInto with the engine output staged in dst when it has
+// capacity for len(plaintext)+TagSize bytes (GCM emits ciphertext and
+// tag contiguously; the tag is then split off into sealed.Tag and
+// sealed.Ciphertext aliases dst). With nil or an undersized dst the
+// engine allocates, exactly like SealInto. Because the ciphertext
+// aliases dst and outlives the call as a packet payload, dst must come
+// from never-recycled memory (arena.Slab) — never from a Put/Get pool.
+func (s *Stream) SealDst(sealed *Sealed, plaintext, aad, dst []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.fault != nil {
@@ -202,7 +213,7 @@ func (s *Stream) SealInto(sealed *Sealed, plaintext, aad []byte) error {
 	}
 	copy(s.ivScratch[:], s.nonceBase[:])
 	binary.BigEndian.PutUint32(s.ivScratch[nonceBase:], c)
-	out := s.aead.Seal(nil, s.ivScratch[:], plaintext, aad)
+	out := s.aead.Seal(dst[:0], s.ivScratch[:], plaintext, aad)
 	sealed.Counter = c
 	sealed.Epoch = s.epoch
 	n := len(out) - TagSize

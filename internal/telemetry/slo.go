@@ -337,13 +337,18 @@ func (m *Monitor) windowLocked(d time.Duration) (good, bad uint64, waits []uint6
 	return
 }
 
-// WindowStatus is one lookback window's derived SLO state.
+// WindowStatus is one lookback window's derived SLO state. The p99
+// queue wait is exported twice: the float milliseconds for humans and
+// an integer microsecond field for gauges and tooling — integer
+// milliseconds truncated every sub-millisecond tail to 0 and could
+// never trip a small budget.
 type WindowStatus struct {
 	Window       string  `json:"window"`
 	Samples      uint64  `json:"samples"`
 	Availability float64 `json:"availability"`
 	BurnRate     float64 `json:"burn_rate"`
 	P99WaitMs    float64 `json:"p99_wait_ms"`
+	P99WaitUs    int64   `json:"p99_wait_us"`
 }
 
 // Status is the monitor's full derived state, served on /slo.
@@ -367,7 +372,9 @@ func (m *Monitor) windowStatusLocked(label string, d time.Duration) WindowStatus
 		count += w
 	}
 	hv := obsv.HistValue{Count: count, Bounds: m.bounds, Buckets: waits}
-	ws.P99WaitMs = hv.Quantile(0.99) / 1e6
+	p99ns := hv.Quantile(0.99)
+	ws.P99WaitMs = p99ns / 1e6
+	ws.P99WaitUs = int64(p99ns / 1e3)
 	return ws
 }
 
@@ -419,7 +426,9 @@ func (m *Monitor) Check() Status {
 	if reg := m.hub.Reg(); reg != nil {
 		for _, ws := range st.Windows {
 			reg.Gauge(obsv.Name("slo.burn_milli", "window", ws.Window)).Set(int64(ws.BurnRate * 1000))
-			reg.Gauge(obsv.Name("slo.p99_wait_ms", "window", ws.Window)).Set(int64(ws.P99WaitMs))
+			// Microsecond gauge: int64(P99WaitMs) rounded sub-millisecond
+			// tails down to a permanent 0.
+			reg.Gauge(obsv.Name("slo.p99_wait_us", "window", ws.Window)).Set(ws.P99WaitUs)
 		}
 		for _, name := range []string{AlertPage, AlertTicket, AlertP99} {
 			v := int64(0)
@@ -446,6 +455,6 @@ func alertDetail(name string, w5, w30, w60 WindowStatus, budgetMs float64) strin
 	case AlertTicket:
 		return fmt.Sprintf("alert=%s burn30m=%.1f burn1h=%.1f", name, w30.BurnRate, w60.BurnRate)
 	default:
-		return fmt.Sprintf("alert=%s p99_5m_ms=%.1f budget_ms=%.1f", name, w5.P99WaitMs, budgetMs)
+		return fmt.Sprintf("alert=%s p99_5m_us=%d budget_ms=%.1f", name, w5.P99WaitUs, budgetMs)
 	}
 }

@@ -213,6 +213,33 @@ func TestMonitorP99Alert(t *testing.T) {
 	}
 }
 
+// TestMonitorSubMillisecondP99 pins the p99 export at microsecond
+// resolution: a tail entirely below one millisecond must surface as a
+// non-zero gauge and still trip a sub-millisecond budget. The old
+// int64(P99WaitMs) gauge truncated this whole regime to a flat 0 ms.
+func TestMonitorSubMillisecondP99(t *testing.T) {
+	clk := &fakeClock{t: int64(time.Hour)}
+	hub := obsv.NewHub()
+	m := NewMonitor(MonitorConfig{P99BudgetNs: int64(200 * time.Microsecond), Now: clk.now}, hub)
+	for i := 0; i < 100; i++ {
+		m.RecordOutcome(true, int64(500*time.Microsecond))
+		clk.tick(time.Second)
+	}
+	st := m.Check()
+	if !hasAlert(st, AlertP99) {
+		t.Fatalf("sub-millisecond budget breach did not alert: %+v", st)
+	}
+	// All samples land in the (0, 1ms] bucket; interpolation puts the
+	// p99 at 990 µs exactly.
+	w5 := st.Windows[0]
+	if w5.P99WaitUs != 990 {
+		t.Fatalf("p99_wait_us = %d, want 990", w5.P99WaitUs)
+	}
+	if g := hub.Reg().Gauge(obsv.Name("slo.p99_wait_us", "window", "5m")).Value(); g != 990 {
+		t.Fatalf("slo.p99_wait_us gauge = %d, want 990 (ms truncation would read 0)", g)
+	}
+}
+
 func hasAlert(st Status, name string) bool {
 	for _, a := range st.ActiveAlerts {
 		if a == name {

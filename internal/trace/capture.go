@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"ccai/internal/arena"
 	"ccai/internal/pcie"
 	"ccai/internal/sim"
 )
@@ -48,16 +49,22 @@ func NewWriter(w io.Writer) (*Writer, error) {
 	return &Writer{w: bw}, nil
 }
 
-// Write appends one record.
+// Write appends one record. The wire bytes are staged in an arena
+// buffer (released after the bufio copy), so steady-state capture of a
+// busy segment does not allocate per packet.
 func (w *Writer) Write(rec Record) error {
-	body := rec.Packet.Marshal()
+	buf := arena.Get(rec.Packet.MarshalSize())
+	body := rec.Packet.SerializeInto(buf)
 	var pre [12]byte
 	binary.LittleEndian.PutUint64(pre[0:], uint64(rec.At))
 	binary.LittleEndian.PutUint32(pre[8:], uint32(len(body)))
 	if _, err := w.w.Write(pre[:]); err != nil {
+		arena.Put(buf)
 		return err
 	}
-	if _, err := w.w.Write(body); err != nil {
+	_, err := w.w.Write(body)
+	arena.Put(buf)
+	if err != nil {
 		return err
 	}
 	w.count++

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ccai/internal/arena"
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
 )
@@ -180,6 +181,13 @@ type Device struct {
 	envResets  int
 	hangs      int
 	msiDropped int
+
+	// slab/pkts bump-allocate DMA payloads and TLP structs: one heap
+	// allocation per block instead of one per 256-byte chunk. Carved
+	// memory is never recycled, so handing it to buses whose taps retain
+	// packets is as safe as a fresh make.
+	slab arena.Slab
+	pkts pcie.PacketArena
 
 	obs deviceObs
 }
@@ -372,7 +380,7 @@ func (d *Device) mmioRead(p *pcie.Packet) *pcie.Packet {
 	if off >= BAR0Size {
 		return pcie.NewCompletion(p, d.id, pcie.CplUR, nil)
 	}
-	buf := make([]byte, p.Length)
+	buf := d.slab.Take(int(p.Length))
 	if off >= RegScratch && off < RegScratch+64 {
 		copy(buf, d.scratch[off-RegScratch:])
 	} else {
@@ -380,8 +388,8 @@ func (d *Device) mmioRead(p *pcie.Packet) *pcie.Packet {
 		binary.LittleEndian.PutUint64(tmp[:], d.regs[off&^7])
 		copy(buf, tmp[:])
 	}
-	// buf is fresh, so the completion takes ownership instead of copying.
-	return pcie.NewCompletionOwned(p, d.id, pcie.CplSuccess, buf)
+	// buf is never reused, so the completion takes ownership instead of copying.
+	return d.pkts.CompletionOwned(p, d.id, pcie.CplSuccess, buf)
 }
 
 func (d *Device) mmioWrite(p *pcie.Packet) {
@@ -526,9 +534,9 @@ func (d *Device) raiseInterrupt(cause uint64) {
 		d.obs.tracer.Instant(obsv.TrackXPU, "msi_dropped")
 		return
 	}
-	data := make([]byte, 4)
+	data := d.slab.Take(4)
 	binary.LittleEndian.PutUint32(data, uint32(d.regs[RegMSIData]))
-	d.upstream(pcie.NewMemWrite(d.id, msiAddr, data))
+	d.upstream(d.pkts.MemWrite(d.id, msiAddr, data))
 }
 
 // dmaRead issues chunked MRd requests upstream and concatenates
@@ -539,13 +547,13 @@ func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
 	sp := d.obs.tracer.Begin(obsv.TrackXPU, "dma_read",
 		obsv.Hex("addr", addr), obsv.I64("bytes", n))
 	defer sp.End()
-	out := make([]byte, 0, n)
+	out := d.slab.Take(int(n))[:0]
 	for n > 0 {
 		chunk := int64(pcie.MaxReadReq)
 		if n < chunk {
 			chunk = n
 		}
-		req := pcie.NewMemRead(d.id, addr, uint32(chunk), 0)
+		req := d.pkts.MemRead(d.id, addr, uint32(chunk), 0)
 		cpl := d.upstream(req)
 		if cpl == nil || cpl.Status != pcie.CplSuccess {
 			return nil, false
@@ -569,7 +577,7 @@ func (d *Device) dmaReadInto(dst []byte, addr uint64) bool {
 		if len(dst) < chunk {
 			chunk = len(dst)
 		}
-		req := pcie.NewMemRead(d.id, addr, uint32(chunk), 0)
+		req := d.pkts.MemRead(d.id, addr, uint32(chunk), 0)
 		cpl := d.upstream(req)
 		if cpl == nil || cpl.Status != pcie.CplSuccess || len(cpl.Payload) < chunk {
 			return false
@@ -592,8 +600,12 @@ func (d *Device) dmaWrite(addr uint64, data []byte) bool {
 		if len(data) < chunk {
 			chunk = len(data)
 		}
-		req := pcie.NewMemWrite(d.id, addr, data[:chunk])
-		d.upstream(req)
+		// The packet must not alias devMem — a later kernel or wipe would
+		// mutate a payload a tap may have retained — so stage each chunk
+		// through the never-reused slab.
+		buf := d.slab.Take(chunk)
+		copy(buf, data[:chunk])
+		d.upstream(d.pkts.MemWrite(d.id, addr, buf))
 		addr += uint64(chunk)
 		data = data[chunk:]
 	}

@@ -15,6 +15,7 @@ import (
 
 	"ccai/internal/fault"
 	"ccai/internal/obsv"
+	"ccai/internal/pcie"
 	"ccai/internal/xpu"
 )
 
@@ -252,6 +253,10 @@ func TestRecoveryRungMetricsExactlyOnce(t *testing.T) {
 		// adaptor must suppress exactly once.
 		inj := fault.NewInjector(fault.Single(seed, fault.StaleCompletion, 0, 2))
 		inj.SetObserver(p.Obs)
+		// Scope to the Adaptor's own transactions: the SC's submission-
+		// ring fetches retry stale completions internally and would
+		// swallow both firings before the Adaptor ever reads.
+		inj.SetMatch(func(pk *pcie.Packet) bool { return pk.Requester == TVMID })
 		p.Host.AddTap(inj)
 		run(t, p)
 		c := p.MetricsSnapshot().Counters

@@ -1,0 +1,58 @@
+package ccai
+
+// Allocation budget for the protected hot path (ISSUE 8 acceptance
+// gate). The seed measured 1817 allocs per 64 KiB protected task; the
+// zero-alloc sweep — SerializeInto, the slab/packet arenas in the SC
+// and device DMA engines, arena-backed AAD staging, and the submission
+// ring — must hold the steady-state count at or below half of that.
+// The gate is deliberately the acceptance ceiling, not the measured
+// value, so scheduler noise cannot flake it; ccai-bench tracks the
+// exact trajectory.
+
+import (
+	"runtime"
+	"testing"
+
+	"ccai/internal/xpu"
+)
+
+// taskAllocCeiling is the hard allocs/op budget for task/ccAI/64KiB:
+// 50% of the 1817-alloc seed baseline.
+const taskAllocCeiling = 908
+
+// measureTaskAllocs reports steady-state heap allocations per 64 KiB
+// protected task after a warm-up pass (arenas primed, pools filled).
+func measureTaskAllocs(t *testing.T, iters int) uint64 {
+	t.Helper()
+	p := protectedPlatform(t, xpu.A100)
+	input := make([]byte, 64<<10)
+	for i := range input {
+		input[i] = byte(i)
+	}
+	task := Task{Input: input, Kernel: KernelXOR, Param: 0x5a}
+	if _, err := p.RunTask(task); err != nil { // warm-up
+		t.Fatal(err)
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for i := 0; i < iters; i++ {
+		if _, err := p.RunTask(task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	return (ms1.Mallocs - ms0.Mallocs) / uint64(iters)
+}
+
+// TestTaskAllocBudget fails the build when the protected 64 KiB task
+// path regresses past its allocation ceiling.
+func TestTaskAllocBudget(t *testing.T) {
+	if raceDetector {
+		t.Skip("race-detector instrumentation inflates allocation counts")
+	}
+	got := measureTaskAllocs(t, 32)
+	t.Logf("task/ccAI/64KiB: %d allocs/op (ceiling %d, seed baseline 1817)", got, taskAllocCeiling)
+	if got > taskAllocCeiling {
+		t.Fatalf("64 KiB protected task allocates %d/op; budget is %d/op", got, taskAllocCeiling)
+	}
+}

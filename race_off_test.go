@@ -1,0 +1,5 @@
+//go:build !race
+
+package ccai
+
+const raceDetector = false

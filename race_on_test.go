@@ -1,0 +1,8 @@
+//go:build race
+
+package ccai
+
+// raceDetector reports whether this binary was built with -race; the
+// detector's shadow-memory bookkeeping inflates allocation counts, so
+// allocation-budget tests skip under it.
+const raceDetector = true

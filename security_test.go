@@ -85,8 +85,11 @@ func TestRQ2_TamperedDataDetected(t *testing.T) {
 	tamper := &attack.Tamperer{
 		Match: func(pk *pcie.Packet) bool {
 			// Corrupt ciphertext completions returning bounce-buffer
-			// data toward the SC.
-			return pk.Kind == pcie.CplD && pk.Requester == SCID
+			// data toward the SC. Submission-ring fetches are exact
+			// RingSlotSize multiples and are skipped: tampering ring
+			// framing is a separate fail-closed path (fault matrix).
+			return pk.Kind == pcie.CplD && pk.Requester == SCID &&
+				len(pk.Payload)%core.RingSlotSize != 0
 		},
 		Count: 1,
 	}
@@ -221,7 +224,11 @@ func TestRQ2_DroppedPacketDetected(t *testing.T) {
 	p := protectedPlatform(t, xpu.A100)
 	drop := &attack.Dropper{
 		Match: func(pk *pcie.Packet) bool {
-			return pk.Kind == pcie.CplD && pk.Requester == SCID && len(pk.Payload) >= 64
+			// Data completions only; ring fetches (RingSlotSize
+			// multiples) self-heal via the SC's bounded re-read and
+			// would absorb the drop.
+			return pk.Kind == pcie.CplD && pk.Requester == SCID &&
+				len(pk.Payload) >= 64 && len(pk.Payload)%core.RingSlotSize != 0
 		},
 		Count: 1,
 	}
