@@ -16,9 +16,14 @@ all: build test
 ci: fmt-check vet test race stress bench-smoke soak-smoke telemetry-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
-# Wall-clock regressions stay a soft gate (shared-CI timing is noisy);
-# the allocation ceiling is deterministic, so exit code 3 from
-# -check-allocs fails the merge outright.
+# The deterministic allocation ceilings (64 KiB protected task and the
+# D2H read path) run as named tests so a breach points at the exact
+# budget, not a benchmark diff.
+	$(GO) test -run 'TestTaskAllocBudget|TestReadAllocBudget' ./ ./internal/adaptor/
+# Wall-clock regressions and the ccAI/vanilla overhead-ratio band stay
+# a soft gate (shared-CI timing is noisy); the allocation ceiling is
+# deterministic, so exit code 3 from -check-allocs fails the merge
+# outright.
 	@$(GO) run ./cmd/ccai-bench -only micro -out /tmp/ccai-bench-ci.json -compare BENCH_results.json -check-allocs; \
 	st=$$?; \
 	if [ $$st -eq 3 ]; then \

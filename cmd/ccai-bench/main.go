@@ -497,9 +497,12 @@ func scheduledBench(serveTel bool) ([]benchResult, error) {
 // preset. Writers update only their own section, so regenerating the
 // micro numbers keeps the committed scorecards and vice versa.
 type benchDoc struct {
-	Tool    string                     `json:"tool"`
-	Results []benchResult              `json:"results,omitempty"`
-	Soak    map[string]json.RawMessage `json:"soak,omitempty"`
+	Tool    string        `json:"tool"`
+	Results []benchResult `json:"results,omitempty"`
+	// Ratios is the per-scenario ccAI/vanilla ns-per-op overhead,
+	// recomputed whenever the micro section is rewritten.
+	Ratios map[string]float64         `json:"overhead_ratios,omitempty"`
+	Soak   map[string]json.RawMessage `json:"soak,omitempty"`
 }
 
 // readDoc loads the existing results document; a missing or unreadable
@@ -524,7 +527,30 @@ func writeDoc(path string, doc benchDoc) error {
 func writeResults(path string, results []benchResult) error {
 	doc := readDoc(path)
 	doc.Results = results
+	doc.Ratios = overheadRatios(results)
 	return writeDoc(path, doc)
+}
+
+// overheadRatios pairs each task/ccAI/<size> result with its vanilla
+// twin and reports the protected/vanilla ns-per-op ratio per scenario —
+// the paper's Figure 8 overhead metric on the wall-clock pipeline.
+func overheadRatios(results []benchResult) map[string]float64 {
+	byName := make(map[string]float64, len(results))
+	for _, r := range results {
+		byName[r.Name] = r.NsPerOp
+	}
+	out := make(map[string]float64)
+	for name, ns := range byName {
+		const pfx = "task/ccAI/"
+		if !strings.HasPrefix(name, pfx) {
+			continue
+		}
+		size := strings.TrimPrefix(name, pfx)
+		if v := byName["task/vanilla/"+size]; v > 0 && ns > 0 {
+			out["task/"+size] = ns / v
+		}
+	}
+	return out
 }
 
 // mergeSoak installs one preset's scorecard into the document's soak
@@ -592,6 +618,19 @@ func renderMicro(path string, results []benchResult) string {
 		fmt.Fprintf(&b, "  observability overhead at 64KiB: observe %+.1f%%, full telemetry plane %+.1f%%\n",
 			(observed/plain-1)*100, (telem/plain-1)*100)
 	}
+	ratios := overheadRatios(results)
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		note := ""
+		if ratios[name] > ratioOverheadBand {
+			note = fmt.Sprintf("  OVER BAND (%.1fx)", ratioOverheadBand)
+		}
+		fmt.Fprintf(&b, "  overhead ratio %-17s %.2fx ccAI/vanilla%s\n", name, ratios[name], note)
+	}
 	return b.String()
 }
 
@@ -605,9 +644,25 @@ const (
 	p99Tolerance        = 0.50
 )
 
-// taskAllocCeiling is the -check-allocs hard gate for task/ccAI/64KiB:
-// half the 1817-alloc seed baseline (mirrored by TestTaskAllocBudget).
-const taskAllocCeiling = 908
+// ratioOverheadBand is the advisory ceiling for the per-scenario
+// ccAI/vanilla overhead ratio. The paper's 2x bar assumes a vanilla
+// baseline that pays real PCIe DMA latencies; in this process-local
+// simulation vanilla moves bytes by memcpy with zero crypto, while the
+// protected path pays the full AES-GCM floor (~105 µs per 64 KiB
+// task), so the honest measured ratios land between ~2.5x and ~5.5x
+// run to run (the vanilla denominator is tens of microseconds and
+// swings with host noise; fixed protocol costs dominate at 4 KiB).
+// The band flags structural drift above that reality; it is a soft
+// gate — reported loudly, never an exit failure — because the ratio's
+// denominator is the noisiest number in the file. Absolute
+// protected-path ns/op (the 10% band above) and the alloc ceiling are
+// the hard gates.
+const ratioOverheadBand = 8.0
+
+// taskAllocCeiling is the -check-allocs hard gate for task/ccAI/64KiB,
+// mirrored by TestTaskAllocBudget: 1817 (seed) -> 908 -> 480 after the
+// overlapped-data-plane wave (measured ~330/op).
+const taskAllocCeiling = 480
 
 // checkAllocs enforces the hard allocation gate; unlike the tolerance
 // comparisons this is not timing-sensitive, so it always fails loudly
@@ -696,6 +751,24 @@ func compareResults(path string, cur []benchResult) (int, string) {
 		}
 		fmt.Fprintf(&b, "  %-32s %14.0f -> %12.0f ns/op  %+7.1f%%%s%s%s\n",
 			r.Name, old.NsPerOp, r.NsPerOp, delta, tailNote, allocNote, mark)
+	}
+	// Soft ratio band: the ccAI/vanilla overhead per scenario, checked
+	// against ratioOverheadBand. Advisory by design — the vanilla
+	// denominator swings with host noise — so an excursion is shouted
+	// but never fails the run.
+	ratios := overheadRatios(cur)
+	names := make([]string, 0, len(ratios))
+	for name := range ratios {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		note := "within band"
+		if ratios[name] > ratioOverheadBand {
+			note = "OVER SOFT BAND (advisory)"
+		}
+		fmt.Fprintf(&b, "  overhead ratio %-17s %.2fx ccAI/vanilla (band %.1fx): %s\n",
+			name, ratios[name], ratioOverheadBand, note)
 	}
 	if regressions > 0 {
 		fmt.Fprintf(&b, "ccai-bench: %d benchmark(s) regressed beyond %.0f%% ns/op\n", regressions, regressionTolerance*100)

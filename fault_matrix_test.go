@@ -83,7 +83,10 @@ func matrixEvent(class fault.Class, seed uint64) fault.Plan {
 	skip := int((seed >> 4) % 3)
 	count := 1 + int(seed%2)
 	switch class {
-	case fault.DoorbellHang, fault.DropMSI:
+	case fault.DoorbellHang, fault.DropMSI,
+		fault.HeadWritebackLoss, fault.HeadRegress, fault.DuplicateCplBurst:
+		// Scarce injection points: one doorbell (and so one completion
+		// writeback) per task, so large skips would miss the episode.
 		skip = int(seed % 2)
 	}
 	return fault.Single(seed, class, skip, count)

@@ -48,11 +48,16 @@ type Options struct {
 	// submission ring published with one doorbell MMIO per burst
 	// instead of one MMIO write per operation.
 	SubmitRing bool
+	// CompletionReap serves device command-head polls from the
+	// submission ring's completion word — DMA-written by the SC after
+	// every forwarded doorbell — instead of one guarded MMIO read per
+	// task. Requires SubmitRing; without it Head() falls back to MMIO.
+	CompletionReap bool
 }
 
 // Optimized is the full ccAI optimization set.
 func Optimized() Options {
-	return Options{BatchTags: true, BatchedMetadata: true, HWCrypto: true, ParallelCrypto: true, SubmitRing: true}
+	return Options{BatchTags: true, BatchedMetadata: true, HWCrypto: true, ParallelCrypto: true, SubmitRing: true, CompletionReap: true}
 }
 
 // NoOpt is the Figure 11 ablation configuration.
@@ -111,6 +116,11 @@ type Adaptor struct {
 	// ring optimization is off or the session is torn down.
 	ringBuf *mem.Buffer
 	ring    *submitRing
+
+	// lastCplHead is the highest device command head accepted by
+	// CompletionHead this session — the monotonicity floor that rejects
+	// regressed or replayed completion-word writebacks.
+	lastCplHead uint64
 
 	io     IOStats
 	policy RetryPolicy
@@ -219,6 +229,7 @@ func (a *Adaptor) HWInit() error {
 			}
 		}
 		a.ring = &submitRing{buf: a.ringBuf, slots: ringSlots}
+		a.lastCplHead = 0
 		a.mmioWrite64(core.RegRingBase, a.ringBuf.Base())
 		a.mmioWrite64(core.RegRingSize, ringSlots)
 	}
@@ -693,6 +704,49 @@ func (a *Adaptor) GuardedWrite(reg uint64, value uint64) error {
 	a.io.MMIOWrites++
 	a.bus.Route(pcie.NewMemWrite(a.id, a.xpuBar+reg, payload[:]))
 	return nil
+}
+
+// CompletionHead reads the device's command-head register, serving it
+// from the submission ring's completion word (a host-memory read) when
+// batched reaping is active. The word is accepted only when it carries
+// the RingCplValid tag and is monotonic against the session floor;
+// anything else — never posted, scrubbed, regressed, or corrupted —
+// falls back to the guarded MMIO read, which is authoritative. A stale
+// word is safe by construction: the SC only writes heads it just read
+// from the device, so a lost writeback makes the producer see an old
+// (smaller) head and re-kick, never a fabricated completion.
+func (a *Adaptor) CompletionHead(reg uint64) (uint64, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	sp := a.obs.tracer.Begin(obsv.TrackAdaptor, "completion_head", obsv.Hex("reg", reg))
+	defer sp.End()
+	if a.opts.CompletionReap && a.ring != nil {
+		// Ordering: anything pending in the ring (tag syncs, notifies)
+		// must be published before the completion word is interpreted —
+		// the SC reaps on the far side of the doorbell.
+		if err := a.flushRingLocked(); err != nil {
+			return 0, err
+		}
+		if w, err := a.space.ReadUint64(a.ring.buf.Base() + core.RingHdrCplOff); err == nil && w&core.RingCplValid != 0 {
+			head := w &^ uint64(core.RingCplValid)
+			if head >= a.lastCplHead {
+				a.lastCplHead = head
+				return head, nil
+			}
+			// Regressed completion word: a delayed or tampered writeback.
+			// Fall through to the MMIO read rather than hand the driver a
+			// head that moved backwards.
+		}
+	}
+	cpl, err := a.readWithRetry(a.xpuBar + reg)
+	if err != nil {
+		return 0, err
+	}
+	head := binary.LittleEndian.Uint64(cpl.Payload)
+	if head >= a.lastCplHead {
+		a.lastCplHead = head
+	}
+	return head, nil
 }
 
 // DeviceRead performs a pass-through (A4) read of a device register

@@ -33,10 +33,11 @@ const ringSlots = 64
 // submitRing is the producer view: the ring buffer plus the absolute
 // tail index and the count of entries not yet confirmed consumed.
 type submitRing struct {
-	buf   *mem.Buffer
-	slots uint64
-	tail  uint64 // absolute index of the next entry to write
-	pend  uint64 // entries published-or-pending since the last confirmed flush
+	buf      *mem.Buffer
+	slots    uint64
+	tail     uint64 // absolute index of the next entry to write
+	pend     uint64 // entries published-or-pending since the last confirmed flush
+	lastHead uint64 // highest SC head ever confirmed; regression = fail closed
 }
 
 // ringPush appends one entry. If the ring is full the pending burst is
@@ -95,13 +96,31 @@ func (a *Adaptor) flushRingLocked() error {
 		head, err := a.space.ReadUint64(r.buf.Base())
 		if err == nil && head == r.tail {
 			r.pend = 0
+			r.lastHead = head
 			if attempt > 0 {
 				a.rec.Recovered++
 				a.obs.recovered.Inc()
 			}
 			return nil
 		}
+		// An implausible head — past the published tail, or behind a value
+		// the SC already confirmed — is not yet a verdict: a link bit
+		// error in the head writeback looks exactly like this, and the SC
+		// rewrites the true head on every re-doorbell, so the retry ladder
+		// gets a chance to correct it. Only a regression that survives the
+		// whole ladder means the header is lying about history, and a
+		// producer that cannot trust its own consumption record must stop.
+		implausible := err == nil && (head > r.tail || head < r.lastHead)
 		if attempt >= a.policy.MaxRetries {
+			if implausible {
+				a.rec.FailClosed++
+				a.rec.LastFailure = "submission ring head regression"
+				a.obs.failClosed.Inc()
+				a.obs.tracer.Instant(obsv.TrackAdaptor, "recovery.fail_closed", obsv.Str("reason", "ring-head-regression"))
+				a.hub.Eventf(obsv.EvFailClosed, "", "reason=ring-head-regression")
+				a.teardownLocked()
+				return ErrRingDesync
+			}
 			a.rec.Exhausted++
 			a.obs.exhausted.Inc()
 			return fmt.Errorf("adaptor: ring flush: head %d never reached tail %d", head, r.tail)

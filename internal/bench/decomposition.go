@@ -39,6 +39,7 @@ func Figure11Decomposition(cm CostModel) ([]DecompRow, error) {
 		opts  OptSet
 	}{
 		{"all on (ccAI)", FullOpts()},
+		{"no SC overlap", OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true, OverlapDMA: false}},
 		{"no batched metadata", OptSet{BatchedMetadata: false, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true}},
 		{"no batched notify", OptSet{BatchedMetadata: true, BatchedNotify: false, HWCrypto: true, ParallelCrypto: true}},
 		{"no AES-NI", OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: false, ParallelCrypto: true}},

@@ -98,9 +98,12 @@ type CostModel struct {
 	// rate, fully serialized.
 	SoftCryptoBps float64
 
-	// SCEngineBps is the PCIe-SC's inline AES-GCM-SHA engine rate;
-	// faster than every link configuration, so it contributes pipeline
-	// fill only (folded into TransferSetup).
+	// SCEngineBps is the PCIe-SC's inline AES-GCM-SHA engine rate.
+	// Serialized transfers charge its occupancy explicitly: summed with
+	// wire time when the data plane is store-and-forward, hidden under
+	// the DMA shadow (max composition plus one span of pipeline fill)
+	// when OptSet.OverlapDMA is on. Faster than every link
+	// configuration, so with overlap it contributes fill only.
 	SCEngineBps float64
 
 	// ContextSlots is the De/Encryption Parameters Manager capacity;
@@ -197,11 +200,18 @@ type OptSet struct {
 	// ParallelCrypto: crypto spread across the Adaptor's worker
 	// threads.
 	ParallelCrypto bool
+	// OverlapDMA: the SC data-plane pipeline (DESIGN.md §15) — decrypt
+	// of chunk i+1 runs while chunk i's DMA is on the wire (H2D
+	// decrypt-ahead) and ciphertext DMA issues while later chunks are
+	// still sealing (D2H write-span streaming). Serialized transfers
+	// then cost max(crypto, wire) per steady-state chunk plus one span
+	// of pipeline fill, instead of their sum.
+	OverlapDMA bool
 }
 
 // FullOpts is the ccAI configuration.
 func FullOpts() OptSet {
-	return OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true}
+	return OptSet{BatchedMetadata: true, BatchedNotify: true, HWCrypto: true, ParallelCrypto: true, OverlapDMA: true}
 }
 
 // NoOpts is the Figure 11 ablation configuration.
@@ -301,7 +311,10 @@ func runModel(w Workload, opts *OptSet, cm CostModel, prot Protection) (Result, 
 	}
 
 	// serialCost prices a serialized transfer of n bytes (s of them
-	// sensitive) spanning the given number of DMA regions.
+	// sensitive) spanning the given number of DMA regions. It covers
+	// both directions: H2D span reads (SC fetch + batch decrypt ahead of
+	// the device's next gulp) and D2H span writes (write-span seal with
+	// ciphertext DMA streamed from the emit path) price identically.
 	serialCost := func(n, s int64, regions int) sim.Time {
 		if n <= 0 {
 			return 0
@@ -313,7 +326,37 @@ func runModel(w Workload, opts *OptSet, cm CostModel, prot Protection) (Result, 
 		}
 		exp := sim.Time(float64(wireTime(s, bps)) * cm.WireExpansion)
 		pcieTotal += exp
-		return wire + exp + cryptoTime(s) + ioTime(s, regions)
+		dma := wire + exp
+		crypto := cryptoTime(s)
+		// scTime is the inline engine's occupancy for the sensitive
+		// bytes: every protected chunk passes through the SC's AES-GCM
+		// engine between wire and destination.
+		scTime := sim.Time(float64(s) / cm.SCEngineBps * float64(sim.Second))
+		if opts.OverlapDMA && s > 0 {
+			// Decrypt/DMA pipelining: in steady state the engine works on
+			// span i+1 while span i's TLPs occupy the wire, so the
+			// serialized chunk cost is max(crypto, DMA) — whichever side
+			// is slower — plus one span of pipeline fill: the first span
+			// must pass through the non-bottleneck stage before the
+			// bottleneck can stream (k·max + one span of the other
+			// stage, the two-stage pipeline identity).
+			span := s
+			if span > pcie.MaxReadReq {
+				span = pcie.MaxReadReq
+			}
+			fill := sim.Time(float64(span) / cm.SCEngineBps * float64(sim.Second))
+			if w := wireTime(span, bps); w < fill {
+				fill = w
+			}
+			serial := dma
+			if scTime > serial {
+				serial = scTime
+			}
+			return serial + fill + crypto + ioTime(s, regions)
+		}
+		// Store-and-forward SC: each chunk is fully decrypted or sealed
+		// before its DMA issues, so engine time and wire time add up.
+		return dma + scTime + crypto + ioTime(s, regions)
 	}
 
 	// pipelined reports whether bulk traffic can overlap compute: it

@@ -1,0 +1,67 @@
+package bench
+
+import "testing"
+
+// TestOverlapDMAPipelinesSerialTransfers pins the §15 overlap term:
+// with OverlapDMA on, a serialized transfer's steady-state cost
+// composes the SC engine and the wire as max(crypto, DMA) plus one
+// span of pipeline fill; with it off they add up (store-and-forward).
+func TestOverlapDMAPipelinesSerialTransfers(t *testing.T) {
+	cm := Defaults()
+	w := referenceWorkload(1)
+	noOv := FullOpts()
+	noOv.OverlapDMA = false
+
+	on, err := RunOpts(w, FullOpts(), cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunOpts(w, noOv, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The pipelined data plane must be strictly cheaper than the serial
+	// sum on every latency surface that includes serialized transfers.
+	if on.TTFT >= off.TTFT {
+		t.Fatalf("overlap did not reduce TTFT: %v vs %v", on.TTFT, off.TTFT)
+	}
+	if on.E2E >= off.E2E {
+		t.Fatalf("overlap did not reduce E2E: %v vs %v", on.E2E, off.E2E)
+	}
+
+	// The entire win must be attributable to hiding the SC engine's
+	// occupancy under the DMA shadow: with the engine infinitely fast,
+	// occupancy and fill both vanish and the two compositions agree
+	// exactly — max(DMA, 0) + 0 == DMA + 0.
+	fast := cm
+	fast.SCEngineBps = 1e18
+	onFast, err := RunOpts(w, FullOpts(), fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offFast, err := RunOpts(w, noOv, fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onFast.E2E != offFast.E2E || onFast.TTFT != offFast.TTFT {
+		t.Fatalf("overlap win not attributable to engine occupancy: on %v off %v", onFast.E2E, offFast.E2E)
+	}
+
+	// And when the engine is the bottleneck, the overlapped cost must
+	// track the engine (max branch), not the sum: slowing the engine by
+	// 1000x must not inflate the overlapped run by the serial sum's
+	// delta.
+	slow := cm
+	slow.SCEngineBps = cm.SCEngineBps / 1000
+	onSlow, err := RunOpts(w, FullOpts(), slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offSlow, err := RunOpts(w, noOv, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onSlow.E2E >= offSlow.E2E {
+		t.Fatalf("engine-bound overlap lost to serial sum: %v vs %v", onSlow.E2E, offSlow.E2E)
+	}
+}

@@ -59,6 +59,15 @@ type Stats struct {
 	// advancing the stream counter, so recovery never weakens the
 	// replay discipline.
 	DuplicateReads uint64
+	// PrefetchedChunks counts H2D chunks the SC decrypted ahead of the
+	// device's read request (the decrypt/DMA overlap pipeline), and
+	// PrefetchHits counts span reads served straight from that cache —
+	// reads whose crypto ran concurrently with the previous span's DMA.
+	PrefetchedChunks uint64
+	PrefetchHits     uint64
+	// BatchedD2HSpans counts device write bursts the SC sealed as one
+	// engine batch instead of one engine dispatch per chunk.
+	BatchedD2HSpans uint64
 }
 
 // Controller is the PCIe Security Controller. On the host bus it is an
@@ -103,17 +112,63 @@ type Controller struct {
 	d2hChunks map[uint32]uint64
 	tagPend   map[uint32]*tagSpan
 
+	// wspans accumulates in-order device D2H plaintext per region so a
+	// burst seals as one engine batch with the span's ciphertext DMA
+	// overlapping the next chunks' crypto (pipeline.go).
+	wspans map[uint32]*writeSpan
+	// wsFree recycles writeSpan shells between flushes (the steady-state
+	// D2H loop otherwise allocates one per span). Guarded by mu.
+	wsFree []*writeSpan
+
+	// pf is the single-entry H2D decrypt-ahead cache: the plaintext of
+	// the span the device is predicted to read next, decrypted while
+	// the previous span's completion DMA was in flight (pipeline.go).
+	pf spanCache
+
+	// scratchPool holds the reusable span bookkeeping (tag records,
+	// sealed views, AADs) for the span paths — two slots, because a
+	// demand decrypt still holds its scratch while it kicks the next
+	// prefetch. Taken and returned under mu, with a fresh allocation as
+	// fallback so deeper nesting is merely slower, never wrong.
+	scratchPool [2]*spanScratch
+
 	// verified retains the tag record of every H2D chunk already
 	// accepted once, keyed by descriptor ID then chunk index, so a
 	// benign retransmit (device re-read after a fault) can be
 	// re-verified and re-served without loosening the stream's replay
 	// watermark. The per-region nesting makes a descriptor release a
-	// single map delete instead of a scan over every retained chunk.
-	verified map[uint32]map[uint32]TagRecord
+	// single map delete instead of a scan over every retained chunk;
+	// within a region the records live in chunk-indexed slices
+	// (verifiedSet) because the datapath inserts one per accepted chunk
+	// and per-insert map growth dominated the decrypt path's allocation
+	// profile.
+	verified map[uint32]*verifiedSet
+
+	// recycle arms the datapath's payload-recycling fast paths: bounce
+	// fetches, ciphertext staging and retained device write payloads
+	// return to the shared arena once their last holder is done with
+	// them. Only the platform enables this (EnableDatapathRecycling),
+	// because it is sound solely under the platform's wiring contract —
+	// every data-plane payload originates from the arena-aware device
+	// and host-bridge paths, and every recycling site re-checks
+	// Bus.Untapped after routing. Controllers driven directly by tests
+	// keep the never-reuse discipline.
+	recycle bool
 
 	// ringHead is the submission-ring consumption index (absolute entry
 	// count); the matching tail arrives through RegRingDoorbell.
 	ringHead uint64
+
+	// Completion reaping (ring.go): after forwarding a guarded write to
+	// reapDoorbellReg the SC reads the device head from reapHeadReg and
+	// caches it in cplWord (RingCplValid-tagged, guarded by mu) for the
+	// ring-header writeback. The register offsets are assembly-time
+	// configuration — the platform knows the device layout, the SC does
+	// not.
+	reapConfigured  bool
+	reapDoorbellReg uint64
+	reapHeadReg     uint64
+	cplWord         uint64
 
 	authorizedTVM pcie.ID
 	tvmPinned     bool
@@ -172,6 +227,70 @@ func (c *Controller) SetObserver(h *obsv.Hub) {
 	}
 }
 
+// EnableDatapathRecycling arms the arena-recycling fast paths (see the
+// recycle field). Platform assembly only; call before traffic flows.
+func (c *Controller) EnableDatapathRecycling() {
+	c.mu.Lock()
+	c.recycle = true
+	c.mu.Unlock()
+}
+
+// verifiedSet densely retains one region's accepted-chunk tag records,
+// indexed by chunk ordinal. get/put are nil-safe on the read side so
+// lookups compose with the map access without an existence check.
+type verifiedSet struct {
+	recs []TagRecord
+	seen []bool
+}
+
+func (v *verifiedSet) get(chunk uint32) (TagRecord, bool) {
+	if v == nil || int(chunk) >= len(v.seen) || !v.seen[chunk] {
+		return TagRecord{}, false
+	}
+	return v.recs[chunk], true
+}
+
+func (v *verifiedSet) put(chunk uint32, rec TagRecord) {
+	if int(chunk) >= len(v.seen) {
+		n := 2 * len(v.seen)
+		if n < int(chunk)+1 {
+			n = int(chunk) + 1
+		}
+		recs := make([]TagRecord, n)
+		seen := make([]bool, n)
+		copy(recs, v.recs)
+		copy(seen, v.seen)
+		v.recs, v.seen = recs, seen
+	}
+	v.recs[chunk], v.seen[chunk] = rec, true
+}
+
+// verifiedFor returns the region's verified set, creating it on first
+// use sized for hint chunks (the region's chunk count when the caller
+// knows it — one allocation instead of a doubling ladder). Caller
+// holds c.mu.
+func (c *Controller) verifiedFor(region uint32, hint int) *verifiedSet {
+	v := c.verified[region]
+	if v == nil {
+		v = new(verifiedSet)
+		if hint > 0 {
+			v.recs = make([]TagRecord, hint)
+			v.seen = make([]bool, hint)
+		}
+		c.verified[region] = v
+	}
+	return v
+}
+
+// chunkCount reports the descriptor's region size in chunks.
+func chunkCount(desc Descriptor) int {
+	cs := uint64(desc.ChunkSize)
+	if cs == 0 {
+		cs = ChunkSize
+	}
+	return int((desc.Len + cs - 1) / cs)
+}
+
 // authFailed counts one integrity failure in both stats and metrics.
 // It takes c.mu and must not be called with it held.
 func (c *Controller) authFailed() {
@@ -204,7 +323,8 @@ func NewController(id pcie.ID, bar pcie.Region, keys *secmem.KeyStore) *Controll
 		regs:      make(map[uint64]uint64),
 		d2hChunks: make(map[uint32]uint64),
 		tagPend:   make(map[uint32]*tagSpan),
-		verified:  make(map[uint32]map[uint32]TagRecord),
+		wspans:    make(map[uint32]*writeSpan),
+		verified:  make(map[uint32]*verifiedSet),
 		pool:      secmem.NewPool(cryptoWidth()),
 		status:    SCStatusReady,
 	}
@@ -292,6 +412,17 @@ func (c *Controller) SetTeardownHook(fn func()) { c.onTeardown = fn }
 
 // Regions reports live protected regions (tests).
 func (c *Controller) Regions() int { return c.regions.count() }
+
+// ConfigureCompletionReap enables batched completion reaping: after
+// every guarded write the SC forwards to doorbellReg (BAR0-relative),
+// it reads headReg from the device and DMA-writes the value into the
+// submission ring header (ring.go). Assembly-time configuration: call
+// before traffic flows, never concurrently with it.
+func (c *Controller) ConfigureCompletionReap(doorbellReg, headReg uint64) {
+	c.reapConfigured = true
+	c.reapDoorbellReg = doorbellReg
+	c.reapHeadReg = headReg
+}
 
 // SetAuthorizedTVM restricts control-BAR access to one requester ID.
 // The sealed-blob crypto already stops policy forgery; this check
@@ -423,7 +554,14 @@ func (c *Controller) handleGuardedMMIO(p *pcie.Packet) *pcie.Packet {
 			return c.reject(p)
 		}
 	}
-	return c.forwardToDevice(p)
+	cpl := c.forwardToDevice(p)
+	if c.reapConfigured && p.Address == c.xpuBar.Base+c.reapDoorbellReg {
+		// The doorbell ran the device's command pump synchronously; reap
+		// the batch of completions it produced with one device-head read
+		// and one ring-header writeback.
+		c.reapCompletion()
+	}
+	return cpl
 }
 
 // MACHeader is the byte layout both ends authenticate for A3 MMIO
@@ -571,6 +709,8 @@ func (c *Controller) releaseRegion(id uint32) {
 	c.regions.remove(id)
 	c.dropVerified(id)
 	c.dropTagSpan(id)
+	c.dropWriteSpan(id)
+	c.dropSpanCache(id)
 }
 
 func (c *Controller) installSealedRule() {
@@ -614,7 +754,12 @@ func (c *Controller) installDescriptorFrame(frame []byte) {
 	}
 	if err := c.regions.add(d); err != nil {
 		c.configReject(err)
+		return
 	}
+	// A reinstalled descriptor reuses the region ID with fresh counters;
+	// anything pipelined for the old incarnation is stale.
+	c.dropWriteSpan(d.ID)
+	c.dropSpanCache(d.ID)
 }
 
 // RekeyCommand carries fresh stream material for the §6 IV-exhaustion
@@ -696,7 +841,13 @@ func (c *Controller) applyRekeyFrame(frame []byte) {
 	}
 	if err := c.params.Rekey(rc.Stream, rc.Key, rc.Nonce); err != nil {
 		c.configReject(err)
+		return
 	}
+	// Fail-closed across epochs: plaintext decrypted ahead under the old
+	// key is never served after a rekey — the demand path re-runs the
+	// acceptance ladder, which rejects pre-rekey material exactly as it
+	// did before decrypt-ahead existed.
+	c.dropSpanCache(^uint32(0))
 }
 
 func (c *Controller) openConfig(frame []byte) ([]byte, error) {
@@ -803,6 +954,9 @@ func (c *Controller) decryptRead(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 	}
 	rec, ok := c.tagMatch(StreamH2D, desc.FirstCounter+chunk)
 	pt, good := c.openChunk(stream, desc, chunk, cpl.Payload, rec, ok)
+	if c.recycleOn(c.hostBus) {
+		arena.Put(cpl.Payload) // ciphertext consumed either way: public bytes
+	}
 	if !good {
 		c.authFailed()
 		return c.reject(p)
@@ -829,7 +983,7 @@ func (c *Controller) openChunk(stream *secmem.Stream, desc Descriptor, chunk uin
 	aad := aadBuf[:]
 	if !have {
 		c.mu.Lock()
-		vrec, seen := c.verified[desc.ID][chunk]
+		vrec, seen := c.verified[desc.ID].get(chunk)
 		c.mu.Unlock()
 		if !seen {
 			return nil, false
@@ -855,7 +1009,7 @@ func (c *Controller) openChunk(stream *secmem.Stream, desc Descriptor, chunk uin
 	pt, err := stream.Open(sealed, aad)
 	if errors.Is(err, secmem.ErrReplay) {
 		c.mu.Lock()
-		_, seen := c.verified[desc.ID][chunk]
+		_, seen := c.verified[desc.ID].get(chunk)
 		c.mu.Unlock()
 		if seen {
 			if pt, err2 := stream.OpenStateless(sealed, aad); err2 == nil {
@@ -868,12 +1022,7 @@ func (c *Controller) openChunk(stream *secmem.Stream, desc Descriptor, chunk uin
 		return nil, false
 	}
 	c.mu.Lock()
-	region := c.verified[desc.ID]
-	if region == nil {
-		region = make(map[uint32]TagRecord)
-		c.verified[desc.ID] = region
-	}
-	region[chunk] = rec
+	c.verifiedFor(desc.ID, chunkCount(desc)).put(chunk, rec)
 	c.stats.DecryptedChunks++
 	c.mu.Unlock()
 	c.obs.decrypted.Inc()
@@ -902,11 +1051,31 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 	first := uint32(off / cs)
 	k := int((uint64(p.Length) + cs - 1) / cs)
 
+	// Decrypt-ahead fast path: the span was fetched and batch-decrypted
+	// while the device was still consuming the previous span's DMA
+	// (pipeline.go). Serve the cached plaintext and keep the pipeline
+	// primed with the next span.
+	if pt, ok := c.takeCachedSpan(desc.ID, p.Address, p.Length); ok {
+		sp.Attr(obsv.Bool("prefetched", true))
+		c.prefetchSpan(desc, p.Address+uint64(p.Length))
+		return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, pt)
+	}
+
 	req := c.pkts.MemRead(c.id, p.Address, p.Length, p.Tag)
 	cpl := c.hostBus.Route(req)
 	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) {
 		return c.reject(p)
 	}
+	// The bounce fetch is consumed on every path below (its ciphertext
+	// is either decrypted into pt or abandoned on reject), so when it
+	// came from the host bridge's arena pool it goes back on the way
+	// out. Runs before the deferred putScratch clears the sealed views —
+	// harmless, the views are rebuilt per span.
+	defer func() {
+		if c.recycleOn(c.hostBus) {
+			arena.Put(cpl.Payload) // ciphertext: public bytes
+		}
+	}()
 	stream, err := c.params.Stream(StreamH2D)
 	if err != nil {
 		c.authFailed()
@@ -922,12 +1091,12 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 		return cpl.Payload[lo:hi]
 	}
 	// A span covers at most MaxReadReq/ChunkSize chunks, so the tag
-	// bookkeeping lives in stack arrays on the common path.
-	const maxSpan = pcie.MaxReadReq / ChunkSize
-	var recsArr [maxSpan]TagRecord
-	var haveArr [maxSpan]bool
-	recs, have := recsArr[:], haveArr[:]
-	if k > maxSpan {
+	// bookkeeping lives in the controller's reusable span scratch on
+	// the common path.
+	sc := c.takeScratch()
+	defer c.putScratch(sc)
+	recs, have := sc.recs[:], sc.have[:]
+	if k > spanChunks {
 		recs = make([]TagRecord, k)
 		have = make([]bool, k)
 	} else {
@@ -938,13 +1107,23 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 		recs[i], have[i] = c.tagMatch(StreamH2D, desc.FirstCounter+first+uint32(i))
 		all = all && have[i]
 	}
-	// Plaintext destined for the device-facing completion: slab-carved,
-	// never recycled, so handing it off as the payload is tap-safe.
-	pt := c.slab.Take(int(p.Length))
+	// Plaintext destined for the device-facing completion: arena-carved
+	// when the device returns completion payloads to the pool, else
+	// slab-carved (never recycled, so handing it to taps stays safe).
+	pt := c.payloadBuf(int(p.Length), c.internal)
 	if all {
-		sealed := make([]secmem.Sealed, k)
-		aads := make([][]byte, k)
-		aadBuf := arena.Get(8 * k)
+		sealed, aads := sc.sealed[:], sc.aads[:]
+		if k > spanChunks {
+			sealed = make([]secmem.Sealed, k)
+			aads = make([][]byte, k)
+		} else {
+			sealed, aads = sealed[:k], aads[:k]
+		}
+		aadBuf := sc.aadBuf[:]
+		if 8*k > len(aadBuf) {
+			aadBuf = arena.Get(8 * k)
+			defer arena.Put(aadBuf)
+		}
 		for i := range sealed {
 			chunk := first + uint32(i)
 			sealed[i] = secmem.Sealed{
@@ -958,20 +1137,16 @@ func (c *Controller) decryptReadSpan(p *pcie.Packet, desc Descriptor) *pcie.Pack
 			aads[i] = ab
 		}
 		err := stream.OpenBatchInto(pt, sealed, aads, c.pool)
-		arena.Put(aadBuf)
 		if err == nil {
 			c.mu.Lock()
-			region := c.verified[desc.ID]
-			if region == nil {
-				region = make(map[uint32]TagRecord)
-				c.verified[desc.ID] = region
-			}
+			region := c.verifiedFor(desc.ID, chunkCount(desc))
 			for i := range recs {
-				region[first+uint32(i)] = recs[i]
+				region.put(first+uint32(i), recs[i])
 			}
 			c.stats.DecryptedChunks += uint64(k)
 			c.mu.Unlock()
 			c.obs.decrypted.Add(uint64(k))
+			c.prefetchSpan(desc, p.Address+uint64(p.Length))
 			return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, pt)
 		}
 		if !errors.Is(err, secmem.ErrReplay) {
@@ -1052,9 +1227,13 @@ func (c *Controller) verifiedRead(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 	return c.pkts.CompletionOwned(p, c.id, pcie.CplSuccess, cpl.Payload)
 }
 
-// encryptWrite services a device write into an A2 D2H region: seal the
-// plaintext, store ciphertext at the same host address, deposit the tag
-// record in the region's tag table.
+// encryptWrite services a device write into an A2 D2H region through
+// the write-span pipeline (pipeline.go): the chunk is staged with its
+// in-order neighbours and the span seals as one engine batch whose
+// ciphertext DMA overlaps the remaining chunks' crypto. Flushes happen
+// on a full span, a sequence break, the metadata publish cadence, and
+// region completion, so host-visible progress never runs ahead of the
+// ciphertext and tags backing it.
 func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet {
 	sp := c.obs.tracer.Begin(obsv.TrackSC, "encrypt_write",
 		obsv.Hex("addr", p.Address), obsv.I64("bytes", int64(len(p.Payload))),
@@ -1065,26 +1244,17 @@ func (c *Controller) encryptWrite(p *pcie.Packet, desc Descriptor) *pcie.Packet 
 		c.authFailed()
 		return c.reject(p)
 	}
-	stream, err := c.params.Stream(StreamD2H)
-	if err != nil {
+	ok := true
+	if c.needsSpanFlush(desc.ID, chunk) {
+		ok = c.flushWriteSpan(desc)
+	}
+	if c.stageWrite(desc, chunk, p.Payload) {
+		ok = c.flushWriteSpan(desc) && ok
+	}
+	if !ok {
 		c.authFailed()
 		return c.reject(p)
 	}
-	var aad [8]byte
-	desc.PutAAD(&aad, chunk)
-	var sealed secmem.Sealed
-	// Ciphertext staged in slab memory (never recycled, so ownership can
-	// transfer to the packet below without a copy), engine output split
-	// in place by SealDst.
-	ctBuf := c.slab.Take(len(p.Payload) + secmem.TagSize)
-	if err := stream.SealDst(&sealed, p.Payload, aad[:], ctBuf); err != nil {
-		c.authFailed()
-		return c.reject(p)
-	}
-	c.hostBus.Route(c.pkts.MemWrite(c.id, p.Address, sealed.Ciphertext))
-	rec := TagRecord{Stream: StreamD2H, Chunk: sealed.Counter, Epoch: sealed.Epoch, Tag: sealed.Tag}
-	c.depositTag(desc, chunk, rec)
-	c.obs.encrypted.Inc()
 	return nil
 }
 
@@ -1146,26 +1316,37 @@ func (c *Controller) depositTag(desc Descriptor, chunk uint32, rec TagRecord) {
 	}
 	c.mu.Unlock()
 	if stale != nil {
-		c.hostBus.Route(stale)
+		c.routeTagWrite(stale)
 	}
 	if flush != nil {
-		c.hostBus.Route(flush)
+		c.routeTagWrite(flush)
 	}
 	if meta != nil {
 		c.hostBus.Route(meta)
 	}
 }
 
+// routeTagWrite delivers a tag-table write and, when the recycling loop
+// is closed, reclaims its payload: the host bridge copies MWr bodies
+// synchronously, so after Route the SC is the payload's last holder.
+func (c *Controller) routeTagWrite(p *pcie.Packet) {
+	payload := p.Payload
+	c.hostBus.Route(p)
+	if c.recycleOn(c.hostBus) {
+		arena.Put(payload) // marshalled tags: public bytes
+	}
+}
+
 // tagFlushPacket builds the tag-table write for a span's buffered
-// records, or nil when the span is empty. The records are copied into
-// slab memory (the packet outlives the span buffer, which refills
-// immediately), so no per-flush heap allocation occurs.
+// records, or nil when the span is empty. The records are copied out of
+// the span buffer (which refills immediately) into arena or slab memory
+// via payloadBuf, so no per-flush heap allocation occurs.
 func (c *Controller) tagFlushPacket(desc Descriptor, span *tagSpan) *pcie.Packet {
 	if len(span.buf) == 0 {
 		return nil
 	}
 	addr := desc.TagBase + uint64(span.start)*TagRecordSize
-	body := c.slab.Take(len(span.buf))
+	body := c.payloadBuf(len(span.buf), c.hostBus)
 	copy(body, span.buf)
 	return c.pkts.MemWrite(c.id, addr, body)
 }
@@ -1248,13 +1429,20 @@ func (c *Controller) Teardown() {
 	c.stats.Teardowns++
 	c.mmioSeq = 0
 	c.ringHead = 0
+	c.cplWord = 0
 	c.d2hChunks = make(map[uint32]uint64)
 	for _, span := range c.tagPend {
 		arena.Put(span.buf)
 	}
 	c.tagPend = make(map[uint32]*tagSpan)
-	c.verified = make(map[uint32]map[uint32]TagRecord)
+	droppedSpans := c.wspans
+	c.wspans = make(map[uint32]*writeSpan)
+	c.verified = make(map[uint32]*verifiedSet)
 	c.mu.Unlock()
+	for _, span := range droppedSpans {
+		c.recyclePts(span)
+	}
+	c.dropSpanCache(^uint32(0))
 	c.obs.teardowns.Inc()
 	c.obs.tracer.Instant(obsv.TrackSC, "teardown")
 	c.params.DestroyAll()

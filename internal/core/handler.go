@@ -358,6 +358,24 @@ func (tm *TagManager) DroppedByFault() uint64 {
 	return tm.droppedFault
 }
 
+// HasSpan reports whether a record is pending for every chunk in
+// [first, first+k) of stream, without matching, counting, or evicting.
+// The decrypt-ahead prefetcher probes with this before committing to a
+// speculative span decrypt: a probe must not disturb the miss
+// accounting the demand path feeds the SLO monitors, and must not
+// consume records the demand path may still need.
+func (tm *TagManager) HasSpan(stream string, first uint32, k int) bool {
+	tm.mu.Lock()
+	defer tm.mu.Unlock()
+	for i := 0; i < k; i++ {
+		rec, ok := tm.pending[tagID{stream: stream, chunk: first + uint32(i)}]
+		if !ok || rec.Stream != stream {
+			return false
+		}
+	}
+	return true
+}
+
 // Take matches and removes the tag for (stream, chunk); ok is false
 // when no tag packet arrived, which fails the integrity check. A
 // record whose stored stream differs from the requested one (possible

@@ -32,8 +32,19 @@ import (
 // advance — fail closed until the producer tears down.
 const (
 	// RingHdrSize is the ring header: [0,8) consumed head (SC-written),
-	// [8,16) status word (0 ok, RingStatusDesync), rest reserved.
+	// [8,16) status word (0 ok, RingStatusDesync), [16,24) completion
+	// word (SC-written device command head, RingCplValid-tagged), rest
+	// reserved.
 	RingHdrSize = 64
+	// RingHdrCplOff is the header offset of the completion word: the
+	// device's command-ring head as last observed by the SC, DMA-written
+	// after every forwarded doorbell so the producer reaps completions
+	// from host memory instead of one MMIO read per task.
+	RingHdrCplOff = 16
+	// RingCplValid tags a posted completion word. The device head is a
+	// small count, so the top bit distinguishes "never posted" (zero)
+	// from "head is zero".
+	RingCplValid = 1 << 63
 	// RingEntryHdrSize frames one entry: opcode(1) flags(1) len(2)
 	// seq(4) arg(8), little-endian.
 	RingEntryHdrSize = 16
@@ -93,6 +104,13 @@ func (c *Controller) processRing(tail uint64) {
 		return
 	}
 	if tail == head {
+		// Idempotent re-reap: the producer re-rang an already-consumed
+		// window, which means its view of the header is stale — the head
+		// or completion writeback was lost on the bus. Re-posting both
+		// words (instead of the old bare return) lets the producer's
+		// doorbell-retry ladder converge instead of spinning forever on a
+		// header that never refreshes.
+		c.ringPostHead(base, head)
 		return
 	}
 
@@ -191,11 +209,55 @@ func (c *Controller) ringFetch(addr uint64, dst []byte) bool {
 	return false
 }
 
-// ringPostHead DMA-writes the consumed head index into the ring header.
+// ringPostHead DMA-writes the consumed head index into the ring
+// header, followed by the current completion word so a reaping
+// producer refreshes both with the same doorbell.
 func (c *Controller) ringPostHead(base, head uint64) {
 	buf := c.slab.Take(8)
 	binary.LittleEndian.PutUint64(buf, head)
 	c.hostBus.Route(c.pkts.MemWrite(c.id, base, buf))
+	c.postCompletionWord(base)
+}
+
+// postCompletionWord DMA-writes the cached device command head (tagged
+// RingCplValid) into the ring header's completion slot. A zero cache —
+// no doorbell forwarded yet this session — posts nothing, leaving the
+// header word invalid so the producer falls back to the MMIO read.
+func (c *Controller) postCompletionWord(base uint64) {
+	c.mu.Lock()
+	w := c.cplWord
+	c.mu.Unlock()
+	if w == 0 {
+		return
+	}
+	buf := c.slab.Take(8)
+	binary.LittleEndian.PutUint64(buf, w)
+	c.hostBus.Route(c.pkts.MemWrite(c.id, base+RingHdrCplOff, buf))
+}
+
+// reapCompletion is the SC half of batched completion reaping: after
+// forwarding a doorbell write, read the device's command head once over
+// the internal bus and deposit it into the submission ring header. One
+// doorbell therefore drains every completion the burst produced; the
+// producer's Head() poll becomes a host-memory read, and the per-task
+// completion MMIO disappears from the hot path.
+func (c *Controller) reapCompletion() {
+	if c.internal == nil {
+		return
+	}
+	req := c.pkts.MemRead(c.id, c.xpuBar.Base+c.reapHeadReg, 8, 0)
+	cpl := c.internal.Route(req)
+	if cpl == nil || cpl.Status != pcie.CplSuccess || staleCpl(req, cpl) || len(cpl.Payload) < 8 {
+		return // unreadable head: leave the cache alone, MMIO fallback rules
+	}
+	head := binary.LittleEndian.Uint64(cpl.Payload)
+	c.mu.Lock()
+	c.cplWord = RingCplValid | head
+	base := c.regs[RegRingBase]
+	c.mu.Unlock()
+	if base != 0 {
+		c.postCompletionWord(base)
+	}
 }
 
 // ringDesync marks the ring unusable (status word + config reject) and

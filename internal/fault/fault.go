@@ -68,6 +68,21 @@ const (
 	// error without occupying a pipeline slot, or not at all — and
 	// neither outcome may perturb any other request's stream state.
 	CancelRace
+	// HeadWritebackLoss drops the SC's completion-word writeback (the
+	// RingCplValid-tagged MWr into the submission-ring header), so the
+	// producer reaps a stale head and must re-kick or fall back to the
+	// authoritative MMIO read.
+	HeadWritebackLoss
+	// HeadRegress rewrites a completion-word writeback to carry an
+	// older (smaller) head with the valid tag intact — a delayed or
+	// reordered writeback. The reaper's monotonicity check must refuse
+	// to move backwards and fall through to the MMIO read.
+	HeadRegress
+	// DuplicateCplBurst holds a completion-word writeback back and
+	// re-delivers it in place of a later one — a burst of duplicated
+	// completions. The stale duplicate hides device progress; it must
+	// cost only re-polls, never a fabricated completion.
+	DuplicateCplBurst
 
 	numClasses
 )
@@ -76,6 +91,7 @@ var classNames = [...]string{
 	"invalid", "corrupt-tlp", "drop-tlp", "truncate-tlp", "drop-completion",
 	"stale-completion", "doorbell-hang", "drop-msi", "crypto-transient", "tag-loss",
 	"sched-stall", "cancel-race",
+	"head-writeback-loss", "head-regress", "duplicate-cpl-burst",
 }
 
 func (c Class) String() string {

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sync"
 
@@ -64,6 +65,9 @@ type Injector struct {
 	// stash holds the delayed completion of a StaleCompletion in
 	// progress.
 	stash *pcie.Packet
+	// cplStash holds the withheld completion-word writeback of a
+	// DuplicateCplBurst in progress.
+	cplStash *pcie.Packet
 
 	// obsTracer/obsReg record each firing as an instant event and a
 	// per-class counter. Firings are rare, so the registry lookup per
@@ -161,6 +165,34 @@ func (inj *Injector) Tap(p *pcie.Packet) *pcie.Packet {
 	defer inj.mu.Unlock()
 	if inj.match != nil && !inj.match(p) {
 		return p
+	}
+
+	// Completion-word writebacks (batched reaping, ring.go): the SC's
+	// 8-byte RingCplValid-tagged MWr into the submission-ring header.
+	// No other 8-byte write on the segment carries the top bit — device
+	// heads, metadata counters and doorbell values are all small counts.
+	if p.Kind == pcie.MWr && len(p.Payload) == 8 &&
+		binary.LittleEndian.Uint64(p.Payload)&uint64(core.RingCplValid) != 0 {
+		if inj.fires(HeadWritebackLoss) {
+			return nil
+		}
+		if inj.fires(HeadRegress) {
+			q := p.Clone()
+			head := binary.LittleEndian.Uint64(q.Payload) &^ uint64(core.RingCplValid)
+			if head > 0 {
+				head--
+			}
+			binary.LittleEndian.PutUint64(q.Payload, head|uint64(core.RingCplValid))
+			return q
+		}
+		if inj.fires(DuplicateCplBurst) {
+			// Withhold this writeback; deliver the previously withheld
+			// one (if any) in its place — the producer reaps a duplicate
+			// of a completion it already saw while real progress hides.
+			prev := inj.cplStash
+			inj.cplStash = p.Clone()
+			return prev
+		}
 	}
 
 	if p.Kind == pcie.Cpl || p.Kind == pcie.CplD {

@@ -96,6 +96,14 @@ type Space struct {
 	// buffers indexes all live allocations by base address for DMA
 	// resolution.
 	buffers []*Buffer
+	// spare retires the byte backings of freed materialized buffers,
+	// keyed by exact capacity, so the steady-state task loop (alloc
+	// bounce buffer, run, free) stops paying one large allocation per
+	// task. Backings are zeroed at Free time — the same eager-zeroing
+	// discipline as arena.PutZero, since a bounce buffer may have held
+	// tenant plaintext — so Alloc's zeroed-memory contract holds for
+	// recycled backings without further work.
+	spare map[int][][]byte
 }
 
 type regionAlloc struct {
@@ -168,9 +176,21 @@ func (r *regionAlloc) release(base uint64, size int64) {
 	r.free = out
 }
 
-// Alloc materializes a zeroed buffer of the given size in region.
+// spareCap bounds how many retired backings are kept per size class;
+// beyond it the GC takes them, so a burst of odd-sized buffers cannot
+// pin memory forever.
+const spareCap = 8
+
+// Alloc materializes a zeroed buffer of the given size in region,
+// reusing a retired backing of the same capacity when one is spare.
 func (s *Space) Alloc(region, name string, size int64) (*Buffer, error) {
 	return s.allocCommon(region, name, size, func(b *Buffer) {
+		// allocCommon holds s.mu, so the spare map needs no extra lock.
+		if bs := s.spare[int(size)]; len(bs) > 0 {
+			b.data = bs[len(bs)-1]
+			s.spare[int(size)] = bs[:len(bs)-1]
+			return
+		}
 		b.data = make([]byte, size)
 	})
 }
@@ -223,6 +243,18 @@ func (s *Space) Free(b *Buffer) {
 			break
 		}
 	}
+	if b.data != nil && int64(cap(b.data)) == b.size {
+		if s.spare == nil {
+			s.spare = make(map[int][][]byte)
+		}
+		if bs := s.spare[int(b.size)]; len(bs) < spareCap {
+			d := b.data[:cap(b.data)]
+			for i := range d {
+				d[i] = 0 // eager zeroing: the backing may have held plaintext
+			}
+			s.spare[int(b.size)] = append(bs, d)
+		}
+	}
 	b.data = nil
 }
 
@@ -264,6 +296,22 @@ func (s *Space) Read(addr uint64, n int64) ([]byte, error) {
 		return nil, fmt.Errorf("mem: read overruns buffer %q", b.name)
 	}
 	return append([]byte(nil), b.Bytes()[off:off+n]...), nil
+}
+
+// ReadInto copies len(dst) bytes from a physical address into dst,
+// letting a caller that owns a reusable buffer (the host bridge's
+// pooled completion payloads) avoid Read's per-call allocation.
+func (s *Space) ReadInto(addr uint64, dst []byte) error {
+	b, ok := s.Resolve(addr)
+	if !ok {
+		return fmt.Errorf("mem: read from unmapped address %#x", addr)
+	}
+	off := int64(addr - b.base)
+	if off+int64(len(dst)) > b.size {
+		return fmt.Errorf("mem: read overruns buffer %q", b.name)
+	}
+	copy(dst, b.Bytes()[off:])
+	return nil
 }
 
 // WriteUint64 stores a little-endian 64-bit value.

@@ -51,6 +51,13 @@ type Bus struct {
 	name  string
 	mu    sync.Mutex // serializes topology mutations (snapshot rebuilds)
 	state atomic.Pointer[busState]
+
+	// everTapped latches the first AddTap call for the lifetime of the
+	// bus. Taps may retain or duplicate any packet they see, so payload
+	// recycling (returning routed payload buffers to an arena pool) is
+	// only sound on a bus no tap has ever observed. The flag is sticky
+	// on purpose: ClearTaps cannot un-retain packets a tap already saw.
+	everTapped atomic.Bool
 }
 
 // busState is one immutable routing snapshot.
@@ -157,11 +164,21 @@ func (b *Bus) Claim(owner ID, r Region) error {
 
 // AddTap installs a bus observer/mutator (snooping or tampering point).
 func (b *Bus) AddTap(t Tap) {
+	b.everTapped.Store(true)
 	_ = b.mutate(func(s *busState) error {
 		s.taps = append(s.taps, t)
 		return nil
 	})
 }
+
+// Untapped reports whether no tap has ever been installed on this bus.
+// It is the payload-recycling gate: a routed payload may be returned to
+// a buffer pool only if Untapped() still holds AFTER Route returned —
+// a tap installed later never saw the packet, so the check-after-route
+// is race-free even though installation is concurrent. Endpoints must
+// not retain request packets (see Endpoint), so on an untapped bus the
+// routing initiator or terminal consumer is provably the last holder.
+func (b *Bus) Untapped() bool { return !b.everTapped.Load() }
 
 // ClearTaps removes all observers.
 func (b *Bus) ClearTaps() {

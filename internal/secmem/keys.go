@@ -1,6 +1,7 @@
 package secmem
 
 import (
+	"crypto/cipher"
 	"crypto/hmac"
 	"crypto/rand"
 	"crypto/sha256"
@@ -27,6 +28,13 @@ type keyEntry struct {
 	// can never reuse a stale HMAC state).
 	mac hash.Hash
 	sum []byte
+	// aead is the lazily built AES-GCM instance for this key epoch.
+	// Streams handed out by Stream share it, so the AES key schedule
+	// runs once per Install instead of once per Stream call. Like mac,
+	// it is guarded by ks.mu and dies with the entry — Install replaces
+	// the entry wholesale, so a rekeyed stream can never be served a
+	// cipher from the previous epoch.
+	aead cipher.AEAD
 }
 
 // NewKeyStore returns an empty store.
@@ -52,15 +60,25 @@ func (ks *KeyStore) Install(name string, key, nonce []byte) error {
 	return nil
 }
 
-// Stream constructs a protected Stream from stored material.
+// Stream constructs a protected Stream from stored material. The
+// underlying AES-GCM instance is cached per key epoch: repeated calls
+// (re-establishment after teardown, multi-tenant activation storms)
+// reuse one expanded key schedule until Install rotates the entry.
 func (ks *KeyStore) Stream(name string) (*Stream, error) {
 	ks.mu.Lock()
+	defer ks.mu.Unlock()
 	e, ok := ks.entries[name]
-	ks.mu.Unlock()
 	if !ok {
 		return nil, fmt.Errorf("secmem: no key material for stream %q", name)
 	}
-	return NewStream(e.key, e.nonce)
+	if e.aead == nil {
+		aead, err := newAEAD(e.key)
+		if err != nil {
+			return nil, err
+		}
+		e.aead = aead
+	}
+	return NewStreamAEAD(e.aead, e.nonce)
 }
 
 // Material returns copies of the stored key and nonce base.

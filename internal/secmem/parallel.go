@@ -45,6 +45,14 @@ func (p *Pool) Workers() int {
 // have completed. A nil Pool or a single-worker pool runs serially on
 // the calling goroutine.
 func (p *Pool) Run(n int, fn func(i int)) {
+	p.RunEach(n, func() func(i int) { return fn })
+}
+
+// RunEach is Run with per-worker state: every worker invokes mk once
+// and then runs the returned fn over its share of indices. Workers can
+// therefore own scratch buffers (IV assembly, staging space) without
+// sharing them across goroutines or allocating per index.
+func (p *Pool) RunEach(n int, mk func() func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -53,6 +61,7 @@ func (p *Pool) Run(n int, fn func(i int)) {
 		w = n
 	}
 	if w == 1 {
+		fn := mk()
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
@@ -62,6 +71,7 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	work := func() {
 		defer wg.Done()
+		fn := mk()
 		for {
 			i := int(next.Add(1)) - 1
 			if i >= n {
@@ -78,13 +88,13 @@ func (p *Pool) Run(n int, fn func(i int)) {
 	wg.Wait()
 }
 
-// nonceAt assembles the 12-byte GCM IV for counter c against a
-// captured nonce base (lock-free worker path).
-func nonceAt(base [nonceBase]byte, c uint32) []byte {
-	iv := make([]byte, NonceSize)
-	copy(iv, base[:])
+// putNonce assembles the 12-byte GCM IV for counter c against a
+// captured nonce base into caller scratch (lock-free worker path —
+// each worker owns its own scratch, so no IV buffer is ever shared or
+// allocated per chunk).
+func putNonce(iv *[NonceSize]byte, base [nonceBase]byte, c uint32) {
+	copy(iv[:], base[:])
 	binary.BigEndian.PutUint32(iv[nonceBase:], c)
-	return iv
 }
 
 // SealBatch encrypts len(pts) chunks, reserving a contiguous counter
@@ -141,18 +151,22 @@ func (s *Stream) SealBatch(pts, aads [][]byte, pool *Pool) ([]*Sealed, error) {
 	}
 
 	out := make([]*Sealed, n)
-	pool.Run(n, func(i int) {
-		c := base + 1 + uint32(i)
-		var aad []byte
-		if aads != nil {
-			aad = aads[i]
+	pool.RunEach(n, func() func(i int) {
+		var iv [NonceSize]byte // per-worker IV scratch: no per-chunk allocation
+		return func(i int) {
+			c := base + 1 + uint32(i)
+			var aad []byte
+			if aads != nil {
+				aad = aads[i]
+			}
+			putNonce(&iv, nb, c)
+			ct := aead.Seal(nil, iv[:], pts[i], aad)
+			sealed := &Sealed{Counter: c, Epoch: epoch}
+			k := len(ct) - TagSize
+			sealed.Ciphertext = ct[:k]
+			copy(sealed.Tag[:], ct[k:])
+			out[i] = sealed
 		}
-		ct := aead.Seal(nil, nonceAt(nb, c), pts[i], aad)
-		sealed := &Sealed{Counter: c, Epoch: epoch}
-		k := len(ct) - TagSize
-		sealed.Ciphertext = ct[:k]
-		copy(sealed.Tag[:], ct[k:])
-		out[i] = sealed
 	})
 
 	if o != nil {

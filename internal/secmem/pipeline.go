@@ -92,18 +92,34 @@ func (s *Stream) SealBatchStream(pts, aads [][]byte, pool *Pool, emit func(i int
 
 	var err error
 	if w == 1 {
-		// Serial fast path: seal and emit inline, already in order.
+		// Serial fast path: seal and emit inline, already in order. One
+		// arena buffer sized for the largest chunk serves the whole
+		// batch — emit must copy anything it keeps, so the buffer is
+		// free for reuse the moment emit returns.
 		var iv [NonceSize]byte
 		copy(iv[:], nb[:])
+		maxLen := 0
+		for _, pt := range pts {
+			if len(pt) > maxLen {
+				maxLen = len(pt)
+			}
+		}
+		buf := arena.Get(maxLen + TagSize)
 		var chunk Sealed
 		for i := 0; i < n && err == nil; i++ {
-			ct := sealInto(&iv, i)
+			c := base + 1 + uint32(i)
+			putNonce(&iv, nb, c)
+			var aad []byte
+			if aads != nil {
+				aad = aads[i]
+			}
+			ct := aead.Seal(buf[:0], iv[:], pts[i], aad)
 			k := len(ct) - TagSize
-			chunk = Sealed{Counter: base + 1 + uint32(i), Epoch: epoch, Ciphertext: ct[:k]}
+			chunk = Sealed{Counter: c, Epoch: epoch, Ciphertext: ct[:k]}
 			copy(chunk.Tag[:], ct[k:])
 			err = emit(i, &chunk)
-			arena.Put(ct) // ciphertext only: public bytes
 		}
+		arena.Put(buf) // ciphertext only: public bytes
 	} else {
 		err = sealStreamParallel(n, w, base, epoch, nb, sealInto, emit)
 	}
@@ -227,18 +243,26 @@ func (s *Stream) OpenBatchInto(dst []byte, sealed []Sealed, aads [][]byte, pool 
 	if aads != nil && len(aads) != n {
 		return fmt.Errorf("secmem: %d chunks but %d aads", n, len(aads))
 	}
-	offs := make([]int, n+1)
+	// batchMu keeps two concurrent batch opens from interleaving their
+	// validate/advance windows, and in passing makes the batch scratch
+	// (offset prefix sums, per-chunk errors) single-owner so span-sized
+	// batches reuse one per-stream allocation instead of two per call.
+	// Lock order: batchMu, then mu.
+	s.batchMu.Lock()
+	defer s.batchMu.Unlock()
+
+	if s.batchOffs == nil || len(s.batchOffs) < n+1 {
+		s.batchOffs = make([]int, n+1)
+		s.batchErrs = make([]error, n)
+	}
+	offs, errs := s.batchOffs[:n+1], s.batchErrs[:n]
+	offs[0] = 0
 	for i := range sealed {
 		offs[i+1] = offs[i] + len(sealed[i].Ciphertext)
 	}
 	if offs[n] > len(dst) {
 		return fmt.Errorf("secmem: dst holds %d bytes, batch needs %d", len(dst), offs[n])
 	}
-
-	// batchMu keeps two concurrent batch opens from interleaving their
-	// validate/advance windows. Lock order: batchMu, then mu.
-	s.batchMu.Lock()
-	defer s.batchMu.Unlock()
 
 	s.mu.Lock()
 	if s.fault != nil {
@@ -268,26 +292,42 @@ func (s *Stream) OpenBatchInto(dst []byte, sealed []Sealed, aads [][]byte, pool 
 	o := s.obs
 	s.mu.Unlock()
 
-	errs := make([]error, n)
-	pool.Run(n, func(i int) {
-		ctLen := len(sealed[i].Ciphertext)
-		// One arena buffer carries ciphertext||tag plus the IV scratch
-		// at its tail; Open only reads from it while writing into dst.
-		buf := arena.Get(ctLen + TagSize + NonceSize)
-		copy(buf, sealed[i].Ciphertext)
-		copy(buf[ctLen:], sealed[i].Tag[:])
-		iv := buf[ctLen+TagSize:]
-		copy(iv, nb[:])
-		binary.BigEndian.PutUint32(iv[nonceBase:], sealed[i].Counter)
-		var aad []byte
-		if aads != nil {
-			aad = aads[i]
+	maxCt := 0
+	for i := range sealed {
+		if len(sealed[i].Ciphertext) > maxCt {
+			maxCt = len(sealed[i].Ciphertext)
 		}
-		out := dst[offs[i]:offs[i]:offs[i+1]]
-		_, err := aead.Open(out, iv, buf[:ctLen+TagSize], aad)
-		errs[i] = err
-		arena.Put(buf) // ciphertext, tag, IV: all public bytes
+	}
+	var bufMu sync.Mutex
+	var bufs [][]byte
+	pool.RunEach(n, func() func(i int) {
+		// One scratch per worker carries ciphertext||tag plus the IV at
+		// its tail for every chunk that worker opens — Open only reads
+		// from it while writing into dst, so reuse across chunks is safe
+		// and the per-chunk pool traffic of the old layout disappears.
+		buf := arena.Get(maxCt + TagSize + NonceSize)
+		bufMu.Lock()
+		bufs = append(bufs, buf)
+		bufMu.Unlock()
+		return func(i int) {
+			ctLen := len(sealed[i].Ciphertext)
+			copy(buf, sealed[i].Ciphertext)
+			copy(buf[ctLen:], sealed[i].Tag[:])
+			iv := buf[ctLen+TagSize : ctLen+TagSize+NonceSize]
+			copy(iv, nb[:])
+			binary.BigEndian.PutUint32(iv[nonceBase:], sealed[i].Counter)
+			var aad []byte
+			if aads != nil {
+				aad = aads[i]
+			}
+			out := dst[offs[i]:offs[i]:offs[i+1]]
+			_, err := aead.Open(out, iv, buf[:ctLen+TagSize], aad)
+			errs[i] = err
+		}
 	})
+	for _, b := range bufs {
+		arena.Put(b) // scratch held ciphertext||tag||iv: public bytes
+	}
 
 	// Advance the watermark through the contiguous success prefix.
 	good := 0

@@ -62,6 +62,11 @@ type Stream struct {
 	// parallel decrypt → watermark advance); it is always acquired
 	// before mu and never held by single-chunk operations.
 	batchMu sync.Mutex
+	// batchOffs/batchErrs are OpenBatchInto's reusable scratch (offset
+	// prefix sums and per-chunk verdicts), owned by whoever holds
+	// batchMu. They carry no secret material.
+	batchOffs []int
+	batchErrs []error
 
 	mu        sync.Mutex
 	aead      cipher.AEAD
@@ -130,22 +135,42 @@ func (s *Stream) SetObserver(h *obsv.Hub, track, name string) {
 	}
 }
 
-// NewStream builds a protected stream from a 16-byte key and an 8-byte
-// nonce base (unique per stream direction).
-func NewStream(key []byte, nonce []byte) (*Stream, error) {
+// newAEAD runs the AES key schedule and builds the GCM instance — the
+// expensive, key-dependent half of stream construction. GCM AEADs are
+// stateless per operation, so one instance may back any number of
+// streams over the same key epoch.
+func newAEAD(key []byte) (cipher.AEAD, error) {
 	if len(key) != KeySize {
 		return nil, fmt.Errorf("secmem: key must be %d bytes, got %d", KeySize, len(key))
-	}
-	if len(nonce) != nonceBase {
-		return nil, fmt.Errorf("secmem: nonce base must be %d bytes, got %d", nonceBase, len(nonce))
 	}
 	block, err := aes.NewCipher(key)
 	if err != nil {
 		return nil, err
 	}
-	aead, err := cipher.NewGCM(block)
+	return cipher.NewGCM(block)
+}
+
+// NewStream builds a protected stream from a 16-byte key and an 8-byte
+// nonce base (unique per stream direction).
+func NewStream(key []byte, nonce []byte) (*Stream, error) {
+	aead, err := newAEAD(key)
 	if err != nil {
 		return nil, err
+	}
+	return NewStreamAEAD(aead, nonce)
+}
+
+// NewStreamAEAD builds a protected stream around an already-constructed
+// AEAD — the KeyStore's per-key-epoch cipher cache hands these out so
+// the AES key schedule runs once per Install, not once per Stream call.
+// The caller must guarantee the AEAD was built over a KeySize key that
+// is unique to this stream's key epoch.
+func NewStreamAEAD(aead cipher.AEAD, nonce []byte) (*Stream, error) {
+	if aead == nil {
+		return nil, errors.New("secmem: nil AEAD")
+	}
+	if len(nonce) != nonceBase {
+		return nil, fmt.Errorf("secmem: nonce base must be %d bytes, got %d", nonceBase, len(nonce))
 	}
 	s := &Stream{aead: aead}
 	copy(s.nonceBase[:], nonce)

@@ -35,6 +35,7 @@
 package soak
 
 import (
+	"ccai/internal/fault"
 	"ccai/internal/sim"
 )
 
@@ -88,7 +89,8 @@ type Config struct {
 	CalmDwell, BurstDwell sim.Time
 	// WavePeriod spaces the storm plan's waves; FaultsPerWave sizes each
 	// wave's fault.Plan (events are dealt round-robin over every fault
-	// class, so each wave exercises the full class list).
+	// class, so each wave exercises the full class list — presets track
+	// len(fault.Classes()) so a new class is stormed the day it lands).
 	WavePeriod    sim.Time
 	FaultsPerWave int
 	// Carriers is the real-tenant count on the carrier plane (0 disables
@@ -119,7 +121,7 @@ func Smoke() Config {
 		CalmRPS:    0.02, BurstRPS: 0.5,
 		CalmDwell: 120 * sim.Second, BurstDwell: 10 * sim.Second,
 		WavePeriod:    2 * 60 * sim.Second,
-		FaultsPerWave: 11,
+		FaultsPerWave: len(fault.Classes()),
 		Carriers:      2,
 		ProbeEvery:    24,
 
@@ -145,7 +147,7 @@ func Full() Config {
 		CalmRPS:    0.02, BurstRPS: 0.5,
 		CalmDwell: 120 * sim.Second, BurstDwell: 10 * sim.Second,
 		WavePeriod:    10 * 60 * sim.Second,
-		FaultsPerWave: 11,
+		FaultsPerWave: len(fault.Classes()),
 		Carriers:      4,
 		ProbeEvery:    96,
 

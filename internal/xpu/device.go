@@ -172,6 +172,20 @@ type Device struct {
 
 	upstream Upstream
 
+	// cplRecycle, when non-nil and returning true, authorizes returning
+	// upstream completion payloads to the shared arena after their bytes
+	// are copied out: the device is the payload's terminal consumer, and
+	// the hook (wired by the platform to the upstream bus's Untapped
+	// check, evaluated AFTER the route returned) proves no tap retained
+	// the packet. wrRecycle likewise authorizes staging outbound MWr
+	// payloads from the arena instead of the never-reused slab; it is
+	// wired only when the upstream consumer takes ownership of the bytes
+	// and returns them to the arena itself (the protected-mode SC's
+	// write-span pipeline). Nil hooks preserve the allocate-and-forget
+	// behavior, which is the only safe choice on a tapped bus.
+	cplRecycle func() bool
+	wrRecycle  func() bool
+
 	faultHook FaultHook
 
 	// Execution log for tests and the environment guard.
@@ -301,6 +315,18 @@ func (d *Device) SetUpstream(u Upstream) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.upstream = u
+}
+
+// SetPayloadRecycling wires the arena-recycling gates for DMA payloads:
+// cpl authorizes pooling upstream completion payloads once copied out,
+// wr authorizes staging outbound MWr payloads from the arena (only
+// sound when the upstream consumer owns and recycles them). Both hooks
+// are consulted per transfer, so a tap installed mid-run shuts the
+// recycling down from that packet on (Bus.Untapped is sticky).
+func (d *Device) SetPayloadRecycling(cpl, wr func() bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.cplRecycle, d.wrRecycle = cpl, wr
 }
 
 // SetFaultHook wires the benign-failure injection layer (nil clears).
@@ -559,6 +585,9 @@ func (d *Device) dmaRead(addr uint64, n int64) ([]byte, bool) {
 			return nil, false
 		}
 		out = append(out, cpl.Payload...)
+		if d.cplRecycle != nil && d.cplRecycle() {
+			arena.PutZero(cpl.Payload) // may carry tenant plaintext
+		}
 		addr += uint64(chunk)
 		n -= chunk
 	}
@@ -583,6 +612,9 @@ func (d *Device) dmaReadInto(dst []byte, addr uint64) bool {
 			return false
 		}
 		copy(dst, cpl.Payload[:chunk])
+		if d.cplRecycle != nil && d.cplRecycle() {
+			arena.PutZero(cpl.Payload) // may carry tenant plaintext
+		}
 		addr += uint64(chunk)
 		dst = dst[chunk:]
 	}
@@ -602,8 +634,14 @@ func (d *Device) dmaWrite(addr uint64, data []byte) bool {
 		}
 		// The packet must not alias devMem — a later kernel or wipe would
 		// mutate a payload a tap may have retained — so stage each chunk
-		// through the never-reused slab.
-		buf := d.slab.Take(chunk)
+		// through the never-reused slab, or through the arena when the
+		// upstream consumer owns and recycles the bytes (wrRecycle).
+		var buf []byte
+		if d.wrRecycle != nil && d.wrRecycle() {
+			buf = arena.Get(chunk)
+		} else {
+			buf = d.slab.Take(chunk)
+		}
 		copy(buf, data[:chunk])
 		d.upstream(d.pkts.MemWrite(d.id, addr, buf))
 		addr += uint64(chunk)

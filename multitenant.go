@@ -196,6 +196,11 @@ func (mp *MultiPlatform) addTenant(i int, profile xpu.Profile) error {
 	scKeys := secmem.NewKeyStore()
 	sc := core.NewController(scUnitID, scBar, scKeys)
 	sc.AttachInternalBusOnly(internal, xpuID, xpuWin, mp.Host)
+	// Batched completion reaping, identical to the single-tenant
+	// assembly: after forwarding a guarded doorbell the SC reads the
+	// device head once and DMA-writes it into the submission ring
+	// header, so every tenant's completion poll is a host-memory read.
+	sc.ConfigureCompletionReap(xpu.RegDoorbell, xpu.RegCmdHead)
 	internal.Attach(sc.InternalPort())
 	for _, r := range []pcie.Region{shared, {Base: msiBase, Size: msiSize, Name: "msi"}} {
 		if err := internal.Claim(scUnitID, r); err != nil {

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"ccai/internal/adaptor"
 	"ccai/internal/fault"
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -247,7 +248,20 @@ func TestRecoveryRungMetricsExactlyOnce(t *testing.T) {
 	})
 
 	t.Run("stale_suppressed", func(t *testing.T) {
-		p := observedPlatform(t)
+		// Completion reaping serves Head() from host memory, so with it
+		// on the steady-state task issues no MMIO reads at all and the
+		// stale-completion rung has nothing to suppress. Pin the rung on
+		// the legacy read path.
+		opts := adaptor.Optimized()
+		opts.CompletionReap = false
+		p, err := NewPlatform(Config{XPU: xpu.A100, Mode: Protected, Observe: true, Adaptor: &opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.EstablishTrust(); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(p.Close)
 		// Two firings: the first stashes a completion (a timeout), the
 		// second delivers it in place of a newer one — a stale tag the
 		// adaptor must suppress exactly once.

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"ccai/internal/adaptor"
+	"ccai/internal/arena"
 	"ccai/internal/core"
 	"ccai/internal/hrot"
 	"ccai/internal/mem"
@@ -115,6 +116,12 @@ type HostBridge struct {
 	space *mem.Space
 	iommu *mem.IOMMU
 
+	// bus is the segment the bridge terminates; when it has never been
+	// tapped, MRd completion payloads are carved from the shared arena
+	// (the terminal consumer returns them after copying) instead of
+	// freshly allocated per read.
+	bus *pcie.Bus
+
 	msiMu sync.Mutex
 	msi   []uint32
 }
@@ -136,6 +143,19 @@ func (h *HostBridge) Handle(p *pcie.Packet) *pcie.Packet {
 	case pcie.MRd:
 		if !h.iommu.Check(p.Requester, p.Address, int64(p.Length), false) {
 			return pcie.NewCompletion(p, h.id, pcie.CplCA, nil)
+		}
+		if h.bus != nil && h.bus.Untapped() {
+			// Pooled fast path: no tap has ever seen this bus, so the
+			// requester is provably the payload's last holder and will
+			// return it to the arena after copying (device dmaReadInto,
+			// SC span fetch). A requester that doesn't participate just
+			// leaks the buffer to the GC — today's behavior.
+			data := arena.Get(int(p.Length))
+			if err := h.space.ReadInto(p.Address, data); err != nil {
+				arena.Put(data)
+				return pcie.NewCompletion(p, h.id, pcie.CplUR, nil)
+			}
+			return pcie.NewCompletionOwned(p, h.id, pcie.CplSuccess, data)
 		}
 		data, err := h.space.Read(p.Address, int64(p.Length))
 		if err != nil {
@@ -248,7 +268,7 @@ func NewPlatform(cfg Config) (*Platform, error) {
 	if cfg.Observe || cfg.Telemetry != nil {
 		p.Obs = obsv.NewHub()
 	}
-	p.Bridge = &HostBridge{id: HostBridgeID, space: guest.Space, iommu: p.IOMMU}
+	p.Bridge = &HostBridge{id: HostBridgeID, space: guest.Space, iommu: p.IOMMU, bus: p.Host}
 	p.Host.Attach(p.Bridge)
 	for _, r := range []pcie.Region{
 		{Base: privateBase, Size: privateSize, Name: "ram/private"},
@@ -287,6 +307,11 @@ func (p *Platform) assembleVanilla(cfg Config) error {
 		return err
 	}
 	p.Device.SetUpstream(func(pkt *pcie.Packet) *pcie.Packet { return p.Host.Route(pkt) })
+	// Completion payloads come from the host bridge's arena pool while
+	// the bus stays untapped; the device returns them after copying. MWr
+	// staging keeps the slab — the bridge copies posted writes but does
+	// not recycle them.
+	p.Device.SetPayloadRecycling(p.Host.Untapped, nil)
 	// Vanilla DMA policy: the device may reach the shared (DMA-able)
 	// region, as a conventional driver would map it.
 	p.IOMMU.Map(XPUID, sharedBase, sharedSize, mem.PermRead|mem.PermWrite)
@@ -322,6 +347,11 @@ func (p *Platform) assembleProtected(cfg Config, opts adaptor.Options) error {
 	}
 	p.SC.AttachInternalBus(p.Internal, XPUID)
 	p.SC.SetAuthorizedTVM(TVMID)
+	// Batched completion reaping: after forwarding a guarded doorbell the
+	// SC reads the device's command head once and DMA-writes it into the
+	// submission ring header, so the driver's completion poll becomes a
+	// host-memory read.
+	p.SC.ConfigureCompletionReap(xpu.RegDoorbell, xpu.RegCmdHead)
 	// The SC's internal port claims every host window on the internal
 	// bus, so all device-initiated traffic (DMA, MSI) routes through the
 	// filter — and is observable on the internal segment like real wire
@@ -344,6 +374,15 @@ func (p *Platform) assembleProtected(cfg Config, opts adaptor.Options) error {
 		p.Internal.Route(pcie.NewMemWrite(SCID, xpuBARBase+plan.Reg, buf))
 	})
 	p.Device.SetUpstream(func(pkt *pcie.Packet) *pcie.Packet { return p.Internal.Route(pkt) })
+	// Close the payload-recycling loops on the internal segment: the
+	// device returns the SC's H2D plaintext completions to the arena
+	// after copying, stages D2H MWr payloads from the arena for the SC's
+	// write-span pipeline to return after sealing, and the SC recycles
+	// its own bounce-buffer fetches and ciphertext staging likewise. All
+	// gates re-check Bus.Untapped per packet, so fault-injection taps
+	// installed mid-run degrade to today's allocate-and-forget behavior.
+	p.Device.SetPayloadRecycling(p.Internal.Untapped, p.Internal.Untapped)
+	p.SC.EnableDatapathRecycling()
 
 	// The SC (not the device) masters the host bus; only the shared
 	// bounce window is mapped for it. The TVM-private region stays
@@ -472,10 +511,18 @@ func (p *Platform) setupProtectedDriver() error {
 }
 
 // guardedPort carries driver MMIO through the Adaptor's A3 protocol.
+// Command-head polls route through the reaped completion word so the
+// steady-state task loop costs zero MMIO reads.
 type guardedPort struct{ a *adaptor.Adaptor }
 
 func (g *guardedPort) WriteReg(reg uint64, v uint64) error { return g.a.GuardedWrite(reg, v) }
-func (g *guardedPort) ReadReg(reg uint64) (uint64, error)  { return g.a.DeviceRead(reg) }
+
+func (g *guardedPort) ReadReg(reg uint64) (uint64, error) {
+	if reg == xpu.RegCmdHead {
+		return g.a.CompletionHead(reg)
+	}
+	return g.a.DeviceRead(reg)
+}
 
 // Close tears the session down: keys destroyed, device cleaned, the
 // telemetry server (if any) stopped.
