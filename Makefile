@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race stress bench bench-smoke soak-smoke telemetry-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
+.PHONY: all build test race stress bench bench-smoke soak-smoke telemetry-smoke llm-smoke cover fuzz vet fmt fmt-check experiments profile clean ci
 
 all: build test
 
@@ -13,7 +13,7 @@ all: build test
 # scorecard, and a short fuzz pass over the attacker-facing parsers
 # (fault plans included), and the telemetry-plane smoke: live scrape,
 # token isolation, audit-chain tamper evidence.
-ci: fmt-check vet test race stress bench-smoke soak-smoke telemetry-smoke
+ci: fmt-check vet test race stress bench-smoke soak-smoke telemetry-smoke llm-smoke
 	$(GO) test -fuzz=FuzzUnmarshal -fuzztime=10s ./internal/pcie/
 	$(GO) test -fuzz=FuzzFaultPlan -fuzztime=10s ./internal/fault/
 # The deterministic allocation ceilings (64 KiB protected task and the
@@ -65,6 +65,13 @@ fmt-check:
 # virtual-time numbers get an exact gate, unlike the wall-clock micros.
 soak-smoke:
 	$(GO) run ./cmd/ccai-bench -only soak -soak smoke -out "" -soak-compare BENCH_results.json
+
+# The LLM-serving smoke: the streaming-session happy path, the
+# staged-once KV invariant (the PCIe tap proof that decode never
+# re-stages the cache), and the multi-session decode determinism check —
+# the §16 serving story's merge gate, in seconds.
+llm-smoke:
+	$(GO) test -count=1 -run 'TestLLMSessionStreamsExpectedTokens|TestKVStagedOncePerSession|TestDecodeDeterminism' .
 
 # The telemetry-plane smoke: boot a two-tenant chassis with the live
 # telemetry plane on an ephemeral port, fire the fault matrix (rekey,

@@ -242,13 +242,14 @@ func main() {
 // additionally carry the per-iteration latency distribution's p50/p99
 // so tail regressions are visible even when the mean holds steady.
 type benchResult struct {
-	Name        string  `json:"name"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	P50Ns       float64 `json:"p50_ns,omitempty"`
-	P99Ns       float64 `json:"p99_ns,omitempty"`
-	BytesPerOp  uint64  `json:"bytes_per_op"`
-	AllocsPerOp uint64  `json:"allocs_per_op"`
-	Iterations  int     `json:"iterations"`
+	Name         string  `json:"name"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	P50Ns        float64 `json:"p50_ns,omitempty"`
+	P99Ns        float64 `json:"p99_ns,omitempty"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	Iterations   int     `json:"iterations"`
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
 }
 
 // allocs samples the cumulative heap-allocation count; the delta of two
@@ -348,7 +349,12 @@ func microBench(serveTel bool) ([]benchResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append(results, scheduled...), nil
+	results = append(results, scheduled...)
+	llmRows, err := llmBench()
+	if err != nil {
+		return nil, err
+	}
+	return append(results, llmRows...), nil
 }
 
 // servingBench measures aggregate multi-tenant throughput: the same
@@ -492,6 +498,148 @@ func scheduledBench(serveTel bool) ([]benchResult, error) {
 	}, nil
 }
 
+// llmSessions is the timed session count per llmBench case; with 64 new
+// tokens per session that is 512 timed tokens per row, enough to
+// amortize the one-off prefill/KV staging into a stable per-token mean.
+const llmSessions = 8
+
+// llmBench measures the token-level serving path on two xpu profiles:
+// a protected streaming InferenceSession (KV sealed and staged once at
+// prefill, every decode chunk through the sealed ring datapath) against
+// a vanilla platform moving the same wire payloads — one KV-sized
+// transfer plus one chunk-span task per decode step — with no crypto.
+// It reports per-token ns, tokens/sec, and (via overheadRatios) the
+// ccAI/vanilla per-token ratio the LLM-serving acceptance bar watches.
+func llmBench() ([]benchResult, error) {
+	cfg := llm.Config{MaxNewTokens: 64, ChunkTokens: 8, MaxPromptTokens: 16}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	tokens := llmSessions * cfg.MaxNewTokens
+	kvBytes := cfg.KVBytes(cfg.MaxPromptTokens)
+	spans := make([]int, cfg.Chunks())
+	wire := kvBytes // per-session wire bytes: KV once + ids up/tokens down per chunk
+	for i := range spans {
+		spans[i] = cfg.ChunkSpan(i)
+		wire += 2 * int64(spans[i])
+	}
+	var results []benchResult
+	for _, p := range []xpu.Profile{xpu.A100, xpu.T4} {
+		ccElapsed, ccAllocs, err := llmProtected(p, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("llm/ccAI/%s: %w", p.Name, err)
+		}
+		vanElapsed, vanAllocs, err := llmVanilla(p, kvBytes, spans)
+		if err != nil {
+			return nil, fmt.Errorf("llm/vanilla/%s: %w", p.Name, err)
+		}
+		perTokenBytes := uint64(wire) / uint64(cfg.MaxNewTokens)
+		results = append(results,
+			benchResult{
+				Name:         "llm/ccAI/" + p.Name + "/per-token",
+				NsPerOp:      float64(ccElapsed.Nanoseconds()) / float64(tokens),
+				BytesPerOp:   perTokenBytes,
+				AllocsPerOp:  ccAllocs / uint64(tokens),
+				Iterations:   tokens,
+				TokensPerSec: float64(tokens) / ccElapsed.Seconds(),
+			},
+			benchResult{
+				Name:         "llm/vanilla/" + p.Name + "/per-token",
+				NsPerOp:      float64(vanElapsed.Nanoseconds()) / float64(tokens),
+				BytesPerOp:   perTokenBytes,
+				AllocsPerOp:  vanAllocs / uint64(tokens),
+				Iterations:   tokens,
+				TokensPerSec: float64(tokens) / vanElapsed.Seconds(),
+			})
+	}
+	return results, nil
+}
+
+// llmProtected times llmSessions full streaming sessions (open, decode
+// stream, prefill, drain, close) on a single-tenant protected chassis.
+func llmProtected(p xpu.Profile, cfg llm.Config) (time.Duration, uint64, error) {
+	mp, err := ccai.NewMultiPlatform([]xpu.Profile{p})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer mp.Close()
+	if err := mp.EstablishTrustAll(); err != nil {
+		return 0, 0, err
+	}
+	prompt := []byte("ccai-bench llm per-token probe")
+	run := func(seed uint64) error {
+		c := cfg
+		c.Seed = seed
+		sess, err := mp.Tenants[0].OpenSession(context.Background(), c)
+		if err != nil {
+			return err
+		}
+		defer sess.Close()
+		ch, err := sess.Decode(context.Background())
+		if err != nil {
+			return err
+		}
+		if err := sess.Prefill(context.Background(), prompt); err != nil {
+			return err
+		}
+		for chunk := range ch {
+			if chunk.Err != nil {
+				return chunk.Err
+			}
+		}
+		return nil
+	}
+	if err := run(0); err != nil { // warm-up
+		return 0, 0, err
+	}
+	m0 := allocs()
+	start := time.Now()
+	for i := 0; i < llmSessions; i++ {
+		if err := run(uint64(i + 1)); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start), allocs() - m0, nil
+}
+
+// llmVanilla times the unprotected baseline for the same session shape:
+// per session one kvBytes task (the KV staging analogue) plus one task
+// per decode chunk moving that chunk's span, all plain memcpy DMA.
+func llmVanilla(p xpu.Profile, kvBytes int64, spans []int) (time.Duration, uint64, error) {
+	plat, err := ccai.New(ccai.WithXPU(p), ccai.WithMode(ccai.Vanilla))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer plat.Close()
+	if err := plat.EstablishTrust(); err != nil {
+		return 0, 0, err
+	}
+	tasks := make([]ccai.Task, 0, len(spans)+1)
+	tasks = append(tasks, ccai.Task{Input: make([]byte, kvBytes), Kernel: ccai.KernelXOR, Param: 0x5a})
+	for _, s := range spans {
+		tasks = append(tasks, ccai.Task{Input: make([]byte, s), Kernel: ccai.KernelXOR, Param: 0x5a})
+	}
+	run := func() error {
+		for _, tk := range tasks {
+			if _, err := plat.RunTask(tk); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := run(); err != nil { // warm-up
+		return 0, 0, err
+	}
+	m0 := allocs()
+	start := time.Now()
+	for i := 0; i < llmSessions; i++ {
+		if err := run(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return time.Since(start), allocs() - m0, nil
+}
+
 // benchDoc is the whole BENCH_results.json document: the wall-clock
 // micro-benchmarks plus the deterministic soak scorecards, keyed by
 // preset. Writers update only their own section, so regenerating the
@@ -533,7 +681,9 @@ func writeResults(path string, results []benchResult) error {
 
 // overheadRatios pairs each task/ccAI/<size> result with its vanilla
 // twin and reports the protected/vanilla ns-per-op ratio per scenario —
-// the paper's Figure 8 overhead metric on the wall-clock pipeline.
+// the paper's Figure 8 overhead metric on the wall-clock pipeline. The
+// llm/ccAI/<profile>/per-token rows pair the same way, yielding the
+// per-token LLM-serving overhead under llm/<profile>/per-token.
 func overheadRatios(results []benchResult) map[string]float64 {
 	byName := make(map[string]float64, len(results))
 	for _, r := range results {
@@ -541,13 +691,15 @@ func overheadRatios(results []benchResult) map[string]float64 {
 	}
 	out := make(map[string]float64)
 	for name, ns := range byName {
-		const pfx = "task/ccAI/"
-		if !strings.HasPrefix(name, pfx) {
-			continue
-		}
-		size := strings.TrimPrefix(name, pfx)
-		if v := byName["task/vanilla/"+size]; v > 0 && ns > 0 {
-			out["task/"+size] = ns / v
+		for _, pfx := range []string{"task/ccAI/", "llm/ccAI/"} {
+			rest, ok := strings.CutPrefix(name, pfx)
+			if !ok {
+				continue
+			}
+			kind := strings.TrimSuffix(pfx, "ccAI/")
+			if v := byName[kind+"vanilla/"+rest]; v > 0 && ns > 0 {
+				out[kind+rest] = ns / v
+			}
 		}
 	}
 	return out
@@ -597,7 +749,11 @@ func renderMicro(path string, results []benchResult) string {
 		microIters, runtime.GOMAXPROCS(0), path)
 	var serial, conc, plain, observed, telem float64
 	for _, r := range results {
-		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op %8d allocs/op\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		fmt.Fprintf(&b, "  %-32s %14.0f ns/op %10d bytes/op %8d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		if r.TokensPerSec > 0 {
+			fmt.Fprintf(&b, " %9.0f tok/s", r.TokensPerSec)
+		}
+		b.WriteByte('\n')
 		switch r.Name {
 		case "serve/4-tenant/serialized/64KiB":
 			serial = r.NsPerOp

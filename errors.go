@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 
+	"ccai/internal/llm"
 	"ccai/internal/sched"
 	"ccai/internal/secmem"
 )
@@ -58,6 +59,24 @@ var (
 	// accessors themselves are nil-safe (see Observability) — only
 	// exports that would otherwise produce an empty artifact error.
 	ErrObserveOff = errors.New("ccai: observability not enabled (Config.Observe / WithObserve)")
+
+	// ErrSessionClosed is returned for operations on an InferenceSession
+	// after Close — including Close racing an in-flight Prefill/Decode:
+	// the session's KV region is gone and no step may touch it.
+	ErrSessionClosed = errors.New("ccai: inference session closed")
+
+	// ErrKVBudgetExceeded is returned at OpenSession when the session's
+	// KV-cache reservation does not fit the engine budget (or the
+	// per-session device window), and at Prefill when the prompt
+	// overruns the reservation. It aliases the engine's sentinel so
+	// errors already wrapping llm.ErrKVBudget match unchanged.
+	ErrKVBudgetExceeded = llm.ErrKVBudget
+
+	// ErrStreamAborted is returned (as the Err of the final
+	// DecodeChunk, and by Prefill) when a decode stream dies before its
+	// final chunk: consumer context cancelled, injected scheduler
+	// cancel, or a step failing terminally mid-stream.
+	ErrStreamAborted = errors.New("ccai: decode stream aborted")
 )
 
 // ctxErr decorates a context error; errors.Is still matches

@@ -19,7 +19,7 @@ import (
 var secret = []byte("PROPRIETARY-LLM-WEIGHTS-BLOCK-7f3a")
 
 func freshPlatform(mode ccai.Mode) *ccai.Platform {
-	p, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: mode})
+	p, err := ccai.New(ccai.WithXPU(xpu.A100), ccai.WithMode(mode))
 	if err != nil {
 		log.Fatal(err)
 	}

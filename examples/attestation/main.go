@@ -102,7 +102,7 @@ func main() {
 	if _, err := golden.OpenBundle(sealed); err != nil {
 		log.Fatal(err)
 	}
-	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+	plat, err := ccai.New(ccai.WithXPU(xpu.A100), ccai.WithMode(ccai.Protected))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,13 +1,17 @@
 // Llama-2 inference benchmark: the Figure 8 experiment as a standalone
 // program. Sweeps token size (fix-batch) and batch size (fix-token) on
 // a simulated A100, printing vanilla vs ccAI E2E latency, tokens per
-// second, and time to first token.
+// second, and time to first token — then drives a live streaming
+// InferenceSession through the sealed datapath to show the serving API
+// the analytic model describes.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
+	"ccai"
 	"ccai/internal/bench"
 	"ccai/internal/llm"
 	"ccai/internal/xpu"
@@ -50,4 +54,42 @@ func main() {
 		van.E2E.Seconds(), van.TTFT.Seconds(), van.TPS, van.LoadTime.Seconds())
 	fmt.Printf("  ccAI:    E2E %.2fs, TTFT %.3fs, %.1f tok/s  ->  +%.2f%% latency\n",
 		cc.E2E.Seconds(), cc.TTFT.Seconds(), cc.TPS, bench.Overhead(van.E2E, cc.E2E))
+	fmt.Println()
+
+	// Live serving: the streaming Session API over a protected A100
+	// slice. The prompt is sealed host-side, the KV-cache is staged into
+	// protected device memory exactly once at prefill, and every decode
+	// chunk streams back through the sealed datapath.
+	mp, err := ccai.NewMultiPlatform([]xpu.Profile{xpu.A100})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mp.Close()
+	if err := mp.EstablishTrustAll(); err != nil {
+		log.Fatal(err)
+	}
+	sess, err := mp.Tenants[0].OpenSession(context.Background(), llm.Config{
+		MaxNewTokens: 64, ChunkTokens: 8, MaxPromptTokens: 32, Seed: 42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	stream, err := sess.Decode(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Prefill(context.Background(), []byte("what does ccAI protect?")); err != nil {
+		log.Fatal(err)
+	}
+	chunks, tokens := 0, 0
+	for c := range stream {
+		if c.Err != nil {
+			log.Fatal(c.Err)
+		}
+		chunks++
+		tokens += len(c.Tokens) / 4
+	}
+	fmt.Printf("live session: %d tokens streamed in %d sealed chunks (KV staged once, epoch %d)\n",
+		tokens, chunks, sess.KVSealEpoch())
 }

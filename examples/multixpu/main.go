@@ -21,7 +21,7 @@ func main() {
 
 	fmt.Println("functional pass: the same confidential task on every fleet device")
 	for _, profile := range xpu.Fleet() {
-		plat, err := ccai.NewPlatform(ccai.Config{XPU: profile, Mode: ccai.Protected})
+		plat, err := ccai.New(ccai.WithXPU(profile), ccai.WithMode(ccai.Protected))
 		if err != nil {
 			log.Fatal(err)
 		}

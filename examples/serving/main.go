@@ -60,14 +60,15 @@ func main() {
 	}
 	fmt.Printf("admitted %d requests, shed %d at the queue edge\n", admitted, rejected)
 
-	// 4. Collect. Handle.Result blocks; Handle.Wait takes a context.
+	// 4. Collect. Handle.Wait blocks under a context and returns the
+	//    request's full TenantResult record (tenant, batch index, output).
 	ok := 0
 	for _, h := range handles {
-		out, err := h.Result()
+		res, err := h.Wait(context.Background())
 		if err != nil {
 			log.Fatal(err)
 		}
-		if out[0] == input[0]^0xff {
+		if res.Output[0] == input[0]^0xff {
 			ok++
 		}
 	}
@@ -82,8 +83,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := hd.Result(); err != nil {
-		fmt.Printf("deadline request: %v\n", err)
+	if res, err := hd.Wait(context.Background()); err != nil {
+		fmt.Printf("deadline request (tenant %d): %v\n", res.Tenant, err)
 	} else {
 		ok++
 	}

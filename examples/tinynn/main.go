@@ -54,7 +54,7 @@ func main() {
 	input := make([]byte, inDim)
 	rng.Bytes(input)
 
-	plat, err := ccai.NewPlatform(ccai.Config{XPU: xpu.A100, Mode: ccai.Protected})
+	plat, err := ccai.New(ccai.WithXPU(xpu.A100), ccai.WithMode(ccai.Protected))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,14 +13,17 @@ package ccai
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"ccai/internal/arena"
 	"ccai/internal/attack"
 	"ccai/internal/core"
 	"ccai/internal/fault"
+	"ccai/internal/llm"
 	"ccai/internal/pcie"
 	"ccai/internal/secmem"
 	"ccai/internal/xpu"
@@ -409,5 +412,115 @@ func TestMidPipelineFaults(t *testing.T) {
 				t.Fatalf("plaintext canary left in pooled buffer under mid-pipeline %v", tc.class)
 			}
 		})
+	}
+}
+
+// --- rekey-mid-decode fault class (DESIGN.md §16) ----------------------------
+
+// TestRekeyMidDecode pins the KV-residency contract under counter
+// pressure: an H2D rekey landing between two decode steps of a live
+// inference session must trip the session's epoch fence, must NOT
+// re-stage the KV-cache (the resident ciphertext belongs to the fenced
+// epoch; only fresh per-step traffic moves to the new one), and must
+// not perturb a single output byte. Matrix style, the episode runs
+// twice and must produce an identical outcome signature.
+func TestRekeyMidDecode(t *testing.T) {
+	run := func() string {
+		mp := llmChassis(t, []xpu.Profile{xpu.A100},
+			WithLLMEngine(llm.EngineConfig{Workers: 1}))
+		defer mp.Close()
+		tenant := mp.Tenants[0]
+
+		// Tap: count device reads against the session's KV bounce buffer.
+		var (
+			sessMu  sync.Mutex
+			sess    *InferenceSession
+			kvReads atomic.Int64
+		)
+		mp.Host.AddTap(pcie.TapFunc(func(p *pcie.Packet) *pcie.Packet {
+			if p.Kind != pcie.MRd {
+				return p
+			}
+			sessMu.Lock()
+			s := sess
+			sessMu.Unlock()
+			if s == nil {
+				return p
+			}
+			s.mu.Lock()
+			r := s.kvRegion
+			s.mu.Unlock()
+			if r != nil && r.Buf.Contains(p.Address) {
+				kvReads.Add(1)
+			}
+			return p
+		}))
+		defer mp.Host.ClearTaps()
+
+		// The dispatcher probes the fault hook once per step. Steps run
+		// prefill, decode#1, decode#2, decode#3 — the third probe fires the
+		// rekey, so it lands exactly between decode#1 and decode#2.
+		var probes atomic.Int64
+		mp.SetLLMFaultHook(func(point string) bool {
+			if point != fault.SchedPointDequeue {
+				return false
+			}
+			if probes.Add(1) == 3 {
+				if err := tenant.Adaptor.RekeyStream(core.StreamH2D); err != nil {
+					t.Errorf("mid-decode rekey: %v", err)
+				}
+			}
+			return false
+		})
+
+		cfg := llm.Config{MaxNewTokens: 32, ChunkTokens: 8, MaxPromptTokens: 16, Seed: 0x5eed}
+		s, err := tenant.OpenSession(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sessMu.Lock()
+		sess = s
+		sessMu.Unlock()
+		ch, err := s.Decode(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		prompt := []byte("rekey mid decode episode")
+		if err := s.Prefill(context.Background(), prompt); err != nil {
+			t.Fatal(err)
+		}
+		stagedReads := kvReads.Load() // prefill done: KV image is resident
+
+		got := collectStream(t, ch)
+		want := expectedStream(cfg, prompt)
+		if !bytes.Equal(got, want) {
+			t.Fatal("token stream corrupted by mid-decode rekey")
+		}
+		if !s.KVFenced() {
+			t.Fatal("epoch fence did not trip: rekey invisible to the session")
+		}
+		cur := tenant.Adaptor.StreamEpoch(core.StreamH2D)
+		if s.KVSealEpoch() >= cur {
+			t.Fatalf("KV seal epoch %d not behind stream epoch %d after rekey", s.KVSealEpoch(), cur)
+		}
+		if extra := kvReads.Load() - stagedReads; extra != 0 {
+			t.Fatalf("rekey re-staged the KV-cache: %d extra PCIe reads after prefill", extra)
+		}
+		if stagedReads == 0 {
+			t.Fatal("vacuous cell: KV staging never crossed the tap")
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		sessMu.Lock()
+		sess = nil
+		sessMu.Unlock()
+		return fmt.Sprintf("reads=%d fenced=%v seal=%d cur=%d bytes=%d",
+			stagedReads, true, s.KVSealEpoch(), cur, len(got))
+	}
+	sig1 := run()
+	sig2 := run()
+	if sig1 != sig2 {
+		t.Fatalf("rekey-mid-decode cell is nondeterministic:\n run1: %s\n run2: %s", sig1, sig2)
 	}
 }

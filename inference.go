@@ -1,0 +1,551 @@
+package ccai
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"ccai/internal/adaptor"
+	"ccai/internal/fault"
+	"ccai/internal/llm"
+	"ccai/internal/obsv"
+	"ccai/internal/secmem"
+	"ccai/internal/xpu"
+)
+
+// Continuous token-level LLM serving (DESIGN.md §16). A tenant opens a
+// streaming InferenceSession; the chassis-wide continuous-batching
+// engine (internal/llm) interleaves prefill and per-chunk decode steps
+// across every live session of every tenant, vLLM-style. The
+// confidential contract per session:
+//
+//   - The KV-cache is sealed and staged into protected device memory
+//     exactly once, at prefill; every decode step computes against the
+//     resident copy. No per-token KV traffic crosses PCIe — the gated
+//     TestKVStagedOncePerSession pins this.
+//   - Per-step traffic (token ids up, decode chunk down) rides the
+//     same sealed datapath as blob tasks: ring-batched descriptors,
+//     per-epoch cached ciphers, completion writeback.
+//   - A mid-decode rekey trips the session's epoch fence
+//     (secmem.Fence): the resident KV stays valid — it was decrypted on
+//     arrival and never re-staged — while all new step traffic seals
+//     under the fresh epoch. KVFenced exposes the transition.
+
+// Per-tenant device-memory carving for sessions. Blob tasks use
+// [0x0, 0x80000); sessions get fixed windows above that: per slot a KV
+// region, a token-id scratch, and a chunk output buffer.
+const (
+	llmSessBase      = 0x80000 // first session slot
+	llmSlotSpan      = 0x18000 // 96 KiB per slot
+	llmKVMax         = 0x14000 // 80 KiB resident KV per session
+	llmIdsOff        = 0x14000 // token-id scratch inside the slot
+	llmOutOff        = 0x16000 // decode-chunk output inside the slot
+	llmSlotsPerVault = 5       // slots per tenant: 0x80000+5*0x18000 < 1 MiB device memory
+)
+
+// DecodeChunk is one streamed unit of generated tokens. Chunks arrive
+// in Index order; exactly one chunk has Final set (clean end of
+// stream) or Err set (aborted stream, no further chunks).
+type DecodeChunk struct {
+	// Index is the chunk ordinal: 0 is emitted by prefill, the rest by
+	// decode steps.
+	Index int
+	// Tokens holds ChunkSpan(Index)×TokenBytes verified plaintext bytes
+	// (they crossed PCIe sealed; CollectD2H authenticated them).
+	Tokens []byte
+	// Final marks the stream's last data chunk.
+	Final bool
+	// Err, when set, marks an aborted stream: errors.Is matches
+	// ErrStreamAborted plus the underlying cause.
+	Err error
+}
+
+// InferenceSession is one live generation stream on a tenant. The
+// lifecycle is OpenSession → Prefill → Decode (consume the channel) →
+// Close; Close is deterministic and idempotent — it releases the KV
+// reservation, device slot and pinned host region synchronously.
+type InferenceSession struct {
+	t     *Tenant
+	srv   *llmServer
+	cfg   llm.Config
+	state *llm.SessionState
+	sctx  context.Context
+
+	devSlot int
+	devBase uint64
+
+	mu            sync.Mutex
+	prompt        []byte
+	digest        uint64
+	kvBytes       int64
+	kvHost        []byte // KVInit image, dropped once staged
+	kvRegion      *adaptor.Region
+	kvSealEpoch   uint32
+	fence         secmem.Fence
+	finished      bool
+	err           error
+	ch            chan DecodeChunk
+	prefillDone   chan struct{}
+	prefillClosed bool
+	ctxStops      []func() bool
+
+	closed   atomic.Bool
+	kvFenced atomic.Bool
+	kvStaged atomic.Bool
+}
+
+// llmServer is the chassis's lazily-started inference dispatcher: a
+// small worker pool pulling steps off the continuous-batching engine
+// and executing them on the owning tenant's sealed pipeline.
+type llmServer struct {
+	mp   *MultiPlatform
+	eng  *llm.Engine
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mu      sync.Mutex
+	devFree [][]int // per tenant index: free session slots
+}
+
+// llmServer returns the chassis inference server, starting it on first
+// use with the Config.LLM engine parameters.
+func (mp *MultiPlatform) llmServer() *llmServer {
+	mp.llmMu.Lock()
+	defer mp.llmMu.Unlock()
+	if mp.llmSrv != nil {
+		return mp.llmSrv
+	}
+	eng, err := llm.NewEngine(mp.llmCfg)
+	if err != nil {
+		// EngineConfig is fully defaulted; the only failure is an absurd
+		// MaxSessions, which NewMultiPlatform's options cannot produce.
+		panic(fmt.Sprintf("ccai: llm engine: %v", err))
+	}
+	srv := &llmServer{mp: mp, eng: eng, stop: make(chan struct{})}
+	srv.devFree = make([][]int, len(mp.Tenants))
+	for i := range srv.devFree {
+		for s := llmSlotsPerVault - 1; s >= 0; s-- {
+			srv.devFree[i] = append(srv.devFree[i], s)
+		}
+	}
+	workers := mp.llmCfg.Workers
+	if workers <= 0 {
+		workers = 2
+	}
+	srv.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go srv.worker()
+	}
+	mp.llmSrv = srv
+	return srv
+}
+
+// Engine exposes the continuous-batching engine (step log, KV
+// accounting) — observability for tests and benchmarks.
+func (mp *MultiPlatform) Engine() *llm.Engine { return mp.llmServer().eng }
+
+func (srv *llmServer) shutdown() {
+	srv.eng.Close()
+	close(srv.stop)
+	srv.wg.Wait()
+}
+
+func (srv *llmServer) allocSlot(tenant int) (int, error) {
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	free := srv.devFree[tenant]
+	if len(free) == 0 {
+		return 0, fmt.Errorf("%w: tenant %d: all %d device session slots live",
+			ErrQueueFull, tenant, llmSlotsPerVault)
+	}
+	slot := free[len(free)-1]
+	srv.devFree[tenant] = free[:len(free)-1]
+	return slot, nil
+}
+
+func (srv *llmServer) freeSlot(tenant, slot int) {
+	srv.mu.Lock()
+	srv.devFree[tenant] = append(srv.devFree[tenant], slot)
+	srv.mu.Unlock()
+}
+
+func (srv *llmServer) probeFault(point string) bool {
+	fn := srv.mp.llmFault.Load()
+	return fn != nil && (*fn)(point)
+}
+
+// SetLLMFaultHook installs the deterministic fault probe on the
+// inference dispatcher (see fault.Injector.SchedFault); nil clears it.
+// Probed at every step dispatch: SchedPointDequeue firing requeues the
+// step (mid-queue stall), SchedPointCancel firing aborts the stream at
+// the claim boundary.
+func (mp *MultiPlatform) SetLLMFaultHook(fn func(point string) bool) {
+	if fn == nil {
+		mp.llmFault.Store(nil)
+		return
+	}
+	mp.llmFault.Store(&fn)
+}
+
+// worker is the dispatch loop: pull a step, run it on the owning
+// session, re-arm or retire.
+func (srv *llmServer) worker() {
+	defer srv.wg.Done()
+	for {
+		st, ok := srv.eng.Next(srv.stop)
+		if !ok {
+			return
+		}
+		sess, _ := st.S.Owner.(*InferenceSession)
+		if sess == nil {
+			srv.eng.Fail(st)
+			continue
+		}
+		if srv.probeFault(fault.SchedPointDequeue) {
+			srv.eng.Requeue(st)
+			continue
+		}
+		if srv.probeFault(fault.SchedPointCancel) {
+			sess.abort(fmt.Errorf("%w: %w", ErrStreamAborted, ctxErr(context.Canceled)))
+			srv.eng.Fail(st)
+			continue
+		}
+		if err := sess.sctx.Err(); err != nil {
+			sess.abort(fmt.Errorf("%w: %w", ErrStreamAborted, ctxErr(err)))
+			srv.eng.Fail(st)
+			continue
+		}
+		if sess.closed.Load() {
+			srv.eng.Fail(st)
+			continue
+		}
+		if err := sess.runStep(st); err != nil {
+			sess.abort(fmt.Errorf("%w: %w", ErrStreamAborted, err))
+			srv.eng.Fail(st)
+			continue
+		}
+		srv.mp.Obs.Reg().Counter(obsv.Name("llm.steps", "kind", st.Kind.String())).Inc()
+		if !srv.eng.Complete(st) {
+			sess.finish()
+		}
+	}
+}
+
+// OpenSession admits a streaming inference session on the tenant. KV
+// budget (chassis-wide) and a device session slot (per tenant) are
+// reserved here — the only point that can fail on memory; Prefill and
+// decode steps never grow the reservation. ctx bounds the whole
+// session: its cancellation aborts the stream. Failure modes:
+// ErrNotTrusted, ErrKVBudgetExceeded, ErrQueueFull (no session slot).
+func (t *Tenant) OpenSession(ctx context.Context, cfg llm.Config) (*InferenceSession, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, ctxErr(err)
+	}
+	if t.parent == nil {
+		return nil, errors.New("ccai: OpenSession needs a MultiPlatform tenant")
+	}
+	if err := cfg.Normalize(); err != nil {
+		return nil, err
+	}
+	t.mu.Lock()
+	trusted := t.trusted
+	t.mu.Unlock()
+	if !trusted {
+		return nil, fmt.Errorf("ccai: tenant %d: %w", t.Index, ErrNotTrusted)
+	}
+	kvBytes := cfg.KVBytes(cfg.MaxPromptTokens)
+	if kvBytes > llmKVMax {
+		return nil, fmt.Errorf("%w: tenant %d: session KV %d B exceeds the %d B device window",
+			ErrKVBudgetExceeded, t.Index, kvBytes, llmKVMax)
+	}
+	if max := cfg.MaxPromptTokens * cfg.TokenBytes; max > llmOutOff-llmIdsOff {
+		return nil, fmt.Errorf("ccai: tenant %d: prompt reservation %d B exceeds the %d B id window",
+			t.Index, max, llmOutOff-llmIdsOff)
+	}
+	if span := cfg.ChunkTokens * cfg.TokenBytes; span > llmSlotSpan-llmOutOff {
+		return nil, fmt.Errorf("ccai: tenant %d: chunk span %d B exceeds the %d B output window",
+			t.Index, span, llmSlotSpan-llmOutOff)
+	}
+	srv := t.parent.llmServer()
+	state, err := srv.eng.Admit(cfg, cfg.MaxPromptTokens, nil)
+	if err != nil {
+		return nil, fmt.Errorf("ccai: tenant %d: %w", t.Index, err)
+	}
+	slot, err := srv.allocSlot(t.Index)
+	if err != nil {
+		srv.eng.Release(state)
+		return nil, err
+	}
+	sess := &InferenceSession{
+		t: t, srv: srv, cfg: cfg, state: state, sctx: ctx,
+		devSlot: slot, devBase: llmSessBase + uint64(slot)*llmSlotSpan,
+		kvBytes:     kvBytes,
+		ch:          make(chan DecodeChunk, cfg.Chunks()+1),
+		prefillDone: make(chan struct{}),
+	}
+	state.Owner = sess
+	return sess, nil
+}
+
+// Prefill stages the session: derives the KV-cache image from the
+// prompt, seals it into protected device memory (the once-per-session
+// PCIe crossing), runs the prefill step and emits chunk 0 on the
+// decode stream. It blocks until the step executes under the
+// continuous-batching engine — competing sessions' decode steps
+// interleave in front of it. Single-shot: a second call fails.
+func (s *InferenceSession) Prefill(ctx context.Context, prompt []byte) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if s.closed.Load() {
+		return fmt.Errorf("ccai: tenant %d: %w", s.t.Index, ErrSessionClosed)
+	}
+	if len(prompt) == 0 {
+		return fmt.Errorf("ccai: tenant %d: %w", s.t.Index, ErrEmptyInput)
+	}
+	promptTokens := (len(prompt) + s.cfg.TokenBytes - 1) / s.cfg.TokenBytes
+	if promptTokens > s.cfg.MaxPromptTokens {
+		return fmt.Errorf("%w: tenant %d: prompt %d tokens exceeds the session's %d-token reservation",
+			ErrKVBudgetExceeded, s.t.Index, promptTokens, s.cfg.MaxPromptTokens)
+	}
+	s.mu.Lock()
+	if s.prompt != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("ccai: tenant %d: session already prefilled", s.t.Index)
+	}
+	s.prompt = append([]byte(nil), prompt...)
+	s.digest = llm.Digest(s.cfg.Seed, prompt)
+	s.kvHost = llm.KVInit(s.digest, s.kvBytes)
+	s.mu.Unlock()
+	if err := s.srv.eng.Start(s.state); err != nil {
+		return fmt.Errorf("ccai: tenant %d: %w", s.t.Index, err)
+	}
+	select {
+	case <-s.prefillDone:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.err
+	case <-ctx.Done():
+		return ctxErr(ctx.Err())
+	case <-s.sctx.Done():
+		return ctxErr(s.sctx.Err())
+	}
+}
+
+// Decode returns the stream of sealed decode chunks, chunk 0 (from
+// prefill) first. The channel closes after the Final chunk, or after
+// one chunk with Err set when the stream aborts. Cancelling ctx aborts
+// the stream (ErrStreamAborted).
+func (s *InferenceSession) Decode(ctx context.Context) (<-chan DecodeChunk, error) {
+	if s.closed.Load() {
+		return nil, fmt.Errorf("ccai: tenant %d: %w", s.t.Index, ErrSessionClosed)
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, ctxErr(err)
+		}
+		stop := context.AfterFunc(ctx, func() {
+			s.abort(fmt.Errorf("%w: %w", ErrStreamAborted, ctxErr(ctx.Err())))
+		})
+		s.mu.Lock()
+		s.ctxStops = append(s.ctxStops, stop)
+		s.mu.Unlock()
+	}
+	return s.ch, nil
+}
+
+// KVFenced reports whether a rekey advanced the H2D key epoch under
+// the session mid-decode — the resident KV (sealed under the fenced
+// epoch, decrypted on arrival) stayed valid and was not re-staged.
+func (s *InferenceSession) KVFenced() bool { return s.kvFenced.Load() }
+
+// KVSealEpoch reports the key epoch the session's KV-cache was sealed
+// under at prefill.
+func (s *InferenceSession) KVSealEpoch() uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.kvSealEpoch
+}
+
+// Close deterministically releases everything the session holds: the
+// engine's KV reservation and scheduling slot, the device session
+// slot, and the pinned host staging region. An unfinished stream is
+// aborted (consumers see ErrStreamAborted wrapping ErrSessionClosed).
+// Idempotent; always nil error.
+func (s *InferenceSession) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	s.abort(fmt.Errorf("%w: %w", ErrStreamAborted, ErrSessionClosed))
+	s.srv.eng.Release(s.state)
+	s.t.mu.Lock()
+	if s.kvRegion != nil {
+		s.kvRegion.Buf.Unpin()
+		s.t.Adaptor.ReleaseRegion(s.kvRegion)
+		s.kvRegion = nil
+	}
+	s.t.mu.Unlock()
+	s.srv.freeSlot(s.t.Index, s.devSlot)
+	return nil
+}
+
+// abort ends the stream with err: pending consumers receive one chunk
+// carrying err, then the channel closes. No-op on a finished stream.
+func (s *InferenceSession) abort(err error) {
+	s.mu.Lock()
+	if s.finished {
+		s.mu.Unlock()
+		return
+	}
+	s.finished = true
+	s.err = err
+	if !s.prefillClosed {
+		s.prefillClosed = true
+		close(s.prefillDone)
+	}
+	stops := s.ctxStops
+	s.ctxStops = nil
+	ch := s.ch
+	s.mu.Unlock()
+	s.srv.eng.Release(s.state)
+	status := "ok"
+	if err != nil {
+		status = "aborted"
+	}
+	s.srv.mp.Obs.Reg().Counter(obsv.Name("llm.sessions",
+		"status", status, "tenant", strconv.Itoa(s.t.Index))).Inc()
+	if err != nil {
+		ch <- DecodeChunk{Index: -1, Err: err}
+	}
+	close(ch)
+	for _, stop := range stops {
+		stop()
+	}
+}
+
+// finish closes the stream cleanly after the final chunk.
+func (s *InferenceSession) finish() { s.abort(nil) }
+
+// emit delivers one data chunk; the channel is sized so this never
+// blocks. Dropped silently once the stream finished (late step racing
+// an abort).
+func (s *InferenceSession) emit(c DecodeChunk) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finished {
+		return
+	}
+	s.ch <- c
+}
+
+// runStep executes one engine step on the tenant's sealed pipeline.
+// Called from dispatcher workers; t.mu serializes against blob tasks
+// and other sessions of the same tenant.
+func (s *InferenceSession) runStep(st *llm.Step) error {
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.closed.Load() {
+		return fmt.Errorf("ccai: tenant %d: %w", t.Index, ErrSessionClosed)
+	}
+	if !t.trusted {
+		return fmt.Errorf("ccai: tenant %d: %w", t.Index, ErrNotTrusted)
+	}
+	span := int64(s.cfg.ChunkSpan(st.Chunk) * s.cfg.TokenBytes)
+	off := llm.StepOffset(s.digest, st.Chunk, s.kvBytes, span)
+	key := llm.StepKey(s.digest, st.Chunk)
+	devKV := s.devBase
+	devIds := s.devBase + llmIdsOff
+	devOut := s.devBase + llmOutOff
+
+	var cmds []xpu.Command
+	name := func(kind string) string {
+		return fmt.Sprintf("llm-%s/t%d/s%d", kind, t.Index, s.devSlot)
+	}
+	if st.Kind == llm.StepPrefill {
+		// The once-per-session KV crossing: sealed, staged, pinned, and
+		// from here on only referenced by device-local kernel reads.
+		// Recorded on the session before the submit so Close owns its
+		// release from here on, whatever this step's outcome.
+		kvRegion, err := t.Adaptor.StageH2D(name("kv"), s.kvHost)
+		if err != nil {
+			return err
+		}
+		kvRegion.Buf.Pin()
+		s.mu.Lock()
+		s.kvRegion = kvRegion
+		if len(kvRegion.Recs) > 0 {
+			s.kvSealEpoch = kvRegion.Recs[0].Epoch
+		}
+		s.fence = t.Adaptor.H2DFence()
+		s.mu.Unlock()
+		cmds = append(cmds, xpu.Command{
+			Op: xpu.OpCopyH2D, Src: kvRegion.Buf.Base(), Dst: devKV, Len: uint64(len(s.kvHost)),
+		})
+	}
+	payload := llm.TokenIDs(s.digest, st.Chunk, s.cfg.ChunkSpan(st.Chunk), s.cfg.TokenBytes)
+	if st.Kind == llm.StepPrefill {
+		payload = s.prompt
+	}
+	ids, err := t.Adaptor.StageH2D(name("ids"), payload)
+	if err != nil {
+		return err
+	}
+	defer t.Adaptor.ReleaseRegion(ids)
+	out, err := t.Adaptor.PrepareD2H(name("chunk"), span)
+	if err != nil {
+		return err
+	}
+	defer t.Adaptor.ReleaseRegion(out)
+
+	cmds = append(cmds,
+		xpu.Command{Op: xpu.OpCopyH2D, Src: ids.Buf.Base(), Dst: devIds, Len: uint64(len(payload))},
+		xpu.Command{Op: xpu.OpKernel, Param: uint32(KernelXOR)<<16 | uint32(key),
+			Src: devKV + uint64(off), Dst: devOut, Len: uint64(span)},
+		xpu.Command{Op: xpu.OpCopyD2H, Src: devOut, Dst: out.Buf.Base(), Len: uint64(span)},
+	)
+	before := t.Driver.Tail()
+	if err := t.Driver.Submit(cmds...); err != nil {
+		return err
+	}
+	want := before + uint64(len(cmds))
+	head, err := t.Driver.Head()
+	if err != nil || head != want {
+		if rerr := t.recoverSubmission(ids, before, want); rerr != nil {
+			return rerr
+		}
+	}
+	tokens, err := t.Adaptor.CollectD2H(out, span)
+	if err != nil {
+		return err
+	}
+	if st.Kind == llm.StepPrefill {
+		s.mu.Lock()
+		s.kvHost = nil
+		s.mu.Unlock()
+		s.kvStaged.Store(true)
+	} else if f := s.stepFence(); !f.Valid() {
+		// Rekey happened under the session: the resident KV belongs to
+		// the fenced epoch and stays put; new traffic is already sealing
+		// under the fresh one.
+		s.kvFenced.Store(true)
+	}
+	s.emit(DecodeChunk{
+		Index:  st.Chunk,
+		Tokens: append([]byte(nil), tokens...),
+		Final:  st.Chunk == s.cfg.Chunks()-1,
+	})
+	return nil
+}
+
+func (s *InferenceSession) stepFence() secmem.Fence {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fence
+}

@@ -818,6 +818,30 @@ func (a *Adaptor) rekeyStreamLocked(stream string) error {
 	}
 }
 
+// H2DFence pins the H2D stream's current key epoch. Long-lived sealed
+// state (a session's device-resident KV-cache) holds the fence across
+// decode steps; a tripped fence marks a mid-session rekey — the
+// resident ciphertext is still the fenced epoch's and stays valid in
+// device memory, but nothing may be re-sealed under it.
+func (a *Adaptor) H2DFence() secmem.Fence {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.h2d.Fence()
+}
+
+// StreamEpoch reports the named data stream's current key epoch.
+func (a *Adaptor) StreamEpoch(stream string) uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	switch stream {
+	case core.StreamH2D:
+		return a.h2d.Epoch()
+	case core.StreamD2H:
+		return a.d2h.Epoch()
+	}
+	return 0
+}
+
 // MaybeRekey rotates any data stream approaching IV exhaustion and
 // reports which streams were rotated. Call it between transfers; the
 // staging helpers call it implicitly.

@@ -1,0 +1,106 @@
+package llm
+
+// Deterministic token material for the serving datapath. Real decode
+// output depends on model weights; here the stream is a seeded function
+// of (prompt, seed) with one crucial property preserved: every decode
+// chunk is computed *on the device, from the device-resident KV bytes*
+// (a keyed XOR window over the KV region), so the host-side expected
+// stream below only matches if the KV-cache actually survived, sealed,
+// in device memory across every step. Tests and the soak oracle lean on
+// that: byte-identical streams across runs ⇒ determinism; any KV
+// corruption or stale re-stage ⇒ a visible mismatch.
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// Digest condenses (seed, prompt) into the session's generator state
+// via FNV-1a — stable across runs and platforms.
+func Digest(seed uint64, prompt []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= (seed >> (8 * i)) & 0xff
+		h *= fnvPrime64
+	}
+	for _, b := range prompt {
+		h ^= uint64(b)
+		h *= fnvPrime64
+	}
+	if h == 0 {
+		h = fnvOffset64
+	}
+	return h
+}
+
+// mix64 is splitmix64's finalizer: a cheap, well-distributed PRF over
+// the digest and a step index.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// KVInit derives the session's initial KV-cache image: n bytes of
+// splitmix64 stream keyed by the digest. This is what Prefill seals and
+// stages into protected device memory exactly once.
+func KVInit(digest uint64, n int64) []byte {
+	out := make([]byte, n)
+	var w uint64
+	for i := range out {
+		if i%8 == 0 {
+			w = mix64(digest + uint64(i/8))
+		}
+		out[i] = byte(w)
+		w >>= 8
+	}
+	return out
+}
+
+// StepKey is the XOR key the device kernel applies for chunk idx.
+func StepKey(digest uint64, chunk int) byte {
+	k := byte(mix64(digest ^ (uint64(chunk)+1)*0x9e3779b97f4a7c15))
+	if k == 0 {
+		k = 0xa5 // never the identity: silent-corruption oracles need dst≠src
+	}
+	return k
+}
+
+// StepOffset is the KV-region window chunk idx reads: deterministic,
+// in-bounds for a window of span bytes.
+func StepOffset(digest uint64, chunk int, kvLen, span int64) int64 {
+	if kvLen <= span {
+		return 0
+	}
+	return int64(mix64(digest+0x5bd1e995*uint64(chunk+1)) % uint64(kvLen-span+1))
+}
+
+// TokenIDs is the small host→device payload for one decode step: the
+// token ids "sampled" for chunk idx, tokens×tokenBytes wide.
+func TokenIDs(digest uint64, chunk, tokens, tokenBytes int) []byte {
+	out := make([]byte, tokens*tokenBytes)
+	for t := 0; t < tokens; t++ {
+		w := mix64(digest ^ uint64(chunk)<<20 ^ uint64(t))
+		for b := 0; b < tokenBytes; b++ {
+			out[t*tokenBytes+b] = byte(w >> (8 * b))
+		}
+	}
+	return out
+}
+
+// ExpectedChunk computes, host-side, the bytes the device must produce
+// for chunk idx: the chunk's KV window XORed with its step key. kv is
+// the session's KVInit image; span the chunk's wire size.
+func ExpectedChunk(kv []byte, digest uint64, chunk int, span int64) []byte {
+	off := StepOffset(digest, chunk, int64(len(kv)), span)
+	key := StepKey(digest, chunk)
+	out := make([]byte, span)
+	for i := range out {
+		out[i] = kv[off+int64(i)] ^ key
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ccai/internal/sim"
 )
@@ -32,6 +33,11 @@ type Buffer struct {
 	data []byte // nil for synthetic buffers
 	seed uint64 // content generator seed for synthetic buffers
 	name string
+
+	// pinned buffers survive Space.Free: KV-cache regions stay resident
+	// (and their backing un-recycled) across decode steps until the
+	// owning session unpins them at Close.
+	pinned atomic.Bool
 }
 
 // Base reports the buffer's physical base address.
@@ -76,6 +82,18 @@ func (b *Buffer) SampleChunk(i int64, n int) []byte {
 	r.Bytes(out)
 	return out
 }
+
+// Pin marks the buffer resident: Space.Free becomes a no-op until
+// Unpin. This is the host-side half of KV-cache residency — the region
+// backing a live inference session must never be reclaimed or recycled
+// mid-decode.
+func (b *Buffer) Pin() { b.pinned.Store(true) }
+
+// Unpin clears residency; the next Free reclaims the buffer.
+func (b *Buffer) Unpin() { b.pinned.Store(false) }
+
+// Pinned reports residency.
+func (b *Buffer) Pinned() bool { return b.pinned.Load() }
 
 // Contains reports whether addr lies inside the buffer.
 func (b *Buffer) Contains(addr uint64) bool {
@@ -226,8 +244,12 @@ func (s *Space) allocCommon(region, name string, size int64, init func(*Buffer))
 	return b, nil
 }
 
-// Free releases a buffer's pages back to its region.
+// Free releases a buffer's pages back to its region. Pinned buffers
+// are left untouched — the owner must Unpin first (KV residency).
 func (s *Space) Free(b *Buffer) {
+	if b.Pinned() {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for name, r := range s.regions {

@@ -305,3 +305,31 @@ func TestPermAndFaultStrings(t *testing.T) {
 		t.Fatal("read/write faults indistinguishable")
 	}
 }
+
+func TestPinnedBufferSurvivesFree(t *testing.T) {
+	s := newTestSpace(t)
+	b, err := s.Alloc("tvm", "kv", 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(b.Bytes(), []byte("kv-cache-resident"))
+	b.Pin()
+	if !b.Pinned() {
+		t.Fatal("Pin did not stick")
+	}
+	s.Free(b) // must be a no-op while pinned
+	if b.Synthetic() {
+		t.Fatal("pinned buffer lost its backing on Free")
+	}
+	if _, ok := s.Resolve(b.Base()); !ok {
+		t.Fatal("pinned buffer unresolvable after Free")
+	}
+	if got := string(b.Slice(0, 17)); got != "kv-cache-resident" {
+		t.Fatalf("pinned contents clobbered: %q", got)
+	}
+	b.Unpin()
+	s.Free(b)
+	if _, ok := s.Resolve(b.Base()); ok {
+		t.Fatal("buffer still resolvable after Unpin+Free")
+	}
+}

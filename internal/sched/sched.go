@@ -288,6 +288,40 @@ func (f *Fair) Requeue(e *Entry) {
 	f.mu.Unlock()
 }
 
+// Yield returns a claimed entry to the tail of its flow after one unit
+// of work completed — the token-granular requeue behind continuous
+// batching. Where Requeue undoes a dispatch (head position, deficit
+// refunded), Yield is a voluntary preemption point between units: the
+// completed step consumed real service, so no deficit comes back, and
+// the entry re-joins at the tail so competing flows are served in
+// between. The next dispatch charges nextCost (≥1). The flow stays
+// busy until Release, preserving the one-in-flight-per-flow invariant.
+// It reports false when the entry was not claimed (already cancelled
+// or never dispatched) or the queue is closed — the caller should stop
+// stepping that entry.
+func (f *Fair) Yield(e *Entry, nextCost int64) bool {
+	if e == nil || !e.state.CompareAndSwap(stateClaimed, stateQueued) {
+		return false
+	}
+	if nextCost < 1 {
+		nextCost = 1
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		// Closed queues drain what is already queued but admit no next
+		// step; settle the entry as cancelled so Next never returns it.
+		e.state.Store(stateCanceled)
+		return false
+	}
+	e.Cost = nextCost
+	fl := &f.flows[e.Flow]
+	fl.entries = append(fl.entries, e)
+	fl.pending++
+	f.broadcast()
+	return true
+}
+
 // Release marks the flow idle again after its in-flight entry
 // completes, making its next entry dispatchable.
 func (f *Fair) Release(flowIdx int) {

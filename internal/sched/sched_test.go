@@ -282,3 +282,94 @@ func TestConcurrentPushCancelNext(t *testing.T) {
 		}
 	}
 }
+
+// TestYieldInterleavesFlows is the continuous-batching contract: two
+// flows each representing a multi-step session, one entry per session
+// yielded back after every step, must alternate strictly — neither
+// session monopolizes the dispatcher between steps.
+func TestYieldInterleavesFlows(t *testing.T) {
+	f, _ := New(Config{Flows: 2, Depth: 4, Quantum: 64})
+	a := mustPush(t, f, 0, 32, "a")
+	b := mustPush(t, f, 1, 32, "b")
+	_ = a
+	_ = b
+	stop := make(chan struct{})
+	var order []string
+	for step := 0; step < 8; step++ {
+		e, ok := f.Next(stop)
+		if !ok {
+			t.Fatalf("step %d: queue stopped", step)
+		}
+		order = append(order, e.Value.(string))
+		if !f.Yield(e, 32) {
+			t.Fatalf("step %d: yield refused", step)
+		}
+		f.Release(e.Flow)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] == order[i-1] {
+			t.Fatalf("flow %q dispatched twice in a row: %v", order[i], order)
+		}
+	}
+}
+
+// TestYieldTailVsRequeueHead distinguishes Yield from Requeue inside
+// one flow: Requeue undoes a dispatch (the entry returns to the head,
+// ahead of work queued behind it), while Yield ends a completed step
+// (the entry re-joins at the tail, behind it).
+func TestYieldTailVsRequeueHead(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 4})
+	mustPush(t, f, 0, 1, "session")
+	mustPush(t, f, 0, 1, "later")
+	stop := make(chan struct{})
+	e, _ := f.Next(stop)
+	if e.Value.(string) != "session" {
+		t.Fatalf("first dispatch = %v", e.Value)
+	}
+	// Requeue: the same entry must come back before "later".
+	f.Requeue(e)
+	f.Release(0)
+	e, _ = f.Next(stop)
+	if e.Value.(string) != "session" {
+		t.Fatalf("after requeue got %v, want session (head position)", e.Value)
+	}
+	// Yield: "later" must be served before the session's next step. The
+	// next step's cost is re-charged as given.
+	if !f.Yield(e, 7) {
+		t.Fatal("yield refused")
+	}
+	f.Release(0)
+	e2, _ := f.Next(stop)
+	if e2.Value.(string) != "later" {
+		t.Fatalf("after yield got %v, want later (tail position)", e2.Value)
+	}
+	f.Release(0)
+	e3, _ := f.Next(stop)
+	if e3 != e || e3.Cost != 7 {
+		t.Fatalf("yielded entry came back as %v cost %d, want original at cost 7", e3.Value, e3.Cost)
+	}
+}
+
+// TestYieldRefusals pins the edges: a queued (unclaimed) entry cannot
+// yield, a cancelled one cannot, and yielding into a closed queue
+// settles the entry as cancelled instead of stranding it.
+func TestYieldRefusals(t *testing.T) {
+	f, _ := New(Config{Flows: 1, Depth: 4})
+	e := mustPush(t, f, 0, 1, "x")
+	if f.Yield(e, 1) {
+		t.Fatal("yield accepted a never-claimed entry")
+	}
+	stop := make(chan struct{})
+	e, _ = f.Next(stop)
+	f.Close()
+	if f.Yield(e, 1) {
+		t.Fatal("yield accepted into a closed queue")
+	}
+	if !e.Canceled() {
+		t.Fatal("entry not settled as cancelled on closed-queue yield")
+	}
+	f.Release(0)
+	if _, ok := f.Next(stop); ok {
+		t.Fatal("cancelled yield leaked a dispatchable entry")
+	}
+}

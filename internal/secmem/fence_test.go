@@ -1,0 +1,37 @@
+package secmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFenceTripsOnRekey(t *testing.T) {
+	key := bytes.Repeat([]byte{0x11}, 16)
+	nonce := bytes.Repeat([]byte{0x22}, 8)
+	s, err := NewStream(key, nonce)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := s.Fence()
+	if !f.Valid() {
+		t.Fatal("fresh fence invalid")
+	}
+	if f.Epoch() != s.Epoch() {
+		t.Fatalf("fence epoch %d, stream epoch %d", f.Epoch(), s.Epoch())
+	}
+	key2 := bytes.Repeat([]byte{0x33}, 16)
+	nonce2 := bytes.Repeat([]byte{0x44}, 8)
+	if err := s.Rekey(key2, nonce2); err != nil {
+		t.Fatal(err)
+	}
+	if f.Valid() {
+		t.Fatal("fence survived rekey")
+	}
+	if got := s.Fence(); !got.Valid() || got.Epoch() != f.Epoch()+1 {
+		t.Fatalf("re-fenced epoch %d valid=%v, want %d valid", got.Epoch(), got.Valid(), f.Epoch()+1)
+	}
+	var zero Fence
+	if zero.Valid() {
+		t.Fatal("zero fence valid")
+	}
+}

@@ -1,6 +1,7 @@
 package soak
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"ccai/internal/attack"
 	"ccai/internal/core"
 	"ccai/internal/fault"
+	"ccai/internal/llm"
 	"ccai/internal/pcie"
 	"ccai/internal/sim"
 	"ccai/internal/xpu"
@@ -62,17 +64,18 @@ type recAgg struct {
 	n   int64
 }
 
-// carrier is the real plane: a small protected chassis behind a live
-// ccai.Scheduler that periodic probes ride while the storm's faults
-// and attacks are live. It exists so the soak's invariant oracles
-// observe a real protected pipeline, not a model of one.
+// carrier is the real plane: a small protected chassis whose periodic
+// probes are live LLM inference sessions — prompt sealed up, KV-cache
+// staged once into protected device memory, decode chunks streamed
+// back — ridden while the storm's faults and attacks are live. It
+// exists so the soak's invariant oracles observe a real protected
+// serving pipeline, not a model of one.
 type carrier struct {
 	cfg *Config
 	orc *oracle
 	clk *sim.Engine
 
-	mp    *ccai.MultiPlatform
-	sched *ccai.Scheduler
+	mp *ccai.MultiPlatform
 
 	canary    []byte
 	xorCanary []byte
@@ -106,10 +109,6 @@ func newCarrier(cfg *Config, orc *oracle, clk *sim.Engine) (*carrier, error) {
 	if err := mp.EstablishTrustAll(); err != nil {
 		return nil, err
 	}
-	s, err := mp.NewScheduler(ccai.SchedulerConfig{QueueDepth: 16})
-	if err != nil {
-		return nil, err
-	}
 	canary := []byte(fmt.Sprintf("SOAK-CANARY-%016x-DO-NOT-LEAK", cfg.Seed))
 	xored := make([]byte, len(canary))
 	for i, b := range canary {
@@ -117,7 +116,7 @@ func newCarrier(cfg *Config, orc *oracle, clk *sim.Engine) (*carrier, error) {
 	}
 	c := &carrier{
 		cfg: cfg, orc: orc, clk: clk,
-		mp: mp, sched: s,
+		mp:     mp,
 		canary: canary, xorCanary: xored,
 		gen:      make([]int, cfg.Carriers),
 		recovery: make(map[fault.Class]*recAgg),
@@ -164,7 +163,7 @@ func (c *carrier) startWave(w Wave) {
 		t.Adaptor.InstallCryptoFault(c.inj.CryptoFault)
 		t.SC.Tags().SetFaultHook(c.inj.TagFault)
 	}
-	c.sched.SetFaultHook(c.inj.SchedFault)
+	c.mp.SetLLMFaultHook(c.inj.SchedFault)
 
 	if w.Tamper > 0 {
 		c.mp.Host.AddTap(&attack.Tamperer{Count: int(w.Tamper)})
@@ -321,29 +320,27 @@ func (c *carrier) harvestFirings() []fault.Firing {
 	return fresh
 }
 
-// probe rides one real 4 KiB task through the live scheduler and the
-// full protected pipeline, classifies the outcome, and converts the
-// recovery activity it caused into a virtual-time penalty for the
-// probe-carrying request. A wrong output byte — the one outcome no
+// probe rides one real LLM inference session through the continuous-
+// batching dispatcher and the full protected pipeline: the prompt
+// (carrying the canary) seals up, the KV-cache stages into protected
+// device memory, and every decode chunk streams back sealed. The
+// recovery activity it causes converts into a virtual-time penalty for
+// the probe-carrying request. A wrong token byte — the one outcome no
 // fault may ever buy — is an oracle violation, not a latency.
 func (c *carrier) probe() (sim.Time, int) {
 	k := int(c.probeIdx) % len(c.mp.Tenants)
 	c.probeIdx++
 	t := c.mp.Tenants[k]
 
-	in := make([]byte, probeBytes)
-	for i := range in {
-		in[i] = byte(i*7) + byte(c.probeIdx)
+	cfg := llm.Config{
+		MaxNewTokens: 16, ChunkTokens: 8, MaxPromptTokens: 16,
+		Seed: c.cfg.Seed ^ uint64(c.probeIdx),
 	}
-	copy(in[64:], c.canary)
+	prompt := append([]byte(nil), c.canary...)
+	prompt = append(prompt, fmt.Sprintf("|p%06d", c.probeIdx)...)
 
 	recBefore := c.recoveryTotals()
-	h, err := c.sched.Submit(context.Background(),
-		ccai.TenantTask{Tenant: k, Task: ccai.Task{Input: in, Kernel: ccai.KernelXOR, Param: 0x5a}})
-	var out []byte
-	if err == nil {
-		out, err = h.Result()
-	}
+	out, err := c.inference(t, cfg, prompt)
 	recAfter := c.recoveryTotals()
 	fired := c.harvestFirings()
 
@@ -360,12 +357,9 @@ func (c *carrier) probe() (sim.Time, int) {
 	outcome := probeOK
 	switch {
 	case err == nil:
-		for i := range in {
-			if out[i] != in[i]^0x5a {
-				c.orc.violatef("SILENT CORRUPTION: probe %d tenant %d output byte %d wrong",
-					c.probeIdx, k, i)
-				break
-			}
+		if want := llmExpected(cfg, prompt); !bytes.Equal(out, want) {
+			c.orc.violatef("SILENT CORRUPTION: probe %d tenant %d token stream wrong (%d bytes, want %d)",
+				c.probeIdx, k, len(out), len(want))
 		}
 		c.probeOKs++
 	case errors.Is(err, context.Canceled) || errors.Is(err, ccai.ErrDeadlineExceeded):
@@ -410,10 +404,52 @@ func (c *carrier) probe() (sim.Time, int) {
 	return penalty, outcome
 }
 
+// inference runs one complete streaming session on the tenant: open,
+// prefill, drain the sealed decode stream, close. The concatenated
+// token bytes come back for oracle verification.
+func (c *carrier) inference(t *ccai.Tenant, cfg llm.Config, prompt []byte) ([]byte, error) {
+	sess, err := t.OpenSession(context.Background(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer sess.Close()
+	ch, err := sess.Decode(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	if err := sess.Prefill(context.Background(), prompt); err != nil {
+		return nil, err
+	}
+	var out []byte
+	for chunk := range ch {
+		if chunk.Err != nil {
+			return nil, chunk.Err
+		}
+		out = append(out, chunk.Tokens...)
+	}
+	return out, nil
+}
+
+// llmExpected is the host-side oracle for a probe session: the token
+// stream the device must produce iff the KV-cache stayed resident and
+// uncorrupted across every decode step.
+func llmExpected(cfg llm.Config, prompt []byte) []byte {
+	if err := cfg.Normalize(); err != nil {
+		return nil
+	}
+	digest := llm.Digest(cfg.Seed, prompt)
+	kv := llm.KVInit(digest, cfg.KVBytes(cfg.MaxPromptTokens))
+	var out []byte
+	for i := 0; i < cfg.Chunks(); i++ {
+		span := int64(cfg.ChunkSpan(i) * cfg.TokenBytes)
+		out = append(out, llm.ExpectedChunk(kv, digest, i, span)...)
+	}
+	return out
+}
+
 // close shuts the carrier down and runs the final wave's closing
 // checks.
 func (c *carrier) close() {
 	c.endWave()
-	_ = c.sched.Shutdown(context.Background())
 	c.mp.Close()
 }

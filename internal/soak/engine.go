@@ -183,7 +183,7 @@ func (e *engine) finalChecks() {
 		e.orc.violatef("VACUOUS: no carrier probes ran")
 	}
 	if ok := obsvCompletedOK(e.car.mp.Obs); ok != uint64(e.car.probeOKs) {
-		e.orc.violatef("METER MISMATCH: obsv sched.completed ok=%d, engine counted %d",
+		e.orc.violatef("METER MISMATCH: obsv llm.sessions ok=%d, engine counted %d",
 			ok, e.car.probeOKs)
 	}
 }

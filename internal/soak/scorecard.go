@@ -84,13 +84,14 @@ func UnmarshalScorecard(data []byte) (Scorecard, error) {
 	return s, err
 }
 
-// obsvCompletedOK sums the scheduler's ok-status completion counters
-// from the metrics registry — the obsv-side view of probe successes.
+// obsvCompletedOK sums the inference plane's ok-status session
+// counters from the metrics registry — the obsv-side view of probe
+// successes now that carrier probes are streaming LLM sessions.
 func obsvCompletedOK(h *obsv.Hub) uint64 {
 	snap := h.Reg().Snapshot()
 	var n uint64
 	for name, v := range snap.Counters {
-		if strings.HasPrefix(name, "sched.completed{") && strings.Contains(name, "status=ok") {
+		if strings.HasPrefix(name, "llm.sessions{") && strings.Contains(name, "status=ok") {
 			n += v
 		}
 	}

@@ -59,9 +59,6 @@ const (
 	svcPerKiB = 8 * sim.Microsecond
 )
 
-// probeBytes is the real-probe payload size on the carrier plane.
-const probeBytes = 4096
-
 // Config parameterizes one soak run. Use Smoke or Full for the two
 // committed presets; tests may build smaller ones directly.
 type Config struct {

@@ -1,0 +1,483 @@
+package ccai
+
+// Continuous token-level LLM serving tests (DESIGN.md §16): the
+// streaming Session API happy path, the acceptance gate pinning that
+// KV-cache bytes cross PCIe once per session (not once per decode
+// step), same-seed determinism of multi-session interleaving, the
+// typed error taxonomy, and deterministic resource release on Close.
+//
+// Quickstart: go test -race -run 'TestLLM|TestKVStagedOnce|TestDecodeDeterminism' -v
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"ccai/internal/fault"
+	"ccai/internal/llm"
+	"ccai/internal/pcie"
+	"ccai/internal/sched"
+	"ccai/internal/xpu"
+)
+
+// llmChassis builds a trusted chassis with the given engine config.
+func llmChassis(t *testing.T, profiles []xpu.Profile, opts ...Option) *MultiPlatform {
+	t.Helper()
+	mp, err := NewMultiPlatform(profiles, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mp.Close)
+	if err := mp.EstablishTrustAll(); err != nil {
+		t.Fatal(err)
+	}
+	return mp
+}
+
+// collectStream drains a session's decode channel with a hang guard,
+// returning the concatenated token bytes.
+func collectStream(t *testing.T, ch <-chan DecodeChunk) []byte {
+	t.Helper()
+	var out []byte
+	next := 0
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case c, ok := <-ch:
+			if !ok {
+				return out
+			}
+			if c.Err != nil {
+				t.Fatalf("stream aborted: %v", c.Err)
+			}
+			if c.Index != next {
+				t.Fatalf("chunk %d out of order, want %d", c.Index, next)
+			}
+			next++
+			out = append(out, c.Tokens...)
+		case <-deadline:
+			t.Fatal("decode stream stalled")
+		}
+	}
+}
+
+// expectedStream computes the host-side oracle: the byte stream the
+// device must produce if (and only if) the KV-cache stayed resident
+// and uncorrupted across every step.
+func expectedStream(cfg llm.Config, prompt []byte) []byte {
+	if err := cfg.Normalize(); err != nil {
+		panic(err)
+	}
+	digest := llm.Digest(cfg.Seed, prompt)
+	kv := llm.KVInit(digest, cfg.KVBytes(cfg.MaxPromptTokens))
+	var out []byte
+	for c := 0; c < cfg.Chunks(); c++ {
+		span := int64(cfg.ChunkSpan(c) * cfg.TokenBytes)
+		out = append(out, llm.ExpectedChunk(kv, digest, c, span)...)
+	}
+	return out
+}
+
+func TestLLMSessionStreamsExpectedTokens(t *testing.T) {
+	mp := llmChassis(t, []xpu.Profile{xpu.A100, xpu.T4})
+	cfg := llm.Config{MaxNewTokens: 48, ChunkTokens: 8, MaxPromptTokens: 32, Seed: 11}
+
+	type run struct {
+		sess   *InferenceSession
+		prompt []byte
+		ch     <-chan DecodeChunk
+	}
+	var runs []run
+	for ti, tenant := range mp.Tenants {
+		for s := 0; s < 2; s++ {
+			c := cfg
+			c.Seed = uint64(100*ti + s)
+			prompt := []byte(fmt.Sprintf("tenant %d session %d: summarize the ccAI paper", ti, s))
+			sess, err := tenant.OpenSession(context.Background(), c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := sess.Decode(context.Background())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sess.Prefill(context.Background(), prompt); err != nil {
+				t.Fatal(err)
+			}
+			runs = append(runs, run{sess: sess, prompt: prompt, ch: ch})
+		}
+	}
+	for i, r := range runs {
+		got := collectStream(t, r.ch)
+		c := cfg
+		c.Seed = uint64(100*(i/2) + i%2)
+		want := expectedStream(c, r.prompt)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: stream %d bytes, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("run %d: stream byte %d = %#x, want %#x", i, j, got[j], want[j])
+			}
+		}
+		if err := r.sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if used := mp.Engine().KVInUse(); used != 0 {
+		t.Fatalf("KV budget leak: %d bytes still reserved after Close", used)
+	}
+}
+
+// TestKVStagedOncePerSession is the acceptance gate: a PCIe bus tap
+// counts device read requests (the DMA that pulls sealed staging into
+// the device) against each session's KV bounce buffer. Two sessions
+// with identical KV reservations but an 8× difference in decode-step
+// count must show IDENTICAL KV-read totals — KV bytes cross PCIe once
+// per session, never once per decode step.
+func TestKVStagedOncePerSession(t *testing.T) {
+	mp := llmChassis(t, []xpu.Profile{xpu.A100})
+	tenant := mp.Tenants[0]
+
+	// The KV bounce buffer isn't known until prefill stages it; the tap
+	// tracks whatever region the current session holds.
+	var (
+		regMu   sync.Mutex
+		cur     *InferenceSession
+		kvReads atomic.Int64
+	)
+	mp.Host.AddTap(pcie.TapFunc(func(p *pcie.Packet) *pcie.Packet {
+		if p.Kind != pcie.MRd {
+			return p
+		}
+		regMu.Lock()
+		s := cur
+		regMu.Unlock()
+		if s == nil {
+			return p
+		}
+		s.mu.Lock()
+		r := s.kvRegion
+		s.mu.Unlock()
+		if r != nil && r.Buf.Contains(p.Address) {
+			kvReads.Add(1)
+		}
+		return p
+	}))
+	defer mp.Host.ClearTaps()
+
+	// runSession streams one full session and returns its KV-read total.
+	// maxPrompt is chosen so both sessions reserve the same KV bytes —
+	// (prompt+new)×KVBytesPerToken — otherwise MaxReadReq splitting
+	// would make the raw MRd counts differ for size reasons alone.
+	runSession := func(maxNew, maxPrompt int) int64 {
+		t.Helper()
+		cfg := llm.Config{MaxNewTokens: maxNew, ChunkTokens: 8, TokenBytes: 4, MaxPromptTokens: maxPrompt, Seed: 3}
+		sess, err := tenant.OpenSession(context.Background(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regMu.Lock()
+		cur = sess
+		regMu.Unlock()
+		kvReads.Store(0)
+		ch, err := sess.Decode(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Prefill(context.Background(), []byte("pin the kv residency contract")); err != nil {
+			t.Fatal(err)
+		}
+		if got := collectStream(t, ch); len(got) != maxNew*cfg.TokenBytes {
+			t.Fatalf("stream %d bytes, want %d", len(got), maxNew*cfg.TokenBytes)
+		}
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		regMu.Lock()
+		cur = nil
+		regMu.Unlock()
+		return kvReads.Load()
+	}
+
+	shortReads := runSession(8, 72) // 1 chunk: prefill only, 0 decode steps
+	longReads := runSession(64, 16) // 8 chunks: prefill + 7 decode steps; same 80-token KV
+	if shortReads == 0 {
+		t.Fatal("vacuous gate: no device reads hit the KV bounce buffer during prefill")
+	}
+	if longReads != shortReads {
+		t.Fatalf("KV bounce-buffer reads scale with decode steps: %d (0 decode steps) vs %d (7 decode steps) — KV must be staged over PCIe once per session",
+			shortReads, longReads)
+	}
+}
+
+// TestDecodeDeterminism pins same-seed byte determinism for a
+// multi-session decode interleaving: two independent runs must produce
+// byte-identical token streams and identical admission order, with the
+// sessions genuinely interleaved (prefills race, decode steps yield
+// between sessions) — the streams owe nothing to scheduling luck
+// because each is a pure function of (seed, prompt) and the resident
+// KV, not of step order.
+func TestDecodeDeterminism(t *testing.T) {
+	type result struct {
+		streams [][]byte
+		admits  []uint64
+		log     []llm.StepRecord
+	}
+	run := func() result {
+		mp := llmChassis(t, []xpu.Profile{xpu.A100, xpu.A100},
+			WithLLMEngine(llm.EngineConfig{Workers: 1}))
+		defer mp.Close()
+		// Hold the dispatcher (via the deterministic fault probe) until
+		// every session's prefill is queued: without the gate a single
+		// fast worker can drain one session to completion before the
+		// other prefill goroutines even land, and the interleaving
+		// assertion below would be at the mercy of goroutine timing.
+		var gate atomic.Bool
+		gate.Store(true)
+		mp.SetLLMFaultHook(func(point string) bool {
+			return point == fault.SchedPointDequeue && gate.Load()
+		})
+		var sessions []*InferenceSession
+		var chans []<-chan DecodeChunk
+		var prompts [][]byte
+		// Admission is sequential — the deterministic admit order the
+		// engine must reproduce run-over-run.
+		for ti, tenant := range mp.Tenants {
+			for si := 0; si < 2; si++ {
+				cfg := llm.Config{MaxNewTokens: 48 + 8*si, ChunkTokens: 4,
+					MaxPromptTokens: 16, Seed: uint64(10*ti + si)}
+				sess, err := tenant.OpenSession(context.Background(), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ch, err := sess.Decode(context.Background())
+				if err != nil {
+					t.Fatal(err)
+				}
+				sessions = append(sessions, sess)
+				chans = append(chans, ch)
+				prompts = append(prompts, []byte(fmt.Sprintf("deterministic prompt %d/%d", ti, si)))
+			}
+		}
+		// Prefills race: all sessions go live together, so the single
+		// dispatcher interleaves their prefill and decode steps.
+		errs := make(chan error, len(sessions))
+		for i := range sessions {
+			go func(i int) {
+				errs <- sessions[i].Prefill(context.Background(), prompts[i])
+			}(i)
+		}
+		deadline := time.Now().Add(10 * time.Second)
+		for mp.Engine().Pending() < len(sessions) {
+			if time.Now().After(deadline) {
+				t.Fatal("prefills never queued")
+			}
+			runtime.Gosched()
+		}
+		gate.Store(false)
+		for range sessions {
+			if err := <-errs; err != nil {
+				t.Error(err)
+			}
+		}
+		if t.Failed() {
+			t.FailNow()
+		}
+		var res result
+		for i, ch := range chans {
+			res.streams = append(res.streams, collectStream(t, ch))
+			sessions[i].Close()
+		}
+		res.admits = mp.Engine().AdmitOrder()
+		res.log = mp.Engine().StepLog()
+		return res
+	}
+	a, b := run(), run()
+	if len(a.streams) != len(b.streams) {
+		t.Fatalf("stream counts differ: %d vs %d", len(a.streams), len(b.streams))
+	}
+	for i := range a.streams {
+		if len(a.streams[i]) == 0 {
+			t.Fatalf("session %d produced no tokens", i)
+		}
+		if string(a.streams[i]) != string(b.streams[i]) {
+			t.Fatalf("session %d: token streams differ between runs", i)
+		}
+	}
+	if len(a.admits) != len(b.admits) {
+		t.Fatal("admit orders differ in length")
+	}
+	for i := range a.admits {
+		if a.admits[i] != b.admits[i] {
+			t.Fatalf("admit order differs at %d: %d vs %d", i, a.admits[i], b.admits[i])
+		}
+	}
+	// The dispatch log must show sessions alternating — continuous
+	// batching, not run-to-completion. (The log's exact order is
+	// timing-dependent — prefills race admission — which is exactly why
+	// the byte-determinism above cannot come from scheduling luck.)
+	switches := 0
+	for i := 1; i < len(a.log); i++ {
+		if a.log[i].Session != a.log[i-1].Session {
+			switches++
+		}
+	}
+	if switches < len(a.streams) {
+		t.Fatalf("only %d session switches across %d steps: not continuous batching", switches, len(a.log))
+	}
+}
+
+// TestLLMErrorTaxonomy pins the errors.Is paths of the session API.
+func TestLLMErrorTaxonomy(t *testing.T) {
+	mp := llmChassis(t, []xpu.Profile{xpu.A100},
+		WithKVBudget(4096)) // one small session's worth
+	tenant := mp.Tenants[0]
+	small := llm.Config{MaxNewTokens: 8, ChunkTokens: 4, MaxPromptTokens: 8,
+		TokenBytes: 4, KVBytesPerToken: 64, Seed: 1}
+
+	open := func() (*InferenceSession, error) {
+		return tenant.OpenSession(context.Background(), small)
+	}
+	sess, err := open()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		err  func() error
+		want []error
+	}{
+		{"kv budget exceeded at admission", func() error {
+			_, err := open() // budget 4096, first session holds (8+8)*64=1024... open until it trips
+			for err == nil {
+				_, err = open()
+			}
+			return err
+		}, []error{ErrKVBudgetExceeded, llm.ErrKVBudget}},
+		{"oversized session vs device window", func() error {
+			big := small
+			big.MaxNewTokens = 4096
+			big.KVBytesPerToken = 512
+			_, err := tenant.OpenSession(context.Background(), big)
+			return err
+		}, []error{ErrKVBudgetExceeded}},
+		{"prompt overruns reservation", func() error {
+			return sess.Prefill(context.Background(), make([]byte, 8*small.TokenBytes+1))
+		}, []error{ErrKVBudgetExceeded}},
+		{"empty prompt", func() error {
+			return sess.Prefill(context.Background(), nil)
+		}, []error{ErrEmptyInput}},
+	}
+	for _, tc := range cases {
+		err := tc.err()
+		if err == nil {
+			t.Fatalf("%s: no error", tc.name)
+		}
+		for _, want := range tc.want {
+			if !errors.Is(err, want) {
+				t.Fatalf("%s: %v does not match %v", tc.name, err, want)
+			}
+		}
+	}
+
+	// Stream abort via consumer context: the final chunk carries
+	// ErrStreamAborted wrapping context.Canceled.
+	ctx, cancel := context.WithCancel(context.Background())
+	ch, err := sess.Decode(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	deadline := time.After(10 * time.Second)
+	var aborted error
+	for aborted == nil {
+		select {
+		case c, ok := <-ch:
+			if !ok {
+				t.Fatal("stream closed without an Err chunk")
+			}
+			if c.Err != nil {
+				aborted = c.Err
+			}
+		case <-deadline:
+			t.Fatal("abort chunk never arrived")
+		}
+	}
+	if !errors.Is(aborted, ErrStreamAborted) || !errors.Is(aborted, context.Canceled) {
+		t.Fatalf("abort err %v: want ErrStreamAborted wrapping context.Canceled", aborted)
+	}
+
+	// Closed-session operations.
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Prefill(context.Background(), []byte("late")); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Prefill after Close: %v, want ErrSessionClosed", err)
+	}
+	if _, err := sess.Decode(context.Background()); !errors.Is(err, ErrSessionClosed) {
+		t.Fatalf("Decode after Close: %v, want ErrSessionClosed", err)
+	}
+
+	// Device-slot exhaustion maps to ErrQueueFull.
+	mp2 := llmChassis(t, []xpu.Profile{xpu.A100})
+	var open2 []*InferenceSession
+	var slotErr error
+	for i := 0; i < 64; i++ {
+		s, err := mp2.Tenants[0].OpenSession(context.Background(), small)
+		if err != nil {
+			slotErr = err
+			break
+		}
+		open2 = append(open2, s)
+	}
+	if slotErr == nil {
+		t.Fatal("session slots never exhausted")
+	}
+	if !errors.Is(slotErr, ErrQueueFull) && !errors.Is(slotErr, sched.ErrQueueFull) {
+		t.Fatalf("slot exhaustion err %v, want ErrQueueFull", slotErr)
+	}
+	for _, s := range open2 {
+		s.Close()
+	}
+}
+
+// TestLLMCloseReleasesDeterministically pins that Close frees the KV
+// reservation and device slot synchronously — a close/reopen loop at
+// the budget edge never wedges.
+func TestLLMCloseReleasesDeterministically(t *testing.T) {
+	cfg := llm.Config{MaxNewTokens: 16, ChunkTokens: 8, MaxPromptTokens: 16, Seed: 5}
+	var c = cfg
+	if err := c.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	mp := llmChassis(t, []xpu.Profile{xpu.A100},
+		WithKVBudget(c.KVBytes(c.MaxPromptTokens))) // exactly one session fits
+	tenant := mp.Tenants[0]
+	for i := 0; i < 5; i++ {
+		sess, err := tenant.OpenSession(context.Background(), cfg)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		ch, err := sess.Decode(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Prefill(context.Background(), []byte("close-release loop")); err != nil {
+			t.Fatal(err)
+		}
+		collectStream(t, ch)
+		if err := sess.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if used := mp.Engine().KVInUse(); used != 0 {
+			t.Fatalf("iteration %d: %d KV bytes leaked after Close", i, used)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"ccai/internal/adaptor"
 	"ccai/internal/core"
+	"ccai/internal/llm"
 	"ccai/internal/mem"
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -39,6 +41,13 @@ type MultiPlatform struct {
 	Obs *obsv.Hub
 	// Tel is the live telemetry plane (nil unless WithTelemetry).
 	Tel *telemetry.Plane
+
+	// llmSrv is the chassis's continuous-batching inference server,
+	// started lazily by the first OpenSession (see inference.go).
+	llmMu    sync.Mutex
+	llmSrv   *llmServer
+	llmCfg   llm.EngineConfig
+	llmFault atomic.Pointer[func(point string) bool]
 }
 
 // Telemetry returns the live telemetry plane, nil when not attached.
@@ -125,10 +134,11 @@ func NewMultiPlatform(profiles []xpu.Profile, options ...Option) (*MultiPlatform
 		opt(&cfg)
 	}
 	mp := &MultiPlatform{
-		Host:  pcie.NewBus("host"),
-		IOMMU: mem.NewIOMMU(),
-		space: mem.NewSpace(),
-		Mux:   core.NewMux(SCID),
+		Host:   pcie.NewBus("host"),
+		IOMMU:  mem.NewIOMMU(),
+		space:  mem.NewSpace(),
+		Mux:    core.NewMux(SCID),
+		llmCfg: cfg.LLM,
 	}
 	mp.Bridge = &HostBridge{id: HostBridgeID, space: mp.space, iommu: mp.IOMMU}
 	mp.Host.Attach(mp.Bridge)
@@ -435,6 +445,12 @@ func (t *Tenant) Close() {
 
 // Close tears down every tenant and stops the telemetry server.
 func (mp *MultiPlatform) Close() {
+	mp.llmMu.Lock()
+	if mp.llmSrv != nil {
+		mp.llmSrv.shutdown()
+		mp.llmSrv = nil
+	}
+	mp.llmMu.Unlock()
 	for _, t := range mp.Tenants {
 		t.Close()
 	}

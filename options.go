@@ -2,6 +2,7 @@ package ccai
 
 import (
 	"ccai/internal/adaptor"
+	"ccai/internal/llm"
 	"ccai/internal/telemetry"
 	"ccai/internal/xpu"
 )
@@ -46,6 +47,21 @@ func WithAdaptor(o adaptor.Options) Option {
 // WithGoldenFirmware sets the firmware measurement the PCIe-SC attests
 // the xPU against; empty means the profile's shipped firmware.
 func WithGoldenFirmware(fw string) Option { return func(c *Config) { c.GoldenFirmware = fw } }
+
+// WithLLMEngine configures the chassis's continuous-batching inference
+// engine (KV budget, session slots, step quantum, dispatcher workers).
+// Only NewMultiPlatform consumes it; zero fields keep engine defaults.
+func WithLLMEngine(cfg llm.EngineConfig) Option {
+	return func(c *Config) { c.LLM = cfg }
+}
+
+// WithKVBudget bounds the summed KV-cache reservations of concurrently
+// live inference sessions, in bytes of protected device memory — the
+// admission-control knob behind Tenant.OpenSession. Shorthand for the
+// KVBudget field of WithLLMEngine.
+func WithKVBudget(bytes int64) Option {
+	return func(c *Config) { c.LLM.KVBudget = bytes }
+}
 
 // New assembles and boots a platform — the v2 constructor:
 //

@@ -27,6 +27,7 @@ import (
 	"ccai/internal/arena"
 	"ccai/internal/core"
 	"ccai/internal/hrot"
+	"ccai/internal/llm"
 	"ccai/internal/mem"
 	"ccai/internal/obsv"
 	"ccai/internal/pcie"
@@ -105,6 +106,10 @@ type Config struct {
 	// endpoints, tamper-evident audit log, rolling SLO monitors) on
 	// top of the observability layer; non-nil implies Observe.
 	Telemetry *telemetry.Options
+	// LLM configures the continuous-batching inference engine behind
+	// Tenant.OpenSession (WithLLMEngine / WithKVBudget). Consumed by
+	// NewMultiPlatform; zero fields keep engine defaults.
+	LLM llm.EngineConfig
 }
 
 // HostBridge terminates device-initiated traffic on the host bus: DMA

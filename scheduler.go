@@ -64,6 +64,9 @@ const (
 type Handle struct {
 	// Tenant is the request's tenant index.
 	Tenant int
+	// Index is the request's position in its originating RunTasks batch,
+	// or -1 for requests submitted directly through Submit.
+	Index int
 
 	done chan struct{}
 	once sync.Once
@@ -82,18 +85,22 @@ func (h *Handle) Result() ([]byte, error) {
 	return h.out, h.err
 }
 
-// Wait blocks until the request completes or ctx expires. An expired
-// ctx abandons the wait only — the request itself continues under the
-// context it was submitted with.
-func (h *Handle) Wait(ctx context.Context) ([]byte, error) {
+// Wait blocks until the request completes or ctx expires, returning
+// the request's full TenantResult. The result's Err mirrors the second
+// return so callers can either branch on err or carry the record. An
+// expired ctx abandons the wait only — the request itself continues
+// under the context it was submitted with — and yields a result whose
+// Err is the ctx error.
+func (h *Handle) Wait(ctx context.Context) (TenantResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	select {
 	case <-h.done:
-		return h.out, h.err
+		return TenantResult{Tenant: h.Tenant, Index: h.Index, Output: h.out, Err: h.err}, h.err
 	case <-ctx.Done():
-		return nil, ctxErr(ctx.Err())
+		err := ctxErr(ctx.Err())
+		return TenantResult{Tenant: h.Tenant, Index: h.Index, Err: err}, err
 	}
 }
 
@@ -192,6 +199,12 @@ func tenantLabel(i int) string { return strconv.Itoa(i) }
 // is cancelled; errors.Is(err, context.Canceled) and
 // errors.Is(err, ErrDeadlineExceeded) identify cancellations.
 func (s *Scheduler) Submit(ctx context.Context, tt TenantTask) (*Handle, error) {
+	return s.submit(ctx, tt, -1)
+}
+
+// submit is Submit with a batch index stamped on the handle — RunTasks
+// uses it so Wait's TenantResult answers the original slice position.
+func (s *Scheduler) submit(ctx context.Context, tt TenantTask, idx int) (*Handle, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -219,7 +232,7 @@ func (s *Scheduler) Submit(ctx context.Context, tt TenantTask) (*Handle, error) 
 	label := tenantLabel(tt.Tenant)
 	sp := tr.Begin(obsv.TrackSched, "admit",
 		obsv.Str("tenant", label), obsv.I64("bytes", int64(len(tt.Task.Input))))
-	h := &Handle{Tenant: tt.Tenant, done: make(chan struct{})}
+	h := &Handle{Tenant: tt.Tenant, Index: idx, done: make(chan struct{})}
 	r := &request{ctx: ctx, task: tt.Task, h: h, enq: time.Now()}
 	// The queue_wait span opens before Push: once the entry is visible
 	// to the dispatcher, no field of r may be written again.

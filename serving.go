@@ -65,7 +65,7 @@ func (mp *MultiPlatform) RunTasks(tasks []TenantTask) []TenantResult {
 	}
 	handles := make([]*Handle, len(tasks))
 	for i, tt := range tasks {
-		h, err := s.Submit(context.Background(), tt)
+		h, err := s.submit(context.Background(), tt, i)
 		if err != nil {
 			results[i].Err = err
 			continue
@@ -74,7 +74,7 @@ func (mp *MultiPlatform) RunTasks(tasks []TenantTask) []TenantResult {
 	}
 	for i, h := range handles {
 		if h != nil {
-			results[i].Output, results[i].Err = h.Result()
+			results[i], _ = h.Wait(context.Background())
 		}
 	}
 	_ = s.Shutdown(context.Background())
